@@ -1,0 +1,174 @@
+//! Criterion micro-benchmarks for the latency-sensitive paths the paper
+//! reports as overheads (Fig. 18), plus per-figure smoke benches that
+//! run reduced-scale versions of each experiment.
+//!
+//! Run with `cargo bench`. Full-scale experiment regeneration lives in
+//! the `src/bin/` binaries (see DESIGN.md's experiment index).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cluster::engine::{ClusterConfig, ClusterEngine};
+use cluster::experiments::bursty_case_study;
+use cluster::systems::{build_system, DeviceView, SystemKind};
+use modeling::fit::piecewise::fit_piecewise;
+use modeling::GpLcbTuner;
+use mudi::{DeviceCandidate, DeviceSelector, InterferencePredictor, LatencyProfiler, MudiConfig};
+use simcore::SimRng;
+use workloads::{BurstSchedule, ColoWorkload, GroundTruth, Zoo};
+
+fn ground_truth() -> GroundTruth {
+    GroundTruth::new(Zoo::standard(), 42)
+}
+
+fn predictor(gt: &GroundTruth) -> InterferencePredictor {
+    let profiler = LatencyProfiler::new(MudiConfig::default());
+    let mut rng = SimRng::seed(7);
+    let db = profiler.build_database(gt, &gt.zoo().profiled_task_ids(), &mut rng);
+    InterferencePredictor::new(db, &mut rng).expect("non-empty database")
+}
+
+/// Fig. 18(b): the cluster-wide multiplexing decision — interference
+/// prediction plus device selection over a 1000-candidate cluster.
+/// Paper: ≤31 ms per decision.
+fn bench_placement_decision(c: &mut Criterion) {
+    let gt = ground_truth();
+    let pred = predictor(&gt);
+    let selector = DeviceSelector::new(MudiConfig::default());
+    let incoming = gt.zoo().tasks()[6].id; // Unobserved BERT-train.
+    let candidates: Vec<DeviceCandidate> = (0..1000)
+        .map(|d| DeviceCandidate {
+            device: d,
+            service: gt.zoo().services()[d % 6].id,
+            existing_tasks: vec![],
+            mem_headroom_gb: 30.0,
+        })
+        .collect();
+    c.bench_function("fig18b_placement_decision_1000gpus", |b| {
+        b.iter(|| {
+            black_box(selector.select(&gt, &pred, incoming, black_box(&candidates)))
+        })
+    });
+}
+
+/// Fig. 18(a): one full GP-LCB adaptive-batching search.
+fn bench_gp_lcb_tuning(c: &mut Criterion) {
+    let candidates: Vec<f64> = vec![2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+    c.bench_function("fig18a_gp_lcb_search", |b| {
+        b.iter_batched(
+            || SimRng::seed(3),
+            |mut rng| {
+                let tuner = GpLcbTuner::new(candidates.clone(), 25);
+                black_box(tuner.run(&mut rng, |x| Some((x.log2() - 5.0).powi(2) + 1.0)))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// §4.1.1: fitting one piece-wise linear latency curve from 6 samples.
+fn bench_piecewise_fit(c: &mut Criterion) {
+    let pts: Vec<(f64, f64)> = (0..6)
+        .map(|i| {
+            let x = 0.1 + 0.16 * i as f64;
+            let y = if x < 0.45 { 0.2 - 0.3 * (x - 0.45) } else { 0.2 - 0.01 * (x - 0.45) };
+            (x, y)
+        })
+        .collect();
+    c.bench_function("sec411_piecewise_fit", |b| {
+        b.iter(|| black_box(fit_piecewise(black_box(&pts))))
+    });
+}
+
+/// §4.2: one latency-curve prediction from the trained modeler.
+fn bench_curve_prediction(c: &mut Criterion) {
+    let gt = ground_truth();
+    let pred = predictor(&gt);
+    let svc = gt.zoo().services()[2].id;
+    let arch = gt.zoo().tasks()[7].arch;
+    c.bench_function("sec42_curve_prediction", |b| {
+        b.iter(|| black_box(pred.curve_for_arch(svc, black_box(&arch), 64)))
+    });
+}
+
+/// Ground-truth evaluation throughput: the simulator's hot path.
+fn bench_ground_truth_eval(c: &mut Criterion) {
+    let gt = ground_truth();
+    let svc = gt.zoo().services()[0].id;
+    let colo = [ColoWorkload::training(gt.zoo().tasks()[7].id, 0.5)];
+    c.bench_function("substrate_ground_truth_latency", |b| {
+        b.iter(|| black_box(gt.inference_latency(svc, 64, black_box(0.5), &colo)))
+    });
+}
+
+/// §5.3.2: one per-device configure pass (tuning with online feedback).
+fn bench_configure_pass(c: &mut Criterion) {
+    let gt = ground_truth();
+    let mut rng = SimRng::seed(5);
+    let mut sys = build_system(SystemKind::Mudi, &gt, &mut rng.fork("system"));
+    let svc = &gt.zoo().services()[1];
+    let view = DeviceView {
+        device: 0,
+        service: svc.id,
+        qps: 220.0,
+        slo_secs: svc.slo_secs(),
+        tasks: vec![gt.zoo().tasks()[4].id],
+        batch: 16,
+        fraction: 0.5,
+        measured_p99: None,
+        mem_headroom_gb: 20.0,
+    };
+    c.bench_function("sec53_device_configure", |b| {
+        b.iter(|| black_box(sys.configure(&gt, black_box(&view), &mut rng)))
+    });
+}
+
+/// Smoke bench: a miniature end-to-end cluster run (every subsystem —
+/// profiling excluded via reuse is not possible here, so this measures
+/// the full Fig. 8/9 pipeline at toy scale).
+fn bench_end_to_end_smoke(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_smoke");
+    group.sample_size(10);
+    for system in [SystemKind::Random, SystemKind::Gslice] {
+        group.bench_function(format!("fig08_tiny_{}", system.name()), |b| {
+            b.iter(|| {
+                let mut cfg = ClusterConfig::tiny(system, 11);
+                cfg.jobs = 8;
+                black_box(ClusterEngine::new(cfg).run_scaled(0.001))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Smoke bench: the Fig. 16 bursty case study at reduced duration.
+fn bench_case_study_smoke(c: &mut Criterion) {
+    let mut group = c.benchmark_group("case_study_smoke");
+    group.sample_size(10);
+    group.bench_function("fig16_bursty_60s", |b| {
+        b.iter(|| {
+            black_box(bursty_case_study(
+                SystemKind::Mudi,
+                "ResNet50",
+                "YOLOv5",
+                BurstSchedule::fig16_burst(),
+                60.0,
+                9,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_placement_decision,
+    bench_gp_lcb_tuning,
+    bench_piecewise_fit,
+    bench_curve_prediction,
+    bench_ground_truth_eval,
+    bench_configure_pass,
+    bench_end_to_end_smoke,
+    bench_case_study_smoke,
+);
+criterion_main!(benches);

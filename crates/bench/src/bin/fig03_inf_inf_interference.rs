@@ -1,0 +1,75 @@
+//! Fig. 3 — interference breakdown: GPT2/ResNet50 multiplexed with
+//! *other inference services*.
+//!
+//! Paper claims: E2E interference averages 3.19× (GPT2) and 2.40×
+//! (ResNet50); GPT2's tokenization suffers 3.07× and its inference
+//! phase 3.92×; ResNet50's preprocessing suffers 4.93×, transfer ~1.9×,
+//! inference 2.5× — all rooted in CPU/PCIe contention from the
+//! co-located service's multi-threaded pipeline (§2.2.1).
+
+use bench::{banner, compare, seed};
+use cluster::report::Table;
+use workloads::{ColoWorkload, GroundTruth, Zoo};
+
+fn main() {
+    banner(
+        "Fig. 3 — interference from co-located *inference* services",
+        "GPT2 E2E 3.19x (tokenize 3.07x, inference 3.92x); ResNet50 E2E 2.40x (preproc 4.93x, xfer 1.9x, inference 2.5x)",
+    );
+    let gt = GroundTruth::new(Zoo::standard(), seed() ^ 0xA100);
+    let batches = [16u32, 32, 64, 128, 256];
+
+    for target_name in ["GPT2", "ResNet50"] {
+        let target = gt.zoo().service_by_name(target_name).expect("in zoo");
+        let mut table = Table::new(&["co-located svc", "preproc", "transfer", "compute", "E2E"]);
+        let mut e2e_sum = 0.0;
+        let mut pre_sum = 0.0;
+        let mut xfer_sum = 0.0;
+        let mut comp_sum = 0.0;
+        let mut n = 0.0;
+        for other in gt.zoo().services() {
+            if other.id == target.id {
+                continue;
+            }
+            let mut ratios = [0.0f64; 4];
+            for &b in &batches {
+                for pct in 1..=9 {
+                    let frac = pct as f64 * 0.1;
+                    let solo = gt.inference_phases(target.id, b, frac, &[]);
+                    let colo =
+                        [ColoWorkload::inference(other.id, b, (1.0f64 - frac).max(0.05))];
+                    let shared = gt.inference_phases(target.id, b, frac, &colo);
+                    ratios[0] += shared.preprocess / solo.preprocess;
+                    ratios[1] += shared.transfer / solo.transfer;
+                    ratios[2] += shared.compute / solo.compute;
+                    ratios[3] += shared.total() / solo.total();
+                }
+            }
+            let count = (batches.len() * 9) as f64;
+            let r: Vec<f64> = ratios.iter().map(|x| x / count).collect();
+            table.row(vec![
+                other.name.to_string(),
+                format!("{:.2}x", r[0]),
+                format!("{:.2}x", r[1]),
+                format!("{:.2}x", r[2]),
+                format!("{:.2}x", r[3]),
+            ]);
+            pre_sum += r[0];
+            xfer_sum += r[1];
+            comp_sum += r[2];
+            e2e_sum += r[3];
+            n += 1.0;
+        }
+        println!("\n--- {target_name} multiplexed with other inference services ---");
+        print!("{}", table.render());
+        let (paper_e2e, paper_pre, paper_comp) = if target_name == "GPT2" {
+            (3.19, 3.07, 3.92)
+        } else {
+            (2.40, 4.93, 2.5)
+        };
+        compare("mean E2E interference", e2e_sum / n, paper_e2e, "x");
+        compare("mean CPU-phase interference", pre_sum / n, paper_pre, "x");
+        compare("mean transfer interference", xfer_sum / n, 1.9, "x");
+        compare("mean compute interference", comp_sum / n, paper_comp, "x");
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 4 — interference breakdown: GPT2/ResNet50 multiplexed with
+//! *training tasks*.
+//!
+//! Paper claims: E2E interference drops to 1.67× (GPT2) and 1.21×
+//! (ResNet50); GPT2's tokenization 2.49×, inference phase 1.4×;
+//! ResNet50's preprocessing 1.15×, transfer 1.16×, inference 1.23× —
+//! the single-threaded training loaders contend far less on CPU/PCIe,
+//! which is Mudi's core opportunity (§2.2.1 takeaway).
+
+use bench::{banner, compare, seed};
+use cluster::report::Table;
+use workloads::{ColoWorkload, GroundTruth, Zoo};
+
+fn main() {
+    banner(
+        "Fig. 4 — interference from co-located *training* tasks",
+        "GPT2 E2E 1.67x (tokenize 2.49x, inference 1.4x); ResNet50 E2E 1.21x (preproc 1.15x, xfer 1.16x, inference 1.23x)",
+    );
+    let gt = GroundTruth::new(Zoo::standard(), seed() ^ 0xA100);
+    let batches = [16u32, 32, 64, 128, 256];
+
+    for target_name in ["GPT2", "ResNet50"] {
+        let target = gt.zoo().service_by_name(target_name).expect("in zoo");
+        let mut table = Table::new(&["co-located task", "preproc", "transfer", "compute", "E2E"]);
+        let mut sums = [0.0f64; 4];
+        let mut n = 0.0;
+        for task in gt.zoo().tasks() {
+            let mut ratios = [0.0f64; 4];
+            for &b in &batches {
+                for pct in 1..=9 {
+                    let frac = pct as f64 * 0.1;
+                    let solo = gt.inference_phases(target.id, b, frac, &[]);
+                    let colo = [ColoWorkload::training(task.id, (1.0f64 - frac).max(0.05))];
+                    let shared = gt.inference_phases(target.id, b, frac, &colo);
+                    ratios[0] += shared.preprocess / solo.preprocess;
+                    ratios[1] += shared.transfer / solo.transfer;
+                    ratios[2] += shared.compute / solo.compute;
+                    ratios[3] += shared.total() / solo.total();
+                }
+            }
+            let count = (batches.len() * 9) as f64;
+            let r: Vec<f64> = ratios.iter().map(|x| x / count).collect();
+            table.row(vec![
+                task.name.to_string(),
+                format!("{:.2}x", r[0]),
+                format!("{:.2}x", r[1]),
+                format!("{:.2}x", r[2]),
+                format!("{:.2}x", r[3]),
+            ]);
+            for (s, v) in sums.iter_mut().zip(&r) {
+                *s += v;
+            }
+            n += 1.0;
+        }
+        println!("\n--- {target_name} multiplexed with training tasks ---");
+        print!("{}", table.render());
+        let (paper_e2e, paper_pre, paper_comp, paper_xfer) = if target_name == "GPT2" {
+            (1.67, 2.49, 1.4, 1.16)
+        } else {
+            (1.21, 1.15, 1.23, 1.16)
+        };
+        compare("mean E2E interference", sums[3] / n, paper_e2e, "x");
+        compare("mean CPU-phase interference", sums[0] / n, paper_pre, "x");
+        compare("mean transfer interference", sums[1] / n, paper_xfer, "x");
+        compare("mean compute interference", sums[2] / n, paper_comp, "x");
+    }
+    println!(
+        "\nTakeaway check: training co-location must interfere far less than \
+         inference co-location (compare with fig03_inf_inf_interference)."
+    );
+}

@@ -1,0 +1,31 @@
+//! §5.4 — analysis of Mudi's optimality.
+//!
+//! Paper: Mudi identifies the optimal co-location 92.67 % of the time;
+//! the Eq. 5 expectation bound E is 1.10 for iteration time (and 1.08
+//! for SLO violations), i.e. within 10 % of the optimal policy.
+
+use bench::{banner, compare, full_scale, seed};
+use cluster::experiments::optimality_analysis;
+
+fn main() {
+    banner(
+        "§5.4 — optimality of Mudi's co-location policy",
+        "effectiveness rate P = 92.67%; Eq. 5 bound E = 1.10 on iteration time",
+    );
+    let (jobs, iter_scale) = if full_scale() { (300, 1.0) } else { (60, 0.01) };
+    let report = optimality_analysis(seed(), jobs, iter_scale);
+    println!("placements analyzed: {}", report.placements);
+    compare(
+        "effectiveness rate P",
+        report.effectiveness_rate * 100.0,
+        92.67,
+        "%",
+    );
+    compare(
+        "mean iteration-time ratio vs oracle",
+        report.mean_iteration_ratio,
+        1.05,
+        "x",
+    );
+    compare("Eq. 5 expectation bound E", report.expectation_bound, 1.10, "");
+}

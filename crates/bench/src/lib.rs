@@ -1,0 +1,92 @@
+//! Shared helpers for the per-figure regeneration binaries.
+//!
+//! Every table and figure in the paper has a binary under `src/bin/`
+//! (see DESIGN.md for the index). Binaries default to **reduced scale**
+//! so they finish in seconds; set `MUDI_FULL_SCALE=1` to run the
+//! paper-scale experiments (12-GPU/300-task physical, 1000-GPU/
+//! 5000-task simulated).
+
+use cluster::engine::ClusterConfig;
+use cluster::systems::SystemKind;
+
+/// Whether full paper-scale runs were requested.
+pub fn full_scale() -> bool {
+    std::env::var("MUDI_FULL_SCALE").map_or(false, |v| v == "1" || v == "true")
+}
+
+/// The experiment seed (override with `MUDI_SEED`).
+pub fn seed() -> u64 {
+    std::env::var("MUDI_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Physical-cluster configuration at the chosen scale, plus the
+/// iteration scale to run with.
+pub fn physical_config(system: SystemKind) -> (ClusterConfig, f64) {
+    if full_scale() {
+        (ClusterConfig::physical(system, seed()), 1.0)
+    } else {
+        let mut cfg = ClusterConfig::physical(system, seed());
+        cfg.jobs = 60;
+        (cfg, 0.01)
+    }
+}
+
+/// Simulated-cluster configuration at the chosen scale.
+pub fn simulated_config(system: SystemKind) -> (ClusterConfig, f64) {
+    if full_scale() {
+        (ClusterConfig::simulated(system, seed()), 1.0)
+    } else {
+        let mut cfg = ClusterConfig::simulated(system, seed());
+        cfg.devices = 60;
+        cfg.jobs = 240;
+        cfg.arrival_scale = 10.0;
+        (cfg, 0.01)
+    }
+}
+
+/// Prints the standard banner for a regeneration binary.
+pub fn banner(id: &str, paper_claim: &str) {
+    println!("==============================================================");
+    println!("{id}");
+    println!("Paper: {paper_claim}");
+    println!(
+        "Scale: {}",
+        if full_scale() {
+            "FULL (paper scale)"
+        } else {
+            "reduced (set MUDI_FULL_SCALE=1 for paper scale)"
+        }
+    );
+    println!("==============================================================");
+}
+
+/// Formats a `measured vs paper` comparison line.
+pub fn compare(metric: &str, measured: f64, paper: f64, unit: &str) {
+    println!("  {metric}: measured {measured:.3}{unit}  (paper: {paper:.3}{unit})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_selection_defaults_to_reduced() {
+        // Unless the env var is set in the test environment.
+        if std::env::var("MUDI_FULL_SCALE").is_err() {
+            assert!(!full_scale());
+            let (cfg, scale) = physical_config(SystemKind::Random);
+            assert!(cfg.jobs < 300);
+            assert!(scale < 1.0);
+        }
+    }
+
+    #[test]
+    fn seed_default() {
+        if std::env::var("MUDI_SEED").is_err() {
+            assert_eq!(seed(), 42);
+        }
+    }
+}

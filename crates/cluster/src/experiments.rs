@@ -1,0 +1,333 @@
+//! Experiment drivers for the paper's evaluation (§7).
+//!
+//! Each driver configures the engine (or a dedicated single-device
+//! loop) for one figure/table and returns the data series the paper
+//! plots. The `bench` crate's binaries print them.
+
+use std::collections::HashMap;
+
+use gpu_sim::{DeviceId, GpuDevice, InferenceInstance, ResidentId, TrainingProcess};
+use simcore::{SimRng, SimTime};
+use workloads::perf::DEVICE_MEMORY_GB;
+use workloads::{BurstSchedule, ColoWorkload, GroundTruth, ServiceId, Zoo};
+
+use crate::engine::{violation_probability, ClusterConfig, ClusterEngine};
+use crate::metrics::ExperimentResult;
+use crate::systems::{build_system, DeviceView, Multiplexer, Optimal, SystemKind};
+
+/// Runs one end-to-end experiment.
+pub fn end_to_end(config: ClusterConfig, iteration_scale: f64) -> ExperimentResult {
+    ClusterEngine::new(config).run_scaled(iteration_scale)
+}
+
+/// Fig. 15: violation rate and CT under 1×–4× load.
+pub fn load_sensitivity(
+    system: SystemKind,
+    seed: u64,
+    multipliers: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(f64, ExperimentResult)> {
+    multipliers
+        .iter()
+        .map(|&m| {
+            let mut cfg = base.clone();
+            cfg.system = system;
+            cfg.seed = seed;
+            cfg.load_multiplier = m;
+            (m, end_to_end(cfg, iteration_scale))
+        })
+        .collect()
+}
+
+/// Fig. 14: the maximum sustainable QPS per service while the SLO holds
+/// (violation rate ≤ 1 %) and at least 10 % of the GPU stays with the
+/// co-located training task.
+pub fn max_throughput(system: SystemKind, seed: u64) -> Vec<(ServiceId, f64)> {
+    let gt = GroundTruth::new(Zoo::standard(), seed ^ 0xA100);
+    let mut rng = SimRng::seed(seed);
+    let mut sys = build_system(system, &gt, &mut rng.fork("system"));
+    let colo_task = gt.zoo().task_by_name("LSTM").expect("LSTM in zoo").id;
+
+    gt.zoo()
+        .services()
+        .iter()
+        .map(|svc| {
+            let sustainable = |qps: f64, sys: &mut Box<dyn Multiplexer>, rng: &mut SimRng| {
+                let view = DeviceView {
+                    device: 0,
+                    service: svc.id,
+                    qps,
+                    slo_secs: svc.slo_secs(),
+                    tasks: vec![colo_task],
+                    batch: 64,
+                    fraction: 0.5,
+                    measured_p99: None,
+                    mem_headroom_gb: 10.0,
+                };
+                let d = sys.configure(&gt, &view, rng);
+                if d.pause_training || d.fraction > 0.90 + 1e-9 {
+                    return false; // Training squeezed out.
+                }
+                let train_frac = (1.0 - d.fraction).max(0.0);
+                if train_frac < 0.10 - 1e-9 {
+                    return false;
+                }
+                let colo = [ColoWorkload::training(colo_task, train_frac)];
+                let mean = gt.inference_latency(svc.id, d.batch, d.fraction, &colo);
+                let sigma = gt.effective_sigma(svc.id, d.batch, d.fraction, &colo);
+                violation_probability(qps, d.batch, svc.slo_secs(), mean, sigma) <= 0.01
+            };
+            // Exponential probe then binary refine.
+            let mut lo = 0.0;
+            let mut hi = 50.0;
+            while hi < 500_000.0 && sustainable(hi, &mut sys, &mut rng) {
+                lo = hi;
+                hi *= 2.0;
+            }
+            for _ in 0..24 {
+                let mid = (lo + hi) / 2.0;
+                if sustainable(mid, &mut sys, &mut rng) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            (svc.id, lo)
+        })
+        .collect()
+}
+
+/// One sample of the bursty-QPS case study (Fig. 16).
+#[derive(Clone, Debug)]
+pub struct CaseStudyPoint {
+    /// Time, seconds.
+    pub t: f64,
+    /// Replica QPS.
+    pub qps: f64,
+    /// Inference batching size.
+    pub batch: u32,
+    /// Inference GPU fraction.
+    pub gpu_fraction: f64,
+    /// Training memory swapped to the host, GB.
+    pub swapped_gb: f64,
+    /// Instantaneous per-request violation probability.
+    pub violation_prob: f64,
+}
+
+/// Output of the case study.
+#[derive(Clone, Debug)]
+pub struct CaseStudy {
+    /// 1 Hz samples over the run.
+    pub points: Vec<CaseStudyPoint>,
+    /// Overall SLO violation rate.
+    pub violation_rate: f64,
+    /// Fraction of time the device memory was overflowed (Tab. 4).
+    pub swap_time_fraction: f64,
+    /// Mean swap transfer time, seconds.
+    pub mean_swap_transfer_secs: f64,
+}
+
+/// Fig. 16 / Tab. 4: a single device under a QPS burst, driven by the
+/// given system. Defaults mirror the paper's case: ResNet50 inference
+/// multiplexed with YOLOv5 training, 3× burst from 100 s to 200 s.
+pub fn bursty_case_study(
+    system: SystemKind,
+    service_name: &str,
+    training_name: &str,
+    burst: BurstSchedule,
+    duration_secs: f64,
+    seed: u64,
+) -> CaseStudy {
+    let gt = GroundTruth::new(Zoo::standard(), seed ^ 0xA100);
+    let mut rng = SimRng::seed(seed);
+    let mut sys = build_system(system, &gt, &mut rng.fork("system"));
+    let svc = gt
+        .zoo()
+        .service_by_name(service_name)
+        .expect("service exists");
+    let task = gt.zoo().task_by_name(training_name).expect("task exists").id;
+
+    let mut dev = GpuDevice::new(DeviceId(0), DEVICE_MEMORY_GB);
+    dev.deploy_inference(
+        &gt,
+        SimTime::ZERO,
+        InferenceInstance::new(svc.id, 16, 0.6, 200.0),
+    );
+    dev.add_training(
+        &gt,
+        SimTime::ZERO,
+        TrainingProcess::new(ResidentId(0), task, 0.4, u64::MAX / 2),
+    )
+    .expect("one training fits");
+
+    let base_qps = 200.0;
+    let mut monitor = mudi::Monitor::new(0.5, svc.slo);
+    let mut points = Vec::new();
+    let mut violations = 0.0;
+    let mut requests = 0.0;
+
+    for second in 0..duration_secs as u64 {
+        let now = SimTime::from_secs(second as f64);
+        let qps = base_qps * burst.multiplier_at(now);
+        dev.set_inference_qps(&gt, now, qps);
+
+        if monitor.observe_qps(qps).is_some() {
+            let view = DeviceView {
+                device: 0,
+                service: svc.id,
+                qps,
+                slo_secs: svc.slo_secs(),
+                tasks: vec![task],
+                batch: dev.inference().expect("replica").batch,
+                fraction: dev.inference().expect("replica").gpu_fraction,
+                measured_p99: None,
+                mem_headroom_gb: dev.memory().capacity_gb() - dev.memory().total_demand_gb(),
+            };
+            let d = sys.configure(&gt, &view, &mut rng);
+            dev.set_inference_batch(&gt, now, d.batch);
+            dev.set_inference_fraction(d.fraction);
+            dev.rebalance_training_fractions(d.training_share_cap);
+            monitor.mark_tuned(qps);
+        }
+
+        let inf = dev.inference().expect("replica");
+        let (batch, frac) = (inf.batch, inf.gpu_fraction);
+        let colo = dev.colo_for_inference();
+        let mean = gt.inference_latency(svc.id, batch, frac, &colo);
+        let sigma = gt.effective_sigma(svc.id, batch, frac, &colo);
+        let p = violation_probability(qps, batch, svc.slo_secs(), mean, sigma);
+        violations += p * qps;
+        requests += qps;
+
+        points.push(CaseStudyPoint {
+            t: now.as_secs(),
+            qps,
+            batch,
+            gpu_fraction: frac,
+            swapped_gb: dev.memory().total_swapped_gb(),
+            violation_prob: p,
+        });
+    }
+    dev.finish(SimTime::from_secs(duration_secs));
+
+    CaseStudy {
+        violation_rate: if requests > 0.0 { violations / requests } else { 0.0 },
+        swap_time_fraction: dev.memory().overflow_time_fraction(),
+        mean_swap_transfer_secs: dev.memory().stats().mean_transfer_secs(),
+        points,
+    }
+}
+
+/// §5.4 optimality analysis output.
+#[derive(Clone, Debug)]
+pub struct OptimalityReport {
+    /// P: fraction of placements where Mudi matched the oracle.
+    pub effectiveness_rate: f64,
+    /// Mean ratio of Mudi's achieved iteration time to the oracle's.
+    pub mean_iteration_ratio: f64,
+    /// The Eq. 5 worst-case bound E on expected iteration time.
+    pub expectation_bound: f64,
+    /// Placements examined.
+    pub placements: usize,
+}
+
+/// Runs Mudi at physical scale and compares every placement decision
+/// against the exhaustive oracle (§5.4).
+pub fn optimality_analysis(seed: u64, jobs: usize, iteration_scale: f64) -> OptimalityReport {
+    let mut cfg = ClusterConfig::physical(SystemKind::Mudi, seed);
+    cfg.jobs = jobs;
+    let engine = ClusterEngine::new(cfg);
+    let gt = engine.ground_truth().clone();
+    let n_services = gt.zoo().services().len();
+    let (_result, log) = engine.run_with_log(iteration_scale);
+    let _ = n_services;
+    let mut oracle = Optimal::default();
+
+    let mut matches = 0usize;
+    let mut ratios = Vec::new();
+    for (task, chosen_device, candidates) in &log {
+        // Oracle choice over the *same* candidate set the selector saw,
+        // scored at the reference load.
+        let mut best: Option<(ServiceId, f64)> = None;
+        let mut per_service: HashMap<ServiceId, f64> = HashMap::new();
+        for &(_, service) in candidates {
+            if per_service.contains_key(&service) {
+                continue;
+            }
+            let svc = gt.zoo().service(service);
+            if let Some((_, _, iter)) =
+                oracle.best_config(&gt, service, svc.slo_secs(), 200.0, &[*task])
+            {
+                per_service.insert(service, iter);
+                if best.map_or(true, |(_, bi)| iter < bi) {
+                    best = Some((service, iter));
+                }
+            }
+        }
+        let Some((opt_service, opt_iter)) = best else {
+            continue;
+        };
+        let chosen_service = candidates
+            .iter()
+            .find(|&&(d, _)| d == *chosen_device)
+            .map(|&(_, s)| s)
+            .expect("chosen device was a candidate");
+        if chosen_service == opt_service {
+            matches += 1;
+            ratios.push(1.0);
+        } else if let Some(&chosen_iter) = per_service.get(&chosen_service) {
+            ratios.push(chosen_iter / opt_iter);
+        }
+    }
+    let placements = log.len().max(1);
+    let p = matches as f64 / placements as f64;
+    let worst = ratios.iter().cloned().fold(1.0, f64::max);
+    let mean_ratio = if ratios.is_empty() {
+        1.0
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    };
+    OptimalityReport {
+        effectiveness_rate: p,
+        mean_iteration_ratio: mean_ratio,
+        expectation_bound: p + (1.0 - p) * worst,
+        placements: log.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_throughput_is_positive_and_ordered() {
+        let qps = max_throughput(SystemKind::Mudi, 3);
+        assert_eq!(qps.len(), 6);
+        for &(s, q) in &qps {
+            assert!(q > 0.0, "service {s:?} has zero throughput");
+        }
+    }
+
+    #[test]
+    fn case_study_reacts_to_burst() {
+        let cs = bursty_case_study(
+            SystemKind::Mudi,
+            "ResNet50",
+            "YOLOv5",
+            BurstSchedule::fig16_burst(),
+            300.0,
+            4,
+        );
+        assert_eq!(cs.points.len(), 300);
+        // During the burst the QPS triples.
+        assert!((cs.points[150].qps - 600.0).abs() < 1e-9);
+        assert!((cs.points[50].qps - 200.0).abs() < 1e-9);
+        // The tuner must have reacted: configuration during burst
+        // differs from before.
+        let before = (cs.points[90].batch, cs.points[90].gpu_fraction);
+        let during = (cs.points[150].batch, cs.points[150].gpu_fraction);
+        assert_ne!(before, during, "no adaptation to the burst");
+        assert!(cs.violation_rate < 0.10, "rate {}", cs.violation_rate);
+    }
+}

@@ -1,0 +1,214 @@
+//! Experiment-level metrics: everything §7 reports.
+
+use std::collections::HashMap;
+
+use simcore::StreamingStats;
+use workloads::ServiceId;
+
+/// Per-service SLO accounting.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct ServiceMetrics {
+    /// Requests served (analytic accrual).
+    pub requests: f64,
+    /// Requests whose end-to-end latency exceeded the SLO.
+    pub violations: f64,
+    /// Time-weighted mean of the P99 batch latency, seconds.
+    pub p99_stats: StreamingStats,
+}
+
+impl ServiceMetrics {
+    /// SLO violation rate in `[0, 1]`.
+    pub fn violation_rate(&self) -> f64 {
+        if self.requests <= 0.0 {
+            0.0
+        } else {
+            (self.violations / self.requests).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Tuning/multiplexing overhead statistics (Fig. 18).
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct OverheadMetrics {
+    /// GP-LCB iterations per tuning pass.
+    pub bo_iterations: Vec<usize>,
+    /// Wall-clock placement-decision latency, seconds.
+    pub placement_secs: Vec<f64>,
+}
+
+impl OverheadMetrics {
+    /// Mean BO iterations.
+    pub fn mean_bo_iterations(&self) -> f64 {
+        if self.bo_iterations.is_empty() {
+            0.0
+        } else {
+            self.bo_iterations.iter().sum::<usize>() as f64 / self.bo_iterations.len() as f64
+        }
+    }
+
+    /// Maximum BO iterations.
+    pub fn max_bo_iterations(&self) -> usize {
+        self.bo_iterations.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean placement latency in milliseconds.
+    pub fn mean_placement_ms(&self) -> f64 {
+        if self.placement_secs.is_empty() {
+            0.0
+        } else {
+            self.placement_secs.iter().sum::<f64>() / self.placement_secs.len() as f64 * 1e3
+        }
+    }
+
+    /// Maximum placement latency in milliseconds.
+    pub fn max_placement_ms(&self) -> f64 {
+        self.placement_secs.iter().cloned().fold(0.0, f64::max) * 1e3
+    }
+}
+
+/// The full outcome of one end-to-end run.
+///
+/// Serializable (serde) so experiment binaries can persist raw results
+/// for downstream plotting.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct ExperimentResult {
+    /// System label.
+    pub system: String,
+    /// Per-service SLO metrics.
+    pub services: HashMap<ServiceId, ServiceMetrics>,
+    /// Completion-time statistics over finished jobs, seconds.
+    pub ct: StreamingStats,
+    /// Waiting-time statistics, seconds.
+    pub waiting: StreamingStats,
+    /// Makespan: first submission to last completion, seconds.
+    pub makespan_secs: f64,
+    /// Cluster-mean SM utilization (time-weighted).
+    pub mean_sm_util: f64,
+    /// Cluster-mean memory utilization (time-weighted).
+    pub mean_mem_util: f64,
+    /// `(time, cluster SM util, cluster mem util)` samples (Fig. 10).
+    pub util_series: Vec<(f64, f64, f64)>,
+    /// Fraction of time each device spent with memory swapped, averaged
+    /// over devices hosting each service (Tab. 4).
+    pub swap_time_fraction: HashMap<ServiceId, f64>,
+    /// Mean swap transfer time, seconds (Fig. 16 commentary).
+    pub mean_swap_transfer_secs: f64,
+    /// Tuning / placement overheads (Fig. 18).
+    pub overhead: OverheadMetrics,
+    /// Jobs completed.
+    pub jobs_completed: usize,
+    /// Jobs submitted.
+    pub jobs_submitted: usize,
+    /// Wall-clock runtime of the simulation itself, seconds.
+    pub wall_clock_secs: f64,
+}
+
+impl ExperimentResult {
+    /// Overall SLO violation rate across services (request-weighted).
+    pub fn overall_violation_rate(&self) -> f64 {
+        let (v, r) = self
+            .services
+            .values()
+            .fold((0.0, 0.0), |(v, r), m| (v + m.violations, r + m.requests));
+        if r <= 0.0 {
+            0.0
+        } else {
+            v / r
+        }
+    }
+
+    /// Violation rate for one service.
+    pub fn violation_rate(&self, service: ServiceId) -> f64 {
+        self.services
+            .get(&service)
+            .map_or(0.0, ServiceMetrics::violation_rate)
+    }
+
+    /// Mean completion time in hours.
+    pub fn mean_ct_hours(&self) -> f64 {
+        self.ct.mean() / 3600.0
+    }
+
+    /// Mean waiting time in hours.
+    pub fn mean_waiting_hours(&self) -> f64 {
+        self.waiting.mean() / 3600.0
+    }
+
+    /// Makespan in hours.
+    pub fn makespan_hours(&self) -> f64 {
+        self.makespan_secs / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_rates_aggregate() {
+        let mut r = ExperimentResult::default();
+        r.services.insert(
+            ServiceId(0),
+            ServiceMetrics {
+                requests: 1000.0,
+                violations: 10.0,
+                p99_stats: StreamingStats::new(),
+            },
+        );
+        r.services.insert(
+            ServiceId(1),
+            ServiceMetrics {
+                requests: 3000.0,
+                violations: 0.0,
+                p99_stats: StreamingStats::new(),
+            },
+        );
+        assert!((r.violation_rate(ServiceId(0)) - 0.01).abs() < 1e-12);
+        assert!((r.overall_violation_rate() - 10.0 / 4000.0).abs() < 1e-12);
+        assert_eq!(r.violation_rate(ServiceId(9)), 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = ServiceMetrics::default();
+        assert_eq!(m.violation_rate(), 0.0);
+        let o = OverheadMetrics::default();
+        assert_eq!(o.mean_bo_iterations(), 0.0);
+        assert_eq!(o.mean_placement_ms(), 0.0);
+    }
+
+    #[test]
+    fn results_serialize_roundtrip() {
+        let mut r = ExperimentResult {
+            system: "Mudi".into(),
+            makespan_secs: 1234.5,
+            ..Default::default()
+        };
+        r.ct.record(10.0);
+        r.services.insert(
+            ServiceId(2),
+            ServiceMetrics {
+                requests: 10.0,
+                violations: 1.0,
+                p99_stats: StreamingStats::new(),
+            },
+        );
+        // No JSON crate is sanctioned for this repo, so exercise the
+        // Serialize/Deserialize impls through a static bound check;
+        // downstream consumers pick their own serde format.
+        fn assert_roundtrippable<T: serde::Serialize + serde::de::DeserializeOwned>(_t: &T) {}
+        assert_roundtrippable(&r);
+    }
+
+    #[test]
+    fn overhead_summaries() {
+        let o = OverheadMetrics {
+            bo_iterations: vec![10, 20, 24],
+            placement_secs: vec![0.010, 0.020],
+        };
+        assert_eq!(o.mean_bo_iterations(), 18.0);
+        assert_eq!(o.max_bo_iterations(), 24);
+        assert!((o.mean_placement_ms() - 15.0).abs() < 1e-9);
+        assert!((o.max_placement_ms() - 20.0).abs() < 1e-9);
+    }
+}

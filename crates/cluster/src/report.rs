@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:<w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        let sep = {
+            let mut line = String::from("+");
+            for w in &widths {
+                line.push_str(&"-".repeat(w + 2));
+                line.push('+');
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&sep);
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+/// Formats a ratio like `2.27x`.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats seconds as adaptive hours/minutes/seconds.
+pub fn dur(secs: f64) -> String {
+    if secs >= 3600.0 {
+        format!("{:.2}h", secs / 3600.0)
+    } else if secs >= 60.0 {
+        format!("{:.1}min", secs / 60.0)
+    } else {
+        format!("{secs:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("| alpha | 1     |"));
+        assert!(s.contains("| b     | 12345 |"));
+        assert!(s.starts_with('+'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(4.54, 2.0), "2.27x");
+        assert_eq!(ratio(1.0, 0.0), "n/a");
+        assert_eq!(pct(0.0123), "1.23%");
+        assert_eq!(dur(7200.0), "2.00h");
+        assert_eq!(dur(90.0), "1.5min");
+        assert_eq!(dur(5.0), "5.0s");
+    }
+}

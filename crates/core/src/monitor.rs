@@ -1,0 +1,147 @@
+//! The per-device Monitor (Fig. 6, module ⑤).
+//!
+//! Continuously observes each inference replica's QPS and measured tail
+//! latency; fires a retuning trigger when the QPS drifts beyond the
+//! configured threshold from the last tuned level (§5.3.2 uses 50 %) or
+//! when the SLO is at risk.
+
+use simcore::SimDuration;
+
+/// Events the Monitor raises toward the Tuner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MonitorEvent {
+    /// QPS moved more than the threshold from the tuned baseline.
+    QpsChange {
+        /// QPS the current configuration was tuned for.
+        tuned_for: f64,
+        /// Currently observed QPS.
+        observed: f64,
+    },
+    /// Measured P99 latency is at risk of violating the SLO.
+    SloRisk {
+        /// Measured P99, seconds.
+        p99: f64,
+        /// The SLO, seconds.
+        slo: f64,
+    },
+}
+
+/// Per-replica monitor state.
+#[derive(Clone, Debug)]
+pub struct Monitor {
+    threshold: f64,
+    slo: SimDuration,
+    tuned_qps: f64,
+    /// P99 fraction of the SLO beyond which the Monitor raises risk
+    /// before an actual violation (safety headroom).
+    risk_fraction: f64,
+}
+
+impl Monitor {
+    /// Creates a monitor with a QPS-change threshold (0.5 = 50 %) and
+    /// the replica's SLO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not positive.
+    pub fn new(threshold: f64, slo: SimDuration) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        Monitor {
+            threshold,
+            slo,
+            tuned_qps: 0.0,
+            risk_fraction: 0.95,
+        }
+    }
+
+    /// Records that the replica was (re)tuned for `qps`.
+    pub fn mark_tuned(&mut self, qps: f64) {
+        self.tuned_qps = qps;
+    }
+
+    /// The QPS the current configuration targets.
+    pub fn tuned_qps(&self) -> f64 {
+        self.tuned_qps
+    }
+
+    /// Observes the current QPS; returns a trigger if it drifted more
+    /// than the threshold from the tuned level.
+    pub fn observe_qps(&self, observed: f64) -> Option<MonitorEvent> {
+        if self.tuned_qps <= 0.0 {
+            // Never tuned: any nonzero load is a trigger.
+            return (observed > 0.0).then_some(MonitorEvent::QpsChange {
+                tuned_for: 0.0,
+                observed,
+            });
+        }
+        let change = (observed - self.tuned_qps).abs() / self.tuned_qps;
+        (change > self.threshold).then_some(MonitorEvent::QpsChange {
+            tuned_for: self.tuned_qps,
+            observed,
+        })
+    }
+
+    /// Observes a measured P99; returns a risk trigger when it crosses
+    /// the safety fraction of the SLO.
+    pub fn observe_p99(&self, p99: SimDuration) -> Option<MonitorEvent> {
+        let limit = self.slo.as_secs() * self.risk_fraction;
+        (p99.as_secs() > limit).then_some(MonitorEvent::SloRisk {
+            p99: p99.as_secs(),
+            slo: self.slo.as_secs(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> Monitor {
+        let mut m = Monitor::new(0.5, SimDuration::from_millis(150.0));
+        m.mark_tuned(200.0);
+        m
+    }
+
+    #[test]
+    fn small_drift_is_ignored() {
+        let m = monitor();
+        assert_eq!(m.observe_qps(250.0), None);
+        assert_eq!(m.observe_qps(150.0), None);
+    }
+
+    #[test]
+    fn large_drift_triggers() {
+        let m = monitor();
+        assert_eq!(
+            m.observe_qps(301.0),
+            Some(MonitorEvent::QpsChange {
+                tuned_for: 200.0,
+                observed: 301.0
+            })
+        );
+        assert!(m.observe_qps(90.0).is_some());
+    }
+
+    #[test]
+    fn untuned_monitor_triggers_on_any_load() {
+        let m = Monitor::new(0.5, SimDuration::from_millis(100.0));
+        assert!(m.observe_qps(10.0).is_some());
+        assert!(m.observe_qps(0.0).is_none());
+    }
+
+    #[test]
+    fn slo_risk_fires_before_violation() {
+        let m = monitor();
+        assert!(m.observe_p99(SimDuration::from_millis(100.0)).is_none());
+        assert!(m.observe_p99(SimDuration::from_millis(144.0)).is_some());
+    }
+
+    #[test]
+    fn retuning_moves_the_baseline() {
+        let mut m = monitor();
+        m.mark_tuned(600.0);
+        assert_eq!(m.tuned_qps(), 600.0);
+        assert!(m.observe_qps(250.0).is_some());
+        assert!(m.observe_qps(650.0).is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! Mudi-more: multiplexing several training tasks per GPU (§5.5).
+//!
+//! Mudi caps co-location at one inference service plus three training
+//! tasks (the marginal benefit of more diminishes, per the analysis the
+//! paper cites). The Latency Profiler extends its sampling to two- and
+//! three-task co-locations; online, the Interference Modeler takes the
+//! *cumulative* layer counts of all co-located tasks as Ψ, and the
+//! resource-scaling phase gives inference its optimal partition and
+//! splits the rest evenly among the trainings.
+
+use workloads::{GroundTruth, TaskId};
+
+use crate::config::MudiConfig;
+
+/// Resource split for a device under Mudi-more.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MoreSplit {
+    /// Inference GPU fraction.
+    pub inference_fraction: f64,
+    /// Per-training GPU fraction (even split of the remainder).
+    pub per_training_fraction: f64,
+}
+
+/// Computes the §5.5 split: inference keeps `inference_fraction`, the
+/// unassigned remainder is distributed evenly among `n_trainings`.
+///
+/// # Panics
+///
+/// Panics if the fraction is outside `(0, 1]`.
+pub fn split_resources(inference_fraction: f64, n_trainings: usize) -> MoreSplit {
+    assert!(
+        inference_fraction > 0.0 && inference_fraction <= 1.0,
+        "invalid inference fraction {inference_fraction}"
+    );
+    let per = if n_trainings == 0 {
+        0.0
+    } else {
+        ((1.0 - inference_fraction) / n_trainings as f64).max(0.01)
+    };
+    MoreSplit {
+        inference_fraction,
+        per_training_fraction: per,
+    }
+}
+
+/// Whether a device with `existing` co-located trainings may accept
+/// another under the given configuration.
+pub fn can_accept(config: &MudiConfig, existing: usize) -> bool {
+    existing < config.max_trainings_per_gpu
+}
+
+/// Estimated aggregate training throughput (iterations/second summed
+/// over residents) for a candidate multi-task co-location — used to
+/// reason about the diminishing returns of packing more tasks.
+pub fn aggregate_throughput(
+    gt: &GroundTruth,
+    tasks: &[TaskId],
+    inference_fraction: f64,
+) -> f64 {
+    if tasks.is_empty() {
+        return 0.0;
+    }
+    let split = split_resources(inference_fraction, tasks.len());
+    tasks
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let colo: Vec<workloads::ColoWorkload> = tasks
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &o)| workloads::ColoWorkload::training(o, split.per_training_fraction))
+                .collect();
+            1.0 / gt.training_iteration(t, split.per_training_fraction, &colo)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Zoo;
+
+    #[test]
+    fn split_is_even() {
+        let s = split_resources(0.4, 3);
+        assert!((s.per_training_fraction - 0.2).abs() < 1e-12);
+        assert_eq!(split_resources(0.4, 0).per_training_fraction, 0.0);
+    }
+
+    #[test]
+    fn split_never_starves_training() {
+        let s = split_resources(0.99, 2);
+        assert!(s.per_training_fraction >= 0.01);
+    }
+
+    #[test]
+    fn acceptance_follows_config() {
+        let mudi = MudiConfig::default();
+        assert!(can_accept(&mudi, 0));
+        assert!(!can_accept(&mudi, 1));
+        let more = MudiConfig::more();
+        assert!(can_accept(&more, 2));
+        assert!(!can_accept(&more, 3));
+    }
+
+    #[test]
+    fn packing_more_tasks_slows_each_task() {
+        // §5.5 / Fig. 17: Mudi-more trades per-task completion time for
+        // queueing — aggregate throughput *shrinks* as the fixed GPU
+        // pool splits across more co-runners (Amdahl serial fraction +
+        // cross-task interference), which is why the paper recommends a
+        // single training task for optimal CT.
+        let gt = GroundTruth::new(Zoo::standard(), 3);
+        let t = gt.zoo().task_by_name("SqueezeNet").unwrap().id;
+        let thr: Vec<f64> = (1..=4)
+            .map(|n| aggregate_throughput(&gt, &vec![t; n], 0.4))
+            .collect();
+        assert!(
+            thr.windows(2).all(|w| w[1] < w[0]),
+            "aggregate throughput should decrease with packing: {thr:?}"
+        );
+        // But the *loss* per added task keeps growing in relative terms,
+        // i.e. per-task iteration rate collapses superlinearly.
+        let per_task: Vec<f64> = thr.iter().zip(1..).map(|(&t, n)| t / n as f64).collect();
+        assert!(per_task.windows(2).all(|w| w[1] < w[0] * 0.75));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid inference fraction")]
+    fn zero_inference_fraction_rejected() {
+        let _ = split_resources(0.0, 1);
+    }
+}

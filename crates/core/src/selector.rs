@@ -1,0 +1,251 @@
+//! The Device Selector (Fig. 6, module ④; §5.2).
+//!
+//! When a training task arrives, Mudi assigns it to the GPU whose
+//! resident inference service shows the *smallest average predicted
+//! slope* across batching sizes when co-located with the incoming task
+//! (plus any training tasks already there). A small slope means both
+//! less SLO risk and less sensitivity to resource partitioning —
+//! allowing a larger training share.
+
+use simcore::SimRng;
+use workloads::{GroundTruth, ServiceId, TaskId};
+
+use crate::config::MudiConfig;
+use crate::predictor::InterferencePredictor;
+use crate::profiler::LatencyProfiler;
+
+/// A placement-eligible device as seen by the selector.
+#[derive(Clone, Debug)]
+pub struct DeviceCandidate {
+    /// Opaque device index (the cluster's id).
+    pub device: usize,
+    /// The inference service resident on the device.
+    pub service: ServiceId,
+    /// Training-task types already co-located there.
+    pub existing_tasks: Vec<TaskId>,
+    /// Free device memory, GB (negative headroom forces swapping).
+    pub mem_headroom_gb: f64,
+}
+
+/// The selector's decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacementDecision {
+    /// Chosen device index.
+    pub device: usize,
+    /// The winning interference score (lower is better).
+    pub score: f64,
+    /// Number of candidates evaluated.
+    pub evaluated: usize,
+}
+
+/// The cluster-wide device selector.
+pub struct DeviceSelector {
+    config: MudiConfig,
+}
+
+impl DeviceSelector {
+    /// Creates a selector.
+    pub fn new(config: MudiConfig) -> Self {
+        DeviceSelector { config }
+    }
+
+    /// Scores one candidate for hosting `incoming`: the mean predicted
+    /// relative slope across the profiling batch set (§5.2), with a
+    /// penalty for co-locations that would immediately overflow device
+    /// memory (swapping hurts both sides).
+    pub fn score(
+        &self,
+        gt: &GroundTruth,
+        predictor: &InterferencePredictor,
+        incoming: TaskId,
+        candidate: &DeviceCandidate,
+    ) -> Option<f64> {
+        if candidate.existing_tasks.len() >= self.config.max_trainings_per_gpu {
+            return None;
+        }
+        let mut tasks = candidate.existing_tasks.clone();
+        tasks.push(incoming);
+        let arch = LatencyProfiler::merged_arch(gt, &tasks);
+        let base =
+            predictor.mean_slope_score(candidate.service, &arch, &self.config.profile_batches)?;
+        let incoming_mem = gt.training_memory_gb(incoming);
+        let overflow = (incoming_mem - candidate.mem_headroom_gb).max(0.0);
+        // Each GB of immediate overflow costs like ~4 % extra slope.
+        Some(base * (1.0 + 0.04 * overflow))
+    }
+
+    /// Picks the best device for the incoming task.
+    ///
+    /// Returns `None` when no candidate has a free training slot or a
+    /// usable prediction (the task then waits in the queue, §5.3.2).
+    pub fn select(
+        &self,
+        gt: &GroundTruth,
+        predictor: &InterferencePredictor,
+        incoming: TaskId,
+        candidates: &[DeviceCandidate],
+    ) -> Option<PlacementDecision> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut evaluated = 0usize;
+        for c in candidates {
+            let Some(score) = self.score(gt, predictor, incoming, c) else {
+                continue;
+            };
+            evaluated += 1;
+            let better = match best {
+                None => true,
+                Some((_, bs)) => {
+                    score < bs - 1e-12
+                        || ((score - bs).abs() <= 1e-12 && false)
+                }
+            };
+            if better {
+                best = Some((c.device, score));
+            }
+        }
+        best.map(|(device, score)| PlacementDecision {
+            device,
+            score,
+            evaluated,
+        })
+    }
+
+    /// Random placement among eligible devices — the baseline used in
+    /// the per-device-control ablation (§7.3) and the Fig. 17 Random
+    /// strategy.
+    pub fn select_random(
+        &self,
+        candidates: &[DeviceCandidate],
+        rng: &mut SimRng,
+    ) -> Option<PlacementDecision> {
+        let eligible: Vec<&DeviceCandidate> = candidates
+            .iter()
+            .filter(|c| c.existing_tasks.len() < self.config.max_trainings_per_gpu)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let pick = eligible[rng.uniform_usize(0, eligible.len())];
+        Some(PlacementDecision {
+            device: pick.device,
+            score: f64::NAN,
+            evaluated: eligible.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MudiConfig;
+    use workloads::Zoo;
+
+    fn build() -> (GroundTruth, InterferencePredictor, DeviceSelector) {
+        let gt = GroundTruth::new(Zoo::standard(), 31);
+        let profiler = LatencyProfiler::new(MudiConfig::default());
+        let mut rng = SimRng::seed(4);
+        let db = profiler.build_database(&gt, &gt.zoo().profiled_task_ids(), &mut rng);
+        let p = InterferencePredictor::new(db, &mut rng).unwrap();
+        (gt, p, DeviceSelector::new(MudiConfig::default()))
+    }
+
+    fn candidate(device: usize, service: ServiceId, tasks: Vec<TaskId>) -> DeviceCandidate {
+        DeviceCandidate {
+            device,
+            service,
+            existing_tasks: tasks,
+            mem_headroom_gb: 30.0,
+        }
+    }
+
+    #[test]
+    fn selects_lowest_interference_device() {
+        let (gt, p, sel) = build();
+        let incoming = gt.zoo().task_by_name("YOLOv5").unwrap().id;
+        let candidates: Vec<DeviceCandidate> = gt
+            .zoo()
+            .services()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| candidate(i, s.id, vec![]))
+            .collect();
+        let d = sel.select(&gt, &p, incoming, &candidates).unwrap();
+        assert_eq!(d.evaluated, candidates.len());
+        // The decision must equal the argmin of the per-candidate scores.
+        let scores: Vec<f64> = candidates
+            .iter()
+            .map(|c| sel.score(&gt, &p, incoming, c).unwrap())
+            .collect();
+        let argmin = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(d.device, argmin);
+    }
+
+    #[test]
+    fn full_devices_are_skipped() {
+        let (gt, p, sel) = build();
+        let incoming = gt.zoo().tasks()[0].id;
+        let busy = candidate(0, gt.zoo().services()[0].id, vec![gt.zoo().tasks()[1].id]);
+        // Default Mudi allows one training per GPU: the busy device is
+        // ineligible.
+        assert!(sel.score(&gt, &p, incoming, &busy).is_none());
+        let free = candidate(1, gt.zoo().services()[1].id, vec![]);
+        let d = sel.select(&gt, &p, incoming, &[busy, free]).unwrap();
+        assert_eq!(d.device, 1);
+    }
+
+    #[test]
+    fn no_eligible_device_returns_none() {
+        let (gt, p, sel) = build();
+        let incoming = gt.zoo().tasks()[0].id;
+        let busy = candidate(0, gt.zoo().services()[0].id, vec![gt.zoo().tasks()[1].id]);
+        assert!(sel.select(&gt, &p, incoming, &[busy]).is_none());
+        assert!(sel.select(&gt, &p, incoming, &[]).is_none());
+    }
+
+    #[test]
+    fn memory_overflow_penalizes_score() {
+        let (gt, p, sel) = build();
+        let incoming = gt.zoo().task_by_name("YOLOv5").unwrap().id; // ~22 GB.
+        let svc = gt.zoo().services()[0].id;
+        let roomy = candidate(0, svc, vec![]);
+        let mut tight = candidate(1, svc, vec![]);
+        tight.mem_headroom_gb = 2.0;
+        let s_roomy = sel.score(&gt, &p, incoming, &roomy).unwrap();
+        let s_tight = sel.score(&gt, &p, incoming, &tight).unwrap();
+        assert!(s_tight > s_roomy);
+    }
+
+    #[test]
+    fn mudi_more_allows_multiple_trainings() {
+        let gt = GroundTruth::new(Zoo::standard(), 31);
+        let profiler = LatencyProfiler::new(MudiConfig::default());
+        let mut rng = SimRng::seed(4);
+        let db = profiler.build_database(&gt, &gt.zoo().profiled_task_ids(), &mut rng);
+        let p = InterferencePredictor::new(db, &mut rng).unwrap();
+        let sel = DeviceSelector::new(MudiConfig::more());
+        let incoming = gt.zoo().tasks()[0].id;
+        let busy = candidate(
+            0,
+            gt.zoo().services()[0].id,
+            vec![gt.zoo().tasks()[1].id, gt.zoo().tasks()[2].id],
+        );
+        assert!(sel.score(&gt, &p, incoming, &busy).is_some());
+    }
+
+    #[test]
+    fn random_placement_only_uses_eligible() {
+        let (gt, _, sel) = build();
+        let mut rng = SimRng::seed(8);
+        let busy = candidate(0, gt.zoo().services()[0].id, vec![gt.zoo().tasks()[1].id]);
+        let free = candidate(1, gt.zoo().services()[1].id, vec![]);
+        for _ in 0..20 {
+            let d = sel.select_random(&[busy.clone(), free.clone()], &mut rng).unwrap();
+            assert_eq!(d.device, 1);
+        }
+    }
+}

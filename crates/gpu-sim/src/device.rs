@@ -1,0 +1,406 @@
+//! A simulated GPU device.
+//!
+//! A device hosts at most one inference instance and up to
+//! [`MAX_TRAININGS_PER_GPU`] training processes (§5.5), tracks their
+//! GPU fractions, feeds the unified-memory manager, and integrates SM
+//! and memory utilization over time (Fig. 10).
+
+use simcore::{SimDuration, SimTime, UtilizationIntegrator};
+use workloads::{ColoWorkload, GroundTruth};
+
+use crate::memory::MemoryManager;
+use crate::process::{InferenceInstance, ResidentId, TrainingProcess};
+
+/// Mudi multiplexes one inference service with at most three training
+/// tasks per GPU (§5.5).
+pub const MAX_TRAININGS_PER_GPU: usize = 3;
+
+/// Index of a device within the cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct DeviceId(pub usize);
+
+/// A simulated GPU.
+#[derive(Clone, Debug)]
+pub struct GpuDevice {
+    id: DeviceId,
+    memory: MemoryManager,
+    inference: Option<InferenceInstance>,
+    trainings: Vec<TrainingProcess>,
+    sm_util: UtilizationIntegrator,
+    mem_util: UtilizationIntegrator,
+}
+
+impl GpuDevice {
+    /// Creates an empty device.
+    pub fn new(id: DeviceId, capacity_gb: f64) -> Self {
+        let mut sm_util = UtilizationIntegrator::new();
+        sm_util.set(SimTime::ZERO, 0.0);
+        let mut mem_util = UtilizationIntegrator::new();
+        mem_util.set(SimTime::ZERO, 0.0);
+        GpuDevice {
+            id,
+            memory: MemoryManager::new(capacity_gb),
+            inference: None,
+            trainings: Vec::new(),
+            sm_util,
+            mem_util,
+        }
+    }
+
+    /// Device id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The resident inference instance, if any.
+    pub fn inference(&self) -> Option<&InferenceInstance> {
+        self.inference.as_ref()
+    }
+
+    /// Resident training processes.
+    pub fn trainings(&self) -> &[TrainingProcess] {
+        &self.trainings
+    }
+
+    /// Mutable access to a training process by id.
+    pub fn training_mut(&mut self, id: ResidentId) -> Option<&mut TrainingProcess> {
+        self.trainings.iter_mut().find(|t| t.id == id)
+    }
+
+    /// The unified-memory manager.
+    pub fn memory(&self) -> &MemoryManager {
+        &self.memory
+    }
+
+    /// Mutable access to the memory manager (accounting hooks).
+    pub fn memory_mut(&mut self) -> &mut MemoryManager {
+        &mut self.memory
+    }
+
+    /// Whether another training task fits (§5.5 cap).
+    pub fn has_training_slot(&self) -> bool {
+        self.trainings.len() < MAX_TRAININGS_PER_GPU
+    }
+
+    /// Deploys (or replaces) the inference instance. Returns the swap
+    /// transfer time incurred by the memory rebalance.
+    pub fn deploy_inference(
+        &mut self,
+        gt: &GroundTruth,
+        now: SimTime,
+        instance: InferenceInstance,
+    ) -> SimDuration {
+        let demand = gt.inference_memory_gb(instance.service, instance.batch, instance.qps);
+        self.inference = Some(instance);
+        self.memory.set_inference_demand(now, demand)
+    }
+
+    /// Changes the inference batching size (free, §5.3.1) and updates
+    /// the memory demand. Returns swap transfer time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no inference instance is deployed.
+    pub fn set_inference_batch(
+        &mut self,
+        gt: &GroundTruth,
+        now: SimTime,
+        batch: u32,
+    ) -> SimDuration {
+        let inst = self.inference.as_mut().expect("no inference deployed");
+        inst.batch = batch.max(1);
+        let demand = gt.inference_memory_gb(inst.service, inst.batch, inst.qps);
+        self.memory.set_inference_demand(now, demand)
+    }
+
+    /// Changes the inference GPU fraction (requires a restart or shadow
+    /// switch, accounted by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no inference instance is deployed or the fraction is
+    /// invalid.
+    pub fn set_inference_fraction(&mut self, fraction: f64) {
+        assert!(fraction > 0.0 && fraction <= 1.0, "invalid fraction");
+        self.inference
+            .as_mut()
+            .expect("no inference deployed")
+            .gpu_fraction = fraction;
+    }
+
+    /// Updates the replica's observed QPS, re-sizing the staging pool
+    /// (the serving runtime pins in-flight buffers proportional to
+    /// load). Returns the swap transfer time from the rebalance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no inference instance is deployed.
+    pub fn set_inference_qps(&mut self, gt: &GroundTruth, now: SimTime, qps: f64) -> SimDuration {
+        assert!(qps >= 0.0);
+        let inst = self.inference.as_mut().expect("no inference deployed");
+        inst.qps = qps;
+        let demand = gt.inference_memory_gb(inst.service, inst.batch, inst.qps);
+        self.memory.set_inference_demand(now, demand)
+    }
+
+    /// Adds a training process. Returns the swap transfer time, or
+    /// `None` if the device has no free training slot.
+    pub fn add_training(
+        &mut self,
+        gt: &GroundTruth,
+        now: SimTime,
+        proc: TrainingProcess,
+    ) -> Option<SimDuration> {
+        if !self.has_training_slot() {
+            return None;
+        }
+        let demand = gt.training_memory_gb(proc.task);
+        let id = proc.id;
+        self.trainings.push(proc);
+        Some(self.memory.add_training(now, id, demand))
+    }
+
+    /// Removes a training process (completed or migrated), returning it
+    /// with the swap-in transfer time.
+    pub fn remove_training(
+        &mut self,
+        now: SimTime,
+        id: ResidentId,
+    ) -> Option<(TrainingProcess, SimDuration)> {
+        let pos = self.trainings.iter().position(|t| t.id == id)?;
+        let proc = self.trainings.remove(pos);
+        let transfer = self.memory.remove_training(now, id);
+        Some((proc, transfer))
+    }
+
+    /// Re-splits the GPU left over by inference evenly among the
+    /// resident training tasks (§5.5), returning the per-task fraction.
+    ///
+    /// `share_cap` bounds the *total* training allocation: Mudi hands
+    /// training the entire leftover (cap 1.0), while baselines without
+    /// interference prediction cap it conservatively to protect the
+    /// latency-critical service, leaving GPU idle (the under-
+    /// utilization Fig. 10 reports).
+    pub fn rebalance_training_fractions(&mut self, share_cap: f64) -> f64 {
+        assert!(share_cap > 0.0 && share_cap <= 1.0, "invalid cap");
+        let inf_frac = self.inference.as_ref().map_or(0.0, |i| i.gpu_fraction);
+        let n = self.trainings.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let total = (1.0 - inf_frac).min(share_cap);
+        let share = (total / n as f64).max(0.01);
+        for t in &mut self.trainings {
+            t.gpu_fraction = share;
+        }
+        share
+    }
+
+    /// The co-location set as seen by the inference instance (all
+    /// resident trainings).
+    pub fn colo_for_inference(&self) -> Vec<ColoWorkload> {
+        self.trainings
+            .iter()
+            .map(|t| ColoWorkload::training(t.task, t.gpu_fraction))
+            .collect()
+    }
+
+    /// The co-location set as seen by training `id` (the inference
+    /// instance plus the other trainings).
+    pub fn colo_for_training(&self, id: ResidentId) -> Vec<ColoWorkload> {
+        let mut colo = Vec::new();
+        if let Some(inf) = &self.inference {
+            colo.push(ColoWorkload::inference(
+                inf.service,
+                inf.batch,
+                inf.gpu_fraction,
+            ));
+        }
+        for t in &self.trainings {
+            if t.id != id {
+                colo.push(ColoWorkload::training(t.task, t.gpu_fraction));
+            }
+        }
+        colo
+    }
+
+    /// Instantaneous SM utilization estimate: training partitions run
+    /// busy; the inference partition is busy for the fraction of time
+    /// its batches are executing (`qps · latency / batch`, capped).
+    pub fn sm_utilization(&self, gt: &GroundTruth) -> f64 {
+        let mut util = 0.0;
+        for t in &self.trainings {
+            util += t.gpu_fraction * 0.95;
+        }
+        if let Some(inf) = &self.inference {
+            let colo = self.colo_for_inference();
+            let latency =
+                gt.inference_latency(inf.service, inf.batch, inf.gpu_fraction, &colo);
+            let busy = if inf.qps > 0.0 {
+                (inf.qps * latency / inf.batch as f64).min(1.0)
+            } else {
+                0.0
+            };
+            util += inf.gpu_fraction * busy;
+        }
+        util.min(1.0)
+    }
+
+    /// Records utilization samples at `now` into the integrators.
+    pub fn record_utilization(&mut self, gt: &GroundTruth, now: SimTime) {
+        let sm = self.sm_utilization(gt);
+        let mem = self.memory.utilization();
+        self.sm_util.set(now, sm);
+        self.mem_util.set(now, mem);
+    }
+
+    /// Closes the utilization windows at `now`.
+    pub fn finish(&mut self, now: SimTime) {
+        self.sm_util.finish(now);
+        self.mem_util.finish(now);
+        self.memory.finish(now);
+    }
+
+    /// Time-averaged SM utilization.
+    pub fn mean_sm_utilization(&self) -> f64 {
+        self.sm_util.time_average()
+    }
+
+    /// Time-averaged memory utilization.
+    pub fn mean_mem_utilization(&self) -> f64 {
+        self.mem_util.time_average()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{ServiceId, TaskId, Zoo};
+
+    fn gt() -> GroundTruth {
+        GroundTruth::new(Zoo::standard(), 7)
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn deploy_and_reconfigure_inference() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        d.deploy_inference(&g, t(0.0), InferenceInstance::new(ServiceId(0), 32, 0.5, 200.0));
+        assert_eq!(d.inference().unwrap().batch, 32);
+        d.set_inference_batch(&g, t(1.0), 128);
+        assert_eq!(d.inference().unwrap().batch, 128);
+        d.set_inference_fraction(0.3);
+        assert_eq!(d.inference().unwrap().gpu_fraction, 0.3);
+        d.set_inference_qps(&g, t(2.0), 400.0);
+        assert_eq!(d.inference().unwrap().qps, 400.0);
+    }
+
+    #[test]
+    fn training_slots_cap_at_three() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 400.0); // Big memory: slots are the limit.
+        for i in 0..3 {
+            let p = TrainingProcess::new(ResidentId(i), TaskId(i as usize % 3), 0.2, 100);
+            assert!(d.add_training(&g, t(i as f64), p).is_some());
+        }
+        let p4 = TrainingProcess::new(ResidentId(9), TaskId(0), 0.2, 100);
+        assert!(d.add_training(&g, t(4.0), p4).is_none());
+        assert_eq!(d.trainings().len(), 3);
+    }
+
+    #[test]
+    fn colo_views_exclude_self() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        d.deploy_inference(&g, t(0.0), InferenceInstance::new(ServiceId(2), 16, 0.4, 200.0));
+        d.add_training(&g, t(1.0), TrainingProcess::new(ResidentId(1), TaskId(3), 0.3, 100))
+            .unwrap();
+        d.add_training(&g, t(2.0), TrainingProcess::new(ResidentId(2), TaskId(4), 0.3, 100))
+            .unwrap();
+        assert_eq!(d.colo_for_inference().len(), 2);
+        let view = d.colo_for_training(ResidentId(1));
+        assert_eq!(view.len(), 2); // Inference + the *other* training.
+    }
+
+    #[test]
+    fn rebalance_splits_leftover_evenly() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        d.deploy_inference(&g, t(0.0), InferenceInstance::new(ServiceId(0), 16, 0.4, 200.0));
+        d.add_training(&g, t(1.0), TrainingProcess::new(ResidentId(1), TaskId(0), 0.1, 100))
+            .unwrap();
+        d.add_training(&g, t(1.0), TrainingProcess::new(ResidentId(2), TaskId(1), 0.1, 100))
+            .unwrap();
+        let share = d.rebalance_training_fractions(1.0);
+        assert!((share - 0.3).abs() < 1e-12);
+        assert!(d.trainings().iter().all(|p| (p.gpu_fraction - 0.3).abs() < 1e-12));
+        // A conservative cap limits the total training allocation.
+        let capped = d.rebalance_training_fractions(0.4);
+        assert!((capped - 0.2).abs() < 1e-12);
+        assert!(d.trainings().iter().all(|p| (p.gpu_fraction - 0.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn removing_training_returns_process() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        d.add_training(&g, t(0.0), TrainingProcess::new(ResidentId(5), TaskId(0), 0.5, 100))
+            .unwrap();
+        let (proc, _) = d.remove_training(t(1.0), ResidentId(5)).unwrap();
+        assert_eq!(proc.id, ResidentId(5));
+        assert!(d.trainings().is_empty());
+        assert!(d.remove_training(t(2.0), ResidentId(5)).is_none());
+    }
+
+    #[test]
+    fn sm_utilization_combines_residents() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        assert_eq!(d.sm_utilization(&g), 0.0);
+        d.add_training(&g, t(0.0), TrainingProcess::new(ResidentId(1), TaskId(0), 0.5, 100))
+            .unwrap();
+        let train_only = d.sm_utilization(&g);
+        assert!((train_only - 0.475).abs() < 1e-9);
+        d.deploy_inference(&g, t(1.0), InferenceInstance::new(ServiceId(0), 16, 0.5, 300.0));
+        assert!(d.sm_utilization(&g) > train_only);
+        assert!(d.sm_utilization(&g) <= 1.0);
+    }
+
+    #[test]
+    fn utilization_integrates_over_time() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        d.record_utilization(&g, t(0.0));
+        d.add_training(&g, t(10.0), TrainingProcess::new(ResidentId(1), TaskId(0), 1.0, 100))
+            .unwrap();
+        d.record_utilization(&g, t(10.0));
+        d.finish(t(20.0));
+        // 10 s idle + 10 s at 0.95 => mean 0.475.
+        assert!((d.mean_sm_utilization() - 0.475).abs() < 1e-9);
+        assert!(d.mean_mem_utilization() > 0.0);
+    }
+
+    #[test]
+    fn memory_pressure_reaches_manager() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        // YOLOv5 (26 GB activations) + a big inference batch overflows.
+        d.add_training(
+            &g,
+            t(0.0),
+            TrainingProcess::new(ResidentId(1), g.zoo().task_by_name("YOLOv5").unwrap().id, 0.5, 100),
+        )
+        .unwrap();
+        d.deploy_inference(
+            &g,
+            t(1.0),
+            InferenceInstance::new(ServiceId(0), 512, 0.5, 200.0),
+        );
+        assert!(d.memory().is_overflowed());
+        assert!(d.memory().training_slowdown(ResidentId(1)) > 1.0);
+    }
+}

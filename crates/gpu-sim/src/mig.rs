@@ -1,0 +1,165 @@
+//! Multi-Instance GPU (MIG) support.
+//!
+//! Mudi is "fully compatible with MIG, treating each MIG instance as a
+//! distinct, smaller GPU" (§3). A [`MigProfile`] partitions a physical
+//! A100 into instances with fixed SM and memory shares; each
+//! [`MigInstance`] can then back its own [`crate::device::GpuDevice`].
+
+/// A MIG slice shape on an A100-40GB: `g` compute slices (of 7) and a
+/// memory share.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MigInstance {
+    /// Compute slices out of 7.
+    pub compute_slices: u8,
+    /// Device memory, GB.
+    pub memory_gb: f64,
+}
+
+impl MigInstance {
+    /// The SM fraction this instance represents of the full GPU.
+    pub fn sm_fraction(&self) -> f64 {
+        self.compute_slices as f64 / 7.0
+    }
+
+    /// Backs a [`crate::device::GpuDevice`] with this instance — Mudi
+    /// "treats each MIG instance as a distinct, smaller GPU" (§3). The
+    /// device gets the instance's memory; callers must scale GPU
+    /// fractions by [`MigInstance::sm_fraction`] when converting to
+    /// whole-GPU terms.
+    pub fn make_device(&self, id: crate::device::DeviceId) -> crate::device::GpuDevice {
+        crate::device::GpuDevice::new(id, self.memory_gb)
+    }
+}
+
+/// A valid partitioning of one physical GPU into MIG instances.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MigProfile {
+    instances: Vec<MigInstance>,
+}
+
+impl MigProfile {
+    /// The whole GPU as a single instance (MIG disabled).
+    pub fn whole_gpu() -> Self {
+        MigProfile {
+            instances: vec![MigInstance {
+                compute_slices: 7,
+                memory_gb: 40.0,
+            }],
+        }
+    }
+
+    /// The A100 `3g.20gb + 4g.20gb` split — the natural shape for one
+    /// inference instance plus one training partition.
+    pub fn split_3_4() -> Self {
+        MigProfile {
+            instances: vec![
+                MigInstance {
+                    compute_slices: 3,
+                    memory_gb: 20.0,
+                },
+                MigInstance {
+                    compute_slices: 4,
+                    memory_gb: 20.0,
+                },
+            ],
+        }
+    }
+
+    /// Seven `1g.5gb` slices.
+    pub fn split_seven() -> Self {
+        MigProfile {
+            instances: vec![
+                MigInstance {
+                    compute_slices: 1,
+                    memory_gb: 5.0,
+                };
+                7
+            ],
+        }
+    }
+
+    /// Builds a custom profile.
+    ///
+    /// Returns `None` if the slices exceed 7 compute units or 40 GB.
+    pub fn custom(instances: Vec<MigInstance>) -> Option<Self> {
+        let slices: u32 = instances.iter().map(|i| i.compute_slices as u32).sum();
+        let mem: f64 = instances.iter().map(|i| i.memory_gb).sum();
+        if slices == 0 || slices > 7 || mem > 40.0 + 1e-9 {
+            return None;
+        }
+        Some(MigProfile { instances })
+    }
+
+    /// The instances in this profile.
+    pub fn instances(&self) -> &[MigInstance] {
+        &self.instances
+    }
+
+    /// Total SM fraction covered (1.0 for full profiles).
+    pub fn total_sm_fraction(&self) -> f64 {
+        self.instances.iter().map(MigInstance::sm_fraction).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_gpu_covers_everything() {
+        let p = MigProfile::whole_gpu();
+        assert_eq!(p.instances().len(), 1);
+        assert!((p.total_sm_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_splits_are_valid() {
+        assert!((MigProfile::split_3_4().total_sm_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(MigProfile::split_seven().instances().len(), 7);
+    }
+
+    #[test]
+    fn custom_rejects_oversubscription() {
+        let too_many = vec![
+            MigInstance {
+                compute_slices: 4,
+                memory_gb: 20.0,
+            },
+            MigInstance {
+                compute_slices: 4,
+                memory_gb: 20.0,
+            },
+        ];
+        assert!(MigProfile::custom(too_many).is_none());
+        let too_much_mem = vec![MigInstance {
+            compute_slices: 2,
+            memory_gb: 45.0,
+        }];
+        assert!(MigProfile::custom(too_much_mem).is_none());
+        assert!(MigProfile::custom(vec![]).is_none());
+    }
+
+    #[test]
+    fn instances_back_devices() {
+        use crate::device::DeviceId;
+        let profile = MigProfile::split_3_4();
+        let devices: Vec<_> = profile
+            .instances()
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| inst.make_device(DeviceId(i)))
+            .collect();
+        assert_eq!(devices.len(), 2);
+        assert_eq!(devices[0].memory().capacity_gb(), 20.0);
+        assert_eq!(devices[1].memory().capacity_gb(), 20.0);
+    }
+
+    #[test]
+    fn sm_fraction_is_slices_over_seven() {
+        let i = MigInstance {
+            compute_slices: 3,
+            memory_gb: 20.0,
+        };
+        assert!((i.sm_fraction() - 3.0 / 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,286 @@
+//! GP-LCB Bayesian optimization — the Tuner's adaptive-batching search
+//! (§5.3.1, Eq. 3).
+//!
+//! The objective (training mini-batch iteration time as a function of
+//! the inference batching size) is a black box observed with noise, so
+//! the Tuner fits a Gaussian-process surrogate to the sampled iteration
+//! times and explores with the lower-confidence-bound acquisition
+//!
+//! ```text
+//! A(b) = μ(b) − βₙ^½ · sqrt(σ(b)),   βₙ = 2 log(|R| / n²)
+//! ```
+//!
+//! over the discrete candidate set `R` of batching sizes, skipping
+//! candidates that violate the SLO constraint (the first constraint of
+//! Eq. 2, checked through a caller-supplied feasibility oracle).
+
+use simcore::SimRng;
+
+use crate::gp::GaussianProcess;
+
+/// Result of one GP-LCB search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoResult {
+    /// The best feasible candidate found.
+    pub best: f64,
+    /// Observed objective at `best`.
+    pub best_objective: f64,
+    /// Number of objective evaluations performed.
+    pub iterations: usize,
+    /// Whether the search converged (proposed an already-tried point)
+    /// before hitting the iteration cap.
+    pub converged: bool,
+}
+
+/// A GP-LCB tuner over a discrete candidate set.
+///
+/// # Examples
+///
+/// ```
+/// use modeling::GpLcbTuner;
+/// use simcore::SimRng;
+///
+/// let candidates = vec![16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+/// let mut rng = SimRng::seed(1);
+/// let tuner = GpLcbTuner::new(candidates, 25);
+/// // Quadratic bowl with minimum at 128.
+/// let result = tuner
+///     .run(&mut rng, |b| Some((b - 128.0).powi(2) * 1e-4 + 1.0))
+///     .unwrap();
+/// assert_eq!(result.best, 128.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GpLcbTuner {
+    candidates: Vec<f64>,
+    max_iters: usize,
+    gamma: f64,
+    noise: f64,
+}
+
+impl GpLcbTuner {
+    /// Creates a tuner over `candidates` with an evaluation budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or `max_iters` is zero.
+    pub fn new(candidates: Vec<f64>, max_iters: usize) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        assert!(max_iters > 0, "need a positive iteration budget");
+        GpLcbTuner {
+            candidates,
+            max_iters,
+            gamma: 2.0,
+            noise: 1e-4,
+        }
+    }
+
+    /// The exploration coefficient βₙ of Eq. 3, clamped non-negative
+    /// (the paper's βₙ = 2 log(|R|/n²) goes negative once n² > |R|,
+    /// which would *reward* uncertainty avoidance; clamping yields pure
+    /// exploitation instead, matching the fast-convergence intent).
+    fn beta(&self, n: usize) -> f64 {
+        let r = self.candidates.len() as f64;
+        (2.0 * (r / (n * n) as f64).ln()).max(0.0)
+    }
+
+    /// Runs the search.
+    ///
+    /// `objective(candidate)` returns the observed objective, or `None`
+    /// when the candidate is infeasible (violates the SLO constraint);
+    /// infeasible candidates are excluded from further consideration.
+    ///
+    /// Returns `None` if every candidate is infeasible.
+    pub fn run(
+        &self,
+        rng: &mut SimRng,
+        mut objective: impl FnMut(f64) -> Option<f64>,
+    ) -> Option<BoResult> {
+        let mut feasible: Vec<bool> = vec![true; self.candidates.len()];
+        let mut observed_x: Vec<Vec<f64>> = Vec::new();
+        let mut observed_y: Vec<f64> = Vec::new();
+        let mut tried: Vec<bool> = vec![false; self.candidates.len()];
+        let mut evals = 0usize;
+        let mut best: Option<(f64, f64)> = None;
+        let mut converged = false;
+
+        // Seed with two quasi-random distinct candidates for a usable GP.
+        let first = rng.uniform_usize(0, self.candidates.len());
+        let second = (first + self.candidates.len() / 2) % self.candidates.len();
+        let mut to_try = vec![first];
+        if second != first {
+            to_try.push(second);
+        }
+
+        for n in 1..=self.max_iters {
+            let idx = match to_try.pop() {
+                Some(i) => i,
+                None => {
+                    // Fit the GP and pick the LCB-minimizing untried
+                    // feasible candidate.
+                    let gp = GaussianProcess::fit(&observed_x, &observed_y, self.gamma, self.noise);
+                    let beta_sqrt = self.beta(n).sqrt();
+                    let mut best_idx = None;
+                    let mut best_acq = f64::INFINITY;
+                    for (i, &c) in self.candidates.iter().enumerate() {
+                        if !feasible[i] || tried[i] {
+                            continue;
+                        }
+                        let acq = match &gp {
+                            Some(gp) => {
+                                let (mu, var) = gp.predict(&[c]);
+                                mu - beta_sqrt * var.sqrt()
+                            }
+                            None => 0.0,
+                        };
+                        if acq < best_acq {
+                            best_acq = acq;
+                            best_idx = Some(i);
+                        }
+                    }
+                    match best_idx {
+                        Some(i) => {
+                            // Exploit check: if the GP's LCB at the best
+                            // untried point cannot beat the incumbent,
+                            // declare convergence. A minimum number of
+                            // *successful* observations guards against a
+                            // miscalibrated GP built from too few points
+                            // (infeasible probes carry no information
+                            // about the objective's shape).
+                            let min_obs = self.candidates.len().min(5);
+                            if let Some((_, incumbent)) = best {
+                                if best_acq >= incumbent - 1e-12 && observed_y.len() >= min_obs {
+                                    converged = true;
+                                    break;
+                                }
+                            }
+                            i
+                        }
+                        None => {
+                            converged = true;
+                            break; // All feasible candidates tried.
+                        }
+                    }
+                }
+            };
+
+            if tried[idx] {
+                continue;
+            }
+            tried[idx] = true;
+            let candidate = self.candidates[idx];
+            evals += 1;
+            match objective(candidate) {
+                Some(y) => {
+                    observed_x.push(vec![candidate]);
+                    observed_y.push(y);
+                    if best.map_or(true, |(_, by)| y < by) {
+                        best = Some((candidate, y));
+                    }
+                }
+                None => feasible[idx] = false,
+            }
+        }
+
+        best.map(|(x, y)| BoResult {
+            best: x,
+            best_objective: y,
+            iterations: evals,
+            converged,
+        })
+    }
+
+    /// The candidate set.
+    pub fn candidates(&self) -> &[f64] {
+        &self.candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_candidates() -> Vec<f64> {
+        vec![16.0, 32.0, 64.0, 128.0, 256.0, 512.0]
+    }
+
+    #[test]
+    fn finds_minimum_of_smooth_objective() {
+        let tuner = GpLcbTuner::new(batch_candidates(), 25);
+        for seed in 0..10 {
+            let mut rng = SimRng::seed(seed);
+            let r = tuner
+                .run(&mut rng, |b| Some(((b.log2() - 6.0).powi(2)) + 0.5))
+                .unwrap();
+            assert_eq!(r.best, 64.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn respects_infeasible_candidates() {
+        let tuner = GpLcbTuner::new(batch_candidates(), 25);
+        let mut rng = SimRng::seed(3);
+        // Larger batches are better but everything above 64 is infeasible.
+        let r = tuner
+            .run(&mut rng, |b| (b <= 64.0).then(|| 1000.0 / b))
+            .unwrap();
+        assert_eq!(r.best, 64.0);
+    }
+
+    #[test]
+    fn all_infeasible_returns_none() {
+        let tuner = GpLcbTuner::new(batch_candidates(), 25);
+        let mut rng = SimRng::seed(4);
+        assert!(tuner.run(&mut rng, |_| None).is_none());
+    }
+
+    #[test]
+    fn converges_within_paper_budget() {
+        // §7.5: GP-LCB converges within 25 iterations, typically ~17.
+        let tuner = GpLcbTuner::new(batch_candidates(), 25);
+        let mut total = 0usize;
+        for seed in 0..20 {
+            let mut rng = SimRng::seed(seed);
+            let r = tuner
+                .run(&mut rng, |b| {
+                    Some((b / 100.0 - 1.0).powi(2) + (b / 37.0).sin().abs() * 0.1)
+                })
+                .unwrap();
+            assert!(r.iterations <= 25);
+            total += r.iterations;
+        }
+        assert!(total / 20 <= 8, "mean iterations {}", total / 20);
+    }
+
+    #[test]
+    fn noisy_objective_still_lands_near_optimum() {
+        let tuner = GpLcbTuner::new(batch_candidates(), 25);
+        let mut hits = 0;
+        for seed in 0..20 {
+            let mut rng = SimRng::seed(100 + seed);
+            let mut noise_rng = SimRng::seed(200 + seed);
+            let r = tuner
+                .run(&mut rng, |b| {
+                    let noise = 1.0 + 0.05 * (noise_rng.f64() - 0.5);
+                    Some(((b.log2() - 7.0).powi(2) + 0.2) * noise)
+                })
+                .unwrap();
+            if r.best == 128.0 || r.best == 64.0 || r.best == 256.0 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 18, "only {hits}/20 near optimum");
+    }
+
+    #[test]
+    fn beta_schedule_decreases_and_clamps() {
+        let tuner = GpLcbTuner::new(batch_candidates(), 25);
+        assert!(tuner.beta(1) > tuner.beta(2));
+        assert_eq!(tuner.beta(10), 0.0); // 2 log(6/100) < 0 -> clamped.
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one candidate")]
+    fn empty_candidates_rejected() {
+        let _ = GpLcbTuner::new(vec![], 10);
+    }
+}

@@ -1,0 +1,11 @@
+//! Curve-fitting routines for the latency profiler.
+//!
+//! * [`kneedle`] — knee/cutoff-point detection (lowest-curvature rule and
+//!   the kneedle algorithm the paper cites).
+//! * [`piecewise`] — the paper's two-segment piece-wise linear latency
+//!   model (Eq. 1) and its least-squares fit.
+//! * [`poly`] — polynomial least squares, the Tab. 2 comparison baseline.
+
+pub mod kneedle;
+pub mod piecewise;
+pub mod poly;

@@ -1,0 +1,107 @@
+//! Polynomial least-squares fitting — the comparison baseline of Tab. 2.
+//!
+//! The paper shows polynomial fitting needs more samples than the
+//! piece-wise linear model to reach comparable accuracy on latency
+//! curves; [`Polynomial::fit`] reproduces that baseline.
+
+use crate::linalg::{ridge_least_squares, Matrix};
+
+/// A polynomial `c0 + c1 x + c2 x² + …` fitted by least squares.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Fits a polynomial of the given degree to `(x, y)` samples.
+    ///
+    /// Uses mild ridge regularization for numerical stability, which
+    /// also mirrors how an over-parameterized polynomial underperforms
+    /// on few samples (Tab. 2).
+    ///
+    /// Returns `None` when there are fewer samples than `degree + 1`.
+    pub fn fit(samples: &[(f64, f64)], degree: usize) -> Option<Polynomial> {
+        if samples.len() < degree + 1 {
+            return None;
+        }
+        let rows: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|&(x, _)| (0..=degree).map(|p| x.powi(p as i32)).collect())
+            .collect();
+        let y: Vec<f64> = samples.iter().map(|&(_, y)| y).collect();
+        let x = Matrix::from_rows(&rows);
+        Some(Polynomial {
+            coeffs: ridge_least_squares(&x, &y, 1e-8),
+        })
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's method).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// The fitted coefficients, constant term first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_quadratic() {
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| {
+                let x = i as f64 * 0.1;
+                (x, 1.0 + 2.0 * x + 3.0 * x * x)
+            })
+            .collect();
+        let p = Polynomial::fit(&pts, 2).unwrap();
+        assert!((p.coeffs()[0] - 1.0).abs() < 1e-4);
+        assert!((p.coeffs()[1] - 2.0).abs() < 1e-3);
+        assert!((p.coeffs()[2] - 3.0).abs() < 1e-3);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        assert!(Polynomial::fit(&[(0.0, 1.0), (1.0, 2.0)], 2).is_none());
+    }
+
+    #[test]
+    fn horner_eval() {
+        let p = Polynomial {
+            coeffs: vec![1.0, 0.0, -2.0],
+        };
+        assert_eq!(p.eval(3.0), 1.0 - 18.0);
+    }
+
+    #[test]
+    fn high_degree_on_few_points_is_unstable_on_elbows() {
+        // An elbow-shaped curve: a cubic on 6 points extrapolates poorly,
+        // which is the effect Tab. 2 reports.
+        let elbow: Vec<(f64, f64)> = [0.1, 0.2, 0.3, 0.45, 0.7, 0.9]
+            .iter()
+            .map(|&x| {
+                let y = if x <= 0.45 {
+                    30.0 - 120.0 * (x - 0.45)
+                } else {
+                    30.0 - 4.0 * (x - 0.45)
+                };
+                (x, y)
+            })
+            .collect();
+        let p = Polynomial::fit(&elbow, 3).unwrap();
+        // Check error at a held-out point inside the flat region.
+        let pred = p.eval(0.8);
+        let truth = 30.0 - 4.0 * (0.8 - 0.45);
+        assert!((pred - truth).abs() > 0.5, "cubic fit unexpectedly exact");
+    }
+}

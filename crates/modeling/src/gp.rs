@@ -1,0 +1,154 @@
+//! Gaussian-process regression — the Tuner's surrogate model (§5.3.1).
+//!
+//! RBF kernel with observation noise; exact inference via Cholesky.
+//! Predictions return both mean and variance, which the LCB acquisition
+//! function in [`crate::bo`] consumes.
+
+use crate::linalg::{sq_dist, Matrix};
+use crate::regressor::Standardizer;
+
+/// An exact GP regressor with RBF kernel.
+#[derive(Clone, Debug)]
+pub struct GaussianProcess {
+    xs: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Matrix,
+    gamma: f64,
+    signal_var: f64,
+    y_mean: f64,
+    standardizer: Standardizer,
+}
+
+impl GaussianProcess {
+    /// Fits the GP to observations.
+    ///
+    /// * `gamma` — RBF inverse-width `exp(-gamma ||x-x'||²)` on
+    ///   standardized inputs.
+    /// * `noise` — observation noise variance added to the diagonal.
+    ///
+    /// Returns `None` when there are no observations or the kernel
+    /// matrix is numerically singular.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], gamma: f64, noise: f64) -> Option<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return None;
+        }
+        let standardizer = Standardizer::fit(xs);
+        let z = standardizer.apply_all(xs);
+        let n = z.len();
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = ys.iter().map(|&y| y - y_mean).collect();
+        let signal_var = (centered.iter().map(|&c| c * c).sum::<f64>() / n as f64).max(1e-9);
+
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = signal_var * (-gamma * sq_dist(&z[i], &z[j])).exp();
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k.add_diagonal(noise.max(1e-9));
+        let chol = k.cholesky()?;
+        let alpha = chol.cholesky_solve(&centered);
+        Some(GaussianProcess {
+            xs: z,
+            alpha,
+            chol,
+            gamma,
+            signal_var,
+            y_mean,
+            standardizer,
+        })
+    }
+
+    /// Predictive mean and variance at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let q = self.standardizer.apply(x);
+        let kstar: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| self.signal_var * (-self.gamma * sq_dist(xi, &q)).exp())
+            .collect();
+        let mean = self.y_mean + crate::linalg::dot(&kstar, &self.alpha);
+        // var = k(x,x) − k*ᵀ K⁻¹ k*, computed via the Cholesky factor.
+        let v = forward_solve(&self.chol, &kstar);
+        let var = (self.signal_var - crate::linalg::dot(&v, &v)).max(0.0);
+        (mean, var)
+    }
+
+    /// Number of observations the GP conditions on.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Returns `true` when fitted on zero observations (cannot happen
+    /// through [`GaussianProcess::fit`], present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+/// Solves `L v = b` for lower-triangular `L`.
+fn forward_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut v = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * v[k];
+        }
+        v[i] = sum / l[(i, i)];
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_observations() {
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..8).map(|i| (i as f64 * 0.8).sin()).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, 1.0, 1e-6).unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            let (mean, var) = gp.predict(x);
+            assert!((mean - y).abs() < 0.02, "mean {mean} vs {y}");
+            assert!(var < 0.05, "var {var}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys = vec![0.0, 1.0, 0.0, -1.0, 0.0];
+        let gp = GaussianProcess::fit(&xs, &ys, 1.0, 1e-4).unwrap();
+        let (_, var_near) = gp.predict(&[2.0]);
+        let (_, var_far) = gp.predict(&[40.0]);
+        assert!(var_far > var_near * 5.0, "{var_far} vs {var_near}");
+    }
+
+    #[test]
+    fn far_prediction_reverts_to_mean() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys = vec![10.0, 12.0, 11.0, 13.0, 12.0];
+        let gp = GaussianProcess::fit(&xs, &ys, 1.0, 1e-4).unwrap();
+        let (mean, _) = gp.predict(&[500.0]);
+        assert!((mean - 11.6).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn rejects_empty_or_mismatched() {
+        assert!(GaussianProcess::fit(&[], &[], 1.0, 1e-4).is_none());
+        assert!(GaussianProcess::fit(&[vec![1.0]], &[1.0, 2.0], 1.0, 1e-4).is_none());
+    }
+
+    #[test]
+    fn single_observation_is_usable() {
+        let gp = GaussianProcess::fit(&[vec![0.5]], &[3.0], 1.0, 1e-4).unwrap();
+        let (mean, _) = gp.predict(&[0.5]);
+        assert!((mean - 3.0).abs() < 1e-6);
+        assert_eq!(gp.len(), 1);
+        assert!(!gp.is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! k-nearest-neighbors regression with inverse-distance weighting.
+
+use crate::linalg::sq_dist;
+use crate::regressor::{Dataset, Regressor, Standardizer};
+
+/// kNN regression over standardized features.
+#[derive(Clone, Debug)]
+pub struct KnnRegressor {
+    k: usize,
+    points: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+    standardizer: Standardizer,
+}
+
+impl KnnRegressor {
+    /// Trains (memorizes) the dataset with neighborhood size `k`.
+    ///
+    /// Returns `None` for an empty dataset. `k` is clamped to the
+    /// dataset size.
+    pub fn train(data: &Dataset, k: usize) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let standardizer = Standardizer::fit(&data.features);
+        Some(KnnRegressor {
+            k: k.clamp(1, data.len()),
+            points: standardizer.apply_all(&data.features),
+            targets: data.targets.clone(),
+            standardizer,
+        })
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn predict(&self, features: &[f64]) -> f64 {
+        let q = self.standardizer.apply(features);
+        // Collect (distance², target) and take the k smallest.
+        let mut dists: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .zip(&self.targets)
+            .map(|(p, &t)| (sq_dist(p, &q), t))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let neighbors = &dists[..self.k];
+        // Inverse-distance weighting; an exact match dominates.
+        let mut wsum = 0.0;
+        let mut vsum = 0.0;
+        for &(d2, t) in neighbors {
+            let w = 1.0 / (d2.sqrt() + 1e-9);
+            wsum += w;
+            vsum += w * t;
+        }
+        vsum / wsum
+    }
+
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_dataset() -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (x, y) = (i as f64, j as f64);
+                d.push(vec![x, y], x + 10.0 * y);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn exact_point_is_recovered() {
+        let m = KnnRegressor::train(&grid_dataset(), 3).unwrap();
+        let pred = m.predict(&[4.0, 7.0]);
+        assert!((pred - 74.0).abs() < 1.0, "pred {pred}");
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        // k = 2 so the two equidistant on-row neighbors dominate and the
+        // four diagonal ties do not enter the average.
+        let m = KnnRegressor::train(&grid_dataset(), 2).unwrap();
+        let pred = m.predict(&[4.5, 7.0]);
+        assert!((pred - 74.5).abs() < 1.0, "pred {pred}");
+    }
+
+    #[test]
+    fn k_clamped_to_dataset_size() {
+        let mut d = Dataset::new();
+        d.push(vec![0.0], 1.0);
+        d.push(vec![1.0], 3.0);
+        let m = KnnRegressor::train(&d, 100).unwrap();
+        let pred = m.predict(&[0.5]);
+        assert!((pred - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        assert!(KnnRegressor::train(&Dataset::new(), 3).is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Ridge linear regression.
+
+use crate::linalg::{ridge_least_squares, Matrix};
+use crate::regressor::{Dataset, Regressor};
+
+/// Linear regression with L2 regularization and a bias term.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct RidgeRegression {
+    /// Weights, one per feature, followed by the bias.
+    weights: Vec<f64>,
+}
+
+impl RidgeRegression {
+    /// Trains on the dataset with regularization strength `lambda`.
+    ///
+    /// Returns `None` for an empty dataset.
+    pub fn train(data: &Dataset, lambda: f64) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let rows: Vec<Vec<f64>> = data
+            .features
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                row.push(1.0); // Bias column.
+                row
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        Some(RidgeRegression {
+            weights: ridge_least_squares(&x, &data.targets, lambda),
+        })
+    }
+
+    /// The learned weights (bias last).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Regressor for RidgeRegression {
+    fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len() + 1,
+            self.weights.len(),
+            "feature width mismatch"
+        );
+        let (w, bias) = self.weights.split_at(features.len());
+        crate::linalg::dot(w, features) + bias[0]
+    }
+
+    fn name(&self) -> &'static str {
+        "Ridge"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_affine_function() {
+        let mut d = Dataset::new();
+        for i in 0..40 {
+            let x0 = i as f64 * 0.25;
+            let x1 = (i as f64 * 0.7).cos();
+            d.push(vec![x0, x1], 3.0 * x0 - 2.0 * x1 + 5.0);
+        }
+        let m = RidgeRegression::train(&d, 1e-9).unwrap();
+        assert!((m.predict(&[2.0, 0.5]) - (6.0 - 1.0 + 5.0)).abs() < 1e-4);
+        assert!((m.weights()[0] - 3.0).abs() < 1e-5);
+        assert!((m.weights()[2] - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        assert!(RidgeRegression::train(&Dataset::new(), 1.0).is_none());
+    }
+
+    #[test]
+    fn heavy_regularization_shrinks_weights() {
+        let mut d = Dataset::new();
+        for i in 0..20 {
+            d.push(vec![i as f64], 10.0 * i as f64);
+        }
+        let free = RidgeRegression::train(&d, 1e-9).unwrap();
+        let tied = RidgeRegression::train(&d, 1e4).unwrap();
+        assert!(tied.weights()[0].abs() < free.weights()[0].abs());
+    }
+}

@@ -1,0 +1,300 @@
+//! A small multi-layer perceptron regressor trained with Adam.
+//!
+//! Used two ways in the reproduction: as the "MLP fitting" baseline of
+//! Tab. 2 and as one of the Interference Modeler's candidate learners.
+//! The network is fully connected with tanh activations and a linear
+//! output; inputs and the target are standardized internally.
+
+use simcore::SimRng;
+
+use crate::regressor::{Dataset, Regressor, Standardizer};
+
+/// One dense layer: `y = W x + b` with optional tanh.
+#[derive(Clone, Debug)]
+struct Layer {
+    weights: Vec<Vec<f64>>, // [out][in]
+    biases: Vec<f64>,
+    tanh: bool,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, tanh: bool, rng: &mut SimRng) -> Self {
+        // Xavier-style initialization.
+        let scale = (2.0 / (inputs + outputs) as f64).sqrt();
+        Layer {
+            weights: (0..outputs)
+                .map(|_| {
+                    (0..inputs)
+                        .map(|_| (rng.f64() * 2.0 - 1.0) * scale)
+                        .collect()
+                })
+                .collect(),
+            biases: vec![0.0; outputs],
+            tanh,
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let pre: Vec<f64> = self
+            .weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(w, &b)| crate::linalg::dot(w, x) + b)
+            .collect();
+        let post = if self.tanh {
+            pre.iter().map(|&z| z.tanh()).collect()
+        } else {
+            pre.clone()
+        };
+        (pre, post)
+    }
+}
+
+/// Adam optimizer state for one parameter tensor.
+#[derive(Clone, Debug, Default)]
+struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        if self.m.is_empty() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+        }
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t as i32);
+        let bc2 = 1.0 - B2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * grads[i];
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * grads[i] * grads[i];
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+    }
+}
+
+/// A trained MLP regressor.
+#[derive(Clone, Debug)]
+pub struct MlpRegressor {
+    layers: Vec<Layer>,
+    standardizer: Standardizer,
+    target_mean: f64,
+    target_std: f64,
+}
+
+impl MlpRegressor {
+    /// Trains an MLP with the given hidden-layer widths.
+    ///
+    /// `epochs` full passes of mini-batch (size 8) Adam at learning rate
+    /// `lr`. Returns `None` for an empty dataset.
+    pub fn train(
+        data: &Dataset,
+        hidden: &[usize],
+        epochs: usize,
+        lr: f64,
+        rng: &mut SimRng,
+    ) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let standardizer = Standardizer::fit(&data.features);
+        let xs = standardizer.apply_all(&data.features);
+        let target_mean = data.targets.iter().sum::<f64>() / data.len() as f64;
+        let target_std = (data
+            .targets
+            .iter()
+            .map(|&t| (t - target_mean).powi(2))
+            .sum::<f64>()
+            / data.len() as f64)
+            .sqrt()
+            .max(1e-9);
+        let ys: Vec<f64> = data
+            .targets
+            .iter()
+            .map(|&t| (t - target_mean) / target_std)
+            .collect();
+
+        let mut net_rng = rng.fork("mlp-init");
+        let mut dims = vec![data.width()];
+        dims.extend_from_slice(hidden);
+        dims.push(1);
+        let mut layers: Vec<Layer> = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Layer::new(w[0], w[1], i + 2 < dims.len(), &mut net_rng))
+            .collect();
+
+        let mut adams: Vec<(Adam, Adam)> =
+            layers.iter().map(|_| (Adam::default(), Adam::default())).collect();
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut shuffle_rng = rng.fork("mlp-shuffle");
+        const BATCH: usize = 8;
+
+        for _ in 0..epochs {
+            shuffle_rng.shuffle(&mut order);
+            for chunk in order.chunks(BATCH) {
+                train_batch(&mut layers, &mut adams, &xs, &ys, chunk, lr);
+            }
+        }
+
+        Some(MlpRegressor {
+            layers,
+            standardizer,
+            target_mean,
+            target_std,
+        })
+    }
+}
+
+fn train_batch(
+    layers: &mut [Layer],
+    adams: &mut [(Adam, Adam)],
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    batch: &[usize],
+    lr: f64,
+) {
+    // Accumulate gradients over the batch.
+    let mut w_grads: Vec<Vec<f64>> = layers
+        .iter()
+        .map(|l| vec![0.0; l.weights.len() * l.weights[0].len()])
+        .collect();
+    let mut b_grads: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+
+    for &i in batch {
+        // Forward pass, caching activations.
+        let mut activations = vec![xs[i].clone()];
+        let mut pres = Vec::new();
+        for layer in layers.iter() {
+            let (pre, post) = layer.forward(activations.last().expect("nonempty"));
+            pres.push(pre);
+            activations.push(post);
+        }
+        let pred = activations.last().expect("output layer")[0];
+        // d(MSE)/d(pred), per-example.
+        let mut delta = vec![2.0 * (pred - ys[i]) / batch.len() as f64];
+
+        // Backward pass.
+        for (l, layer) in layers.iter().enumerate().rev() {
+            // Through the activation.
+            let dz: Vec<f64> = if layer.tanh {
+                delta
+                    .iter()
+                    .zip(&pres[l])
+                    .map(|(&d, &z)| d * (1.0 - z.tanh().powi(2)))
+                    .collect()
+            } else {
+                delta.clone()
+            };
+            let input = &activations[l];
+            let in_dim = input.len();
+            for (o, &dzo) in dz.iter().enumerate() {
+                b_grads[l][o] += dzo;
+                for (j, &xj) in input.iter().enumerate() {
+                    w_grads[l][o * in_dim + j] += dzo * xj;
+                }
+            }
+            // Propagate to the previous layer.
+            if l > 0 {
+                delta = (0..in_dim)
+                    .map(|j| {
+                        dz.iter()
+                            .enumerate()
+                            .map(|(o, &dzo)| dzo * layer.weights[o][j])
+                            .sum()
+                    })
+                    .collect();
+            }
+        }
+    }
+
+    // Apply Adam updates.
+    for (l, layer) in layers.iter_mut().enumerate() {
+        let in_dim = layer.weights[0].len();
+        let mut flat: Vec<f64> = layer.weights.iter().flatten().copied().collect();
+        adams[l].0.step(&mut flat, &w_grads[l], lr);
+        for (o, row) in layer.weights.iter_mut().enumerate() {
+            row.copy_from_slice(&flat[o * in_dim..(o + 1) * in_dim]);
+        }
+        adams[l].1.step(&mut layer.biases, &b_grads[l], lr);
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn predict(&self, features: &[f64]) -> f64 {
+        let mut x = self.standardizer.apply(features);
+        for layer in &self.layers {
+            x = layer.forward(&x).1;
+        }
+        x[0] * self.target_std + self.target_mean
+    }
+
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_function() {
+        let mut d = Dataset::new();
+        for i in 0..60 {
+            let x = i as f64 / 10.0;
+            d.push(vec![x], 3.0 * x - 2.0);
+        }
+        let mut rng = SimRng::seed(1);
+        let m = MlpRegressor::train(&d, &[8], 300, 0.01, &mut rng).unwrap();
+        for probe in [0.5, 2.5, 5.0] {
+            let truth = 3.0 * probe - 2.0;
+            let pred = m.predict(&[probe]);
+            assert!(
+                (pred - truth).abs() < 0.8,
+                "at {probe}: pred {pred}, truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let mut d = Dataset::new();
+        for i in 0..80 {
+            let x = i as f64 / 8.0;
+            d.push(vec![x], (x).sin() * 2.0);
+        }
+        let mut rng = SimRng::seed(2);
+        let m = MlpRegressor::train(&d, &[16, 16], 500, 0.01, &mut rng).unwrap();
+        let mut err = 0.0;
+        for i in 0..20 {
+            let x = 0.25 + i as f64 / 2.0;
+            err += (m.predict(&[x]) - x.sin() * 2.0).abs();
+        }
+        assert!(err / 20.0 < 0.35, "mean abs err {}", err / 20.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut d = Dataset::new();
+        for i in 0..20 {
+            d.push(vec![i as f64], i as f64 * 2.0);
+        }
+        let a = MlpRegressor::train(&d, &[4], 50, 0.01, &mut SimRng::seed(9)).unwrap();
+        let b = MlpRegressor::train(&d, &[4], 50, 0.01, &mut SimRng::seed(9)).unwrap();
+        assert_eq!(a.predict(&[3.0]), b.predict(&[3.0]));
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let mut rng = SimRng::seed(1);
+        assert!(MlpRegressor::train(&Dataset::new(), &[4], 10, 0.01, &mut rng).is_none());
+    }
+}

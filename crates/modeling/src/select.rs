@@ -1,0 +1,154 @@
+//! Cross-validated model selection.
+//!
+//! The Interference Modeler "determines the optimal model as the learner
+//! for each metric in Y individually" (§4.1.2). [`select_best_model`]
+//! runs k-fold cross validation over every [`RegressorKind`] and returns
+//! the winner trained on the full dataset.
+
+use simcore::SimRng;
+
+use crate::eval::{kfold_indices, mae};
+use crate::regressor::{Dataset, Regressor, RegressorKind};
+
+/// Outcome of model selection for one target metric.
+pub struct SelectionReport {
+    /// The winning model, trained on the full dataset.
+    pub model: Box<dyn Regressor>,
+    /// The winning kind.
+    pub kind: RegressorKind,
+    /// Cross-validation mean absolute error per candidate kind.
+    pub cv_errors: Vec<(RegressorKind, f64)>,
+}
+
+impl std::fmt::Debug for SelectionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelectionReport")
+            .field("kind", &self.kind)
+            .field("cv_errors", &self.cv_errors)
+            .finish()
+    }
+}
+
+/// Selects the best regressor for the dataset by k-fold cross
+/// validation on mean absolute error.
+///
+/// Falls back to leave-none-out training (no CV) when the dataset is
+/// smaller than `folds`; in that case the first trainable kind wins.
+/// Returns `None` when no candidate can be trained at all.
+pub fn select_best_model(
+    data: &Dataset,
+    folds: usize,
+    rng: &mut SimRng,
+) -> Option<SelectionReport> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut cv_errors = Vec::new();
+
+    if data.len() >= folds.max(2) {
+        let splits = kfold_indices(data.len(), folds.max(2));
+        for kind in RegressorKind::ALL {
+            let mut pairs = Vec::new();
+            let mut ok = true;
+            for (train_idx, test_idx) in &splits {
+                let train = data.subset(train_idx);
+                let mut fold_rng = rng.fork("cv");
+                match kind.train(&train, &mut fold_rng) {
+                    Some(model) => {
+                        for &i in test_idx {
+                            pairs.push((model.predict(&data.features[i]), data.targets[i]));
+                        }
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                cv_errors.push((kind, mae(pairs)));
+            }
+        }
+    }
+
+    let best_kind = cv_errors
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite CV errors"))
+        .map(|&(k, _)| k)
+        .or_else(|| {
+            // Tiny dataset: pick the first kind that trains.
+            RegressorKind::ALL
+                .into_iter()
+                .find(|k| k.train(data, &mut rng.fork("probe")).is_some())
+        })?;
+
+    let model = best_kind.train(data, &mut rng.fork("final"))?;
+    Some(SelectionReport {
+        model,
+        kind: best_kind,
+        cv_errors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_data_prefers_low_error_model() {
+        let mut d = Dataset::new();
+        for i in 0..40 {
+            let x = i as f64 * 0.5;
+            d.push(vec![x, x * 0.1], 4.0 * x + 2.0);
+        }
+        let mut rng = SimRng::seed(1);
+        let report = select_best_model(&d, 4, &mut rng).unwrap();
+        // Whatever wins must predict the affine function well.
+        let pred = report.model.predict(&[10.0, 1.0]);
+        assert!((pred - 42.0).abs() < 3.0, "pred {pred} by {:?}", report.kind);
+        assert!(!report.cv_errors.is_empty());
+    }
+
+    #[test]
+    fn piecewise_data_prefers_tree_like_model() {
+        let mut d = Dataset::new();
+        let mut rng = SimRng::seed(2);
+        for _ in 0..120 {
+            let x = rng.uniform(0.0, 10.0);
+            d.push(vec![x], if x < 5.0 { 1.0 } else { 9.0 });
+        }
+        let report = select_best_model(&d, 4, &mut rng).unwrap();
+        // The winner must capture the step; linear regression cannot.
+        assert!(report.model.predict(&[1.0]) < 3.5);
+        assert!(report.model.predict(&[9.0]) > 6.5);
+        assert_ne!(report.kind, RegressorKind::Ridge);
+    }
+
+    #[test]
+    fn tiny_dataset_falls_back() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0], 2.0);
+        d.push(vec![2.0], 4.0);
+        let mut rng = SimRng::seed(3);
+        let report = select_best_model(&d, 5, &mut rng).unwrap();
+        assert!(report.cv_errors.is_empty());
+        let _ = report.model.predict(&[1.5]);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let mut rng = SimRng::seed(4);
+        assert!(select_best_model(&Dataset::new(), 3, &mut rng).is_none());
+    }
+
+    #[test]
+    fn cv_errors_cover_all_kinds_on_adequate_data() {
+        let mut d = Dataset::new();
+        for i in 0..50 {
+            d.push(vec![i as f64, (i * i) as f64 * 0.01], (i % 5) as f64);
+        }
+        let mut rng = SimRng::seed(5);
+        let report = select_best_model(&d, 5, &mut rng).unwrap();
+        assert_eq!(report.cv_errors.len(), RegressorKind::ALL.len());
+    }
+}

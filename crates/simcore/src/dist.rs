@@ -1,0 +1,358 @@
+//! Probability distributions used by the simulator.
+//!
+//! `rand` 0.8 without `rand_distr` only ships uniform sampling, so the
+//! distributions the workload generators need — normal, log-normal,
+//! exponential, Poisson — are implemented here from first principles
+//! (Box-Muller, inverse CDF, Knuth/PTRS).
+
+use crate::rng::SimRng;
+
+/// Normal distribution `N(mean, std^2)` sampled via Box-Muller.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{Normal, SimRng};
+///
+/// let mut rng = SimRng::seed(1);
+/// let n = Normal::new(10.0, 2.0);
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(
+            mean.is_finite() && std.is_finite() && std >= 0.0,
+            "invalid Normal({mean}, {std})"
+        );
+        Normal { mean, std }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.mean + self.std * standard_normal(rng)
+    }
+
+    /// Returns the mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Returns the standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+}
+
+/// Draws a standard normal variate via the Box-Muller transform.
+pub fn standard_normal(rng: &mut SimRng) -> f64 {
+    // Avoid ln(0) by nudging u1 away from zero.
+    let u1 = rng.f64().max(1e-300);
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+///
+/// Used for multiplicative latency noise; the ratio of the P99 to the
+/// median of `LogNormal(mu, sigma)` is `exp(2.326 * sigma)`, which the
+/// ground-truth performance model exploits to produce realistic tails.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the parameters of the
+    /// underlying normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid LogNormal({mu}, {sigma})"
+        );
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal noise factor with median 1 and the given
+    /// multiplicative spread `sigma`.
+    pub fn noise(sigma: f64) -> Self {
+        Self::new(0.0, sigma)
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// Returns the median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Returns the `q`-quantile (`0 < q < 1`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        (self.mu + self.sigma * normal_quantile(q)).exp()
+    }
+}
+
+/// Exponential distribution with the given rate (events per unit time).
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "invalid Exponential rate {rate}"
+        );
+        Exponential { rate }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        Self::new(1.0 / mean)
+    }
+
+    /// Draws one sample (inverse CDF).
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        -rng.f64().max(1e-300).ln() / self.rate
+    }
+
+    /// Returns the mean, `1 / rate`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Uses Knuth's multiplication method for small `lambda` and a normal
+/// approximation for large `lambda` (the simulator only needs counts, so
+/// the approximation error at `lambda > 30` is immaterial).
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "invalid Poisson lambda {lambda}"
+        );
+        Poisson { lambda }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < 30.0 {
+            // Knuth's method.
+            let limit = (-self.lambda).exp();
+            let mut product = rng.f64();
+            let mut count = 0u64;
+            while product > limit {
+                count += 1;
+                product *= rng.f64();
+            }
+            count
+        } else {
+            // Normal approximation with continuity correction.
+            let x = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            x.round().max(0.0) as u64
+        }
+    }
+}
+
+/// Standard normal CDF `Φ(x)` via the Abramowitz-Stegun erf
+/// approximation (absolute error < 1.5e-7).
+///
+/// Used by the cluster engine to accrue SLO-violation fractions
+/// analytically over constant-configuration spans.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// The error function, Abramowitz & Stegun 7.1.26.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Approximates the standard normal quantile function (Acklam's
+/// rational approximation, relative error < 1.15e-9).
+///
+/// # Panics
+///
+/// Panics if `q` is outside `(0, 1)`.
+pub fn normal_quantile(q: f64) -> f64 {
+    assert!(q > 0.0 && q < 1.0, "quantile {q} outside (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const Q_LOW: f64 = 0.02425;
+
+    if q < Q_LOW {
+        let r = (-2.0 * q.ln()).sqrt();
+        (((((C[0] * r + C[1]) * r + C[2]) * r + C[3]) * r + C[4]) * r + C[5])
+            / ((((D[0] * r + D[1]) * r + D[2]) * r + D[3]) * r + 1.0)
+    } else if q <= 1.0 - Q_LOW {
+        let r = q - 0.5;
+        let s = r * r;
+        (((((A[0] * s + A[1]) * s + A[2]) * s + A[3]) * s + A[4]) * s + A[5]) * r
+            / (((((B[0] * s + B[1]) * s + B[2]) * s + B[3]) * s + B[4]) * s + 1.0)
+    } else {
+        -normal_quantile(1.0 - q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_and_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::seed(1);
+        let d = Normal::new(5.0, 2.0);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+        assert!((v - 4.0).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn lognormal_median_and_tail() {
+        let mut rng = SimRng::seed(2);
+        let d = LogNormal::noise(0.1);
+        let mut xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0).abs() < 0.02, "median {median}");
+        let p99 = xs[(xs.len() as f64 * 0.99) as usize];
+        let expected = d.quantile(0.99);
+        assert!((p99 - expected).abs() / expected < 0.05, "p99 {p99}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::seed(3);
+        let d = Exponential::with_mean(0.005); // 5 ms inter-arrival, as in §7.1.
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, _) = mean_and_var(&xs);
+        assert!((m - 0.005).abs() < 2e-4, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_small_and_large_lambda() {
+        let mut rng = SimRng::seed(4);
+        for lambda in [0.5, 4.0, 80.0] {
+            let d = Poisson::new(lambda);
+            let xs: Vec<f64> = (0..30_000).map(|_| d.sample(&mut rng) as f64).collect();
+            let (m, v) = mean_and_var(&xs);
+            assert!((m - lambda).abs() / lambda < 0.05, "lambda {lambda} mean {m}");
+            assert!((v - lambda).abs() / lambda < 0.12, "lambda {lambda} var {v}");
+        }
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut rng = SimRng::seed(5);
+        assert_eq!(Poisson::new(0.0).sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.9999999);
+    }
+
+    #[test]
+    fn cdf_inverts_quantile() {
+        for q in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let x = normal_quantile(q);
+            assert!((normal_cdf(x) - q).abs() < 1e-5, "q {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_symmetry_and_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.99) - 2.326348).abs() < 1e-4);
+        assert!((normal_quantile(0.01) + normal_quantile(0.99)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,25 @@
+//! Discrete-event simulation engine and metric primitives.
+//!
+//! This crate is the foundation of the Mudi reproduction: it provides a
+//! deterministic discrete-event scheduler ([`EventQueue`]), simulated time
+//! ([`SimTime`], [`SimDuration`]), seeded random-number utilities and
+//! probability distributions ([`rng`], [`dist`]), and streaming metric
+//! sinks used by every experiment (histograms with percentile queries,
+//! time-weighted utilization integrators, time series, CDF builders).
+//!
+//! Everything is deterministic given a seed: experiments in the paper
+//! reproduction can be re-run bit-for-bit.
+
+#![forbid(unsafe_code)]
+
+pub mod dist;
+pub mod event;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use dist::{normal_cdf, normal_quantile, Exponential, LogNormal, Normal, Poisson};
+pub use event::{EventQueue, ScheduledEvent};
+pub use metrics::{Cdf, Histogram, StreamingStats, TimeSeries, UtilizationIntegrator};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,605 @@
+//! Streaming metric sinks used throughout the experiments.
+//!
+//! * [`StreamingStats`] — count/mean/variance/min/max via Welford's
+//!   algorithm, O(1) memory.
+//! * [`Histogram`] — log-bucketed latency histogram with percentile
+//!   queries (P50/P90/P99 as the paper reports).
+//! * [`UtilizationIntegrator`] — time-weighted average of a piecewise-
+//!   constant signal such as SM or memory utilization.
+//! * [`TimeSeries`] — raw `(t, v)` samples with fixed-interval resampling
+//!   for the utilization-over-time figures.
+//! * [`Cdf`] — empirical CDF for the trace-analysis figures.
+
+use crate::time::SimTime;
+
+/// Streaming count / mean / variance / extrema (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use simcore::StreamingStats;
+///
+/// let mut s = StreamingStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite observation {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+}
+
+/// Log-bucketed histogram over positive values, with percentile queries.
+///
+/// Buckets grow geometrically, giving a bounded relative quantile error
+/// (default 1 % with 2,305 buckets spanning 1 µs–10⁵ s when values are
+/// seconds). Used for the paper's P99 tail-latency metrics.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Histogram {
+    /// Lower bound of bucket 0.
+    floor: f64,
+    /// Geometric growth factor between bucket boundaries.
+    growth: f64,
+    /// `ln(growth)` cached for index computation.
+    ln_growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+    stats: StreamingStats,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram spanning `1e-6 ..= 1e5` with 1 % resolution,
+    /// suitable for latencies in seconds.
+    pub fn new() -> Self {
+        Self::with_range(1e-6, 1e5, 1.01)
+    }
+
+    /// Creates a histogram spanning `[floor, ceil]` with geometric bucket
+    /// growth `growth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor <= 0`, `ceil <= floor`, or `growth <= 1`.
+    pub fn with_range(floor: f64, ceil: f64, growth: f64) -> Self {
+        assert!(floor > 0.0 && ceil > floor && growth > 1.0);
+        let n = ((ceil / floor).ln() / growth.ln()).ceil() as usize + 1;
+        Histogram {
+            floor,
+            growth,
+            ln_growth: growth.ln(),
+            counts: vec![0; n],
+            underflow: 0,
+            total: 0,
+            stats: StreamingStats::new(),
+        }
+    }
+
+    fn bucket_index(&self, x: f64) -> Option<usize> {
+        if x < self.floor {
+            return None;
+        }
+        let idx = ((x / self.floor).ln() / self.ln_growth) as usize;
+        Some(idx.min(self.counts.len() - 1))
+    }
+
+    /// Records one observation (non-positive values land in underflow).
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite observation {x}");
+        self.total += 1;
+        self.stats.record(x);
+        match self.bucket_index(x) {
+            Some(i) => self.counts[i] += 1,
+            None => self.underflow += 1,
+        }
+    }
+
+    /// Merges another histogram with identical bucketing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        assert_eq!(self.floor, other.floor);
+        assert_eq!(self.growth, other.growth);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+        self.stats.merge(&other.stats);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact running mean.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Exact running extrema and moments.
+    pub fn stats(&self) -> &StreamingStats {
+        &self.stats
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`), within one bucket's relative
+    /// resolution. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.floor);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Report the geometric midpoint of the bucket.
+                let lo = self.floor * self.growth.powi(i as i32);
+                return Some(lo * self.growth.sqrt());
+            }
+        }
+        Some(self.floor * self.growth.powi(self.counts.len() as i32))
+    }
+
+    /// The P99 quantile, the paper's tail-latency metric.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// The fraction of observations strictly above `threshold` — the
+    /// paper's SLO-violation rate when fed per-request latencies.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut above = 0u64;
+        if let Some(t_idx) = self.bucket_index(threshold) {
+            // Count whole buckets above the threshold bucket; the
+            // threshold bucket itself is split proportionally.
+            for &c in &self.counts[t_idx + 1..] {
+                above += c;
+            }
+            let lo = self.floor * self.growth.powi(t_idx as i32);
+            let hi = lo * self.growth;
+            let frac_above_in_bucket = ((hi - threshold) / (hi - lo)).clamp(0.0, 1.0);
+            above += (self.counts[t_idx] as f64 * frac_above_in_bucket).round() as u64;
+        } else {
+            above = self.total - self.underflow;
+            // Everything below floor counts as below threshold >= floor.
+            if threshold < self.floor {
+                above = self.total;
+            }
+        }
+        above as f64 / self.total as f64
+    }
+}
+
+/// Time-weighted integrator for piecewise-constant signals.
+///
+/// Feed it `(time, new_value)` transitions; it reports the time-averaged
+/// value over the observed window, e.g. mean SM utilization.
+#[derive(Clone, Debug)]
+pub struct UtilizationIntegrator {
+    last_time: Option<SimTime>,
+    current: f64,
+    weighted_sum: f64,
+    span: f64,
+    peak: f64,
+}
+
+impl Default for UtilizationIntegrator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UtilizationIntegrator {
+    /// Creates an integrator with no observations.
+    pub fn new() -> Self {
+        UtilizationIntegrator {
+            last_time: None,
+            current: 0.0,
+            weighted_sum: 0.0,
+            span: 0.0,
+            peak: 0.0,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `t`.
+    ///
+    /// The signal is assumed to have held its previous value since the
+    /// previous transition.
+    pub fn set(&mut self, t: SimTime, value: f64) {
+        if let Some(last) = self.last_time {
+            let dt = t.since(last).as_secs();
+            self.weighted_sum += self.current * dt;
+            self.span += dt;
+        }
+        self.last_time = Some(t);
+        self.current = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Closes the window at `t` without changing the value.
+    pub fn finish(&mut self, t: SimTime) {
+        let current = self.current;
+        self.set(t, current);
+    }
+
+    /// Current signal value.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Time-weighted mean over the observed window (0 if empty).
+    pub fn time_average(&self) -> f64 {
+        if self.span == 0.0 {
+            0.0
+        } else {
+            self.weighted_sum / self.span
+        }
+    }
+
+    /// Peak value observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Total observed span in seconds.
+    pub fn span_secs(&self) -> f64 {
+        self.span
+    }
+}
+
+/// Raw `(t, v)` time series with fixed-interval resampling.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a sample; times must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous sample.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        let t = t.as_secs();
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be appended in order");
+        }
+        self.points.push((t, v));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Raw samples as `(seconds, value)` pairs.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Means over consecutive windows of `interval` seconds, covering the
+    /// full observed span. Empty windows repeat the previous mean.
+    pub fn resample_mean(&self, interval: f64) -> Vec<(f64, f64)> {
+        assert!(interval > 0.0);
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let start = self.points[0].0;
+        let end = self.points[self.points.len() - 1].0;
+        let mut out = Vec::new();
+        let mut idx = 0;
+        let mut last_mean = self.points[0].1;
+        let mut w_start = start;
+        while w_start <= end {
+            let w_end = w_start + interval;
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            while idx < self.points.len() && self.points[idx].0 < w_end {
+                sum += self.points[idx].1;
+                n += 1;
+                idx += 1;
+            }
+            if n > 0 {
+                last_mean = sum / n as f64;
+            }
+            out.push((w_start, last_mean));
+            w_start = w_end;
+        }
+        out
+    }
+}
+
+/// An empirical CDF built from a finite sample.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample in CDF");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` when the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * (self.sorted.len() - 1) as f64).round()) as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Evaluates the CDF at evenly spaced probe points for plotting.
+    pub fn curve(&self, probes: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || probes == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        (0..=probes)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / probes as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_stats_moments() {
+        let mut s = StreamingStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance(), 4.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn streaming_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let mut whole = StreamingStats::new();
+        xs.iter().for_each(|&x| whole.record(x));
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        xs[..37].iter().for_each(|&x| a.record(x));
+        xs[37..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn histogram_quantiles_are_accurate() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64 * 1e-3); // 1 ms .. 10 s uniformly.
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 5.0).abs() / 5.0 < 0.02, "p50 {p50}");
+        let p99 = h.p99().unwrap();
+        assert!((p99 - 9.9).abs() / 9.9 < 0.02, "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_fraction_above_threshold() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3);
+        }
+        let frac = h.fraction_above(0.9);
+        assert!((frac - 0.1).abs() < 0.02, "frac {frac}");
+        assert_eq!(h.fraction_above(10.0), 0.0);
+        assert_eq!(h.fraction_above(1e-9), 1.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 1..=100 {
+            a.record(i as f64 * 1e-3);
+            b.record(i as f64 * 1e-2);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+    }
+
+    #[test]
+    fn utilization_time_average() {
+        let mut u = UtilizationIntegrator::new();
+        u.set(SimTime::from_secs(0.0), 0.2);
+        u.set(SimTime::from_secs(10.0), 0.8);
+        u.finish(SimTime::from_secs(20.0));
+        // 10 s at 0.2, then 10 s at 0.8 => mean 0.5.
+        assert!((u.time_average() - 0.5).abs() < 1e-12);
+        assert_eq!(u.peak(), 0.8);
+        assert_eq!(u.span_secs(), 20.0);
+    }
+
+    #[test]
+    fn time_series_resample() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(SimTime::from_secs(i as f64), i as f64);
+        }
+        let r = ts.resample_mean(2.0);
+        assert_eq!(r[0], (0.0, 0.5));
+        assert_eq!(r[1], (2.0, 2.5));
+    }
+
+    #[test]
+    fn cdf_quantile_and_fraction() {
+        let cdf = Cdf::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(100.0));
+        assert!((cdf.fraction_at_or_below(50.0) - 0.5).abs() < 0.01);
+        assert_eq!(cdf.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(1000.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_curve_is_monotone() {
+        let cdf = Cdf::from_samples(vec![3.0, 1.0, 2.0, 5.0, 4.0]);
+        let curve = cdf.curve(10);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

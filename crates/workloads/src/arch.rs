@@ -1,0 +1,382 @@
+//! Network architectures as layer-type counts.
+//!
+//! Mudi's Interference Modeler (§4.1.2) represents each training task by
+//! the counts of the layer types in Fig. 7: `[conv, linear, activations,
+//! embeddings, encoder, decoder, flatten, batch_normalization, fc,
+//! pooling, other_layers]`. Unpopular layer types (extraction layers,
+//! Fire modules, …) are folded into `other_layers` to avoid overfitting
+//! on unobserved tasks.
+
+use std::fmt;
+
+/// The layer taxonomy of Fig. 7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LayerKind {
+    /// Convolutional layers.
+    Conv,
+    /// Generic linear layers (projections, non-classifier dense layers).
+    Linear,
+    /// Activation layers (ReLU, GELU, tanh, …).
+    Activation,
+    /// Embedding lookups.
+    Embedding,
+    /// Transformer/RNN encoder blocks.
+    Encoder,
+    /// Transformer decoder blocks.
+    Decoder,
+    /// Flatten/reshape layers.
+    Flatten,
+    /// Batch/layer normalization.
+    BatchNorm,
+    /// Fully-connected classifier heads.
+    Fc,
+    /// Pooling layers.
+    Pooling,
+    /// Everything else (Fire modules, graph convolutions, extraction
+    /// layers, …), folded together as in the paper.
+    Other,
+}
+
+impl LayerKind {
+    /// All kinds in the Fig. 7 feature order.
+    pub const ALL: [LayerKind; 11] = [
+        LayerKind::Conv,
+        LayerKind::Linear,
+        LayerKind::Activation,
+        LayerKind::Embedding,
+        LayerKind::Encoder,
+        LayerKind::Decoder,
+        LayerKind::Flatten,
+        LayerKind::BatchNorm,
+        LayerKind::Fc,
+        LayerKind::Pooling,
+        LayerKind::Other,
+    ];
+
+    /// Index of this kind in the feature vector.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("LayerKind::ALL covers every variant")
+    }
+
+    /// Display name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayerKind::Conv => "conv",
+            LayerKind::Linear => "linear",
+            LayerKind::Activation => "activations",
+            LayerKind::Embedding => "embeddings",
+            LayerKind::Encoder => "encoder",
+            LayerKind::Decoder => "decoder",
+            LayerKind::Flatten => "flatten",
+            LayerKind::BatchNorm => "batch_normalization",
+            LayerKind::Fc => "fc",
+            LayerKind::Pooling => "pooling",
+            LayerKind::Other => "other_layers",
+        }
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A network architecture: counts per [`LayerKind`], in Fig. 7 order.
+///
+/// This is exactly what the Training Agent extracts from a model file
+/// (static graphs) or a traced mini-batch (dynamic graphs) in §4.2.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkArchitecture {
+    counts: [u32; 11],
+}
+
+impl NetworkArchitecture {
+    /// An empty architecture (all counts zero).
+    pub const fn empty() -> Self {
+        NetworkArchitecture { counts: [0; 11] }
+    }
+
+    /// Builds an architecture from `(kind, count)` pairs; kinds may
+    /// repeat and accumulate.
+    pub fn from_layers(layers: &[(LayerKind, u32)]) -> Self {
+        let mut arch = Self::empty();
+        for &(kind, count) in layers {
+            arch.counts[kind.index()] += count;
+        }
+        arch
+    }
+
+    /// The count for one layer kind.
+    pub fn count(&self, kind: LayerKind) -> u32 {
+        self.counts[kind.index()]
+    }
+
+    /// Adds `count` layers of `kind`.
+    pub fn add(&mut self, kind: LayerKind, count: u32) {
+        self.counts[kind.index()] += count;
+    }
+
+    /// Total number of layers.
+    pub fn total_layers(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// The raw feature vector (`f64`, Fig. 7 order) that, concatenated
+    /// with the batching size, forms the Interference Modeler's input
+    /// `X = [Ψ, b]`.
+    pub fn features(&self) -> [f64; 11] {
+        let mut f = [0.0; 11];
+        for (out, &c) in f.iter_mut().zip(&self.counts) {
+            *out = c as f64;
+        }
+        f
+    }
+
+    /// Element-wise sum of architectures — the cumulative feature
+    /// layers used when several training tasks share a GPU (§5.5).
+    pub fn merged_with(&self, other: &NetworkArchitecture) -> NetworkArchitecture {
+        let mut out = *self;
+        for (a, &b) in out.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        out
+    }
+
+    /// Weighted dot product with per-kind weights (hidden pressure
+    /// functions in the ground-truth model use this).
+    pub fn weighted_sum(&self, weights: &[f64; 11]) -> f64 {
+        self.counts
+            .iter()
+            .zip(weights)
+            .map(|(&c, &w)| c as f64 * w)
+            .sum()
+    }
+}
+
+/// Errors from [`NetworkArchitecture::parse_layer_list`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseArchError {
+    /// A line was not of the form `layer_name [x count]`.
+    Malformed(String),
+    /// A count failed to parse.
+    BadCount(String),
+}
+
+impl fmt::Display for ParseArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseArchError::Malformed(l) => write!(f, "malformed layer line: {l:?}"),
+            ParseArchError::BadCount(l) => write!(f, "bad layer count in: {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseArchError {}
+
+impl NetworkArchitecture {
+    /// Parses a textual layer list into an architecture — the static-
+    /// graph extraction path of §4.2, where the Training Agent reads
+    /// layer names straight from an ONNX/TensorFlow model file.
+    ///
+    /// Each non-empty line is `layer_name` or `layer_name x count`
+    /// (case-insensitive; `#` starts a comment). Known names map onto
+    /// the Fig. 7 taxonomy — e.g. `conv2d`, `dense`, `relu`, `gelu`,
+    /// `layernorm`, `lstm`, `fire` — and anything unrecognized folds
+    /// into `other_layers`, exactly as the paper prescribes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use workloads::{LayerKind, NetworkArchitecture};
+    ///
+    /// let arch = NetworkArchitecture::parse_layer_list(
+    ///     "conv2d x 13\nrelu x 15\nmaxpool x 5\ndense x 3\n# VGG16",
+    /// )
+    /// .unwrap();
+    /// assert_eq!(arch.count(LayerKind::Conv), 13);
+    /// assert_eq!(arch.count(LayerKind::Fc), 3);
+    /// ```
+    pub fn parse_layer_list(text: &str) -> Result<NetworkArchitecture, ParseArchError> {
+        let mut arch = NetworkArchitecture::empty();
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (name, count) = match line.split_once(" x ") {
+                Some((n, c)) => {
+                    let count: u32 = c
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseArchError::BadCount(line.to_string()))?;
+                    (n.trim(), count)
+                }
+                None => (line, 1),
+            };
+            if name.is_empty() {
+                return Err(ParseArchError::Malformed(line.to_string()));
+            }
+            arch.add(classify_layer_name(name), count);
+        }
+        Ok(arch)
+    }
+}
+
+/// Maps a framework layer name onto the Fig. 7 taxonomy; unknown names
+/// become [`LayerKind::Other`].
+pub fn classify_layer_name(name: &str) -> LayerKind {
+    let n = name.to_ascii_lowercase();
+    if n.contains("conv") {
+        LayerKind::Conv
+    } else if n.contains("embed") {
+        LayerKind::Embedding
+    } else if n.contains("encoder") || n.contains("attention_block") {
+        LayerKind::Encoder
+    } else if n.contains("decoder") {
+        LayerKind::Decoder
+    } else if n.contains("flatten") || n.contains("reshape") {
+        LayerKind::Flatten
+    } else if n.contains("norm") {
+        LayerKind::BatchNorm
+    } else if n.contains("pool") {
+        LayerKind::Pooling
+    } else if n.contains("dense") || n.contains("classifier") || n == "fc" {
+        LayerKind::Fc
+    } else if n.contains("linear") || n.contains("proj") {
+        LayerKind::Linear
+    } else if n.contains("relu")
+        || n.contains("gelu")
+        || n.contains("tanh")
+        || n.contains("sigmoid")
+        || n.contains("silu")
+        || n.contains("activation")
+    {
+        LayerKind::Activation
+    } else {
+        LayerKind::Other
+    }
+}
+
+impl fmt::Display for NetworkArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for kind in LayerKind::ALL {
+            let c = self.count(kind);
+            if c > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{kind}={c}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_bijective() {
+        for (i, kind) in LayerKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn from_layers_accumulates() {
+        let a = NetworkArchitecture::from_layers(&[
+            (LayerKind::Conv, 10),
+            (LayerKind::Conv, 3),
+            (LayerKind::Fc, 1),
+        ]);
+        assert_eq!(a.count(LayerKind::Conv), 13);
+        assert_eq!(a.count(LayerKind::Fc), 1);
+        assert_eq!(a.total_layers(), 14);
+    }
+
+    #[test]
+    fn features_match_counts() {
+        let mut a = NetworkArchitecture::empty();
+        a.add(LayerKind::Encoder, 12);
+        let f = a.features();
+        assert_eq!(f[LayerKind::Encoder.index()], 12.0);
+        assert_eq!(f.iter().sum::<f64>(), 12.0);
+    }
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let a = NetworkArchitecture::from_layers(&[(LayerKind::Conv, 5)]);
+        let b = NetworkArchitecture::from_layers(&[(LayerKind::Conv, 2), (LayerKind::Fc, 1)]);
+        let m = a.merged_with(&b);
+        assert_eq!(m.count(LayerKind::Conv), 7);
+        assert_eq!(m.count(LayerKind::Fc), 1);
+    }
+
+    #[test]
+    fn weighted_sum_works() {
+        let a = NetworkArchitecture::from_layers(&[(LayerKind::Conv, 2), (LayerKind::Fc, 4)]);
+        let mut w = [0.0; 11];
+        w[LayerKind::Conv.index()] = 1.5;
+        w[LayerKind::Fc.index()] = 0.5;
+        assert_eq!(a.weighted_sum(&w), 5.0);
+    }
+
+    #[test]
+    fn parse_layer_list_classifies_and_counts() {
+        let arch = NetworkArchitecture::parse_layer_list(
+            "Conv2D x 53\nBatchNorm2d x 53\nReLU x 49\nMaxPool2d x 2\ndense\nflatten # head",
+        )
+        .unwrap();
+        assert_eq!(arch.count(LayerKind::Conv), 53);
+        assert_eq!(arch.count(LayerKind::BatchNorm), 53);
+        assert_eq!(arch.count(LayerKind::Activation), 49);
+        assert_eq!(arch.count(LayerKind::Pooling), 2);
+        assert_eq!(arch.count(LayerKind::Fc), 1);
+        assert_eq!(arch.count(LayerKind::Flatten), 1);
+    }
+
+    #[test]
+    fn parse_folds_unknown_into_other() {
+        let arch =
+            NetworkArchitecture::parse_layer_list("FireModule x 8\nGraphConv x 5").unwrap();
+        // `GraphConv` contains "conv" so it classifies as Conv; Fire
+        // modules fold into Other, per the paper's taxonomy.
+        assert_eq!(arch.count(LayerKind::Other), 8);
+        assert_eq!(arch.count(LayerKind::Conv), 5);
+    }
+
+    #[test]
+    fn parse_rejects_bad_counts() {
+        let err = NetworkArchitecture::parse_layer_list("conv x many").unwrap_err();
+        assert!(matches!(err, ParseArchError::BadCount(_)));
+    }
+
+    #[test]
+    fn parse_transformer_stack() {
+        let arch = NetworkArchitecture::parse_layer_list(
+            "word_embeddings x 3\nencoder_layer x 12\nLayerNorm x 25\nGELU x 12\nqkv_proj x 2",
+        )
+        .unwrap();
+        assert_eq!(arch.count(LayerKind::Embedding), 3);
+        assert_eq!(arch.count(LayerKind::Encoder), 12);
+        assert_eq!(arch.count(LayerKind::BatchNorm), 25);
+        assert_eq!(arch.count(LayerKind::Linear), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = NetworkArchitecture::from_layers(&[(LayerKind::Conv, 2)]);
+        assert_eq!(format!("{a}"), "conv=2");
+        assert_eq!(format!("{}", NetworkArchitecture::empty()), "(empty)");
+    }
+}

@@ -1,0 +1,66 @@
+//! Domain scenario: profile an unseen fine-tuning workload's
+//! interference footprint before it ever co-locates with production
+//! inference (§4's offline/online split).
+//!
+//! A GPT2 text-generation service is in production. A new BERT
+//! fine-tuning job arrives — a task type that was *never profiled*.
+//! Mudi extracts its layer counts, predicts the co-located latency
+//! curve from the architecture, and we compare the prediction with
+//! what the hardware (ground truth) actually does.
+//!
+//! ```bash
+//! cargo run --release --example interference_profiling
+//! ```
+
+use mudi::{InterferencePredictor, LatencyProfiler, MudiConfig};
+use simcore::SimRng;
+use workloads::{ColoWorkload, GroundTruth, Zoo};
+
+fn main() {
+    let gt = GroundTruth::new(Zoo::standard(), 42);
+    let mut rng = SimRng::seed(2);
+    let config = MudiConfig::default();
+    let profiler = LatencyProfiler::new(config);
+
+    // Offline corpus: only the first five task types of Tab. 3.
+    println!("offline profiling (VGG16, SqueezeNet, ResNet50, NCF, LSTM)...");
+    let db = profiler.build_database(&gt, &gt.zoo().profiled_task_ids(), &mut rng);
+    let predictor = InterferencePredictor::new(db, &mut rng).expect("profiles available");
+
+    // The unseen arrival: BERT fine-tuning (encoder blocks — a layer
+    // type absent from every profiled task).
+    let svc = gt.zoo().service_by_name("GPT2").expect("in zoo");
+    let task = gt.zoo().task_by_name("BERT-train").expect("in zoo");
+    println!("\nincoming unobserved task: {} — layers: {}", task.name, task.arch);
+
+    println!("\npredicted vs measured latency curve for GPT2 (batch 64) under co-location:");
+    println!("{:>6} {:>14} {:>14} {:>8}", "GPU%", "predicted(ms)", "measured(ms)", "err");
+    let curve = predictor
+        .curve_for_arch(svc.id, &task.arch, 64)
+        .expect("GPT2 was profiled");
+    let mut worst: f64 = 0.0;
+    for pct in 2..=9 {
+        let frac = pct as f64 * 0.1;
+        let colo = [ColoWorkload::training(task.id, (1.0f64 - frac).max(0.01))];
+        let measured = gt.p99_inference_latency(svc.id, 64, frac, &colo);
+        let predicted = curve.eval(frac);
+        let err = (predicted - measured).abs() / measured;
+        worst = worst.max(err);
+        println!(
+            "{:>5.0}% {:>14.1} {:>14.1} {:>7.1}%",
+            frac * 100.0,
+            predicted * 1e3,
+            measured * 1e3,
+            err * 100.0
+        );
+    }
+    println!("\nknee predicted at GPU% = {:.0}% (latency {:.1} ms there)", curve.x0 * 100.0, curve.y0 * 1e3);
+    println!("worst point error: {:.1}%", worst * 100.0);
+    println!(
+        "\n=> the architecture-based predictor generalized to a layer type it never saw;\n\
+           the knee region (where the Tuner operates) is accurate to within a few\n\
+           percent, while the flat tail keeps larger errors — which is exactly why\n\
+           Mudi verifies candidate configurations against live measurements before\n\
+           committing them (see mudi::tuner)."
+    );
+}

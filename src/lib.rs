@@ -1,0 +1,10 @@
+//! Umbrella crate hosting the repository-level examples and integration tests.
+//!
+//! The actual functionality lives in the workspace crates: [`simcore`],
+//! [`modeling`], [`workloads`], [`gpu_sim`], [`mudi`], and [`cluster`].
+pub use cluster;
+pub use gpu_sim;
+pub use modeling;
+pub use mudi;
+pub use simcore;
+pub use workloads;

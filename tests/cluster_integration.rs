@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: end-to-end cluster runs across the
+//! systems under test, checking the invariants the paper's evaluation
+//! rests on.
+
+use cluster::engine::{ClusterConfig, ClusterEngine};
+use cluster::systems::SystemKind;
+use mudi::policy::QueuePolicy;
+
+fn tiny(system: SystemKind, seed: u64, jobs: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::tiny(system, seed);
+    cfg.jobs = jobs;
+    cfg
+}
+
+/// Every system must drain the queue: all submitted jobs complete.
+#[test]
+fn every_system_completes_all_jobs() {
+    for system in [
+        SystemKind::Mudi,
+        SystemKind::MudiMore,
+        SystemKind::MudiClusterOnly,
+        SystemKind::MudiDeviceOnly,
+        SystemKind::Gslice,
+        SystemKind::Gpulets,
+        SystemKind::MuxFlow,
+        SystemKind::Random,
+        SystemKind::Optimal,
+    ] {
+        let r = ClusterEngine::new(tiny(system, 31, 12)).run_scaled(0.002);
+        assert_eq!(
+            r.jobs_completed, r.jobs_submitted,
+            "{} left jobs unfinished",
+            system.name()
+        );
+        assert!(r.makespan_secs > 0.0);
+        assert!(r.overall_violation_rate() <= 1.0);
+    }
+}
+
+/// The headline ordering at reduced scale: Mudi's violation rate is no
+/// worse than the heuristic baselines', and it trains faster than
+/// GSLICE (Fig. 8/9 shapes).
+#[test]
+fn mudi_beats_baselines_on_both_axes() {
+    let run = |system| ClusterEngine::new(tiny(system, 71, 24)).run_scaled(0.004);
+    let mudi = run(SystemKind::Mudi);
+    let gslice = run(SystemKind::Gslice);
+    let muxflow = run(SystemKind::MuxFlow);
+    assert!(
+        mudi.overall_violation_rate() <= muxflow.overall_violation_rate(),
+        "Mudi {} vs MuxFlow {}",
+        mudi.overall_violation_rate(),
+        muxflow.overall_violation_rate()
+    );
+    assert!(
+        mudi.ct.mean() < gslice.ct.mean(),
+        "Mudi CT {} vs GSLICE CT {}",
+        mudi.ct.mean(),
+        gslice.ct.mean()
+    );
+}
+
+/// Conservation: analytic accrual must never report more violations
+/// than requests, per service.
+#[test]
+fn violations_never_exceed_requests() {
+    let r = ClusterEngine::new(tiny(SystemKind::MuxFlow, 5, 16)).run_scaled(0.002);
+    for (svc, m) in &r.services {
+        assert!(
+            m.violations <= m.requests + 1e-6,
+            "service {svc:?}: {} violations of {} requests",
+            m.violations,
+            m.requests
+        );
+        assert!(m.requests > 0.0, "service {svc:?} saw no traffic");
+    }
+}
+
+/// Queue policies all drain and produce sensible orders; SJF should not
+/// increase mean waiting time relative to FCFS under contention.
+#[test]
+fn queue_policies_work_end_to_end() {
+    let mut results = Vec::new();
+    for policy in [
+        QueuePolicy::Fcfs,
+        QueuePolicy::Sjf,
+        QueuePolicy::Fair,
+        QueuePolicy::Priority,
+    ] {
+        let mut cfg = tiny(SystemKind::Mudi, 13, 18);
+        cfg.devices = 3; // Force queueing.
+        cfg.policy = policy;
+        let r = ClusterEngine::new(cfg).run_scaled(0.004);
+        assert_eq!(r.jobs_completed, r.jobs_submitted, "{policy:?}");
+        results.push((policy, r.waiting.mean(), r.ct.mean()));
+    }
+    let fcfs_wait = results[0].1;
+    let sjf_wait = results[1].1;
+    assert!(
+        sjf_wait <= fcfs_wait * 1.25,
+        "SJF mean wait {sjf_wait} should not blow up vs FCFS {fcfs_wait}"
+    );
+}
+
+/// Memory safety across the run: Mudi swaps instead of pausing, so its
+/// devices may overflow but jobs still finish; transfer accounting is
+/// consistent.
+#[test]
+fn memory_swapping_accounting_is_consistent() {
+    let mut cfg = tiny(SystemKind::Mudi, 17, 10);
+    cfg.load_multiplier = 2.0; // Pressure the staging pools.
+    let r = ClusterEngine::new(cfg).run_scaled(0.002);
+    assert_eq!(r.jobs_completed, r.jobs_submitted);
+    for (_, frac) in &r.swap_time_fraction {
+        assert!((0.0..=1.0).contains(frac));
+    }
+    assert!(r.mean_swap_transfer_secs >= 0.0);
+}
+
+/// Utilization invariants: means within [0, 1]; Mudi's SM utilization
+/// should exceed the empty-cluster floor once training runs.
+#[test]
+fn utilization_is_bounded_and_nontrivial() {
+    let r = ClusterEngine::new(tiny(SystemKind::Mudi, 23, 16)).run_scaled(0.004);
+    assert!((0.0..=1.0).contains(&r.mean_sm_util));
+    assert!((0.0..=1.0).contains(&r.mean_mem_util));
+    assert!(r.mean_sm_util > 0.05, "cluster never did real work");
+    for &(_, sm, mem) in &r.util_series {
+        assert!((0.0..=1.0).contains(&sm));
+        assert!((0.0..=1.0).contains(&mem));
+    }
+}
+
+/// The burst schedule plumbs through the whole engine.
+#[test]
+fn burst_schedule_applies_cluster_wide() {
+    use workloads::BurstSchedule;
+    let mut cfg = tiny(SystemKind::Mudi, 29, 8);
+    cfg.burst = Some(BurstSchedule::fig16_burst());
+    let r = ClusterEngine::new(cfg).run_scaled(0.002);
+    assert_eq!(r.jobs_completed, r.jobs_submitted);
+}

@@ -1,0 +1,219 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the system's correctness rests on.
+
+use proptest::prelude::*;
+
+use modeling::fit::piecewise::{fit_piecewise, PiecewiseLinear};
+use modeling::solver::{latency_budget, min_gpu_fraction};
+use simcore::{EventQueue, Histogram, SimRng, SimTime, StreamingStats};
+use workloads::{ColoWorkload, GroundTruth, ServiceId, TaskId, Zoo};
+
+fn gt() -> GroundTruth {
+    GroundTruth::new(Zoo::standard(), 99)
+}
+
+proptest! {
+    /// The event queue pops in non-decreasing time order regardless of
+    /// the schedule order.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_secs(t), i);
+        }
+        let mut last = 0.0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t.as_secs() >= last);
+            last = t.as_secs();
+        }
+    }
+
+    /// Welford statistics match the naive two-pass computation.
+    #[test]
+    fn streaming_stats_match_naive(xs in proptest::collection::vec(-1e4f64..1e4, 2..300)) {
+        let mut s = StreamingStats::new();
+        xs.iter().for_each(|&x| s.record(x));
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var));
+    }
+
+    /// Histogram quantiles are monotone in the quantile and bounded by
+    /// the observed extrema (within bucket resolution).
+    #[test]
+    fn histogram_quantiles_are_monotone(xs in proptest::collection::vec(1e-4f64..1e3, 10..500)) {
+        let mut h = Histogram::new();
+        xs.iter().for_each(|&x| h.record(x));
+        let mut last = 0.0;
+        for i in 1..=10 {
+            let q = h.quantile(i as f64 / 10.0).unwrap();
+            prop_assert!(q >= last);
+            last = q;
+        }
+        let max = xs.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(h.quantile(1.0).unwrap() <= max * 1.03 + 1e-6);
+    }
+
+    /// A fitted piece-wise curve reproduces noiseless piece-wise data
+    /// to within a tight tolerance at the sample points.
+    #[test]
+    fn piecewise_fit_reproduces_noiseless_data(
+        k1 in -5.0f64..-0.5,
+        k2 in -0.05f64..-0.001,
+        x0 in 0.25f64..0.75,
+        y0 in 0.01f64..1.0,
+    ) {
+        let truth = PiecewiseLinear { k1, k2, x0, y0 };
+        let pts: Vec<(f64, f64)> = (0..9)
+            .map(|i| {
+                let x = 0.1 + i as f64 * 0.1;
+                (x, truth.eval(x))
+            })
+            .collect();
+        let fit = fit_piecewise(&pts).expect("nine points");
+        // The knee quantizes to the sample grid, so individual points
+        // near it carry an irreducible error (the same effect behind
+        // the paper's Tab. 2 percentages); bound the *mean* error
+        // relative to the curve's range, plus a loose pointwise cap.
+        let range = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max)
+            - pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let mut total = 0.0;
+        for &(x, y) in &pts {
+            let err = (fit.eval(x) - y).abs() / range.max(1e-9);
+            prop_assert!(err < 0.30, "range-relative err {err} at {x}");
+            total += err;
+        }
+        let mean_err = total / pts.len() as f64;
+        prop_assert!(mean_err < 0.08, "mean err {mean_err}");
+    }
+
+    /// Eq. 4 solutions always satisfy the constraint they were solved
+    /// for, and tightening the SLO never shrinks the required fraction.
+    #[test]
+    fn solver_solutions_meet_their_budget(
+        k1 in -3.0f64..-0.2,
+        x0 in 0.2f64..0.8,
+        y0 in 0.005f64..0.3,
+        qps in 50.0f64..1000.0,
+        batch in 2u32..512,
+        slo in 0.05f64..2.0,
+    ) {
+        let curve = PiecewiseLinear { k1, k2: k1 / 50.0, x0, y0 };
+        if let Some(frac) = min_gpu_fraction(&curve, qps, batch as f64, slo, 0.05, 0.9) {
+            let budget = latency_budget(qps, batch as f64, slo);
+            prop_assert!(curve.eval(frac) <= budget + 1e-9,
+                "eval {} vs budget {budget}", curve.eval(frac));
+            // A 2x tighter SLO can only demand at least as much GPU.
+            if let Some(tight) = min_gpu_fraction(&curve, qps, batch as f64, slo / 2.0, 0.05, 0.9) {
+                prop_assert!(tight >= frac - 1e-9);
+            }
+        }
+    }
+
+    /// Ground-truth monotonicity: more GPU never increases inference
+    /// latency; adding a co-runner never decreases it.
+    #[test]
+    fn ground_truth_latency_is_monotone(
+        svc in 0usize..6,
+        task in 0usize..9,
+        batch in prop::sample::select(vec![2u32, 8, 32, 128, 512]),
+        lo_pct in 1u32..8,
+    ) {
+        let g = gt();
+        let sid = ServiceId(svc);
+        let tid = TaskId(task);
+        let lo = lo_pct as f64 * 0.1;
+        let hi = lo + 0.1;
+        let colo = [ColoWorkload::training(tid, 0.4)];
+        prop_assert!(
+            g.inference_latency(sid, batch, lo, &colo)
+                >= g.inference_latency(sid, batch, hi, &colo)
+        );
+        prop_assert!(
+            g.inference_latency(sid, batch, lo, &colo) >= g.inference_latency(sid, batch, lo, &[])
+        );
+    }
+
+    /// Training iteration time decreases with GPU share and increases
+    /// with co-runner count.
+    #[test]
+    fn training_time_is_monotone(
+        task in 0usize..9,
+        share_pct in 2u32..9,
+    ) {
+        let g = gt();
+        let tid = TaskId(task);
+        let share = share_pct as f64 * 0.1;
+        prop_assert!(
+            g.training_iteration(tid, share, &[]) > g.training_iteration(tid, share + 0.1, &[])
+        );
+        let other = ColoWorkload::training(TaskId((task + 1) % 9), 0.3);
+        prop_assert!(
+            g.training_iteration(tid, share, &[other]) >= g.training_iteration(tid, share, &[])
+        );
+    }
+
+    /// Unified-memory conservation: device-resident plus swapped bytes
+    /// always equal total demand, and swapped never exceeds the
+    /// training demand (inference never swaps).
+    #[test]
+    fn memory_manager_conserves_bytes(
+        inf_gb in 0.0f64..60.0,
+        t1 in 0.0f64..30.0,
+        t2 in 0.0f64..30.0,
+        shrink in 0.0f64..1.0,
+    ) {
+        use gpu_sim::{MemoryManager, ResidentId};
+        let mut m = MemoryManager::new(40.0);
+        m.add_training(SimTime::from_secs(0.0), ResidentId(1), t1);
+        m.add_training(SimTime::from_secs(1.0), ResidentId(2), t2);
+        m.set_inference_demand(SimTime::from_secs(2.0), inf_gb);
+        prop_assert!((m.device_resident_gb() + m.total_swapped_gb() - m.total_demand_gb()).abs() < 1e-9);
+        prop_assert!(m.total_swapped_gb() <= t1 + t2 + 1e-9);
+        prop_assert!(m.device_resident_gb() <= 40.0 + inf_gb.max(0.0));
+        // Shrinking the inference demand can only reduce swapping.
+        let before = m.total_swapped_gb();
+        m.set_inference_demand(SimTime::from_secs(3.0), inf_gb * shrink);
+        prop_assert!(m.total_swapped_gb() <= before + 1e-9);
+        prop_assert!((m.device_resident_gb() + m.total_swapped_gb() - m.total_demand_gb()).abs() < 1e-9);
+    }
+
+    /// Layer-list parsing is total over printable inputs: it either
+    /// returns an architecture whose total equals the sum of parsed
+    /// counts, or a structured error — never a panic.
+    #[test]
+    fn layer_list_parse_is_total(
+        names in proptest::collection::vec("[a-z]{1,10}", 0..10),
+        counts in proptest::collection::vec(1u32..50, 0..10),
+    ) {
+        use workloads::NetworkArchitecture;
+        let text: String = names
+            .iter()
+            .zip(counts.iter().chain(std::iter::repeat(&1)))
+            .map(|(n, c)| format!("{n} x {c}\n"))
+            .collect();
+        if let Ok(arch) = NetworkArchitecture::parse_layer_list(&text) {
+            let expected: u32 = names
+                .iter()
+                .zip(counts.iter().chain(std::iter::repeat(&1)))
+                .map(|(_, &c)| c)
+                .sum();
+            prop_assert_eq!(arch.total_layers(), expected);
+        }
+    }
+
+    /// Fork determinism: the same (seed, label) always yields the same
+    /// stream; drawing from the parent never disturbs children.
+    #[test]
+    fn rng_forks_are_stable(seed in any::<u64>(), draws in 0usize..20) {
+        let mut parent = SimRng::seed(seed);
+        for _ in 0..draws {
+            let _ = parent.u64();
+        }
+        let a = parent.fork("child").u64();
+        let b = SimRng::seed(seed).fork("child").u64();
+        prop_assert_eq!(a, b);
+    }
+}
