@@ -35,9 +35,24 @@ fn main() {
     print!("{}", table.render());
 
     let pai = fig2_summary(TraceCluster::Pai, seed());
-    compare("PAI near-zero-util fraction", pai.frac_near_zero_util * 100.0, 30.0, "%");
-    compare("PAI below-50%-util fraction", pai.frac_below_half_util * 100.0, 85.0, "%");
-    compare("PAI max queueing delay", pai.max_delay_mins, 1000.0, " min (paper: exceeds)");
+    compare(
+        "PAI near-zero-util fraction",
+        pai.frac_near_zero_util * 100.0,
+        30.0,
+        "%",
+    );
+    compare(
+        "PAI below-50%-util fraction",
+        pai.frac_below_half_util * 100.0,
+        85.0,
+        "%",
+    );
+    compare(
+        "PAI max queueing delay",
+        pai.max_delay_mins,
+        1000.0,
+        " min (paper: exceeds)",
+    );
 
     // CDF curve excerpt for plotting (PAI utilization).
     println!("\nPAI GPU-utilization CDF (x = util fraction, y = CDF):");

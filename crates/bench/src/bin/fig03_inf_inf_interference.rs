@@ -36,8 +36,11 @@ fn main() {
                 for pct in 1..=9 {
                     let frac = pct as f64 * 0.1;
                     let solo = gt.inference_phases(target.id, b, frac, &[]);
-                    let colo =
-                        [ColoWorkload::inference(other.id, b, (1.0f64 - frac).max(0.05))];
+                    let colo = [ColoWorkload::inference(
+                        other.id,
+                        b,
+                        (1.0f64 - frac).max(0.05),
+                    )];
                     let shared = gt.inference_phases(target.id, b, frac, &colo);
                     ratios[0] += shared.preprocess / solo.preprocess;
                     ratios[1] += shared.transfer / solo.transfer;

@@ -32,7 +32,7 @@ fn main() {
         // standing queue of training work); at reduced scale the
         // default arrival process is too sparse and the time-averaged
         // utilization would mostly measure idle gaps between jobs.
-        cfg.jobs = cfg.jobs * 2;
+        cfg.jobs *= 2;
         cfg.arrival_rate *= 6.0;
         let r = end_to_end(cfg, iter_scale);
         let peak = r
@@ -52,7 +52,14 @@ fn main() {
             series_dump = r
                 .util_series
                 .iter()
-                .map(|&(t, sm, mem)| format!("  t={:>8.0}s  sm={:>5.1}%  mem={:>5.1}%\n", t, sm * 100.0, mem * 100.0))
+                .map(|&(t, sm, mem)| {
+                    format!(
+                        "  t={:>8.0}s  sm={:>5.1}%  mem={:>5.1}%\n",
+                        t,
+                        sm * 100.0,
+                        mem * 100.0
+                    )
+                })
                 .take(24)
                 .collect();
         } else {
@@ -61,8 +68,18 @@ fn main() {
         }
     }
     print!("{}", table.render());
-    compare("Mudi mean SM utilization", mudi_sm * 100.0, 60.0, "% (paper: up to)");
-    compare("Mudi mean memory utilization", mudi_mem * 100.0, 35.0, "% (paper: up to)");
+    compare(
+        "Mudi mean SM utilization",
+        mudi_sm * 100.0,
+        60.0,
+        "% (paper: up to)",
+    );
+    compare(
+        "Mudi mean memory utilization",
+        mudi_mem * 100.0,
+        35.0,
+        "% (paper: up to)",
+    );
     if best_baseline_sm > 0.0 {
         compare(
             "SM-util gain over best baseline",

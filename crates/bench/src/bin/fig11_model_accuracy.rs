@@ -39,7 +39,14 @@ fn main() {
         }
     }
 
-    let mut table = Table::new(&["service", "k1 err", "k2 err", "Δ0 err", "l0 err", "best models"]);
+    let mut table = Table::new(&[
+        "service",
+        "k1 err",
+        "k2 err",
+        "Δ0 err",
+        "l0 err",
+        "best models",
+    ]);
     let mut avgs = [0.0f64; 4];
     for svc in gt.zoo().services() {
         let mut errs = [0.0f64; 4];

@@ -18,10 +18,7 @@ fn main() {
         "Fig. 13 — ablations: cluster-level only vs device-level only",
         "cluster-only: violations 1.65x/2.43x of full Mudi; device-only: ~1.1x of full Mudi",
     );
-    for (label, mk) in [
-        ("physical", false),
-        ("simulated", true),
-    ] {
+    for (label, mk) in [("physical", false), ("simulated", true)] {
         println!("\n--- {label} cluster ---");
         let mut table = Table::new(&["variant", "violation rate", "mean CT", "makespan"]);
         let mut rates = Vec::new();
@@ -53,10 +50,20 @@ fn main() {
                 if mk { 2.43 } else { 1.65 },
                 "x",
             );
-            compare("device-only violations / full Mudi", rates[2].1 / full.1, 1.1, "x");
+            compare(
+                "device-only violations / full Mudi",
+                rates[2].1 / full.1,
+                1.1,
+                "x",
+            );
         }
         if full.2 > 0.0 {
-            compare("full-Mudi CT gain over cluster-only", rates[1].2 / full.2, 1.33, "x");
+            compare(
+                "full-Mudi CT gain over cluster-only",
+                rates[1].2 / full.2,
+                1.33,
+                "x",
+            );
         }
     }
 }

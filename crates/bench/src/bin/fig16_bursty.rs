@@ -39,7 +39,12 @@ fn main() {
     }
     print!("{}", table.render());
 
-    compare("overall violation rate", cs.violation_rate * 100.0, 0.71, "%");
+    compare(
+        "overall violation rate",
+        cs.violation_rate * 100.0,
+        0.71,
+        "%",
+    );
     compare(
         "mean swap transfer",
         cs.mean_swap_transfer_secs * 1e3,

@@ -54,7 +54,12 @@ fn main() {
         );
     }
     if mudi.ct.mean() > 0.0 {
-        compare("Mudi-more CT / Mudi", more.ct.mean() / mudi.ct.mean(), 1.07, "x");
+        compare(
+            "Mudi-more CT / Mudi",
+            more.ct.mean() / mudi.ct.mean(),
+            1.07,
+            "x",
+        );
         compare(
             "Mudi-more makespan / Mudi",
             more.makespan_secs / mudi.makespan_secs.max(1.0),

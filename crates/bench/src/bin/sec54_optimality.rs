@@ -27,5 +27,10 @@ fn main() {
         1.05,
         "x",
     );
-    compare("Eq. 5 expectation bound E", report.expectation_bound, 1.10, "");
+    compare(
+        "Eq. 5 expectation bound E",
+        report.expectation_bound,
+        1.10,
+        "",
+    );
 }

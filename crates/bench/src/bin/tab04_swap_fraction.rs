@@ -28,7 +28,13 @@ fn main() {
     );
     let paper = [16.08, 19.82, 28.40, 15.53, 27.30, 33.43];
 
-    let mut table = Table::new(&["service", "swap time fraction", "paper", "mean transfer", "violations"]);
+    let mut table = Table::new(&[
+        "service",
+        "swap time fraction",
+        "paper",
+        "mean transfer",
+        "violations",
+    ]);
     for (i, svc) in zoo.services().iter().enumerate() {
         // Heavier services co-locate with the big YOLOv5 task, as in
         // the paper's stress scenario.

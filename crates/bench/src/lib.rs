@@ -11,7 +11,7 @@ use cluster::systems::SystemKind;
 
 /// Whether full paper-scale runs were requested.
 pub fn full_scale() -> bool {
-    std::env::var("MUDI_FULL_SCALE").map_or(false, |v| v == "1" || v == "true")
+    std::env::var("MUDI_FULL_SCALE").is_ok_and(|v| v == "1" || v == "true")
 }
 
 /// The experiment seed (override with `MUDI_SEED`).

@@ -20,6 +20,31 @@ pub fn end_to_end(config: ClusterConfig, iteration_scale: f64) -> ExperimentResu
     ClusterEngine::new(config).run_scaled(iteration_scale)
 }
 
+/// Fig. 19 (extension): violation rate and goodput under injected
+/// faults. Runs `base` at each fault-rate multiplier (0 = fault-free)
+/// with the standard recovery stack; every system replays the same
+/// per-seed fault schedule, so rows are comparable across systems.
+pub fn failure_sweep(
+    system: SystemKind,
+    seed: u64,
+    rates: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(f64, ExperimentResult)> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let mut cfg = base.clone();
+            cfg.system = system;
+            cfg.seed = seed;
+            if rate > 0.0 {
+                cfg.faults = Some(resilience::FaultProfile::scaled(rate));
+            }
+            (rate, end_to_end(cfg, iteration_scale))
+        })
+        .collect()
+}
+
 /// Fig. 15: violation rate and CT under 1×–4× load.
 pub fn load_sensitivity(
     system: SystemKind,
@@ -146,7 +171,11 @@ pub fn bursty_case_study(
         .zoo()
         .service_by_name(service_name)
         .expect("service exists");
-    let task = gt.zoo().task_by_name(training_name).expect("task exists").id;
+    let task = gt
+        .zoo()
+        .task_by_name(training_name)
+        .expect("task exists")
+        .id;
 
     let mut dev = GpuDevice::new(DeviceId(0), DEVICE_MEMORY_GB);
     dev.deploy_inference(
@@ -212,7 +241,11 @@ pub fn bursty_case_study(
     dev.finish(SimTime::from_secs(duration_secs));
 
     CaseStudy {
-        violation_rate: if requests > 0.0 { violations / requests } else { 0.0 },
+        violation_rate: if requests > 0.0 {
+            violations / requests
+        } else {
+            0.0
+        },
         swap_time_fraction: dev.memory().overflow_time_fraction(),
         mean_swap_transfer_secs: dev.memory().stats().mean_transfer_secs(),
         points,
@@ -260,7 +293,7 @@ pub fn optimality_analysis(seed: u64, jobs: usize, iteration_scale: f64) -> Opti
                 oracle.best_config(&gt, service, svc.slo_secs(), 200.0, &[*task])
             {
                 per_service.insert(service, iter);
-                if best.map_or(true, |(_, bi)| iter < bi) {
+                if best.is_none_or(|(_, bi)| iter < bi) {
                     best = Some((service, iter));
                 }
             }

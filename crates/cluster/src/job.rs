@@ -4,7 +4,7 @@ use simcore::{SimDuration, SimTime};
 use workloads::TaskId;
 
 /// Cluster-wide job identifier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub u64);
 
 /// Where a job is in its lifecycle.
@@ -45,6 +45,11 @@ pub struct TrainingJob {
     pub class: usize,
     /// Priority level, for the priority policy.
     pub priority: u8,
+    /// Times this job restarted after a crash or device failure.
+    pub restarts: u32,
+    /// Iterations redone because a fault rolled the job back to its
+    /// last checkpoint.
+    pub lost_iterations: f64,
 }
 
 impl TrainingJob {
@@ -62,7 +67,18 @@ impl TrainingJob {
             total_iterations,
             class: (id.0 % 8) as usize,
             priority: 0,
+            restarts: 0,
+            lost_iterations: 0.0,
         }
+    }
+
+    /// Rolls the job back to `checkpoint_iters` after a fault,
+    /// accounting the redone work and the restart.
+    pub fn rollback_to(&mut self, checkpoint_iters: f64) {
+        let lost = (self.completed_iterations - checkpoint_iters).max(0.0);
+        self.lost_iterations += lost;
+        self.completed_iterations = checkpoint_iters;
+        self.restarts += 1;
     }
 
     /// Marks the job started on a device.
@@ -122,6 +138,20 @@ mod tests {
         j.state = JobState::Paused;
         j.start(SimTime::from_secs(50.0), 1);
         assert_eq!(j.waiting_time().unwrap().as_secs(), 5.0);
+    }
+
+    #[test]
+    fn rollback_accounts_lost_work() {
+        let mut j = TrainingJob::new(JobId(4), TaskId(0), SimTime::ZERO, 1000);
+        j.completed_iterations = 730.0;
+        j.rollback_to(600.0);
+        assert_eq!(j.completed_iterations, 600.0);
+        assert_eq!(j.lost_iterations, 130.0);
+        assert_eq!(j.restarts, 1);
+        // A rollback to a point at or ahead of progress loses nothing.
+        j.rollback_to(600.0);
+        assert_eq!(j.lost_iterations, 130.0);
+        assert_eq!(j.restarts, 2);
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod systems;
 
 pub use engine::{ClusterConfig, ClusterEngine, ClusterScale};
 pub use job::{JobId, TrainingJob};
-pub use metrics::{ExperimentResult, ServiceMetrics};
+pub use metrics::{ExperimentResult, FaultMetrics, ServiceMetrics};
 pub use systems::SystemKind;

@@ -1,5 +1,7 @@
 //! Plain-text table rendering for the experiment binaries.
 
+use crate::metrics::ExperimentResult;
+
 /// A simple fixed-width text table.
 #[derive(Clone, Debug, Default)]
 pub struct Table {
@@ -63,6 +65,38 @@ impl Table {
     }
 }
 
+/// Renders the failure-experiment table: per run, the injected fault
+/// mix and the recovery outcome (violations, goodput, lost work).
+/// `labels` annotates each result (e.g. the fault rate it ran at).
+pub fn fault_table(labels: &[String], results: &[ExperimentResult]) -> Table {
+    assert_eq!(labels.len(), results.len(), "one label per result");
+    let mut t = Table::new(&[
+        "run",
+        "system",
+        "faults",
+        "slo viol",
+        "goodput it/h",
+        "lost iters",
+        "dropped req",
+        "rerouted req",
+        "downtime",
+    ]);
+    for (label, r) in labels.iter().zip(results) {
+        t.row(vec![
+            label.clone(),
+            r.system.clone(),
+            r.faults.total_faults().to_string(),
+            pct(r.overall_violation_rate()),
+            format!("{:.0}", r.goodput_iters_per_hour()),
+            format!("{:.0}", r.faults.lost_iterations),
+            format!("{:.0}", r.faults.dropped_requests),
+            format!("{:.0}", r.faults.rerouted_requests),
+            dur(r.faults.device_down_secs),
+        ]);
+    }
+    t
+}
+
 /// Formats a ratio like `2.27x`.
 pub fn ratio(a: f64, b: f64) -> String {
     if b == 0.0 {
@@ -108,6 +142,22 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fault_table_renders_one_row_per_result() {
+        let mut r = ExperimentResult {
+            system: "Mudi".into(),
+            makespan_secs: 3600.0,
+            useful_iterations: 1000.0,
+            ..Default::default()
+        };
+        r.faults.device_failures = 1;
+        let t = fault_table(&["rate 1x".to_string()], &[r]);
+        let s = t.render();
+        assert!(s.contains("rate 1x"));
+        assert!(s.contains("Mudi"));
+        assert!(s.contains("1000"));
     }
 
     #[test]

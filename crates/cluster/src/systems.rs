@@ -140,8 +140,12 @@ pub trait Multiplexer {
 
     /// (Re)configures a device on a trigger (placement, QPS change,
     /// SLO risk).
-    fn configure(&mut self, gt: &GroundTruth, view: &DeviceView, rng: &mut SimRng)
-        -> ConfigDecision;
+    fn configure(
+        &mut self,
+        gt: &GroundTruth,
+        view: &DeviceView,
+        rng: &mut SimRng,
+    ) -> ConfigDecision;
 
     /// The system's kind.
     fn kind(&self) -> SystemKind;
@@ -149,11 +153,7 @@ pub trait Multiplexer {
 
 /// Builds the system implementation, running any offline profiling it
 /// needs (Mudi and MuxFlow profile the first five task types, §7.1).
-pub fn build_system(
-    kind: SystemKind,
-    gt: &GroundTruth,
-    rng: &mut SimRng,
-) -> Box<dyn Multiplexer> {
+pub fn build_system(kind: SystemKind, gt: &GroundTruth, rng: &mut SimRng) -> Box<dyn Multiplexer> {
     match kind {
         SystemKind::Mudi
         | SystemKind::MudiMore
@@ -347,7 +347,7 @@ fn best_static_batch(
             config.min_inference_fraction,
             config.max_inference_fraction,
         ) {
-            if best.map_or(true, |(_, bf)| frac < bf) {
+            if best.is_none_or(|(_, bf)| frac < bf) {
                 best = Some((b, frac));
             }
         }
@@ -503,7 +503,7 @@ impl Multiplexer for Gpulets {
                 self.config.min_inference_fraction,
                 0.90,
             ) {
-                if best.map_or(true, |(_, bf)| frac < bf) {
+                if best.is_none_or(|(_, bf)| frac < bf) {
                     best = Some((b, frac));
                 }
             }
@@ -553,8 +553,7 @@ impl MuxFlow {
         let mut prof_rng = rng.fork("muxflow-profiling");
         let profiled = gt.zoo().profiled_task_ids();
         let db = profiler.build_database(gt, &profiled, &mut prof_rng);
-        let predictor =
-            InterferencePredictor::new(db, &mut prof_rng).expect("profiles available");
+        let predictor = InterferencePredictor::new(db, &mut prof_rng).expect("profiles available");
         MuxFlow {
             predictor,
             config,
@@ -652,7 +651,7 @@ impl Multiplexer for MuxFlow {
                 0.90,
             ) {
                 let unpadded = (frac / (1.0 + modeling::solver::SAFETY_MARGIN)).max(0.05);
-                if best.map_or(true, |(_, bf)| unpadded < bf) {
+                if best.is_none_or(|(_, bf)| unpadded < bf) {
                     best = Some((b, unpadded));
                 }
             }
@@ -734,9 +733,15 @@ impl Multiplexer for RandomSystem {
 /// the ground truth and picks the configuration minimizing true
 /// iteration time subject to the true SLO constraint. Memoizes scores
 /// per (service, tasks, QPS bucket) to stay tractable at 1000 GPUs.
+/// Memo key: the service, the co-located task set, and a QPS bucket.
+type OracleKey = (ServiceId, Vec<TaskId>, u64);
+/// Memoized search result: `(batch, fraction, iteration_time)`, or
+/// `None` when no configuration meets the SLO.
+type OracleEntry = Option<(u32, f64, f64)>;
+
 #[derive(Default)]
 pub struct Optimal {
-    cache: HashMap<(ServiceId, Vec<TaskId>, u64), Option<(u32, f64, f64)>>,
+    cache: HashMap<OracleKey, OracleEntry>,
 }
 
 impl Optimal {
@@ -795,7 +800,7 @@ impl Optimal {
                         })
                         .sum()
                 };
-                if best.map_or(true, |(_, _, bi)| iter_time < bi) {
+                if best.is_none_or(|(_, _, bi)| iter_time < bi) {
                     best = Some((batch, frac, iter_time));
                 }
             }
@@ -823,7 +828,7 @@ impl Multiplexer for Optimal {
             if let Some((_, _, iter)) =
                 self.best_config(gt, c.service, spec.slo_secs(), 200.0, &[incoming])
             {
-                if best.map_or(true, |(_, bi)| iter < bi) {
+                if best.is_none_or(|(_, bi)| iter < bi) {
                     best = Some((c.device, iter));
                 }
             }

@@ -59,7 +59,6 @@ impl TargetParam {
             TargetParam::Y0 => curve.y0,
         }
     }
-
 }
 
 /// Builds the feature row: the 11 raw layer counts (Fig. 7), the
@@ -134,9 +133,7 @@ impl ServiceModels {
 /// abscissa as a difference.
 fn encode_relative(target: TargetParam, colo: f64, solo: f64) -> f64 {
     match target {
-        TargetParam::K1 | TargetParam::K2 => {
-            ((-colo).max(1e-9) / (-solo).max(1e-9)).ln()
-        }
+        TargetParam::K1 | TargetParam::K2 => ((-colo).max(1e-9) / (-solo).max(1e-9)).ln(),
         TargetParam::Y0 => (colo.max(1e-9) / solo.max(1e-9)).ln(),
         TargetParam::X0 => colo - solo,
     }

@@ -17,6 +17,9 @@
 //!   adaptive batching and Eq. 4 resource scaling), with the Agents (⑦)
 //!   and Memory Manager (⑧) realized in the `gpu-sim` crate and driven
 //!   by the cluster engine.
+//! * **Guardrails** — [`guard`] (anti-thrashing dwell/cooldown on
+//!   fault-triggered retunes and the degraded-mode SLO circuit-breaker
+//!   used by the failure experiments).
 //! * **Scheduling policies** — [`policy`] (FCFS/SJF/fair/priority, §3).
 //! * **Mudi-more** — [`more`] (multiplexing up to three training tasks
 //!   per GPU, §5.5).
@@ -24,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod guard;
 pub mod interference;
 pub mod monitor;
 pub mod more;
@@ -34,6 +38,7 @@ pub mod selector;
 pub mod tuner;
 
 pub use config::MudiConfig;
+pub use guard::{CircuitBreaker, RetuneGuard};
 pub use interference::InterferenceModeler;
 pub use monitor::{Monitor, MonitorEvent};
 pub use predictor::InterferencePredictor;

@@ -52,11 +52,7 @@ pub fn can_accept(config: &MudiConfig, existing: usize) -> bool {
 /// Estimated aggregate training throughput (iterations/second summed
 /// over residents) for a candidate multi-task co-location — used to
 /// reason about the diminishing returns of packing more tasks.
-pub fn aggregate_throughput(
-    gt: &GroundTruth,
-    tasks: &[TaskId],
-    inference_fraction: f64,
-) -> f64 {
+pub fn aggregate_throughput(gt: &GroundTruth, tasks: &[TaskId], inference_fraction: f64) -> f64 {
     if tasks.is_empty() {
         return 0.0;
     }

@@ -64,7 +64,11 @@ impl InterferencePredictor {
         batch: u32,
         fraction: f64,
     ) -> Option<f64> {
-        Some(self.curve_for_arch(service, arch, batch)?.eval(fraction).max(0.0))
+        Some(
+            self.curve_for_arch(service, arch, batch)?
+                .eval(fraction)
+                .max(0.0),
+        )
     }
 
     /// The largest predicted cutoff Δ0 across batching sizes — the
@@ -185,7 +189,11 @@ mod tests {
         let svc = gt.zoo().service_by_name("ResNet50").unwrap().id;
         let batches = [16u32, 32, 64, 128, 256, 512];
         let heavy = p
-            .mean_slope_score(svc, &gt.zoo().task_by_name("ResNet50-train").unwrap().arch, &batches)
+            .mean_slope_score(
+                svc,
+                &gt.zoo().task_by_name("ResNet50-train").unwrap().arch,
+                &batches,
+            )
             .unwrap();
         let light = p
             .mean_slope_score(svc, &gt.zoo().task_by_name("NCF").unwrap().arch, &batches)

@@ -106,7 +106,9 @@ impl ProfileDatabase {
 
     /// Records for one service (the per-service learning corpus).
     pub fn for_service(&self, service: ServiceId) -> impl Iterator<Item = &ProfileRecord> {
-        self.records.iter().filter(move |r| r.key.service == service)
+        self.records
+            .iter()
+            .filter(move |r| r.key.service == service)
     }
 }
 

@@ -92,12 +92,10 @@ impl DeviceSelector {
                 continue;
             };
             evaluated += 1;
+            // Ties (within epsilon) keep the earlier candidate for determinism.
             let better = match best {
                 None => true,
-                Some((_, bs)) => {
-                    score < bs - 1e-12
-                        || ((score - bs).abs() <= 1e-12 && false)
-                }
+                Some((_, bs)) => score < bs - 1e-12,
             };
             if better {
                 best = Some((c.device, score));
@@ -244,7 +242,9 @@ mod tests {
         let busy = candidate(0, gt.zoo().services()[0].id, vec![gt.zoo().tasks()[1].id]);
         let free = candidate(1, gt.zoo().services()[1].id, vec![]);
         for _ in 0..20 {
-            let d = sel.select_random(&[busy.clone(), free.clone()], &mut rng).unwrap();
+            let d = sel
+                .select_random(&[busy.clone(), free.clone()], &mut rng)
+                .unwrap();
             assert_eq!(d.device, 1);
         }
     }

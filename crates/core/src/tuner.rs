@@ -77,6 +77,7 @@ impl Tuner {
     ///   seeded by the predictor but *verified and corrected* against
     ///   live measurements, which keeps prediction error from either
     ///   pausing viable co-locations or admitting violating ones.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's tuning inputs (§5.3.1)
     pub fn tune(
         &self,
         predictor: &InterferencePredictor,
@@ -136,7 +137,7 @@ impl Tuner {
         let result = tuner.run(rng, |b| {
             let batch = b as u32;
             let frac = required(batch, &mut observe_p99)?;
-            if chosen.map_or(true, |(cb, _)| cb != batch) {
+            if chosen.is_none_or(|(cb, _)| cb != batch) {
                 chosen = Some((batch, frac));
             }
             Some(observe_iteration(batch, frac))
@@ -278,14 +279,17 @@ mod tests {
         assert!(out.bo_iterations <= 25, "iterations {}", out.bo_iterations);
         // Verify the chosen configuration really meets the SLO against
         // the measured (ground-truth) tail latency.
-        let colo = [ColoWorkload::training(task.id, (1.0f64 - out.gpu_fraction).max(0.01))];
+        let colo = [ColoWorkload::training(
+            task.id,
+            (1.0f64 - out.gpu_fraction).max(0.01),
+        )];
         let measured = gt.p99_inference_latency(svc.id, out.batch, out.gpu_fraction, &colo);
-        let budget = modeling::solver::latency_budget_relaxed(
-            200.0,
-            out.batch as f64,
-            svc.slo_secs(),
+        let budget =
+            modeling::solver::latency_budget_relaxed(200.0, out.batch as f64, svc.slo_secs());
+        assert!(
+            measured <= budget * 1.05,
+            "measured {measured} vs budget {budget}"
         );
-        assert!(measured <= budget * 1.05, "measured {measured} vs budget {budget}");
     }
 
     #[test]

@@ -16,8 +16,23 @@ use crate::process::{InferenceInstance, ResidentId, TrainingProcess};
 pub const MAX_TRAININGS_PER_GPU: usize = 3;
 
 /// Index of a device within the cluster.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DeviceId(pub usize);
+
+/// Operational state of a device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeviceHealth {
+    /// Fully operational.
+    Healthy,
+    /// Operational but delivering only `perf_factor` of its effective
+    /// compute (ECC scrubbing, thermal throttling, post-repair burn-in).
+    Degraded {
+        /// Retained fraction of effective GPU%, in `(0, 1]`.
+        perf_factor: f64,
+    },
+    /// Failed: nothing runs until repaired.
+    Down,
+}
 
 /// A simulated GPU.
 #[derive(Clone, Debug)]
@@ -26,6 +41,7 @@ pub struct GpuDevice {
     memory: MemoryManager,
     inference: Option<InferenceInstance>,
     trainings: Vec<TrainingProcess>,
+    health: DeviceHealth,
     sm_util: UtilizationIntegrator,
     mem_util: UtilizationIntegrator,
 }
@@ -42,6 +58,7 @@ impl GpuDevice {
             memory: MemoryManager::new(capacity_gb),
             inference: None,
             trainings: Vec::new(),
+            health: DeviceHealth::Healthy,
             sm_util,
             mem_util,
         }
@@ -50,6 +67,71 @@ impl GpuDevice {
     /// Device id.
     pub fn id(&self) -> DeviceId {
         self.id
+    }
+
+    /// Current operational state.
+    pub fn health(&self) -> DeviceHealth {
+        self.health
+    }
+
+    /// Whether the device can run work (healthy or degraded).
+    pub fn is_up(&self) -> bool {
+        self.health != DeviceHealth::Down
+    }
+
+    /// Effective-compute multiplier from the current health: `1.0`
+    /// healthy, the degradation factor while degraded, `0.0` down.
+    pub fn perf_factor(&self) -> f64 {
+        match self.health {
+            DeviceHealth::Healthy => 1.0,
+            DeviceHealth::Degraded { perf_factor } => perf_factor,
+            DeviceHealth::Down => 0.0,
+        }
+    }
+
+    /// Marks the device degraded to `perf_factor` of its compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is outside `(0, 1]` or the device is down.
+    pub fn set_degraded(&mut self, perf_factor: f64) {
+        assert!(
+            perf_factor > 0.0 && perf_factor <= 1.0,
+            "invalid perf factor {perf_factor}"
+        );
+        assert!(self.is_up(), "cannot degrade a down device");
+        self.health = DeviceHealth::Degraded { perf_factor };
+    }
+
+    /// Clears a degraded state back to healthy. No-op while down.
+    pub fn clear_degraded(&mut self) {
+        if let DeviceHealth::Degraded { .. } = self.health {
+            self.health = DeviceHealth::Healthy;
+        }
+    }
+
+    /// Takes the device down hard: every resident process is evicted
+    /// and returned, and the memory manager releases all state (device
+    /// memory does not survive a failure). The caller decides what to
+    /// do with the evicted work.
+    pub fn fail(&mut self, now: SimTime) -> (Option<InferenceInstance>, Vec<TrainingProcess>) {
+        self.health = DeviceHealth::Down;
+        let inference = self.inference.take();
+        let trainings = std::mem::take(&mut self.trainings);
+        self.memory.release_all(now);
+        (inference, trainings)
+    }
+
+    /// Brings a failed device back into service, empty. The caller
+    /// re-deploys inference and restores any training processes, which
+    /// rebuilds the memory manager's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not down.
+    pub fn repair(&mut self) {
+        assert!(self.health == DeviceHealth::Down, "repairing a live device");
+        self.health = DeviceHealth::Healthy;
     }
 
     /// The resident inference instance, if any.
@@ -234,8 +316,7 @@ impl GpuDevice {
         }
         if let Some(inf) = &self.inference {
             let colo = self.colo_for_inference();
-            let latency =
-                gt.inference_latency(inf.service, inf.batch, inf.gpu_fraction, &colo);
+            let latency = gt.inference_latency(inf.service, inf.batch, inf.gpu_fraction, &colo);
             let busy = if inf.qps > 0.0 {
                 (inf.qps * latency / inf.batch as f64).min(1.0)
             } else {
@@ -289,7 +370,11 @@ mod tests {
     fn deploy_and_reconfigure_inference() {
         let g = gt();
         let mut d = GpuDevice::new(DeviceId(0), 40.0);
-        d.deploy_inference(&g, t(0.0), InferenceInstance::new(ServiceId(0), 32, 0.5, 200.0));
+        d.deploy_inference(
+            &g,
+            t(0.0),
+            InferenceInstance::new(ServiceId(0), 32, 0.5, 200.0),
+        );
         assert_eq!(d.inference().unwrap().batch, 32);
         d.set_inference_batch(&g, t(1.0), 128);
         assert_eq!(d.inference().unwrap().batch, 128);
@@ -316,11 +401,23 @@ mod tests {
     fn colo_views_exclude_self() {
         let g = gt();
         let mut d = GpuDevice::new(DeviceId(0), 40.0);
-        d.deploy_inference(&g, t(0.0), InferenceInstance::new(ServiceId(2), 16, 0.4, 200.0));
-        d.add_training(&g, t(1.0), TrainingProcess::new(ResidentId(1), TaskId(3), 0.3, 100))
-            .unwrap();
-        d.add_training(&g, t(2.0), TrainingProcess::new(ResidentId(2), TaskId(4), 0.3, 100))
-            .unwrap();
+        d.deploy_inference(
+            &g,
+            t(0.0),
+            InferenceInstance::new(ServiceId(2), 16, 0.4, 200.0),
+        );
+        d.add_training(
+            &g,
+            t(1.0),
+            TrainingProcess::new(ResidentId(1), TaskId(3), 0.3, 100),
+        )
+        .unwrap();
+        d.add_training(
+            &g,
+            t(2.0),
+            TrainingProcess::new(ResidentId(2), TaskId(4), 0.3, 100),
+        )
+        .unwrap();
         assert_eq!(d.colo_for_inference().len(), 2);
         let view = d.colo_for_training(ResidentId(1));
         assert_eq!(view.len(), 2); // Inference + the *other* training.
@@ -330,26 +427,48 @@ mod tests {
     fn rebalance_splits_leftover_evenly() {
         let g = gt();
         let mut d = GpuDevice::new(DeviceId(0), 40.0);
-        d.deploy_inference(&g, t(0.0), InferenceInstance::new(ServiceId(0), 16, 0.4, 200.0));
-        d.add_training(&g, t(1.0), TrainingProcess::new(ResidentId(1), TaskId(0), 0.1, 100))
-            .unwrap();
-        d.add_training(&g, t(1.0), TrainingProcess::new(ResidentId(2), TaskId(1), 0.1, 100))
-            .unwrap();
+        d.deploy_inference(
+            &g,
+            t(0.0),
+            InferenceInstance::new(ServiceId(0), 16, 0.4, 200.0),
+        );
+        d.add_training(
+            &g,
+            t(1.0),
+            TrainingProcess::new(ResidentId(1), TaskId(0), 0.1, 100),
+        )
+        .unwrap();
+        d.add_training(
+            &g,
+            t(1.0),
+            TrainingProcess::new(ResidentId(2), TaskId(1), 0.1, 100),
+        )
+        .unwrap();
         let share = d.rebalance_training_fractions(1.0);
         assert!((share - 0.3).abs() < 1e-12);
-        assert!(d.trainings().iter().all(|p| (p.gpu_fraction - 0.3).abs() < 1e-12));
+        assert!(d
+            .trainings()
+            .iter()
+            .all(|p| (p.gpu_fraction - 0.3).abs() < 1e-12));
         // A conservative cap limits the total training allocation.
         let capped = d.rebalance_training_fractions(0.4);
         assert!((capped - 0.2).abs() < 1e-12);
-        assert!(d.trainings().iter().all(|p| (p.gpu_fraction - 0.2).abs() < 1e-12));
+        assert!(d
+            .trainings()
+            .iter()
+            .all(|p| (p.gpu_fraction - 0.2).abs() < 1e-12));
     }
 
     #[test]
     fn removing_training_returns_process() {
         let g = gt();
         let mut d = GpuDevice::new(DeviceId(0), 40.0);
-        d.add_training(&g, t(0.0), TrainingProcess::new(ResidentId(5), TaskId(0), 0.5, 100))
-            .unwrap();
+        d.add_training(
+            &g,
+            t(0.0),
+            TrainingProcess::new(ResidentId(5), TaskId(0), 0.5, 100),
+        )
+        .unwrap();
         let (proc, _) = d.remove_training(t(1.0), ResidentId(5)).unwrap();
         assert_eq!(proc.id, ResidentId(5));
         assert!(d.trainings().is_empty());
@@ -361,11 +480,19 @@ mod tests {
         let g = gt();
         let mut d = GpuDevice::new(DeviceId(0), 40.0);
         assert_eq!(d.sm_utilization(&g), 0.0);
-        d.add_training(&g, t(0.0), TrainingProcess::new(ResidentId(1), TaskId(0), 0.5, 100))
-            .unwrap();
+        d.add_training(
+            &g,
+            t(0.0),
+            TrainingProcess::new(ResidentId(1), TaskId(0), 0.5, 100),
+        )
+        .unwrap();
         let train_only = d.sm_utilization(&g);
         assert!((train_only - 0.475).abs() < 1e-9);
-        d.deploy_inference(&g, t(1.0), InferenceInstance::new(ServiceId(0), 16, 0.5, 300.0));
+        d.deploy_inference(
+            &g,
+            t(1.0),
+            InferenceInstance::new(ServiceId(0), 16, 0.5, 300.0),
+        );
         assert!(d.sm_utilization(&g) > train_only);
         assert!(d.sm_utilization(&g) <= 1.0);
     }
@@ -375,13 +502,92 @@ mod tests {
         let g = gt();
         let mut d = GpuDevice::new(DeviceId(0), 40.0);
         d.record_utilization(&g, t(0.0));
-        d.add_training(&g, t(10.0), TrainingProcess::new(ResidentId(1), TaskId(0), 1.0, 100))
-            .unwrap();
+        d.add_training(
+            &g,
+            t(10.0),
+            TrainingProcess::new(ResidentId(1), TaskId(0), 1.0, 100),
+        )
+        .unwrap();
         d.record_utilization(&g, t(10.0));
         d.finish(t(20.0));
         // 10 s idle + 10 s at 0.95 => mean 0.475.
         assert!((d.mean_sm_utilization() - 0.475).abs() < 1e-9);
         assert!(d.mean_mem_utilization() > 0.0);
+    }
+
+    #[test]
+    fn fail_evicts_everything_and_releases_memory() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        d.deploy_inference(
+            &g,
+            t(0.0),
+            InferenceInstance::new(ServiceId(0), 32, 0.5, 200.0),
+        );
+        d.add_training(
+            &g,
+            t(1.0),
+            TrainingProcess::new(ResidentId(1), TaskId(0), 0.3, 100),
+        )
+        .unwrap();
+        assert!(d.is_up());
+        let (inf, procs) = d.fail(t(10.0));
+        assert_eq!(d.health(), DeviceHealth::Down);
+        assert_eq!(d.perf_factor(), 0.0);
+        assert!(inf.is_some());
+        assert_eq!(procs.len(), 1);
+        assert!(d.inference().is_none());
+        assert!(d.trainings().is_empty());
+        assert_eq!(d.memory().total_demand_gb(), 0.0);
+        assert_eq!(d.sm_utilization(&g), 0.0);
+    }
+
+    #[test]
+    fn repair_restores_service_from_checkpoint() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        d.deploy_inference(
+            &g,
+            t(0.0),
+            InferenceInstance::new(ServiceId(1), 16, 0.5, 100.0),
+        );
+        d.add_training(
+            &g,
+            t(0.0),
+            TrainingProcess::new(ResidentId(2), TaskId(1), 0.4, 1000),
+        )
+        .unwrap();
+        let (inf, _) = d.fail(t(5.0));
+        d.repair();
+        assert_eq!(d.health(), DeviceHealth::Healthy);
+        d.deploy_inference(&g, t(10.0), inf.unwrap());
+        // The restored process resumes from its checkpointed progress.
+        d.add_training(
+            &g,
+            t(10.0),
+            TrainingProcess::with_progress(ResidentId(2), TaskId(1), 0.4, 600, 1000),
+        )
+        .unwrap();
+        assert_eq!(d.trainings()[0].remaining_iterations(), 400);
+        assert!(d.memory().total_demand_gb() > 0.0, "memory state rebuilt");
+    }
+
+    #[test]
+    fn degraded_scales_perf_factor() {
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        assert_eq!(d.perf_factor(), 1.0);
+        d.set_degraded(0.6);
+        assert_eq!(d.perf_factor(), 0.6);
+        assert!(d.is_up());
+        d.clear_degraded();
+        assert_eq!(d.health(), DeviceHealth::Healthy);
+    }
+
+    #[test]
+    #[should_panic(expected = "repairing a live device")]
+    fn repair_requires_down() {
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        d.repair();
     }
 
     #[test]
@@ -392,7 +598,12 @@ mod tests {
         d.add_training(
             &g,
             t(0.0),
-            TrainingProcess::new(ResidentId(1), g.zoo().task_by_name("YOLOv5").unwrap().id, 0.5, 100),
+            TrainingProcess::new(
+                ResidentId(1),
+                g.zoo().task_by_name("YOLOv5").unwrap().id,
+                0.5,
+                100,
+            ),
         )
         .unwrap();
         d.deploy_inference(

@@ -22,7 +22,7 @@ pub mod mig;
 pub mod process;
 pub mod restart;
 
-pub use device::{DeviceId, GpuDevice};
+pub use device::{DeviceHealth, DeviceId, GpuDevice};
 pub use memory::{MemoryManager, SwapStats, PCIE_GBPS};
 pub use mig::{MigInstance, MigProfile};
 pub use process::{InferenceInstance, ResidentId, TrainingProcess};

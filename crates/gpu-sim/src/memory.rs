@@ -183,6 +183,18 @@ impl MemoryManager {
         self.overflow_time.finish(now);
     }
 
+    /// Releases every resident's memory at once — a device failure or
+    /// full restart, where device memory does not survive. No PCIe
+    /// transfer is charged (the state is lost, not migrated); residents
+    /// re-register on restart, rebuilding the manager's state.
+    pub fn release_all(&mut self, now: SimTime) {
+        self.inference_gb = 0.0;
+        self.trainings.clear();
+        self.swapped.clear();
+        self.overflow_time.set(now, 0.0);
+        self.swapped_series.push((now.as_secs(), 0.0));
+    }
+
     /// Rebalances after a demand change: training memory spills to the
     /// host, newest (largest-index) residents first — inference memory
     /// never swaps. Returns the PCIe transfer time for the delta moved.
@@ -191,9 +203,7 @@ impl MemoryManager {
         let overflow = (self.total_demand_gb() - self.capacity_gb).max(0.0);
 
         // Inference must fit on its own; saturate if it cannot.
-        let mut to_swap = overflow.min(
-            self.trainings.iter().map(|&(_, gb)| gb).sum::<f64>(),
-        );
+        let mut to_swap = overflow.min(self.trainings.iter().map(|&(_, gb)| gb).sum::<f64>());
         self.swapped.clear();
         // Spill later arrivals first (they are the ones that caused the
         // overflow), matching Mudi's host-priority for training pages.
@@ -217,11 +227,13 @@ impl MemoryManager {
             self.stats.total_moved_gb += moved;
             let transfer = moved / PCIE_GBPS;
             self.stats.total_transfer_secs += transfer;
-            self.overflow_time.set(now, if self.is_overflowed() { 1.0 } else { 0.0 });
+            self.overflow_time
+                .set(now, if self.is_overflowed() { 1.0 } else { 0.0 });
             self.swapped_series.push((now.as_secs(), after));
             SimDuration::from_secs(transfer)
         } else {
-            self.overflow_time.set(now, if self.is_overflowed() { 1.0 } else { 0.0 });
+            self.overflow_time
+                .set(now, if self.is_overflowed() { 1.0 } else { 0.0 });
             SimDuration::ZERO
         }
     }

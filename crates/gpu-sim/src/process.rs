@@ -4,7 +4,7 @@ use workloads::{ServiceId, TaskId};
 
 /// Opaque identifier for a resident process (assigned by the owner,
 /// e.g. the cluster's job id).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ResidentId(pub u64);
 
 /// An inference-service instance pinned to a GPU partition.
@@ -78,9 +78,29 @@ impl TrainingProcess {
         }
     }
 
+    /// Creates a process restored from a checkpoint: `completed`
+    /// iterations are already done (a restarted job resumes where its
+    /// last checkpoint left it, not from zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TrainingProcess::new`].
+    pub fn with_progress(
+        id: ResidentId,
+        task: TaskId,
+        gpu_fraction: f64,
+        completed: u64,
+        total_iterations: u64,
+    ) -> Self {
+        let mut p = Self::new(id, task, gpu_fraction, total_iterations);
+        p.completed_iterations = completed.min(total_iterations);
+        p
+    }
+
     /// Remaining iterations.
     pub fn remaining_iterations(&self) -> u64 {
-        self.total_iterations.saturating_sub(self.completed_iterations)
+        self.total_iterations
+            .saturating_sub(self.completed_iterations)
     }
 
     /// Whether the task has finished.

@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn shadow_duplicates_weights_in_transit() {
-        assert_eq!(ReconfigPolicy::ShadowInstance.transient_memory_factor(), 2.0);
+        assert_eq!(
+            ReconfigPolicy::ShadowInstance.transient_memory_factor(),
+            2.0
+        );
         assert_eq!(ReconfigPolicy::Restart.transient_memory_factor(), 1.0);
     }
 

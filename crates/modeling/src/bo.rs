@@ -173,7 +173,7 @@ impl GpLcbTuner {
                 Some(y) => {
                     observed_x.push(vec![candidate]);
                     observed_y.push(y);
-                    if best.map_or(true, |(_, by)| y < by) {
+                    if best.is_none_or(|(_, by)| y < by) {
                         best = Some((candidate, y));
                     }
                 }

@@ -15,8 +15,7 @@
 /// Returns `4 * area(p1, p2, p3) / (|p1 p2| * |p2 p3| * |p1 p3|)` — zero
 /// for collinear points, larger for sharper bends.
 pub fn menger_curvature(p1: (f64, f64), p2: (f64, f64), p3: (f64, f64)) -> f64 {
-    let area2 =
-        ((p2.0 - p1.0) * (p3.1 - p1.1) - (p3.0 - p1.0) * (p2.1 - p1.1)).abs();
+    let area2 = ((p2.0 - p1.0) * (p3.1 - p1.1) - (p3.0 - p1.0) * (p2.1 - p1.1)).abs();
     let d12 = ((p2.0 - p1.0).powi(2) + (p2.1 - p1.1).powi(2)).sqrt();
     let d23 = ((p3.0 - p2.0).powi(2) + (p3.1 - p2.1).powi(2)).sqrt();
     let d13 = ((p3.0 - p1.0).powi(2) + (p3.1 - p1.1).powi(2)).sqrt();
@@ -73,9 +72,11 @@ pub fn kneedle(points: &[(f64, f64)]) -> Option<usize> {
         return None;
     }
     let (x0, x1) = (points[0].0, points[points.len() - 1].0);
-    let (ymin, ymax) = points.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
-        (acc.0.min(p.1), acc.1.max(p.1))
-    });
+    let (ymin, ymax) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
+            (acc.0.min(p.1), acc.1.max(p.1))
+        });
     if x1 == x0 || ymax == ymin {
         return None;
     }
@@ -174,10 +175,7 @@ mod tests {
 
     #[test]
     fn menger_zero_for_collinear() {
-        assert_eq!(
-            menger_curvature((0.0, 0.0), (1.0, 1.0), (2.0, 2.0)),
-            0.0
-        );
+        assert_eq!(menger_curvature((0.0, 0.0), (1.0, 1.0), (2.0, 2.0)), 0.0);
         assert!(menger_curvature((0.0, 0.0), (1.0, 1.0), (2.0, 0.0)) > 0.0);
     }
 

@@ -13,7 +13,7 @@
 use crate::fit::kneedle::find_knee;
 
 /// A fitted two-segment piece-wise linear function.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PiecewiseLinear {
     /// Slope of the left segment (Δ ≤ Δ0); negative for latency curves.
     pub k1: f64,

@@ -7,7 +7,7 @@
 use crate::linalg::{ridge_least_squares, Matrix};
 
 /// A polynomial `c0 + c1 x + c2 x² + …` fitted by least squares.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Polynomial {
     coeffs: Vec<f64>,
 }

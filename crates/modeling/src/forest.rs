@@ -80,8 +80,7 @@ impl RandomForest {
             .map(|t| {
                 let mut tree_rng = rng.fork_indexed("tree", t);
                 // Bootstrap sample.
-                let idx: Vec<usize> =
-                    (0..n).map(|_| tree_rng.uniform_usize(0, n)).collect();
+                let idx: Vec<usize> = (0..n).map(|_| tree_rng.uniform_usize(0, n)).collect();
                 build_tree(data, &idx, min_leaf.max(1), mtry, 0, &mut tree_rng)
             })
             .collect();
@@ -176,7 +175,7 @@ fn build_tree(
             let sse = (left_sq - left_n as f64 * left_mean * left_mean)
                 + ((total_sq - left_sq) - right_n as f64 * right_mean * right_mean);
             let threshold = (window[0].0 + window[1].0) / 2.0;
-            if best.map_or(true, |(_, _, b)| sse < b) {
+            if best.is_none_or(|(_, _, b)| sse < b) {
                 best = Some((f, threshold, sse));
             }
         }
@@ -191,14 +190,7 @@ fn build_tree(
                 feature,
                 threshold,
                 left: Box::new(build_tree(data, &left_idx, min_leaf, mtry, depth + 1, rng)),
-                right: Box::new(build_tree(
-                    data,
-                    &right_idx,
-                    min_leaf,
-                    mtry,
-                    depth + 1,
-                    rng,
-                )),
+                right: Box::new(build_tree(data, &right_idx, min_leaf, mtry, depth + 1, rng)),
             }
         }
         _ => Node::Leaf { value: mean },
@@ -214,7 +206,13 @@ mod tests {
         let mut d = Dataset::new();
         for i in 0..200 {
             let x = i as f64 / 20.0;
-            let y = if x < 3.0 { 1.0 } else if x < 7.0 { 5.0 } else { 2.0 };
+            let y = if x < 3.0 {
+                1.0
+            } else if x < 7.0 {
+                5.0
+            } else {
+                2.0
+            };
             d.push(vec![x, (i % 7) as f64], y);
         }
         d

@@ -4,7 +4,7 @@ use crate::linalg::{ridge_least_squares, Matrix};
 use crate::regressor::{Dataset, Regressor};
 
 /// Linear regression with L2 regularization and a bias term.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RidgeRegression {
     /// Weights, one per feature, followed by the bias.
     weights: Vec<f64>,

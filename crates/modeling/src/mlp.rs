@@ -131,8 +131,10 @@ impl MlpRegressor {
             .map(|(i, w)| Layer::new(w[0], w[1], i + 2 < dims.len(), &mut net_rng))
             .collect();
 
-        let mut adams: Vec<(Adam, Adam)> =
-            layers.iter().map(|_| (Adam::default(), Adam::default())).collect();
+        let mut adams: Vec<(Adam, Adam)> = layers
+            .iter()
+            .map(|_| (Adam::default(), Adam::default()))
+            .collect();
         let mut order: Vec<usize> = (0..xs.len()).collect();
         let mut shuffle_rng = rng.fork("mlp-shuffle");
         const BATCH: usize = 8;

@@ -82,7 +82,7 @@ pub trait Regressor: Send + Sync {
 }
 
 /// The family of lightweight learners the Interference Modeler tries.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RegressorKind {
     /// Random forest regression.
     RandomForest,
@@ -149,7 +149,7 @@ impl RegressorKind {
 /// inputs on a common scale; [`Standardizer`] remembers per-column mean
 /// and standard deviation from training data and applies them at
 /// prediction time.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Standardizer {
     means: Vec<f64>,
     stds: Vec<f64>,

@@ -105,7 +105,11 @@ mod tests {
         let report = select_best_model(&d, 4, &mut rng).unwrap();
         // Whatever wins must predict the affine function well.
         let pred = report.model.predict(&[10.0, 1.0]);
-        assert!((pred - 42.0).abs() < 3.0, "pred {pred} by {:?}", report.kind);
+        assert!(
+            (pred - 42.0).abs() < 3.0,
+            "pred {pred} by {:?}",
+            report.kind
+        );
         assert!(!report.cv_errors.is_empty());
     }
 

@@ -93,7 +93,10 @@ pub fn min_gpu_fraction(
     lo: f64,
     hi: f64,
 ) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0, "bad range");
+    assert!(
+        (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0,
+        "bad range"
+    );
     let target = latency_budget(qps, batch, slo);
     if target <= 0.0 {
         return None;
@@ -127,7 +130,10 @@ pub fn min_gpu_fraction_relaxed(
     lo: f64,
     hi: f64,
 ) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0, "bad range");
+    assert!(
+        (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0,
+        "bad range"
+    );
     let target = latency_budget_relaxed(qps, batch, slo);
     if target <= 0.0 {
         return None;

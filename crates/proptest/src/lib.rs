@@ -1,0 +1,401 @@
+//! A dependency-free property-testing shim.
+//!
+//! This workspace builds fully offline, so it cannot pull the real
+//! `proptest` crate from a registry. This crate implements the small
+//! API subset the repo's property tests use — the [`proptest!`] macro,
+//! range/collection/sample/string strategies, and the `prop_assert_*`
+//! macros — on top of a deterministic in-tree generator. Differences
+//! from upstream:
+//!
+//! * **Deterministic by construction**: cases are seeded from the test
+//!   name and case index, so failures reproduce bit-for-bit with no
+//!   persistence file.
+//! * **No shrinking**: a failing case panics with its index; re-running
+//!   replays it exactly.
+//! * Case count defaults to 64; override with `PROPTEST_CASES`.
+//!
+//! Swapping the real crate back in (see README's offline-build note)
+//! requires no changes to the test sources.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Deterministic per-case generator (SplitMix64-seeded xorshift mix).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator for one `(test, case)` pair.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in test_name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: splitmix(h ^ splitmix(case as u64 + 1)),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = splitmix(self.state);
+        self.state
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u32 {
+    cases_or(64)
+}
+
+/// Case count with a block-level default (`PROPTEST_CASES` still wins).
+pub fn cases_or(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Per-block runner configuration, mirroring the subset of
+/// `proptest::test_runner::ProptestConfig` the tests use. Attach with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` as the first
+/// item inside [`proptest!`] — expensive properties (whole-simulation
+/// invariants) dial their case count down.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: cases() }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and implementations for the primitive
+    //! input shapes the tests draw from.
+
+    use super::{Debug, Range, TestRng};
+
+    /// A recipe for generating one random input value.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {
+            $(impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $ty
+                }
+            })*
+        };
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            let x = self.start + rng.next_f64() * (self.end - self.start);
+            if x >= self.end {
+                self.start
+            } else {
+                x
+            }
+        }
+    }
+
+    /// Minimal regex-flavoured string strategy. Supports what the test
+    /// suite uses: a literal prefix and/or one `[a-z0-9_]{m,n}`-style
+    /// class with an optional repetition count.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '[' {
+                out.push(c);
+                continue;
+            }
+            // Character class: collect alternatives (with `a-z` ranges).
+            let mut class: Vec<char> = Vec::new();
+            let mut prev: Option<char> = None;
+            for m in chars.by_ref() {
+                match m {
+                    ']' => break,
+                    '-' => {
+                        // Range: consume upper bound on next iteration.
+                        prev = prev.inspect(|_| {
+                            class.pop();
+                        });
+                        if let Some(p) = prev {
+                            class.push(p); // Restore; replaced below.
+                            class.pop();
+                            prev = Some(p);
+                            class.push('\u{0}'); // Placeholder marker.
+                        }
+                    }
+                    c => {
+                        if class.last() == Some(&'\u{0}') {
+                            class.pop();
+                            let lo = prev.unwrap_or('a');
+                            for x in lo..=c {
+                                class.push(x);
+                            }
+                            prev = None;
+                        } else {
+                            class.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+            }
+            assert!(!class.is_empty(), "empty character class in {pattern}");
+            // Optional repetition `{m,n}` or `{n}`.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("repeat lower bound"),
+                        b.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n: usize = spec.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1usize, 1usize)
+            };
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..len {
+                out.push(class[rng.below(class.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    /// Full-range strategy returned by [`crate::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Strategy for Any<u32> {
+        type Value = u32;
+        fn generate(&self, rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Generates any value of `T` (full range). Mirrors `proptest::any`.
+pub fn any<T>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::{Range, TestRng};
+
+    /// A strategy for `Vec<S::Value>` with a size drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Vector of values from `elem`, with length in `size` (half-open,
+    /// like upstream's `SizeRange` from a `Range<usize>`).
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use super::strategy::Strategy;
+    use super::{Debug, TestRng};
+
+    /// Uniform choice among a fixed set of values.
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Picks uniformly from `items`.
+    pub fn select<T: Clone + Debug>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "cannot select from an empty vec");
+        Select { items }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs, mirroring
+    //! `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies, running [`cases()`] deterministic cases each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __cases = $crate::cases_or(__cfg.cases);
+                for __case in 0..__cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)+
+        }
+    };
+}
+
+/// Asserts a condition inside a property (panics with the case inputs'
+/// formatting responsibilities left to the caller, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_generates_within_spec() {
+        let mut rng = crate::TestRng::for_case("string", 0);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let a = Strategy::generate(&(0u64..1000), &mut crate::TestRng::for_case("t", 3));
+        let b = Strategy::generate(&(0u64..1000), &mut crate::TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, y in -0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vecs_respect_size(v in prop::collection::vec(0u32..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn select_picks_members(x in prop::sample::select(vec![2u32, 8, 32])) {
+            prop_assert!([2u32, 8, 32].contains(&x));
+        }
+    }
+}

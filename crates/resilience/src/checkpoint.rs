@@ -1,0 +1,181 @@
+//! Training checkpoint/restore accounting.
+//!
+//! Checkpoints fire every fixed amount of *accrued running time* (wall
+//! time the job actually spent computing — paused and evicted spans do
+//! not advance the clock). The engine accrues training progress
+//! analytically over spans of constant rate, so [`CheckpointTracker`]
+//! interpolates the iteration count at each period boundary crossed by
+//! a span instead of sampling: the recorded checkpoint is *exactly* the
+//! progress at the boundary, which is what guarantees a restore never
+//! loses more than one period of work.
+
+use simcore::SimDuration;
+
+/// Tracks checkpoint state for one training job.
+#[derive(Clone, Debug)]
+pub struct CheckpointTracker {
+    period_secs: f64,
+    /// Running time accrued since the job first started, seconds.
+    run_secs: f64,
+    /// Iterations captured by the most recent checkpoint.
+    checkpoint_iters: f64,
+    /// Run-clock time of the most recent checkpoint.
+    checkpoint_run_secs: f64,
+}
+
+impl CheckpointTracker {
+    /// Starts tracking a job with `initial_iters` of prior progress
+    /// (zero for a fresh job; non-zero when a requeued job restarts
+    /// from its restored checkpoint, which counts as a checkpoint-on-
+    /// start).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period` is strictly positive.
+    pub fn new(period: SimDuration, initial_iters: f64) -> Self {
+        assert!(period.as_secs() > 0.0, "checkpoint period must be positive");
+        CheckpointTracker {
+            period_secs: period.as_secs(),
+            run_secs: 0.0,
+            checkpoint_iters: initial_iters,
+            checkpoint_run_secs: 0.0,
+        }
+    }
+
+    /// Records a span of `span_secs` of running time over which the
+    /// job's completed iterations advanced linearly from `start_iters`
+    /// to `end_iters`, firing any checkpoints whose period boundary
+    /// falls inside the span.
+    pub fn on_progress(&mut self, span_secs: f64, start_iters: f64, end_iters: f64) {
+        if span_secs <= 0.0 {
+            return;
+        }
+        let span_start = self.run_secs;
+        self.run_secs += span_secs;
+        // Last whole-period boundary at or before the new run clock.
+        let k = (self.run_secs / self.period_secs).floor();
+        let boundary = k * self.period_secs;
+        if boundary > span_start && boundary > self.checkpoint_run_secs {
+            // Progress is linear in run time over the span, so the
+            // iteration count at the boundary is exact.
+            let frac = (boundary - span_start) / span_secs;
+            self.checkpoint_iters = start_iters + frac * (end_iters - start_iters);
+            self.checkpoint_run_secs = boundary;
+        }
+    }
+
+    /// Restores the job to its last checkpoint, returning the iteration
+    /// count to resume from. The run clock rewinds to the checkpoint,
+    /// so the next checkpoint fires one full period after it.
+    pub fn rollback(&mut self) -> f64 {
+        self.run_secs = self.checkpoint_run_secs;
+        self.checkpoint_iters
+    }
+
+    /// Iterations captured by the most recent checkpoint.
+    pub fn checkpoint_iters(&self) -> f64 {
+        self.checkpoint_iters
+    }
+
+    /// Work that would be lost if the job died right now, given its
+    /// current completed iterations.
+    pub fn loss_if_failed(&self, current_iters: f64) -> f64 {
+        (current_iters - self.checkpoint_iters).max(0.0)
+    }
+
+    /// The configured checkpoint period.
+    pub fn period(&self) -> SimDuration {
+        SimDuration::from_secs(self.period_secs)
+    }
+
+    /// Running time since the last checkpoint, seconds. Bounded by one
+    /// period (up to floating-point rounding) by construction.
+    pub fn secs_since_checkpoint(&self) -> f64 {
+        self.run_secs - self.checkpoint_run_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(period: f64) -> CheckpointTracker {
+        CheckpointTracker::new(SimDuration::from_secs(period), 0.0)
+    }
+
+    #[test]
+    fn no_checkpoint_before_first_boundary() {
+        let mut t = tracker(100.0);
+        t.on_progress(99.0, 0.0, 990.0);
+        assert_eq!(t.checkpoint_iters(), 0.0);
+        assert_eq!(t.rollback(), 0.0);
+    }
+
+    #[test]
+    fn boundary_inside_span_is_interpolated_exactly() {
+        let mut t = tracker(100.0);
+        // Span [60, 140) at 10 iters/sec: boundary at 100s → 400 iters
+        // into the span start's 600.
+        t.on_progress(60.0, 0.0, 600.0);
+        t.on_progress(80.0, 600.0, 1400.0);
+        assert!((t.checkpoint_iters() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_span_checkpoints_at_latest_boundary() {
+        let mut t = tracker(100.0);
+        // One span crossing three boundaries: only the latest matters.
+        t.on_progress(350.0, 0.0, 700.0);
+        assert!((t.checkpoint_iters() - 600.0).abs() < 1e-9);
+        assert!(t.secs_since_checkpoint() <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn rollback_rewinds_the_run_clock() {
+        let mut t = tracker(100.0);
+        t.on_progress(150.0, 0.0, 150.0);
+        assert_eq!(t.rollback(), 100.0);
+        // After rollback we are exactly at the checkpoint; the next
+        // boundary is one full period away.
+        t.on_progress(99.0, 100.0, 199.0);
+        assert_eq!(t.checkpoint_iters(), 100.0);
+        t.on_progress(2.0, 199.0, 201.0);
+        assert!((t.checkpoint_iters() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_never_exceeds_one_period_of_progress() {
+        // Irregular spans with a varying rate; the invariant must hold
+        // after every span.
+        let mut t = tracker(60.0);
+        let spans = [
+            (13.0, 2.0),
+            (95.0, 1.0),
+            (7.5, 4.0),
+            (61.0, 0.5),
+            (240.0, 3.0),
+            (59.9, 10.0),
+        ];
+        let mut iters = 0.0;
+        let mut max_rate_seen = 0.0f64;
+        for (secs, rate) in spans {
+            let end = iters + secs * rate;
+            t.on_progress(secs, iters, end);
+            iters = end;
+            max_rate_seen = max_rate_seen.max(rate);
+            let lost = t.loss_if_failed(iters);
+            // Lost work ≤ time-since-checkpoint × current rate, and
+            // time-since-checkpoint ≤ one period.
+            assert!(t.secs_since_checkpoint() <= 60.0 + 1e-9);
+            assert!(lost <= 60.0 * max_rate_seen + 1e-9, "lost {lost}");
+        }
+    }
+
+    #[test]
+    fn restored_job_checkpoints_from_its_initial_progress() {
+        let mut t = CheckpointTracker::new(SimDuration::from_secs(50.0), 500.0);
+        assert_eq!(t.rollback(), 500.0);
+        t.on_progress(10.0, 500.0, 510.0);
+        assert_eq!(t.loss_if_failed(510.0), 10.0);
+    }
+}

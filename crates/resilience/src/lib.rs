@@ -1,0 +1,33 @@
+//! Deterministic fault injection and recovery for the cluster simulator.
+//!
+//! The Mudi paper evaluates multiplexing under dynamic *load* but a
+//! fault-free cluster; production GPU sharing is defined by behaviour
+//! under failure. This crate layers that dimension onto the
+//! discrete-event stack:
+//!
+//! * [`FaultSchedule`] — a seed-replayable, pre-drawn sequence of
+//!   device failures (MTTF/MTTR), transient slowdowns (ECC/thermal
+//!   throttle as temporary GPU% loss), training-process crashes, and
+//!   MPS-restart failures. Every system under test faces the identical
+//!   schedule for a given seed.
+//! * [`CheckpointTracker`] — checkpoint/restore accounting with exact
+//!   period-boundary interpolation, guaranteeing a restore never loses
+//!   more than one checkpoint period of progress.
+//! * [`RecoveryPolicy`] — per-run recovery strategy: inference
+//!   failover, training requeue, restart costs, and the guardrail
+//!   parameters (retune dwell, degraded-mode training share) the local
+//!   coordinator enforces.
+//!
+//! The cluster engine owns the event loop; this crate owns the *what*
+//! and *when* of faults and the accounting rules of recovery, keeping
+//! both independently testable.
+
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod recovery;
+pub mod schedule;
+
+pub use checkpoint::CheckpointTracker;
+pub use recovery::{FaultProfile, RecoveryPolicy};
+pub use schedule::{FaultConfig, FaultEvent, FaultKind, FaultSchedule};

@@ -1,0 +1,120 @@
+//! Recovery policies: what a system does after each fault class.
+//!
+//! Every system under test must define how it reacts to faults so
+//! failure experiments compare recovery *strategies*, not accidents of
+//! wiring. The engine consults one [`RecoveryPolicy`] per run.
+
+use simcore::SimDuration;
+
+use crate::schedule::FaultConfig;
+
+/// Knobs controlling recovery behaviour after injected faults.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPolicy {
+    /// Period between training checkpoints, in accrued running time.
+    pub checkpoint_period: SimDuration,
+    /// Re-place inference replicas evicted by a device failure onto
+    /// surviving devices (re-running the system's placement logic).
+    /// When `false`, the failed replica's traffic is dropped — and
+    /// counted as SLO violations — until the device returns.
+    pub failover_inference: bool,
+    /// Requeue training jobs evicted by a device failure so the
+    /// scheduler can restart them elsewhere. When `false`, evicted jobs
+    /// wait for their original device to be repaired.
+    pub requeue_training: bool,
+    /// Cold-restart time for a crashed training process (MPS teardown,
+    /// relaunch, checkpoint reload).
+    pub process_restart: SimDuration,
+    /// Anti-thrashing dwell: minimum spacing between fault-triggered
+    /// retunes of the same device (see `mudi::RetuneGuard`).
+    pub retune_dwell: SimDuration,
+    /// While a device is in post-failure degraded mode, cap best-effort
+    /// training at this fraction of its normal GPU% share (the SLO
+    /// circuit-breaker; `1.0` disables shedding).
+    pub degraded_training_share: f64,
+    /// How long a freshly repaired device stays in degraded mode
+    /// (burn-in: reduced clocks while the driver re-validates memory).
+    pub degraded_hold: SimDuration,
+}
+
+impl RecoveryPolicy {
+    /// The full recovery stack: checkpointing, inference failover,
+    /// training requeue, and guardrails. What Mudi and the adaptive
+    /// baselines run with.
+    pub fn standard() -> Self {
+        RecoveryPolicy {
+            checkpoint_period: SimDuration::from_mins(10.0),
+            failover_inference: true,
+            requeue_training: true,
+            process_restart: SimDuration::from_secs(20.0),
+            retune_dwell: SimDuration::from_secs(10.0),
+            degraded_training_share: 0.5,
+            degraded_hold: SimDuration::from_mins(5.0),
+        }
+    }
+
+    /// No failover and no requeue: work pinned to a failed device waits
+    /// out the repair. Models static-partitioning deployments.
+    pub fn wait_for_repair() -> Self {
+        RecoveryPolicy {
+            failover_inference: false,
+            requeue_training: false,
+            ..Self::standard()
+        }
+    }
+
+    /// Standard recovery with a custom checkpoint period.
+    pub fn with_checkpoint_period(period: SimDuration) -> Self {
+        RecoveryPolicy {
+            checkpoint_period: period,
+            ..Self::standard()
+        }
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// A complete failure experiment: what faults to inject and how the
+/// system recovers from them. Attached to a cluster run's config.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultProfile {
+    /// Fault rates and magnitudes.
+    pub faults: FaultConfig,
+    /// Recovery strategy.
+    pub recovery: RecoveryPolicy,
+}
+
+impl FaultProfile {
+    /// Standard recovery under the baseline fault mix scaled by `rate`.
+    pub fn scaled(rate: f64) -> Self {
+        FaultProfile {
+            faults: FaultConfig::scaled(rate),
+            recovery: RecoveryPolicy::standard(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_enables_the_full_stack() {
+        let p = RecoveryPolicy::standard();
+        assert!(p.failover_inference);
+        assert!(p.requeue_training);
+        assert!(p.checkpoint_period.as_secs() > 0.0);
+        assert!(p.degraded_training_share < 1.0);
+    }
+
+    #[test]
+    fn wait_for_repair_disables_replacement() {
+        let p = RecoveryPolicy::wait_for_repair();
+        assert!(!p.failover_inference);
+        assert!(!p.requeue_training);
+    }
+}

@@ -1,0 +1,381 @@
+//! Deterministic fault schedules.
+//!
+//! A [`FaultSchedule`] pre-draws every fault an experiment will see from
+//! a forked [`SimRng`] stream, so the sequence depends only on the
+//! experiment seed and the [`FaultConfig`] — never on how the engine
+//! interleaves other events. Replaying a seed reproduces the schedule
+//! bit-for-bit, which is what makes failure experiments comparable
+//! across systems: Mudi and every baseline face the *same* faults at
+//! the *same* times.
+
+use simcore::{Exponential, SimDuration, SimRng, SimTime};
+
+/// Rates and magnitudes for the injected fault classes.
+///
+/// All interarrival times are exponential with the given means, drawn
+/// independently per device so cluster-level fault frequency scales
+/// with cluster size (as it does in production fleets).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Mean time to full device failure, per device.
+    pub mttf: SimDuration,
+    /// Mean time to repair a failed device.
+    pub mttr: SimDuration,
+    /// Mean time between transient slowdowns (ECC scrub storms, thermal
+    /// throttling), per device.
+    pub slowdown_mtbe: SimDuration,
+    /// Mean duration of one slowdown episode.
+    pub slowdown_duration: SimDuration,
+    /// Performance factor range during a slowdown, drawn uniformly;
+    /// `0.6` means the device retains 60% of its effective GPU%.
+    pub slowdown_factor: (f64, f64),
+    /// Mean time between training-process crashes, per device.
+    pub crash_mtbe: SimDuration,
+    /// Mean time between MPS daemon failures forcing a cold restart of
+    /// every process on the device, per device.
+    pub mps_failure_mtbe: SimDuration,
+}
+
+impl FaultConfig {
+    /// A fleet-calibrated baseline: device failures are rare (MTTF on
+    /// the order of a month), transient slowdowns and process crashes
+    /// are the common case — matching the rule of thumb that tail SLOs
+    /// are dominated by frequent small disruptions, not rare outages.
+    pub fn baseline() -> Self {
+        FaultConfig {
+            mttf: SimDuration::from_hours(720.0),
+            mttr: SimDuration::from_mins(30.0),
+            slowdown_mtbe: SimDuration::from_hours(24.0),
+            slowdown_duration: SimDuration::from_mins(5.0),
+            slowdown_factor: (0.4, 0.9),
+            crash_mtbe: SimDuration::from_hours(72.0),
+            mps_failure_mtbe: SimDuration::from_hours(240.0),
+        }
+    }
+
+    /// The baseline with every fault rate multiplied by `rate` (repair
+    /// times and slowdown magnitudes unchanged). `rate = 0` disables
+    /// fault injection entirely.
+    pub fn scaled(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "invalid fault rate {rate}");
+        let base = Self::baseline();
+        if rate == 0.0 {
+            // Callers gate on `rate > 0`; keep the config valid anyway.
+            return base;
+        }
+        FaultConfig {
+            mttf: SimDuration::from_secs(base.mttf.as_secs() / rate),
+            slowdown_mtbe: SimDuration::from_secs(base.slowdown_mtbe.as_secs() / rate),
+            crash_mtbe: SimDuration::from_secs(base.crash_mtbe.as_secs() / rate),
+            mps_failure_mtbe: SimDuration::from_secs(base.mps_failure_mtbe.as_secs() / rate),
+            ..base
+        }
+    }
+}
+
+/// One class of injected fault, with its magnitude.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The device goes down hard; everything on it is evicted. It comes
+    /// back `repair` later.
+    DeviceFailure {
+        /// Time until the device is serviceable again.
+        repair: SimDuration,
+    },
+    /// The device temporarily delivers only `factor` of its effective
+    /// compute (inference latency and training throughput both degrade).
+    Slowdown {
+        /// Retained fraction of effective GPU%, in `(0, 1)`.
+        factor: f64,
+        /// How long the episode lasts.
+        duration: SimDuration,
+    },
+    /// One training process on the device dies and must restart from
+    /// its last checkpoint. `salt` deterministically picks the victim
+    /// among whatever processes are resident when the fault fires.
+    ProcessCrash {
+        /// Victim selector: `salt % residents` at fire time.
+        salt: u64,
+    },
+    /// The MPS daemon wedges: every process on the device takes a cold
+    /// restart (full [`MPS_RESTART_SECS`]-class outage), but no work is
+    /// lost beyond the downtime.
+    ///
+    /// [`MPS_RESTART_SECS`]: https://docs.nvidia.com/deploy/mps/
+    MpsRestartFailure,
+}
+
+/// A fault bound to a time and a device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// The afflicted device (cluster device index).
+    pub device: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A replayable, time-sorted sequence of fault events.
+///
+/// # Examples
+///
+/// ```
+/// use resilience::{FaultConfig, FaultSchedule};
+/// use simcore::SimRng;
+///
+/// let cfg = FaultConfig::scaled(50.0);
+/// let a = FaultSchedule::generate(&cfg, 8, 86_400.0, &SimRng::seed(7));
+/// let b = FaultSchedule::generate(&cfg, 8, 86_400.0, &SimRng::seed(7));
+/// assert_eq!(a.events(), b.events());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (fault-free run).
+    pub fn empty() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Builds a schedule from hand-written events (tests inject exact
+    /// scenarios). Events are sorted into the canonical order.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| {
+            a.at.as_secs()
+                .partial_cmp(&b.at.as_secs())
+                .expect("SimTime is never NaN")
+                .then(a.device.cmp(&b.device))
+                .then(kind_rank(&a.kind).cmp(&kind_rank(&b.kind)))
+        });
+        FaultSchedule { events }
+    }
+
+    /// Draws every fault in `[0, horizon_secs)` for `devices` devices.
+    ///
+    /// Each `(device, fault class)` pair gets its own forked stream, so
+    /// adding a fault class or a device never perturbs the draws of the
+    /// others — the same independence contract `SimRng::fork` gives the
+    /// rest of the simulator.
+    pub fn generate(config: &FaultConfig, devices: usize, horizon_secs: f64, rng: &SimRng) -> Self {
+        let mut events = Vec::new();
+        for device in 0..devices {
+            Self::draw_failures(config, device, horizon_secs, rng, &mut events);
+            Self::draw_slowdowns(config, device, horizon_secs, rng, &mut events);
+            Self::draw_renewals(
+                config.crash_mtbe,
+                device,
+                horizon_secs,
+                &mut rng.fork_indexed("fault-crash", device),
+                &mut events,
+                |r| FaultKind::ProcessCrash { salt: r.u64() },
+            );
+            Self::draw_renewals(
+                config.mps_failure_mtbe,
+                device,
+                horizon_secs,
+                &mut rng.fork_indexed("fault-mps", device),
+                &mut events,
+                |_| FaultKind::MpsRestartFailure,
+            );
+        }
+        // Total order: time, then device, then an arbitrary-but-fixed
+        // kind rank, so ties are broken identically on every replay.
+        events.sort_by(|a, b| {
+            a.at.as_secs()
+                .partial_cmp(&b.at.as_secs())
+                .expect("SimTime is never NaN")
+                .then(a.device.cmp(&b.device))
+                .then(kind_rank(&a.kind).cmp(&kind_rank(&b.kind)))
+        });
+        FaultSchedule { events }
+    }
+
+    fn draw_failures(
+        config: &FaultConfig,
+        device: usize,
+        horizon: f64,
+        rng: &SimRng,
+        out: &mut Vec<FaultEvent>,
+    ) {
+        let mut rng = rng.fork_indexed("fault-device", device);
+        let interarrival = Exponential::with_mean(config.mttf.as_secs());
+        let repair_dist = Exponential::with_mean(config.mttr.as_secs());
+        let mut t = interarrival.sample(&mut rng);
+        while t < horizon {
+            let repair = repair_dist.sample(&mut rng);
+            out.push(FaultEvent {
+                at: SimTime::from_secs(t),
+                device,
+                kind: FaultKind::DeviceFailure {
+                    repair: SimDuration::from_secs(repair),
+                },
+            });
+            // The next failure clock starts once the device is back.
+            t += repair + interarrival.sample(&mut rng);
+        }
+    }
+
+    fn draw_slowdowns(
+        config: &FaultConfig,
+        device: usize,
+        horizon: f64,
+        rng: &SimRng,
+        out: &mut Vec<FaultEvent>,
+    ) {
+        let mut rng = rng.fork_indexed("fault-slowdown", device);
+        let interarrival = Exponential::with_mean(config.slowdown_mtbe.as_secs());
+        let duration_dist = Exponential::with_mean(config.slowdown_duration.as_secs());
+        let (lo, hi) = config.slowdown_factor;
+        let mut t = interarrival.sample(&mut rng);
+        while t < horizon {
+            let duration = duration_dist.sample(&mut rng);
+            out.push(FaultEvent {
+                at: SimTime::from_secs(t),
+                device,
+                kind: FaultKind::Slowdown {
+                    factor: rng.uniform(lo, hi),
+                    duration: SimDuration::from_secs(duration),
+                },
+            });
+            // Episodes do not overlap on a device.
+            t += duration + interarrival.sample(&mut rng);
+        }
+    }
+
+    fn draw_renewals(
+        mtbe: SimDuration,
+        device: usize,
+        horizon: f64,
+        rng: &mut SimRng,
+        out: &mut Vec<FaultEvent>,
+        mut kind: impl FnMut(&mut SimRng) -> FaultKind,
+    ) {
+        let interarrival = Exponential::with_mean(mtbe.as_secs());
+        let mut t = interarrival.sample(rng);
+        while t < horizon {
+            out.push(FaultEvent {
+                at: SimTime::from_secs(t),
+                device,
+                kind: kind(rng),
+            });
+            t += interarrival.sample(rng);
+        }
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of events of each class `(failures, slowdowns, crashes,
+    /// mps_failures)` — handy for experiment banners.
+    pub fn class_counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for e in &self.events {
+            match e.kind {
+                FaultKind::DeviceFailure { .. } => c.0 += 1,
+                FaultKind::Slowdown { .. } => c.1 += 1,
+                FaultKind::ProcessCrash { .. } => c.2 += 1,
+                FaultKind::MpsRestartFailure => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+fn kind_rank(kind: &FaultKind) -> u8 {
+    match kind {
+        FaultKind::DeviceFailure { .. } => 0,
+        FaultKind::Slowdown { .. } => 1,
+        FaultKind::ProcessCrash { .. } => 2,
+        FaultKind::MpsRestartFailure => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense() -> FaultConfig {
+        FaultConfig::scaled(200.0)
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultSchedule::generate(&dense(), 16, 40_000.0, &SimRng::seed(11));
+        let b = FaultSchedule::generate(&dense(), 16, 40_000.0, &SimRng::seed(11));
+        assert!(!a.is_empty());
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultSchedule::generate(&dense(), 16, 40_000.0, &SimRng::seed(1));
+        let b = FaultSchedule::generate(&dense(), 16, 40_000.0, &SimRng::seed(2));
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_within_horizon() {
+        let s = FaultSchedule::generate(&dense(), 8, 20_000.0, &SimRng::seed(3));
+        for w in s.events().windows(2) {
+            assert!(w[0].at.as_secs() <= w[1].at.as_secs());
+        }
+        assert!(s.events().iter().all(|e| e.at.as_secs() < 20_000.0));
+        assert!(s.events().iter().all(|e| e.device < 8));
+    }
+
+    #[test]
+    fn adding_devices_preserves_existing_streams() {
+        let cfg = dense();
+        let small = FaultSchedule::generate(&cfg, 4, 30_000.0, &SimRng::seed(5));
+        let large = FaultSchedule::generate(&cfg, 8, 30_000.0, &SimRng::seed(5));
+        let small_only: Vec<_> = large
+            .events()
+            .iter()
+            .copied()
+            .filter(|e| e.device < 4)
+            .collect();
+        assert_eq!(small.events(), small_only.as_slice());
+    }
+
+    #[test]
+    fn rate_scaling_changes_density() {
+        let sparse =
+            FaultSchedule::generate(&FaultConfig::scaled(50.0), 8, 100_000.0, &SimRng::seed(9));
+        let dense =
+            FaultSchedule::generate(&FaultConfig::scaled(400.0), 8, 100_000.0, &SimRng::seed(9));
+        assert!(dense.len() > 2 * sparse.len());
+    }
+
+    #[test]
+    fn slowdown_factors_stay_in_configured_range() {
+        let s = FaultSchedule::generate(&dense(), 8, 100_000.0, &SimRng::seed(13));
+        let (lo, hi) = dense().slowdown_factor;
+        for e in s.events() {
+            if let FaultKind::Slowdown { factor, .. } = e.kind {
+                assert!(factor >= lo && factor < hi, "factor {factor}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_counts_add_up() {
+        let s = FaultSchedule::generate(&dense(), 8, 50_000.0, &SimRng::seed(21));
+        let (f, sl, c, m) = s.class_counts();
+        assert_eq!(f + sl + c + m, s.len());
+    }
+}

@@ -203,7 +203,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule_at(SimTime::from_secs(1.0), 1);
         q.schedule_at(SimTime::from_secs(5.0), 5);
-        assert_eq!(q.pop_until(SimTime::from_secs(2.0)).map(|(_, e)| e), Some(1));
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(2.0)).map(|(_, e)| e),
+            Some(1)
+        );
         assert_eq!(q.pop_until(SimTime::from_secs(2.0)), None);
         assert_eq!(q.len(), 1);
     }

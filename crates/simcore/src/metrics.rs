@@ -26,7 +26,7 @@ use crate::time::SimTime;
 /// assert_eq!(s.mean(), 2.0);
 /// assert_eq!(s.count(), 3);
 /// ```
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct StreamingStats {
     count: u64,
     mean: f64,
@@ -127,7 +127,7 @@ impl StreamingStats {
 /// Buckets grow geometrically, giving a bounded relative quantile error
 /// (default 1 % with 2,305 buckets spanning 1 µs–10⁵ s when values are
 /// seconds). Used for the paper's P99 tail-latency metrics.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     /// Lower bound of bucket 0.
     floor: f64,
@@ -359,7 +359,7 @@ impl UtilizationIntegrator {
 }
 
 /// Raw `(t, v)` time series with fixed-interval resampling.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TimeSeries {
     points: Vec<(f64, f64)>,
 }
@@ -431,7 +431,7 @@ impl TimeSeries {
 }
 
 /// An empirical CDF built from a finite sample.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }

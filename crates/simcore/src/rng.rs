@@ -5,11 +5,14 @@
 //! independent streams from `(parent seed, label)` so adding a new
 //! consumer never perturbs the draws seen by existing ones — a property
 //! the reproducibility of the experiment harness relies on.
+//!
+//! The generator is a self-contained xoshiro256++ implementation (the
+//! same algorithm `rand`'s `SmallRng` uses on 64-bit targets), seeded
+//! through SplitMix64. Keeping it in-tree means the workspace builds
+//! with no external dependencies — and the stream for a given seed can
+//! never change under us via a dependency upgrade.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// A seedable, forkable random-number generator.
+/// A seedable, forkable random-number generator (xoshiro256++).
 ///
 /// # Examples
 ///
@@ -25,15 +28,22 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
 }
 
 impl SimRng {
     /// Creates a generator from an experiment seed.
     pub fn seed(seed: u64) -> Self {
+        // Chained SplitMix64 expansion of the 64-bit seed into the
+        // 256-bit state, as recommended by the xoshiro authors. The
+        // chain cannot produce the forbidden all-zero state.
+        let s0 = splitmix(seed);
+        let s1 = splitmix(s0);
+        let s2 = splitmix(s1);
+        let s3 = splitmix(s2);
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [s0, s1, s2, s3],
             seed,
         }
     }
@@ -54,14 +64,23 @@ impl SimRng {
         ))
     }
 
-    /// Draws a uniform `f64` in `[0, 1)`.
-    pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+    /// Draws a uniform `u64` (the raw xoshiro256++ output).
+    pub fn u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Draws a uniform `u64`.
-    pub fn u64(&mut self) -> u64 {
-        self.inner.next_u64()
+    /// Draws a uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn f64(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Draws a uniform `f64` in `[lo, hi)`.
@@ -71,7 +90,13 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty uniform range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let x = lo + self.f64() * (hi - lo);
+        // Guard the half-open contract against floating-point rounding.
+        if x >= hi {
+            lo.max(hi - (hi - lo) * f64::EPSILON)
+        } else {
+            x
+        }
     }
 
     /// Draws a uniform integer in `[lo, hi)`.
@@ -81,7 +106,11 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "empty uniform range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = (hi - lo) as u64;
+        // Widening-multiply range reduction (Lemire); the bias is
+        // span/2^64, far below anything a simulation could observe.
+        let x = ((self.u64() as u128 * span as u128) >> 64) as u64;
+        lo + x as usize
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -134,24 +163,6 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 /// FNV-1a hash, used to derive fork seeds from labels.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -162,7 +173,8 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// SplitMix64 finalizer, used to decorrelate derived seeds.
+/// SplitMix64 finalizer, used to decorrelate derived seeds and expand
+/// seeds into generator state.
 fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -206,6 +218,23 @@ mod tests {
     }
 
     #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = SimRng::seed(17);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut r = SimRng::seed(23);
+        let n = 50_000;
+        let mean = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
     fn uniform_respects_bounds() {
         let mut r = SimRng::seed(3);
         for _ in 0..1000 {
@@ -214,6 +243,16 @@ mod tests {
             let n = r.uniform_usize(1, 4);
             assert!((1..4).contains(&n));
         }
+    }
+
+    #[test]
+    fn uniform_usize_covers_the_range() {
+        let mut r = SimRng::seed(29);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.uniform_usize(0, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets reachable");
     }
 
     #[test]

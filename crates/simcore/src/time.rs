@@ -21,11 +21,11 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// let t = SimTime::ZERO + SimDuration::from_millis(150.0);
 /// assert_eq!(t.as_secs(), 0.15);
 /// ```
-#[derive(Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct SimTime(f64);
 
 /// A span of simulated time, in seconds.
-#[derive(Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct SimDuration(f64);
 
 impl SimTime {
@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_secs(3.0),
             SimTime::ZERO,
             SimTime::from_secs(1.0),

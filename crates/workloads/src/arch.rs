@@ -10,7 +10,7 @@
 use std::fmt;
 
 /// The layer taxonomy of Fig. 7.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Convolutional layers.
     Conv,
@@ -89,7 +89,7 @@ impl fmt::Display for LayerKind {
 ///
 /// This is exactly what the Training Agent extracts from a model file
 /// (static graphs) or a traced mini-batch (dynamic graphs) in §4.2.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetworkArchitecture {
     counts: [u32; 11],
 }
@@ -347,8 +347,7 @@ mod tests {
 
     #[test]
     fn parse_folds_unknown_into_other() {
-        let arch =
-            NetworkArchitecture::parse_layer_list("FireModule x 8\nGraphConv x 5").unwrap();
+        let arch = NetworkArchitecture::parse_layer_list("FireModule x 8\nGraphConv x 5").unwrap();
         // `GraphConv` contains "conv" so it classifies as Conv; Fire
         // modules fold into Other, per the paper's taxonomy.
         assert_eq!(arch.count(LayerKind::Other), 8);

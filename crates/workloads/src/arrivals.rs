@@ -150,7 +150,10 @@ impl BurstSchedule {
             steps.windows(2).all(|w| w[0].0 <= w[1].0),
             "steps must be sorted by time"
         );
-        assert!(steps.iter().all(|&(_, m)| m > 0.0), "multipliers must be positive");
+        assert!(
+            steps.iter().all(|&(_, m)| m > 0.0),
+            "multipliers must be positive"
+        );
         BurstSchedule { steps }
     }
 
@@ -238,7 +241,7 @@ impl PhillyArrivals {
         let max_rate = self.base_rate * self.scale * (1.0 + self.burst_boost);
         while out.len() < n {
             let gap = Exponential::new(max_rate).sample(&mut self.rng);
-            t = t + SimDuration::from_secs(gap);
+            t += SimDuration::from_secs(gap);
             let accept_p = self.rate_at(t) / max_rate;
             if self.rng.chance(accept_p) {
                 out.push(t);
@@ -270,8 +273,10 @@ mod tests {
         let p = PoissonProcess::with_mean_interval(SimDuration::from_millis(5.0));
         assert!((p.rate() - 200.0).abs() < 1e-9);
         let mut rng = SimRng::seed(1);
-        let mean: f64 =
-            (0..10_000).map(|_| p.next_gap(&mut rng).as_secs()).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000)
+            .map(|_| p.next_gap(&mut rng).as_secs())
+            .sum::<f64>()
+            / 10_000.0;
         assert!((mean - 0.005).abs() < 3e-4, "mean {mean}");
     }
 

@@ -194,9 +194,17 @@ mod tests {
     fn fig2a_pai_anchors() {
         let s = fig2_summary(TraceCluster::Pai, 3);
         // ~30 % of time near zero utilization.
-        assert!((s.frac_near_zero_util - 0.30).abs() < 0.03, "{}", s.frac_near_zero_util);
+        assert!(
+            (s.frac_near_zero_util - 0.30).abs() < 0.03,
+            "{}",
+            s.frac_near_zero_util
+        );
         // Below 50 % utilization ~85 % of the time in PAI.
-        assert!((s.frac_below_half_util - 0.85).abs() < 0.04, "{}", s.frac_below_half_util);
+        assert!(
+            (s.frac_below_half_util - 0.85).abs() < 0.04,
+            "{}",
+            s.frac_below_half_util
+        );
     }
 
     #[test]
@@ -210,7 +218,12 @@ mod tests {
     fn fig2b_delays_have_1000_minute_tails() {
         for c in [TraceCluster::Pai, TraceCluster::Seren, TraceCluster::Kalos] {
             let s = fig2_summary(c, 5);
-            assert!(s.max_delay_mins > 1000.0, "{:?} max {}", c, s.max_delay_mins);
+            assert!(
+                s.max_delay_mins > 1000.0,
+                "{:?} max {}",
+                c,
+                s.max_delay_mins
+            );
             assert!(s.median_delay_mins < 60.0);
         }
     }

@@ -11,15 +11,15 @@ use simcore::SimDuration;
 use crate::arch::{LayerKind, NetworkArchitecture};
 
 /// Index of an inference service within a [`Zoo`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ServiceId(pub usize);
 
 /// Index of a training-task *type* within a [`Zoo`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub usize);
 
 /// Application domain, as tagged in Tab. 1 / Tab. 3.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Domain {
     /// Image classification (♦).
     ImageClassification,
@@ -38,7 +38,7 @@ pub enum Domain {
 }
 
 /// Optimizer used by a training task (Tab. 3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Optimizer {
     /// Stochastic gradient descent (with momentum).
     Sgd,
@@ -63,7 +63,7 @@ impl Optimizer {
 }
 
 /// Task size class by total GPU time (§7.1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SizeClass {
     /// < 1 GPU-hour.
     Small,
@@ -89,7 +89,7 @@ impl SizeClass {
 
 /// One inference service (a row of Tab. 1), plus the calibration
 /// parameters the ground-truth model needs.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct InferenceServiceSpec {
     /// Stable index within the zoo.
     pub id: ServiceId,
@@ -143,7 +143,7 @@ impl InferenceServiceSpec {
 }
 
 /// One training-task type (a row of Tab. 3), plus calibration data.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TrainingTaskSpec {
     /// Stable index within the zoo.
     pub id: TaskId,
@@ -181,7 +181,9 @@ pub struct TrainingTaskSpec {
 impl TrainingTaskSpec {
     /// Total iterations implied by the nominal GPU-hours at full speed.
     pub fn total_iterations(&self) -> u64 {
-        ((self.gpu_hours * 3600.0) / self.iter_secs_full).round().max(1.0) as u64
+        ((self.gpu_hours * 3600.0) / self.iter_secs_full)
+            .round()
+            .max(1.0) as u64
     }
 
     /// Device memory footprint in GB: weights with optimizer state,
@@ -708,17 +710,30 @@ mod tests {
                 SizeClass::Large => (10.0..100.0).contains(&t.gpu_hours),
                 SizeClass::XLarge => t.gpu_hours >= 100.0,
             };
-            assert!(ok, "{} has {} GPU-hours in class {:?}", t.name, t.gpu_hours, t.size_class);
+            assert!(
+                ok,
+                "{} has {} GPU-hours in class {:?}",
+                t.name, t.gpu_hours, t.size_class
+            );
         }
     }
 
     #[test]
     fn tab3_optimizers_match_paper() {
         let zoo = Zoo::standard();
-        assert_eq!(zoo.task_by_name("VGG16").unwrap().optimizer, Optimizer::Adam);
+        assert_eq!(
+            zoo.task_by_name("VGG16").unwrap().optimizer,
+            Optimizer::Adam
+        );
         assert_eq!(zoo.task_by_name("NCF").unwrap().optimizer, Optimizer::Sgd);
-        assert_eq!(zoo.task_by_name("LSTM").unwrap().optimizer, Optimizer::Adadelta);
-        assert_eq!(zoo.task_by_name("BERT-train").unwrap().optimizer, Optimizer::AdamW);
+        assert_eq!(
+            zoo.task_by_name("LSTM").unwrap().optimizer,
+            Optimizer::Adadelta
+        );
+        assert_eq!(
+            zoo.task_by_name("BERT-train").unwrap().optimizer,
+            Optimizer::AdamW
+        );
     }
 
     #[test]
@@ -749,7 +764,12 @@ mod tests {
     fn memory_footprints_fit_a_40gb_device_alone() {
         let zoo = Zoo::standard();
         for t in zoo.tasks() {
-            assert!(t.memory_gb() < 40.0, "{} needs {} GB", t.name, t.memory_gb());
+            assert!(
+                t.memory_gb() < 40.0,
+                "{} needs {} GB",
+                t.name,
+                t.memory_gb()
+            );
         }
     }
 

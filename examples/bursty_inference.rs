@@ -24,12 +24,15 @@ fn main() {
         42,
     );
 
-    println!("{:>6} {:>6} {:>6} {:>6} {:>10} {:>8}", "t(s)", "QPS", "batch", "GPU%", "swapped", "P(viol)");
+    println!(
+        "{:>6} {:>6} {:>6} {:>6} {:>10} {:>8}",
+        "t(s)", "QPS", "batch", "GPU%", "swapped", "P(viol)"
+    );
     let mut last = (0u32, 0.0f64);
     for p in &cs.points {
         let config = (p.batch, p.gpu_fraction);
         // Print on configuration changes plus a sparse heartbeat.
-        if config != last || p.t as u64 % 50 == 0 {
+        if config != last || (p.t as u64).is_multiple_of(50) {
             println!(
                 "{:>6.0} {:>6.0} {:>6} {:>5.0}% {:>8.1}GB {:>8.4}",
                 p.t,
@@ -44,9 +47,18 @@ fn main() {
     }
 
     println!("\nsummary over the 300 s window:");
-    println!("  SLO violation rate          : {:.2}%", cs.violation_rate * 100.0);
-    println!("  time with memory swapped    : {:.1}%", cs.swap_time_fraction * 100.0);
-    println!("  mean swap transfer          : {:.1} ms", cs.mean_swap_transfer_secs * 1e3);
+    println!(
+        "  SLO violation rate          : {:.2}%",
+        cs.violation_rate * 100.0
+    );
+    println!(
+        "  time with memory swapped    : {:.1}%",
+        cs.swap_time_fraction * 100.0
+    );
+    println!(
+        "  mean swap transfer          : {:.1} ms",
+        cs.mean_swap_transfer_secs * 1e3
+    );
 
     // The whole point: the burst does not take the service down, and
     // training never OOMs — its memory simply moves to the host.

@@ -31,10 +31,16 @@ fn main() {
     // type absent from every profiled task).
     let svc = gt.zoo().service_by_name("GPT2").expect("in zoo");
     let task = gt.zoo().task_by_name("BERT-train").expect("in zoo");
-    println!("\nincoming unobserved task: {} — layers: {}", task.name, task.arch);
+    println!(
+        "\nincoming unobserved task: {} — layers: {}",
+        task.name, task.arch
+    );
 
     println!("\npredicted vs measured latency curve for GPT2 (batch 64) under co-location:");
-    println!("{:>6} {:>14} {:>14} {:>8}", "GPU%", "predicted(ms)", "measured(ms)", "err");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "GPU%", "predicted(ms)", "measured(ms)", "err"
+    );
     let curve = predictor
         .curve_for_arch(svc.id, &task.arch, 64)
         .expect("GPT2 was profiled");
@@ -54,7 +60,11 @@ fn main() {
             err * 100.0
         );
     }
-    println!("\nknee predicted at GPU% = {:.0}% (latency {:.1} ms there)", curve.x0 * 100.0, curve.y0 * 1e3);
+    println!(
+        "\nknee predicted at GPU% = {:.0}% (latency {:.1} ms there)",
+        curve.x0 * 100.0,
+        curve.y0 * 1e3
+    );
     println!("worst point error: {:.1}%", worst * 100.0);
     println!(
         "\n=> the architecture-based predictor generalized to a layer type it never saw;\n\

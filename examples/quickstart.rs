@@ -62,8 +62,14 @@ fn main() {
 
     println!("\ntuned configuration for BERT @ {qps} QPS + VGG16 training:");
     println!("  inference batch      : {}", outcome.batch);
-    println!("  inference GPU share  : {:.0}%", outcome.gpu_fraction * 100.0);
-    println!("  training GPU share   : {:.0}%", (1.0 - outcome.gpu_fraction) * 100.0);
+    println!(
+        "  inference GPU share  : {:.0}%",
+        outcome.gpu_fraction * 100.0
+    );
+    println!(
+        "  training GPU share   : {:.0}%",
+        (1.0 - outcome.gpu_fraction) * 100.0
+    );
     println!("  GP-LCB iterations    : {}", outcome.bo_iterations);
     println!("  SLO feasible         : {}", outcome.feasible);
 
@@ -73,8 +79,18 @@ fn main() {
     let fill = outcome.batch as f64 / qps;
     println!("\nverification against ground truth:");
     println!("  measured P99 batch latency : {:.1} ms", p99 * 1e3);
-    println!("  worst-case request latency : {:.1} ms (fill {:.1} ms + P99)", (fill + p99) * 1e3, fill * 1e3);
-    println!("  SLO                        : {:.0} ms", svc.slo.as_millis());
-    assert!(fill + p99 <= svc.slo_secs(), "tuned configuration violates the SLO");
+    println!(
+        "  worst-case request latency : {:.1} ms (fill {:.1} ms + P99)",
+        (fill + p99) * 1e3,
+        fill * 1e3
+    );
+    println!(
+        "  SLO                        : {:.0} ms",
+        svc.slo.as_millis()
+    );
+    assert!(
+        fill + p99 <= svc.slo_secs(),
+        "tuned configuration violates the SLO"
+    );
     println!("  => SLO holds with the training task running alongside");
 }

@@ -28,7 +28,8 @@ fn every_system_completes_all_jobs() {
     ] {
         let r = ClusterEngine::new(tiny(system, 31, 12)).run_scaled(0.002);
         assert_eq!(
-            r.jobs_completed, r.jobs_submitted,
+            r.jobs_completed,
+            r.jobs_submitted,
             "{} left jobs unfinished",
             system.name()
         );
@@ -111,7 +112,7 @@ fn memory_swapping_accounting_is_consistent() {
     cfg.load_multiplier = 2.0; // Pressure the staging pools.
     let r = ClusterEngine::new(cfg).run_scaled(0.002);
     assert_eq!(r.jobs_completed, r.jobs_submitted);
-    for (_, frac) in &r.swap_time_fraction {
+    for frac in r.swap_time_fraction.values() {
         assert!((0.0..=1.0).contains(frac));
     }
     assert!(r.mean_swap_transfer_secs >= 0.0);

@@ -72,7 +72,10 @@ fn profile_predict_place_tune_holds_slo_for_unobserved_tasks() {
             },
             &mut rng,
         );
-        assert!(outcome.feasible, "task {task:?} should be tunable at {qps} QPS");
+        assert!(
+            outcome.feasible,
+            "task {task:?} should be tunable at {qps} QPS"
+        );
 
         // Verify end-to-end against the hidden model.
         let colo = [ColoWorkload::training(task, 1.0 - outcome.gpu_fraction)];
@@ -175,8 +178,12 @@ fn pipeline_is_deterministic() {
     let (gt_b, pred_b) = build_predictor(2024);
     let svc = gt_a.zoo().services()[3].id;
     for task in gt_b.zoo().tasks() {
-        let a = pred_a.curve_for_arch(svc, &task.arch, 128).expect("covered");
-        let b = pred_b.curve_for_arch(svc, &task.arch, 128).expect("covered");
+        let a = pred_a
+            .curve_for_arch(svc, &task.arch, 128)
+            .expect("covered");
+        let b = pred_b
+            .curve_for_arch(svc, &task.arch, 128)
+            .expect("covered");
         assert_eq!(a, b, "prediction differs for {}", task.name);
     }
 }

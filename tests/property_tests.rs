@@ -3,8 +3,11 @@
 
 use proptest::prelude::*;
 
+use cluster::engine::{ClusterConfig, ClusterEngine};
+use cluster::systems::SystemKind;
 use modeling::fit::piecewise::{fit_piecewise, PiecewiseLinear};
 use modeling::solver::{latency_budget, min_gpu_fraction};
+use resilience::{FaultConfig, FaultProfile, FaultSchedule};
 use simcore::{EventQueue, Histogram, SimRng, SimTime, StreamingStats};
 use workloads::{ColoWorkload, GroundTruth, ServiceId, TaskId, Zoo};
 
@@ -215,5 +218,72 @@ proptest! {
         let a = parent.fork("child").u64();
         let b = SimRng::seed(seed).fork("child").u64();
         prop_assert_eq!(a, b);
+    }
+
+    /// Fault schedules replay bit-for-bit from a seed: same seed, rate,
+    /// and device count produce the identical event sequence, and every
+    /// event is well-formed (in-horizon, valid device, sane magnitudes).
+    #[test]
+    fn fault_schedule_replays_bit_for_bit(
+        seed in any::<u64>(),
+        rate in 10.0f64..400.0,
+        devices in 1usize..24,
+    ) {
+        let cfg = FaultConfig::scaled(rate);
+        let horizon = 200_000.0;
+        let a = FaultSchedule::generate(&cfg, devices, horizon, &SimRng::seed(seed));
+        let b = FaultSchedule::generate(&cfg, devices, horizon, &SimRng::seed(seed));
+        prop_assert_eq!(a.events(), b.events());
+        for w in a.events().windows(2) {
+            prop_assert!(w[0].at.as_secs() <= w[1].at.as_secs());
+        }
+        for e in a.events() {
+            prop_assert!(e.at.as_secs() >= 0.0 && e.at.as_secs() < horizon);
+            prop_assert!(e.device < devices);
+            if let resilience::FaultKind::Slowdown { factor, duration } = e.kind {
+                prop_assert!(factor > 0.0 && factor < 1.0);
+                prop_assert!(duration.as_secs() > 0.0);
+            }
+        }
+    }
+}
+
+proptest! {
+    // Whole-simulation replays are expensive; a handful of cases is
+    // enough to catch nondeterminism sneaking into the fault paths.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// End-to-end determinism under faults: two engines built from the
+    /// same seeded config face the identical fault schedule and produce
+    /// identical `ExperimentResult`s.
+    #[test]
+    fn faulty_experiment_replays_identically(
+        seed in 0u64..1_000_000,
+        rate in prop::sample::select(vec![25.0f64, 100.0, 250.0]),
+    ) {
+        let build = || {
+            let mut cfg = ClusterConfig::tiny(SystemKind::Random, seed)
+                .with_faults(FaultProfile::scaled(rate));
+            cfg.devices = 4;
+            cfg.jobs = 8;
+            ClusterEngine::new(cfg)
+        };
+        let (ea, eb) = (build(), build());
+        prop_assert_eq!(ea.fault_schedule().events(), eb.fault_schedule().events());
+        let a = ea.run_scaled(0.002);
+        let b = eb.run_scaled(0.002);
+        prop_assert_eq!(a.jobs_completed, b.jobs_completed);
+        prop_assert_eq!(a.faults.device_failures, b.faults.device_failures);
+        prop_assert_eq!(a.faults.slowdowns, b.faults.slowdowns);
+        prop_assert_eq!(a.faults.process_crashes, b.faults.process_crashes);
+        prop_assert_eq!(a.faults.mps_failures, b.faults.mps_failures);
+        prop_assert!((a.makespan_secs - b.makespan_secs).abs() < 1e-9);
+        prop_assert!((a.useful_iterations - b.useful_iterations).abs() < 1e-9);
+        prop_assert!((a.faults.lost_iterations - b.faults.lost_iterations).abs() < 1e-9);
+        prop_assert!((a.faults.dropped_requests - b.faults.dropped_requests).abs() < 1e-9);
+        prop_assert!((a.faults.rerouted_requests - b.faults.rerouted_requests).abs() < 1e-9);
+        prop_assert!(
+            (a.overall_violation_rate() - b.overall_violation_rate()).abs() < 1e-12
+        );
     }
 }
