@@ -8,7 +8,7 @@
 //! MuxFlow worst (unseen tasks).
 
 use bench::{banner, compare, physical_config, simulated_config};
-use cluster::experiments::end_to_end;
+use cluster::experiments::end_to_end_many;
 use cluster::report::{pct, Table};
 use cluster::systems::SystemKind;
 use workloads::Zoo;
@@ -50,13 +50,20 @@ fn main() {
         let mut table = Table::new(&header);
         let mut mudi_mean = 0.0;
         let mut worst_baseline_mean: f64 = 0.0;
-        for system in sims {
-            let (cfg, iter_scale) = if label.starts_with("physical") {
-                physical_config(system)
-            } else {
-                simulated_config(system)
-            };
-            let result = end_to_end(cfg, iter_scale);
+        // One pooled fan-out per cluster scale: each system's run is an
+        // independent cell with its own seed-derived RNG streams.
+        let cells: Vec<_> = sims
+            .iter()
+            .map(|&system| {
+                if label.starts_with("physical") {
+                    physical_config(system)
+                } else {
+                    simulated_config(system)
+                }
+            })
+            .collect();
+        let results = end_to_end_many(cells);
+        for (system, result) in sims.into_iter().zip(results) {
             let mut row = vec![system.name().to_string()];
             let mut mean = 0.0;
             for svc in zoo.services() {

@@ -5,7 +5,7 @@
 //! makespan by up to 2.25×; Mudi is within 5 % of Optimal.
 
 use bench::{banner, compare, physical_config, simulated_config};
-use cluster::experiments::end_to_end;
+use cluster::experiments::end_to_end_many;
 use cluster::report::{dur, Table};
 use cluster::systems::SystemKind;
 
@@ -46,13 +46,19 @@ fn main() {
         ]);
         let mut mudi_ct = 0.0;
         let mut ratios: Vec<(String, f64)> = Vec::new();
-        for system in systems {
-            let (cfg, iter_scale) = if label.starts_with("physical") {
-                physical_config(system)
-            } else {
-                simulated_config(system)
-            };
-            let r = end_to_end(cfg, iter_scale);
+        // Independent per-system cells, fanned out through the pool.
+        let cells: Vec<_> = systems
+            .iter()
+            .map(|&system| {
+                if label.starts_with("physical") {
+                    physical_config(system)
+                } else {
+                    simulated_config(system)
+                }
+            })
+            .collect();
+        let results = end_to_end_many(cells);
+        for (system, r) in systems.into_iter().zip(results) {
             table.row(vec![
                 system.name().to_string(),
                 dur(r.ct.mean()),

@@ -5,7 +5,7 @@
 //! of the run as prediction accuracy grows.
 
 use bench::{banner, compare, physical_config};
-use cluster::experiments::end_to_end;
+use cluster::experiments::end_to_end_many;
 use cluster::report::Table;
 use cluster::systems::SystemKind;
 
@@ -26,15 +26,21 @@ fn main() {
     let mut mudi_mem = 0.0;
     let mut best_baseline_mem: f64 = 0.0;
     let mut series_dump = String::new();
-    for system in systems {
-        let (mut cfg, iter_scale) = physical_config(system);
-        // Fig. 10 measures a *saturated* cluster (the paper keeps a
-        // standing queue of training work); at reduced scale the
-        // default arrival process is too sparse and the time-averaged
-        // utilization would mostly measure idle gaps between jobs.
-        cfg.jobs *= 2;
-        cfg.arrival_rate *= 6.0;
-        let r = end_to_end(cfg, iter_scale);
+    // Fig. 10 measures a *saturated* cluster (the paper keeps a
+    // standing queue of training work); at reduced scale the
+    // default arrival process is too sparse and the time-averaged
+    // utilization would mostly measure idle gaps between jobs.
+    let cells: Vec<_> = systems
+        .iter()
+        .map(|&system| {
+            let (mut cfg, iter_scale) = physical_config(system);
+            cfg.jobs *= 2;
+            cfg.arrival_rate *= 6.0;
+            (cfg, iter_scale)
+        })
+        .collect();
+    let results = end_to_end_many(cells);
+    for (system, r) in systems.into_iter().zip(results) {
         let peak = r
             .util_series
             .iter()

@@ -9,7 +9,7 @@
 //! baselines.
 
 use bench::{banner, compare, physical_config, simulated_config};
-use cluster::experiments::end_to_end;
+use cluster::experiments::end_to_end_many;
 use cluster::report::{pct, Table};
 use cluster::systems::SystemKind;
 
@@ -22,17 +22,24 @@ fn main() {
         println!("\n--- {label} cluster ---");
         let mut table = Table::new(&["variant", "violation rate", "mean CT", "makespan"]);
         let mut rates = Vec::new();
-        for system in [
+        let variants = [
             SystemKind::Mudi,
             SystemKind::MudiClusterOnly,
             SystemKind::MudiDeviceOnly,
-        ] {
-            let (cfg, iter_scale) = if mk {
-                simulated_config(system)
-            } else {
-                physical_config(system)
-            };
-            let r = end_to_end(cfg, iter_scale);
+        ];
+        // Pooled fan-out over the three ablation variants.
+        let cells: Vec<_> = variants
+            .iter()
+            .map(|&system| {
+                if mk {
+                    simulated_config(system)
+                } else {
+                    physical_config(system)
+                }
+            })
+            .collect();
+        let results = end_to_end_many(cells);
+        for (system, r) in variants.into_iter().zip(results) {
             table.row(vec![
                 system.name().to_string(),
                 pct(r.overall_violation_rate()),

@@ -4,8 +4,10 @@
 //! violation rate with the slowest escalation, and its training CT
 //! grows sub-linearly while GSLICE/gpulets grow linearly.
 
-use bench::{banner, physical_config, seed};
-use cluster::experiments::load_sensitivity;
+use std::time::Instant;
+
+use bench::{banner, physical_config, pool_summary, seed};
+use cluster::experiments::{end_to_end_many, load_cells};
 use cluster::report::{pct, Table};
 use cluster::systems::SystemKind;
 
@@ -22,14 +24,25 @@ fn main() {
     ];
     let multipliers = [1.0, 2.0, 3.0, 4.0];
 
+    // All 16 (system × multiplier) cells fan out through one pool call.
+    let cells: Vec<_> = systems
+        .iter()
+        .flat_map(|&system| {
+            let (base, iter_scale) = physical_config(system);
+            load_cells(system, seed(), &multipliers, &base, iter_scale)
+        })
+        .collect();
+    let started = Instant::now();
+    let all = end_to_end_many(cells);
+    let elapsed = started.elapsed().as_secs_f64();
+    let cell_walls: Vec<f64> = all.iter().map(|r| r.wall_clock_secs).collect();
+
     let mut viol = Table::new(&["system", "1x", "2x", "3x", "4x"]);
     let mut ct = Table::new(&["system", "1x", "2x", "3x", "4x"]);
-    for system in systems {
-        let (base, iter_scale) = physical_config(system);
-        let runs = load_sensitivity(system, seed(), &multipliers, base, iter_scale);
+    for (chunk, &system) in all.chunks(multipliers.len()).zip(&systems) {
         let mut vrow = vec![system.name().to_string()];
         let mut crow = vec![system.name().to_string()];
-        for (_, r) in &runs {
+        for r in chunk {
             vrow.push(pct(r.overall_violation_rate()));
             crow.push(format!("{:.1}min", r.ct.mean() / 60.0));
         }
@@ -44,4 +57,5 @@ fn main() {
         "Shape checks: every system's violations rise with load; Mudi's row stays \
          lowest and rises slowest."
     );
+    pool_summary("fan-out", &cell_walls, elapsed);
 }

@@ -68,6 +68,33 @@ pub fn compare(metric: &str, measured: f64, paper: f64, unit: &str) {
     println!("  {metric}: measured {measured:.3}{unit}  (paper: {paper:.3}{unit})");
 }
 
+/// Prints the fan-out accounting for a pooled sweep: per-cell compute
+/// summed vs wall-clock elapsed, the effective speedup, and the
+/// critical-path bound (elapsed can never drop below the longest cell,
+/// however many cores are available). The effective figure is only
+/// meaningful when workers ≤ physical cores — under time-sharing each
+/// preempted cell's wall clock inflates, so sum/elapsed overstates.
+///
+/// Goes to **stderr**: stdout carries only simulation-determined tables
+/// and must stay bit-identical for a fixed seed, whatever the host.
+pub fn pool_summary(label: &str, cell_wall_secs: &[f64], elapsed_secs: f64) {
+    let sum: f64 = cell_wall_secs.iter().sum();
+    let longest = cell_wall_secs.iter().cloned().fold(0.0f64, f64::max);
+    let speedup = if elapsed_secs > 0.0 {
+        sum / elapsed_secs
+    } else {
+        1.0
+    };
+    let bound = if longest > 0.0 { sum / longest } else { 1.0 };
+    eprintln!(
+        "\n{label}: {} cells, {sum:.2}s cell compute (longest {longest:.2}s) in \
+         {elapsed_secs:.2}s elapsed ({speedup:.2}x effective, {} worker(s); \
+         critical-path speedup bound {bound:.2}x)",
+        cell_wall_secs.len(),
+        simcore::pool::max_workers(),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

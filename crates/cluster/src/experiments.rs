@@ -15,22 +15,61 @@ use crate::engine::{violation_probability, ClusterConfig, ClusterEngine};
 use crate::metrics::ExperimentResult;
 use crate::systems::{build_system, DeviceView, Multiplexer, Optimal, SystemKind};
 
-/// Runs one end-to-end experiment.
+/// Runs one end-to-end experiment. `wall_clock_secs` covers the whole
+/// cell — engine construction (ground-truth fitting) plus the event
+/// loop — so pooled fan-outs account their per-cell cost correctly.
 pub fn end_to_end(config: ClusterConfig, iteration_scale: f64) -> ExperimentResult {
-    ClusterEngine::new(config).run_scaled(iteration_scale)
+    let started = std::time::Instant::now();
+    let mut result = ClusterEngine::new(config).run_scaled(iteration_scale);
+    result.wall_clock_secs = started.elapsed().as_secs_f64();
+    result
 }
 
-/// Fig. 19 (extension): violation rate and goodput under injected
-/// faults. Runs `base` at each fault-rate multiplier (0 = fault-free)
-/// with the standard recovery stack; every system replays the same
-/// per-seed fault schedule, so rows are comparable across systems.
-pub fn failure_sweep(
+/// Runs many independent experiment cells through the scoped worker
+/// pool ([`simcore::pool`]), one `(config, iteration_scale)` per cell.
+/// Each cell owns its seed and its `SimRng` streams, so results are
+/// bit-for-bit identical to running the cells serially in order.
+pub fn end_to_end_many(cells: Vec<(ClusterConfig, f64)>) -> Vec<ExperimentResult> {
+    end_to_end_many_workers(cells, simcore::pool::max_workers())
+}
+
+/// [`end_to_end_many`] with an explicit worker count (the equivalence
+/// tests pin 1/2/8 without touching `MUDI_THREADS`).
+pub fn end_to_end_many_workers(
+    cells: Vec<(ClusterConfig, f64)>,
+    workers: usize,
+) -> Vec<ExperimentResult> {
+    simcore::pool::scoped_map_workers(cells, workers, |(cfg, scale)| end_to_end(cfg, scale))
+}
+
+/// Multi-seed end-to-end: runs `base` once per seed, fanned out across
+/// cores, for confidence intervals over the paper's headline numbers.
+pub fn seed_sweep(
+    seeds: &[u64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(u64, ExperimentResult)> {
+    let cells = seeds
+        .iter()
+        .map(|&seed| {
+            let mut cfg = base.clone();
+            cfg.seed = seed;
+            (cfg, iteration_scale)
+        })
+        .collect();
+    seeds.iter().copied().zip(end_to_end_many(cells)).collect()
+}
+
+/// The per-rate cell configurations a failure sweep runs. Public so
+/// drivers sweeping several systems can flatten all (system × rate)
+/// cells into one [`end_to_end_many`] fan-out.
+pub fn failure_cells(
     system: SystemKind,
     seed: u64,
     rates: &[f64],
-    base: ClusterConfig,
+    base: &ClusterConfig,
     iteration_scale: f64,
-) -> Vec<(f64, ExperimentResult)> {
+) -> Vec<(ClusterConfig, f64)> {
     rates
         .iter()
         .map(|&rate| {
@@ -40,13 +79,131 @@ pub fn failure_sweep(
             if rate > 0.0 {
                 cfg.faults = Some(resilience::FaultProfile::scaled(rate));
             }
-            (rate, end_to_end(cfg, iteration_scale))
+            (cfg, iteration_scale)
         })
         .collect()
 }
 
-/// Fig. 15: violation rate and CT under 1×–4× load.
+/// Fig. 19 (extension): violation rate and goodput under injected
+/// faults. Runs `base` at each fault-rate multiplier (0 = fault-free)
+/// with the standard recovery stack; every system replays the same
+/// per-seed fault schedule, so rows are comparable across systems.
+/// Cells fan out across cores; output is identical to
+/// [`failure_sweep_serial`].
+pub fn failure_sweep(
+    system: SystemKind,
+    seed: u64,
+    rates: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(f64, ExperimentResult)> {
+    failure_sweep_workers(
+        system,
+        seed,
+        rates,
+        base,
+        iteration_scale,
+        simcore::pool::max_workers(),
+    )
+}
+
+/// [`failure_sweep`] with an explicit worker count.
+pub fn failure_sweep_workers(
+    system: SystemKind,
+    seed: u64,
+    rates: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+    workers: usize,
+) -> Vec<(f64, ExperimentResult)> {
+    let cells = failure_cells(system, seed, rates, &base, iteration_scale);
+    rates
+        .iter()
+        .copied()
+        .zip(end_to_end_many_workers(cells, workers))
+        .collect()
+}
+
+/// Reference implementation of [`failure_sweep`]: a plain serial loop
+/// with no pool involvement, kept as the ground truth the equivalence
+/// tests compare the parallel path against.
+pub fn failure_sweep_serial(
+    system: SystemKind,
+    seed: u64,
+    rates: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(f64, ExperimentResult)> {
+    rates
+        .iter()
+        .copied()
+        .zip(
+            failure_cells(system, seed, rates, &base, iteration_scale)
+                .into_iter()
+                .map(|(cfg, scale)| end_to_end(cfg, scale)),
+        )
+        .collect()
+}
+
+/// The per-multiplier cell configurations a load sweep runs. Public for
+/// the same flattening reason as [`failure_cells`].
+pub fn load_cells(
+    system: SystemKind,
+    seed: u64,
+    multipliers: &[f64],
+    base: &ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(ClusterConfig, f64)> {
+    multipliers
+        .iter()
+        .map(|&m| {
+            let mut cfg = base.clone();
+            cfg.system = system;
+            cfg.seed = seed;
+            cfg.load_multiplier = m;
+            (cfg, iteration_scale)
+        })
+        .collect()
+}
+
+/// Fig. 15: violation rate and CT under 1×–4× load. Cells fan out
+/// across cores; output is identical to [`load_sensitivity_serial`].
 pub fn load_sensitivity(
+    system: SystemKind,
+    seed: u64,
+    multipliers: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(f64, ExperimentResult)> {
+    load_sensitivity_workers(
+        system,
+        seed,
+        multipliers,
+        base,
+        iteration_scale,
+        simcore::pool::max_workers(),
+    )
+}
+
+/// [`load_sensitivity`] with an explicit worker count.
+pub fn load_sensitivity_workers(
+    system: SystemKind,
+    seed: u64,
+    multipliers: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+    workers: usize,
+) -> Vec<(f64, ExperimentResult)> {
+    let cells = load_cells(system, seed, multipliers, &base, iteration_scale);
+    multipliers
+        .iter()
+        .copied()
+        .zip(end_to_end_many_workers(cells, workers))
+        .collect()
+}
+
+/// Reference serial implementation of [`load_sensitivity`].
+pub fn load_sensitivity_serial(
     system: SystemKind,
     seed: u64,
     multipliers: &[f64],
@@ -55,13 +212,12 @@ pub fn load_sensitivity(
 ) -> Vec<(f64, ExperimentResult)> {
     multipliers
         .iter()
-        .map(|&m| {
-            let mut cfg = base.clone();
-            cfg.system = system;
-            cfg.seed = seed;
-            cfg.load_multiplier = m;
-            (m, end_to_end(cfg, iteration_scale))
-        })
+        .copied()
+        .zip(
+            load_cells(system, seed, multipliers, &base, iteration_scale)
+                .into_iter()
+                .map(|(cfg, scale)| end_to_end(cfg, scale)),
+        )
         .collect()
 }
 

@@ -188,6 +188,119 @@ impl ExperimentResult {
     pub fn makespan_hours(&self) -> f64 {
         self.makespan_secs / 3600.0
     }
+
+    /// Canonical text rendering of every *simulation-determined* field,
+    /// for bit-for-bit comparisons and golden snapshots.
+    ///
+    /// Two results produce identical text iff every field is identical
+    /// at the bit level: floats are rendered with `{:?}` (Rust's
+    /// shortest round-trip formatting) so equality of text implies
+    /// equality of bits, map-backed fields are emitted in sorted key
+    /// order, and `wall_clock_secs` — host timing, not simulation
+    /// output — is deliberately excluded.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "system={}", self.system);
+        let mut services: Vec<_> = self.services.iter().collect();
+        services.sort_by_key(|(id, _)| id.0);
+        for (id, m) in services {
+            let _ = writeln!(
+                s,
+                "service[{}]: requests={:?} violations={:?} p99={}",
+                id.0,
+                m.requests,
+                m.violations,
+                stats_repr(&m.p99_stats)
+            );
+        }
+        let _ = writeln!(s, "ct: {}", stats_repr(&self.ct));
+        let _ = writeln!(s, "waiting: {}", stats_repr(&self.waiting));
+        let _ = writeln!(s, "makespan_secs={:?}", self.makespan_secs);
+        let _ = writeln!(s, "mean_sm_util={:?}", self.mean_sm_util);
+        let _ = writeln!(s, "mean_mem_util={:?}", self.mean_mem_util);
+        let _ = writeln!(
+            s,
+            "util_series: len={} digest={:016x}",
+            self.util_series.len(),
+            fnv64(
+                self.util_series
+                    .iter()
+                    .flat_map(|&(t, sm, mem)| { [t.to_bits(), sm.to_bits(), mem.to_bits()] })
+            )
+        );
+        let mut swaps: Vec<_> = self.swap_time_fraction.iter().collect();
+        swaps.sort_by_key(|(id, _)| id.0);
+        for (id, frac) in swaps {
+            let _ = writeln!(s, "swap_time_fraction[{}]={:?}", id.0, frac);
+        }
+        let _ = writeln!(
+            s,
+            "mean_swap_transfer_secs={:?}",
+            self.mean_swap_transfer_secs
+        );
+        // `placement_secs` holds *measured host latencies* (Fig. 18),
+        // which — like `wall_clock_secs` — are timing, not simulation
+        // output; only the decision count is part of the identity.
+        let _ = writeln!(
+            s,
+            "overhead: bo_len={} bo_digest={:016x} placement_len={}",
+            self.overhead.bo_iterations.len(),
+            fnv64(self.overhead.bo_iterations.iter().map(|&n| n as u64)),
+            self.overhead.placement_secs.len(),
+        );
+        let f = &self.faults;
+        let _ = writeln!(
+            s,
+            "faults: dev={} slow={} crash={} mps={} evict={} failover={} \
+             lost_iters={:?} rerouted={:?} dropped={:?} down_secs={:?} restart_secs={:?}",
+            f.device_failures,
+            f.slowdowns,
+            f.process_crashes,
+            f.mps_failures,
+            f.training_evictions,
+            f.inference_failovers,
+            f.lost_iterations,
+            f.rerouted_requests,
+            f.dropped_requests,
+            f.device_down_secs,
+            f.restart_downtime_secs
+        );
+        let _ = writeln!(s, "useful_iterations={:?}", self.useful_iterations);
+        let _ = writeln!(s, "jobs={}/{}", self.jobs_completed, self.jobs_submitted);
+        s
+    }
+
+    /// 64-bit digest of [`ExperimentResult::canonical_text`], for cheap
+    /// equality assertions over whole result series.
+    pub fn fingerprint(&self) -> u64 {
+        fnv64(self.canonical_text().bytes().map(u64::from))
+    }
+}
+
+/// Canonical rendering of a [`StreamingStats`]: the full accumulator
+/// state observable through its API, floats in round-trip form.
+fn stats_repr(s: &StreamingStats) -> String {
+    format!(
+        "count={} mean={:?} var={:?} min={:?} max={:?}",
+        s.count(),
+        s.mean(),
+        s.variance(),
+        s.min(),
+        s.max()
+    )
+}
+
+/// FNV-1a over a stream of 64-bit words (little-endian bytes).
+fn fnv64(words: impl Iterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -240,6 +353,42 @@ mod tests {
         assert!((r.goodput_iters_per_hour() - 4500.0).abs() < 1e-9);
         r.makespan_secs = 0.0;
         assert_eq!(r.goodput_iters_per_hour(), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_ignores_wall_clock_but_not_results() {
+        let mut a = ExperimentResult {
+            makespan_secs: 100.0,
+            wall_clock_secs: 1.0,
+            ..Default::default()
+        };
+        a.services.insert(
+            ServiceId(2),
+            ServiceMetrics {
+                requests: 10.0,
+                violations: 1.0,
+                p99_stats: StreamingStats::new(),
+            },
+        );
+        let mut b = a.clone();
+        b.wall_clock_secs = 999.0; // Host timing must not affect identity.
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.makespan_secs = 100.0000001; // Any simulated field must.
+        assert_ne!(a.canonical_text(), b.canonical_text());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn canonical_text_orders_services_by_id() {
+        let mut r = ExperimentResult::default();
+        for id in [3usize, 0, 7] {
+            r.services.insert(ServiceId(id), ServiceMetrics::default());
+        }
+        let text = r.canonical_text();
+        let pos = |needle: &str| text.find(needle).expect(needle);
+        assert!(pos("service[0]") < pos("service[3]"));
+        assert!(pos("service[3]") < pos("service[7]"));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! ([`SimTime`], [`SimDuration`]), seeded random-number utilities and
 //! probability distributions ([`rng`], [`dist`]), and streaming metric
 //! sinks used by every experiment (histograms with percentile queries,
-//! time-weighted utilization integrators, time series, CDF builders).
+//! time-weighted utilization integrators, time series, CDF builders),
+//! and a scoped worker pool ([`pool`]) that fans independent experiment
+//! cells out across cores without changing their output.
 //!
 //! Everything is deterministic given a seed: experiments in the paper
 //! reproduction can be re-run bit-for-bit.
@@ -15,11 +17,13 @@
 pub mod dist;
 pub mod event;
 pub mod metrics;
+pub mod pool;
 pub mod rng;
 pub mod time;
 
 pub use dist::{normal_cdf, normal_quantile, Exponential, LogNormal, Normal, Poisson};
 pub use event::{EventQueue, ScheduledEvent};
 pub use metrics::{Cdf, Histogram, StreamingStats, TimeSeries, UtilizationIntegrator};
+pub use pool::{max_workers, scoped_map, scoped_map_workers};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,81 @@
+//! Golden-snapshot tests for the experiment drivers.
+//!
+//! Small-scale `failure_sweep` and `load_sensitivity` runs at fixed
+//! seeds are compared **exactly** (canonical round-trip float text)
+//! against checked-in expectations under `tests/golden/`. A scheduler,
+//! placement, or recovery change that silently shifts any simulated
+//! quantity — violation counts, CT statistics, fault accounting — fails
+//! here and must re-record the goldens deliberately:
+//!
+//! ```text
+//! MUDI_BLESS=1 cargo test --test golden_snapshots
+//! ```
+//!
+//! The rendered fields are pure IEEE-754 arithmetic plus libm calls
+//! (`exp`, `ln`, …); goldens are recorded on x86-64 Linux/glibc, the CI
+//! platform. A port to another libm may need a re-record.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cluster::engine::ClusterConfig;
+use cluster::experiments::{failure_sweep, load_sensitivity};
+use cluster::metrics::ExperimentResult;
+use cluster::systems::SystemKind;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("MUDI_BLESS").is_ok_and(|v| v == "1" || v == "true") {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}; record with MUDI_BLESS=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{name} drifted from its golden snapshot.\n\
+         If the change is intentional, re-record with MUDI_BLESS=1.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+fn render_series(series: &[(f64, ExperimentResult)]) -> String {
+    let mut out = String::new();
+    for (x, r) in series {
+        let _ = writeln!(out, "== cell x={x:?} ==");
+        out.push_str(&r.canonical_text());
+    }
+    out
+}
+
+/// Tiny deterministic cell: full 12-device physical topology, few jobs,
+/// heavily scaled-down iterations — seconds to run, same code paths.
+fn snapshot_config(system: SystemKind, seed: u64) -> (ClusterConfig, f64) {
+    let mut cfg = ClusterConfig::physical(system, seed);
+    cfg.jobs = 12;
+    (cfg, 0.01)
+}
+
+#[test]
+fn failure_sweep_matches_golden() {
+    let (base, scale) = snapshot_config(SystemKind::Mudi, 7);
+    let series = failure_sweep(SystemKind::Mudi, 7, &[0.0, 100.0], base, scale);
+    check_golden("failure_sweep.txt", &render_series(&series));
+}
+
+#[test]
+fn load_sensitivity_matches_golden() {
+    let (base, scale) = snapshot_config(SystemKind::Gslice, 7);
+    let series = load_sensitivity(SystemKind::Gslice, 7, &[1.0, 4.0], base, scale);
+    check_golden("load_sensitivity.txt", &render_series(&series));
+}

@@ -1,0 +1,146 @@
+//! Bit-for-bit equivalence of serial and pooled experiment fan-out.
+//!
+//! The scoped worker pool must be a pure execution-strategy change:
+//! every `(system × seed × rate × load)` cell owns its configuration
+//! and its `SimRng` streams, so the full `ExperimentResult` series of a
+//! pooled sweep must equal the serial reference **exactly** — compared
+//! here through `ExperimentResult::canonical_text`, which renders every
+//! simulation-determined field in round-trip float form (equal text ⇔
+//! equal bits) and excludes only host wall-clock timing.
+//!
+//! Thread counts are pinned through the `*_workers` APIs rather than
+//! `MUDI_THREADS` so the harness's own test parallelism cannot race on
+//! the process environment.
+
+use cluster::engine::ClusterConfig;
+use cluster::experiments::{
+    end_to_end, end_to_end_many_workers, failure_sweep_serial, failure_sweep_workers,
+    load_sensitivity_serial, load_sensitivity_workers,
+};
+use cluster::metrics::ExperimentResult;
+use cluster::systems::SystemKind;
+
+/// Worker counts the pooled path is exercised at (≥ 3 per acceptance).
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A small but non-trivial physical-cluster cell: full device count,
+/// reduced job count and iteration scale so each run takes well under a
+/// second while still exercising placement, tuning, and recovery.
+fn small_config(system: SystemKind, seed: u64) -> (ClusterConfig, f64) {
+    let mut cfg = ClusterConfig::physical(system, seed);
+    cfg.jobs = 16;
+    (cfg, 0.01)
+}
+
+fn series_text(series: &[(f64, ExperimentResult)]) -> Vec<String> {
+    series
+        .iter()
+        .map(|(x, r)| format!("x={x:?}\n{}", r.canonical_text()))
+        .collect()
+}
+
+/// The fig. 19 driver shape: a failure sweep over fault-rate
+/// multipliers, serial reference vs the pool at every worker count.
+#[test]
+fn failure_sweep_is_bit_identical_across_thread_counts() {
+    let rates = [0.0, 100.0];
+    let (base, scale) = small_config(SystemKind::Mudi, 42);
+    let serial = series_text(&failure_sweep_serial(
+        SystemKind::Mudi,
+        42,
+        &rates,
+        base.clone(),
+        scale,
+    ));
+    assert_eq!(serial.len(), rates.len());
+    for workers in WORKER_COUNTS {
+        let pooled = series_text(&failure_sweep_workers(
+            SystemKind::Mudi,
+            42,
+            &rates,
+            base.clone(),
+            scale,
+            workers,
+        ));
+        assert_eq!(
+            serial, pooled,
+            "failure_sweep diverged from serial at workers={workers}"
+        );
+    }
+}
+
+/// The fig. 15 driver shape: a load sweep, serial vs pooled.
+#[test]
+fn load_sensitivity_is_bit_identical_across_thread_counts() {
+    let multipliers = [1.0, 3.0];
+    let (base, scale) = small_config(SystemKind::Gslice, 11);
+    let serial = series_text(&load_sensitivity_serial(
+        SystemKind::Gslice,
+        11,
+        &multipliers,
+        base.clone(),
+        scale,
+    ));
+    for workers in WORKER_COUNTS {
+        let pooled = series_text(&load_sensitivity_workers(
+            SystemKind::Gslice,
+            11,
+            &multipliers,
+            base.clone(),
+            scale,
+            workers,
+        ));
+        assert_eq!(
+            serial, pooled,
+            "load_sensitivity diverged from serial at workers={workers}"
+        );
+    }
+}
+
+/// The fig. 8 driver shape: independent per-system `end_to_end` cells,
+/// serial loop vs one pooled `end_to_end_many` fan-out.
+#[test]
+fn end_to_end_fanout_is_bit_identical_across_thread_counts() {
+    let systems = [SystemKind::Gslice, SystemKind::MuxFlow, SystemKind::Mudi];
+    let cells: Vec<_> = systems.iter().map(|&s| small_config(s, 7)).collect();
+    let serial: Vec<String> = cells
+        .iter()
+        .cloned()
+        .map(|(cfg, scale)| end_to_end(cfg, scale).canonical_text())
+        .collect();
+    for workers in WORKER_COUNTS {
+        let pooled: Vec<String> = end_to_end_many_workers(cells.clone(), workers)
+            .iter()
+            .map(ExperimentResult::canonical_text)
+            .collect();
+        assert_eq!(
+            serial, pooled,
+            "end_to_end fan-out diverged from serial at workers={workers}"
+        );
+    }
+}
+
+/// Repeated pooled runs are self-identical (no hidden shared state in
+/// the engine or the pool leaks between cells).
+#[test]
+fn pooled_runs_are_self_reproducible() {
+    let rates = [0.0, 50.0];
+    let (base, scale) = small_config(SystemKind::Mudi, 5);
+    let a = series_text(&failure_sweep_workers(
+        SystemKind::Mudi,
+        5,
+        &rates,
+        base.clone(),
+        scale,
+        4,
+    ));
+    let b = series_text(&failure_sweep_workers(
+        SystemKind::Mudi,
+        5,
+        &rates,
+        base,
+        scale,
+        4,
+    ));
+    assert_eq!(a, b);
+}
