@@ -9,9 +9,9 @@
 
 use bench::{banner, compare, seed};
 use cluster::report::Table;
-use workloads::{ColoWorkload, GroundTruth, Zoo};
+use workloads::{ColoWorkload, GroundTruth, UnknownModel, Zoo};
 
-fn main() {
+fn main() -> Result<(), UnknownModel> {
     banner(
         "Fig. 3 — interference from co-located *inference* services",
         "GPT2 E2E 3.19x (tokenize 3.07x, inference 3.92x); ResNet50 E2E 2.40x (preproc 4.93x, xfer 1.9x, inference 2.5x)",
@@ -20,7 +20,7 @@ fn main() {
     let batches = [16u32, 32, 64, 128, 256];
 
     for target_name in ["GPT2", "ResNet50"] {
-        let target = gt.zoo().service_by_name(target_name).expect("in zoo");
+        let target = gt.zoo().require_service(target_name)?;
         let mut table = Table::new(&["co-located svc", "preproc", "transfer", "compute", "E2E"]);
         let mut e2e_sum = 0.0;
         let mut pre_sum = 0.0;
@@ -75,4 +75,5 @@ fn main() {
         compare("mean transfer interference", xfer_sum / n, 1.9, "x");
         compare("mean compute interference", comp_sum / n, paper_comp, "x");
     }
+    Ok(())
 }

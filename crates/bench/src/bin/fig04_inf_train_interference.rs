@@ -9,9 +9,9 @@
 
 use bench::{banner, compare, seed};
 use cluster::report::Table;
-use workloads::{ColoWorkload, GroundTruth, Zoo};
+use workloads::{ColoWorkload, GroundTruth, UnknownModel, Zoo};
 
-fn main() {
+fn main() -> Result<(), UnknownModel> {
     banner(
         "Fig. 4 — interference from co-located *training* tasks",
         "GPT2 E2E 1.67x (tokenize 2.49x, inference 1.4x); ResNet50 E2E 1.21x (preproc 1.15x, xfer 1.16x, inference 1.23x)",
@@ -20,7 +20,7 @@ fn main() {
     let batches = [16u32, 32, 64, 128, 256];
 
     for target_name in ["GPT2", "ResNet50"] {
-        let target = gt.zoo().service_by_name(target_name).expect("in zoo");
+        let target = gt.zoo().require_service(target_name)?;
         let mut table = Table::new(&["co-located task", "preproc", "transfer", "compute", "E2E"]);
         let mut sums = [0.0f64; 4];
         let mut n = 0.0;
@@ -68,4 +68,5 @@ fn main() {
         "\nTakeaway check: training co-location must interfere far less than \
          inference co-location (compare with fig03_inf_inf_interference)."
     );
+    Ok(())
 }

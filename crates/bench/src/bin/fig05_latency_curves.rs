@@ -8,16 +8,16 @@
 use bench::{banner, seed};
 use cluster::report::Table;
 use modeling::fit::piecewise::fit_piecewise;
-use workloads::{ColoWorkload, GroundTruth, Zoo};
+use workloads::{ColoWorkload, GroundTruth, UnknownModel, Zoo};
 
-fn main() {
+fn main() -> Result<(), UnknownModel> {
     banner(
         "Fig. 5 — piece-wise linear latency curves (GPT2)",
         "Latency vs GPU% has a knee; slopes steepen under co-location; knee shifts with batch size",
     );
     let gt = GroundTruth::new(Zoo::standard(), seed() ^ 0xA100);
-    let svc = gt.zoo().service_by_name("GPT2").expect("in zoo");
-    let train = gt.zoo().task_by_name("VGG16").expect("in zoo");
+    let svc = gt.zoo().require_service("GPT2")?;
+    let train = gt.zoo().require_task("VGG16")?;
 
     for (label, colo) in [
         ("(a) solo-run", Vec::new()),
@@ -68,4 +68,5 @@ fn main() {
         "\nShape checks: knees shift right with batch size; co-location steepens k1 \
          (compare (a) vs (b) slopes)."
     );
+    Ok(())
 }

@@ -14,9 +14,9 @@ use modeling::fit::poly::Polynomial;
 use modeling::mlp::MlpRegressor;
 use modeling::regressor::{Dataset, Regressor};
 use simcore::SimRng;
-use workloads::{ColoWorkload, GroundTruth, Zoo};
+use workloads::{ColoWorkload, GroundTruth, UnknownModel, Zoo};
 
-fn main() {
+fn main() -> Result<(), UnknownModel> {
     banner(
         "Tab. 2 — fitting error vs number of training samples",
         "piece-wise: 10.03/6.41/4.27/3.91/3.78; polynomial: 9.81..5.53; MLP: ~7 flat",
@@ -27,9 +27,9 @@ fn main() {
     // Representative latency curves: three services × two co-locations.
     let mut scenarios = Vec::new();
     for name in ["GPT2", "ResNet50", "BERT"] {
-        let svc = gt.zoo().service_by_name(name).expect("in zoo");
+        let svc = gt.zoo().require_service(name)?;
         for (task, batch) in [("VGG16", 64u32), ("LSTM", 128u32)] {
-            let t = gt.zoo().task_by_name(task).expect("in zoo");
+            let t = gt.zoo().require_task(task)?;
             scenarios.push((svc.id, t.id, batch));
         }
     }
@@ -107,4 +107,5 @@ fn main() {
         "Shape checks: piece-wise error drops sharply from 5 to 6 samples and wins \
          at >= 6 samples; errors are in percent (paper's Tab. 2 magnitudes)."
     );
+    Ok(())
 }

@@ -22,9 +22,11 @@ use gpu_sim::{
     MPS_RESTART_SECS,
 };
 use mudi::policy::{FairState, QueueItem, QueuePolicy};
-use mudi::{CircuitBreaker, DeviceCandidate, Monitor, RetuneGuard};
-use resilience::{CheckpointTracker, FaultKind, FaultProfile, FaultSchedule, RecoveryPolicy};
-use simcore::{normal_cdf, EventQueue, SimDuration, SimRng, SimTime};
+use mudi::{CircuitBreaker, DeviceCandidate, Monitor, ReliabilityPrior, RetuneGuard};
+use resilience::{
+    CheckpointTracker, FaultDomain, FaultKind, FaultProfile, FaultSchedule, RecoveryPolicy,
+};
+use simcore::{normal_cdf, EventQueue, SimDuration, SimRng, SimTime, Topology, TopologyShape};
 use workloads::perf::DEVICE_MEMORY_GB;
 use workloads::{
     BurstSchedule, FluctuatingQps, GroundTruth, PhillyArrivals, ServiceId, TaskId, Zoo,
@@ -78,6 +80,14 @@ pub struct ClusterConfig {
     /// Optional fault injection + recovery profile. `None` reproduces
     /// the paper's fault-free runs exactly.
     pub faults: Option<FaultProfile>,
+    /// The rack/node hierarchy devices are laid out over. Defaults to
+    /// [`TopologyShape::from_env`] (`MUDI_TOPOLOGY=RxN`, else 4×2).
+    /// Only consulted when faults are injected: correlated outages
+    /// expand over it, and reliability-aware systems stripe same-
+    /// service replicas across racks. Fault-free runs keep the paper's
+    /// flat layout regardless, so topology never perturbs the
+    /// fault-free reproduction.
+    pub topology: TopologyShape,
 }
 
 impl ClusterConfig {
@@ -97,6 +107,7 @@ impl ClusterConfig {
             util_sample_secs: 300.0,
             max_sim_secs: 40.0 * 24.0 * 3600.0,
             faults: None,
+            topology: TopologyShape::from_env(),
         }
     }
 
@@ -116,6 +127,7 @@ impl ClusterConfig {
             util_sample_secs: 900.0,
             max_sim_secs: 40.0 * 24.0 * 3600.0,
             faults: None,
+            topology: TopologyShape::from_env(),
         }
     }
 
@@ -135,6 +147,7 @@ impl ClusterConfig {
             util_sample_secs: 600.0,
             max_sim_secs: 20.0 * 24.0 * 3600.0,
             faults: None,
+            topology: TopologyShape::from_env(),
         }
     }
 
@@ -234,6 +247,9 @@ struct DeviceState {
     /// Bumped whenever a new degraded window starts, so a stale
     /// `SlowdownEnd` cannot clear a newer window.
     degrade_token: u64,
+    /// Faults observed on this device (every class), feeding the
+    /// reliability prior of reliability-aware selectors.
+    faults_seen: usize,
 }
 
 /// Placement log entries for the §5.4 optimality analysis: the task,
@@ -270,6 +286,11 @@ pub struct ClusterEngine {
     fmetrics: FaultMetrics,
     /// Per-job checkpoint trackers, indexed like `jobs`.
     ckpt: Vec<CheckpointTracker>,
+    /// The rack/node hierarchy devices are addressed through.
+    topo: Topology,
+    /// Services currently in total outage (no live replica) and when
+    /// the outage began; closed at repair or end-of-run.
+    outage_start: HashMap<ServiceId, SimTime>,
 }
 
 impl ClusterEngine {
@@ -284,20 +305,34 @@ impl ClusterEngine {
             .faults
             .map(|p| p.recovery)
             .unwrap_or_else(RecoveryPolicy::standard);
+        let topo = Topology::new(config.topology, config.devices);
         let fault_schedule = match &config.faults {
-            Some(profile) => FaultSchedule::generate(
+            Some(profile) => FaultSchedule::generate_with_topology(
                 &profile.faults,
-                config.devices,
+                profile.correlated.as_ref(),
+                &topo,
                 config.max_sim_secs,
                 &rng.fork("faults"),
             ),
             None => FaultSchedule::default(),
         };
 
+        // Reliability-aware systems stripe same-service replicas across
+        // racks so a single rack outage cannot take every replica down.
+        // The striped layout only engages under fault injection: the
+        // fault-free paper-reproduction runs keep the flat `d % n`
+        // layout so topology never perturbs their results.
+        let striped = config.faults.is_some() && config.system.reliability_aware();
+        let service_idx: Vec<usize> = if striped {
+            striped_service_assignment(&topo, config.devices, n_services)
+        } else {
+            (0..config.devices).map(|d| d % n_services).collect()
+        };
+
         let mut devices = Vec::with_capacity(config.devices);
         let mut dstate = Vec::with_capacity(config.devices);
-        for d in 0..config.devices {
-            let service = gt.zoo().services()[d % n_services].id;
+        for (d, &svc_idx) in service_idx.iter().enumerate() {
+            let service = gt.zoo().services()[svc_idx].id;
             let slo = gt.zoo().service(service).slo;
             let mut dev = GpuDevice::new(DeviceId(d), DEVICE_MEMORY_GB);
             let mut qps_gen = FluctuatingQps::per_replica(rng.fork_indexed("qps", d));
@@ -331,6 +366,7 @@ impl ClusterEngine {
                 guard: RetuneGuard::new(recovery.retune_dwell),
                 breaker: CircuitBreaker::new(recovery.degraded_training_share.clamp(0.05, 1.0)),
                 degrade_token: 0,
+                faults_seen: 0,
             });
         }
 
@@ -355,6 +391,8 @@ impl ClusterEngine {
             recovery,
             fmetrics: FaultMetrics::default(),
             ckpt: Vec::new(),
+            topo,
+            outage_start: HashMap::new(),
         }
     }
 
@@ -383,6 +421,11 @@ impl ClusterEngine {
     /// The ground-truth model backing this run.
     pub fn ground_truth(&self) -> &GroundTruth {
         &self.gt
+    }
+
+    /// The rack/node topology devices are addressed through.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// Runs the experiment to completion and returns the results.
@@ -471,6 +514,7 @@ impl ClusterEngine {
             self.accrue(end, d);
             self.devices[d].finish(end);
         }
+        self.close_open_outages(end);
         let result = self.build_result(last_finish, wall_start.elapsed().as_secs_f64());
         let log = std::mem::take(&mut self.placement_log);
         (result, log)
@@ -503,8 +547,20 @@ impl ClusterEngine {
                 .max(10);
             let job = TrainingJob::new(JobId(i as u64), task, t, total);
             self.jobs.push(job);
-            self.ckpt
-                .push(CheckpointTracker::new(self.recovery.checkpoint_period, 0.0));
+            // Checkpoint writes cost wall-clock time proportional to the
+            // task's working set over the write bandwidth — but only
+            // under fault injection; fault-free runs keep the paper's
+            // free-checkpoint accounting bit-for-bit.
+            let write_secs = if self.config.faults.is_some() {
+                self.gt.training_memory_gb(task) / self.recovery.checkpoint_write_gbps.max(0.1)
+            } else {
+                0.0
+            };
+            self.ckpt.push(CheckpointTracker::with_write_cost(
+                self.recovery.checkpoint_period,
+                0.0,
+                write_secs,
+            ));
             self.events
                 .schedule_at(t, Event::JobArrival(JobId(i as u64)));
         }
@@ -621,7 +677,13 @@ impl ClusterEngine {
                 let eff = (proc.gpu_fraction * pf).max(1e-3);
                 let iter = self.gt.training_iteration(proc.task, eff, &view);
                 let slow = dev.memory().training_slowdown(proc.id);
-                advanced.push((proc.id, run_dt / (iter * slow), run_dt));
+                // Checkpoint writes steal a fixed fraction of the run
+                // time (1.0 when writes are free).
+                let ck_eff = self
+                    .ckpt
+                    .get(proc.id.0 as usize)
+                    .map_or(1.0, |c| c.efficiency());
+                advanced.push((proc.id, run_dt * ck_eff / (iter * slow), run_dt));
             }
             for (rid, iters, run_dt) in advanced {
                 if let Some(job) = self.jobs.get_mut(rid.0 as usize) {
@@ -767,20 +829,52 @@ impl ClusterEngine {
     // Scheduling and configuration.
     // ------------------------------------------------------------------
 
-    fn candidates(&self) -> Vec<DeviceCandidate> {
+    fn candidates(&self, now: SimTime) -> Vec<DeviceCandidate> {
         let max_t = self.config.system.max_trainings();
+        // Reliability terms only engage under fault injection so the
+        // fault-free paper-reproduction runs see exactly the flat-pool
+        // scores (the prior is all-healthy and the anti-affinity term
+        // zero; `MudiConfig::flat` additionally zeroes the weights).
+        let reliability_on = self.config.faults.is_some();
+        // Fraction of each rack already hosting training work — the
+        // anti-affinity signal spreading jobs across fault domains.
+        let rack_load: Vec<f64> = (0..self.topo.shape().racks)
+            .map(|r| {
+                let range = self.topo.devices_in_rack(r);
+                if range.is_empty() {
+                    return 0.0;
+                }
+                let busy = range
+                    .clone()
+                    .filter(|&d| !self.devices[d].trainings().is_empty())
+                    .count();
+                busy as f64 / range.len() as f64
+            })
+            .collect();
+        let elapsed_days = (now.as_secs() / 86_400.0).max(0.25);
         self.devices
             .iter()
             .enumerate()
             .filter(|(_, dev)| dev.is_up() && dev.trainings().len() < max_t)
             .map(|(i, dev)| {
                 let service = dev.inference().expect("replica deployed").service;
+                let (reliability, domain_training_load) = if reliability_on {
+                    let prior = ReliabilityPrior {
+                        faults_per_day: self.dstate[i].faults_seen as f64 / elapsed_days,
+                        degraded: dev.perf_factor() < 1.0,
+                    };
+                    (prior, rack_load[self.topo.rack_of(i)])
+                } else {
+                    (ReliabilityPrior::default(), 0.0)
+                };
                 DeviceCandidate {
                     device: i,
                     service,
                     existing_tasks: dev.trainings().iter().map(|t| t.task).collect(),
                     mem_headroom_gb: (dev.memory().capacity_gb() - dev.memory().total_demand_gb())
                         .max(-20.0),
+                    reliability,
+                    domain_training_load,
                 }
             })
             .collect()
@@ -791,7 +885,7 @@ impl ClusterEngine {
             if self.queue.is_empty() {
                 return;
             }
-            let candidates = self.candidates();
+            let candidates = self.candidates(now);
             if candidates.is_empty() {
                 return;
             }
@@ -1017,7 +1111,11 @@ impl ClusterEngine {
             let eff = (proc.gpu_fraction * pf).max(1e-3);
             let iter = self.gt.training_iteration(proc.task, eff, &view);
             let slow = dev.memory().training_slowdown(proc.id);
-            let mut remaining = job.remaining_iterations() * iter * slow;
+            let ck_eff = self
+                .ckpt
+                .get(proc.id.0 as usize)
+                .map_or(1.0, |c| c.efficiency());
+            let mut remaining = job.remaining_iterations() * iter * slow / ck_eff;
             // A restarting process only resumes once its restart ends.
             if let Some(&(_, until)) = self.dstate[d]
                 .restarting
@@ -1077,8 +1175,13 @@ impl ClusterEngine {
 
     fn on_fault(&mut self, now: SimTime, idx: usize) {
         let ev = self.fault_schedule.events()[idx];
+        // Every observed fault — any class — feeds the device's
+        // reliability prior.
+        self.dstate[ev.device].faults_seen += 1;
         match ev.kind {
-            FaultKind::DeviceFailure { repair } => self.on_device_failure(now, ev.device, repair),
+            FaultKind::DeviceFailure { repair } => {
+                self.on_device_failure(now, ev.device, repair, ev.domain)
+            }
             FaultKind::Slowdown { factor, duration } => {
                 self.on_slowdown(now, ev.device, factor, duration)
             }
@@ -1093,7 +1196,13 @@ impl ClusterEngine {
     /// replicas (or its traffic drops, every request a violation);
     /// training rolls back to its last checkpoint and either requeues
     /// through the system's placement logic or waits for repair.
-    fn on_device_failure(&mut self, now: SimTime, d: usize, repair: SimDuration) {
+    fn on_device_failure(
+        &mut self,
+        now: SimTime,
+        d: usize,
+        repair: SimDuration,
+        domain: FaultDomain,
+    ) {
         if !self.devices[d].is_up() {
             return; // Already down (schedules never overlap, but be safe).
         }
@@ -1131,6 +1240,24 @@ impl ClusterEngine {
                     self.reconfigure_guarded(now, s);
                 }
             }
+        }
+
+        // Total-outage accounting: if this failure took down the
+        // service's last live replica (e.g. every survivor sat inside
+        // the same blast radius), open an outage window. The dropped
+        // traffic itself is charged per-span by `accrue`; this makes
+        // the outage *explicit* rather than silently folded into
+        // violations.
+        let svc = self.dstate[d].service;
+        let up_replicas = (0..self.devices.len())
+            .filter(|&s| self.devices[s].is_up() && self.dstate[s].service == svc)
+            .count();
+        if up_replicas == 0 {
+            self.fmetrics.service_outages += 1;
+            if domain.is_correlated() {
+                self.fmetrics.correlated_outages += 1;
+            }
+            self.outage_start.entry(svc).or_insert(now);
         }
 
         // Training: roll back to the checkpoint, then requeue (the
@@ -1180,6 +1307,12 @@ impl ClusterEngine {
     fn on_device_repair(&mut self, now: SimTime, d: usize) {
         self.accrue(now, d); // Final span of the outage (drop accounting).
         self.devices[d].repair();
+
+        // This repair brings the service's replica count back above
+        // zero; close any open total-outage window.
+        if let Some(start) = self.outage_start.remove(&self.dstate[d].service) {
+            self.fmetrics.service_outage_secs += now.since(start).as_secs();
+        }
 
         // Undo the failover: survivors stop serving this replica's share.
         let rerouted = std::mem::take(&mut self.dstate[d].rerouted);
@@ -1360,6 +1493,18 @@ impl ClusterEngine {
     // Results.
     // ------------------------------------------------------------------
 
+    /// Closes total-outage windows still open at end-of-run. Drained in
+    /// sorted order: `HashMap` iteration order is unspecified and float
+    /// addition is order-sensitive, which would break bit-identical
+    /// replay.
+    fn close_open_outages(&mut self, end: SimTime) {
+        let mut open: Vec<(ServiceId, SimTime)> = self.outage_start.drain().collect();
+        open.sort_by_key(|&(s, _)| s);
+        for (_, start) in open {
+            self.fmetrics.service_outage_secs += end.since(start).as_secs();
+        }
+    }
+
     fn build_result(&mut self, last_finish: SimTime, wall: f64) -> ExperimentResult {
         let mut result = ExperimentResult {
             system: self.config.system.name().to_string(),
@@ -1387,6 +1532,10 @@ impl ClusterEngine {
         // checkpoint was subtracted from `completed_iterations` and
         // shows up in `faults.lost_iterations` instead.
         result.useful_iterations = self.jobs.iter().map(|j| j.completed_iterations).sum();
+        for ck in &self.ckpt {
+            self.fmetrics.checkpoint_writes += ck.checkpoints_taken();
+            self.fmetrics.checkpoint_write_secs += ck.write_time_spent();
+        }
         result.faults = std::mem::take(&mut self.fmetrics);
 
         let n = self.devices.len() as f64;
@@ -1468,6 +1617,35 @@ pub fn violation_probability(qps: f64, batch: u32, slo: f64, mean: f64, sigma: f
         p = p.max(((util - 0.95) * 2.5).min(1.0));
     }
     p.clamp(0.0, 1.0)
+}
+
+/// Assigns one inference service per device so that a service's
+/// replicas land in as many different racks as possible (deploy-time
+/// anti-affinity). Greedy and deterministic: devices are visited in
+/// index order and each takes the service with the fewest replicas in
+/// its own rack, breaking ties by fewest replicas overall, then by
+/// service index. Totals stay as balanced as the flat `d % n` layout
+/// (each service gets `devices / n` ± 1 replicas), and a single-rack
+/// topology degenerates to exactly the flat layout.
+pub fn striped_service_assignment(
+    topo: &Topology,
+    devices: usize,
+    n_services: usize,
+) -> Vec<usize> {
+    assert!(n_services > 0, "need at least one service");
+    let mut in_rack = vec![vec![0usize; n_services]; topo.shape().racks];
+    let mut total = vec![0usize; n_services];
+    let mut out = Vec::with_capacity(devices);
+    for d in 0..devices {
+        let r = topo.rack_of(d);
+        let best = (0..n_services)
+            .min_by_key(|&s| (in_rack[r][s], total[s], s))
+            .expect("non-empty service list");
+        in_rack[r][best] += 1;
+        total[best] += 1;
+        out.push(best);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1589,13 +1767,13 @@ mod tests {
         let mut cfg = ClusterConfig::tiny(SystemKind::Random, 31);
         cfg.devices = n_services + 2;
         let mut engine = ClusterEngine::new(cfg);
-        let schedule = FaultSchedule::from_events(vec![FaultEvent {
-            at: SimTime::from_secs(600.0),
-            device: 0,
-            kind: FaultKind::DeviceFailure {
+        let schedule = FaultSchedule::from_events(vec![FaultEvent::device_local(
+            SimTime::from_secs(600.0),
+            0,
+            FaultKind::DeviceFailure {
                 repair: SimDuration::from_mins(30.0),
             },
-        }]);
+        )]);
         engine.set_fault_schedule(schedule);
         engine.set_recovery_policy(RecoveryPolicy {
             failover_inference: failover,
@@ -1646,11 +1824,11 @@ mod tests {
         let mut cfg = ClusterConfig::tiny(SystemKind::Random, 41);
         cfg.jobs = 6;
         let mut engine = ClusterEngine::new(cfg);
-        engine.set_fault_schedule(FaultSchedule::from_events(vec![FaultEvent {
-            at: SimTime::from_secs(900.0),
-            device: 0,
-            kind: FaultKind::ProcessCrash { salt: 0 },
-        }]));
+        engine.set_fault_schedule(FaultSchedule::from_events(vec![FaultEvent::device_local(
+            SimTime::from_secs(900.0),
+            0,
+            FaultKind::ProcessCrash { salt: 0 },
+        )]));
         let period = SimDuration::from_secs(120.0);
         engine.set_recovery_policy(RecoveryPolicy::with_checkpoint_period(period));
         let r = engine.run_scaled(0.002);
@@ -1662,6 +1840,29 @@ mod tests {
         // so one period of running time bounds the lost iterations.
         assert!(r.faults.lost_iterations <= period.as_secs() / 0.010 + 1e-6);
         assert!(r.faults.restart_downtime_secs > 0.0);
+    }
+
+    #[test]
+    fn striped_layout_spreads_replicas_across_racks() {
+        let topo = Topology::new(TopologyShape::new(4, 2), 12);
+        let svc = striped_service_assignment(&topo, 12, 6);
+        for s in 0..6 {
+            let replicas: Vec<usize> = (0..12).filter(|&d| svc[d] == s).collect();
+            assert_eq!(replicas.len(), 2, "service {s} should keep 2 replicas");
+            assert_ne!(
+                topo.rack_of(replicas[0]),
+                topo.rack_of(replicas[1]),
+                "service {s} replicas {replicas:?} share a rack"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rack_striping_degenerates_to_flat() {
+        let topo = Topology::new(TopologyShape::new(1, 1), 10);
+        let svc = striped_service_assignment(&topo, 10, 6);
+        let flat: Vec<usize> = (0..10).map(|d| d % 6).collect();
+        assert_eq!(svc, flat);
     }
 
     #[test]

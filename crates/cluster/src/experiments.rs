@@ -145,6 +145,134 @@ pub fn failure_sweep_serial(
         .collect()
 }
 
+/// The blast-radius scope a correlated-failure cell injects: the
+/// baseline device-local classes alone, or those plus node- or
+/// rack-level correlated outages expanded over the topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Device-local faults only (the Fig. 19 baseline classes).
+    Device,
+    /// Device-local faults plus node-level correlated outages.
+    Node,
+    /// Device-local faults plus rack-level correlated outages.
+    Rack,
+}
+
+impl FaultScope {
+    /// Human-readable scope label for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultScope::Device => "device",
+            FaultScope::Node => "node",
+            FaultScope::Rack => "rack",
+        }
+    }
+}
+
+/// The per-(scope, rate) cell configurations a correlated-failure
+/// sweep runs. Public so drivers sweeping several systems can flatten
+/// all (system × scope × rate) cells into one [`end_to_end_many`].
+pub fn correlated_failure_cells(
+    system: SystemKind,
+    seed: u64,
+    scopes: &[FaultScope],
+    rates: &[f64],
+    base: &ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(ClusterConfig, f64)> {
+    let mut cells = Vec::with_capacity(scopes.len() * rates.len());
+    for &scope in scopes {
+        for &rate in rates {
+            let mut cfg = base.clone();
+            cfg.system = system;
+            cfg.seed = seed;
+            if rate > 0.0 {
+                let profile = resilience::FaultProfile::scaled(rate);
+                cfg.faults =
+                    Some(match scope {
+                        FaultScope::Device => profile,
+                        FaultScope::Node => profile
+                            .with_correlated(resilience::CorrelatedFaultConfig::node_level(rate)),
+                        FaultScope::Rack => profile
+                            .with_correlated(resilience::CorrelatedFaultConfig::rack_level(rate)),
+                    });
+            }
+            cells.push((cfg, iteration_scale));
+        }
+    }
+    cells
+}
+
+/// Fig. 20: violation rate, goodput, and total-outage accounting under
+/// correlated blast radii. Sweeps scope × rate with the standard
+/// recovery stack; the schedule replays per seed, so rows are
+/// comparable across systems. Cells fan out across cores; output is
+/// identical to [`correlated_failure_sweep_serial`].
+pub fn correlated_failure_sweep(
+    system: SystemKind,
+    seed: u64,
+    scopes: &[FaultScope],
+    rates: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(FaultScope, f64, ExperimentResult)> {
+    correlated_failure_sweep_workers(
+        system,
+        seed,
+        scopes,
+        rates,
+        base,
+        iteration_scale,
+        simcore::pool::max_workers(),
+    )
+}
+
+/// [`correlated_failure_sweep`] with an explicit worker count.
+pub fn correlated_failure_sweep_workers(
+    system: SystemKind,
+    seed: u64,
+    scopes: &[FaultScope],
+    rates: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+    workers: usize,
+) -> Vec<(FaultScope, f64, ExperimentResult)> {
+    let cells = correlated_failure_cells(system, seed, scopes, rates, &base, iteration_scale);
+    let keys: Vec<(FaultScope, f64)> = scopes
+        .iter()
+        .flat_map(|&s| rates.iter().map(move |&r| (s, r)))
+        .collect();
+    keys.into_iter()
+        .zip(end_to_end_many_workers(cells, workers))
+        .map(|((s, r), res)| (s, r, res))
+        .collect()
+}
+
+/// Reference serial implementation of [`correlated_failure_sweep`]: a
+/// plain loop with no pool involvement, the ground truth the
+/// equivalence tests compare the parallel path against.
+pub fn correlated_failure_sweep_serial(
+    system: SystemKind,
+    seed: u64,
+    scopes: &[FaultScope],
+    rates: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(FaultScope, f64, ExperimentResult)> {
+    let keys: Vec<(FaultScope, f64)> = scopes
+        .iter()
+        .flat_map(|&s| rates.iter().map(move |&r| (s, r)))
+        .collect();
+    keys.into_iter()
+        .zip(
+            correlated_failure_cells(system, seed, scopes, rates, &base, iteration_scale)
+                .into_iter()
+                .map(|(cfg, scale)| end_to_end(cfg, scale)),
+        )
+        .map(|((s, r), res)| (s, r, res))
+        .collect()
+}
+
 /// The per-multiplier cell configurations a load sweep runs. Public for
 /// the same flattening reason as [`failure_cells`].
 pub fn load_cells(
@@ -221,61 +349,91 @@ pub fn load_sensitivity_serial(
         .collect()
 }
 
+/// One service's cell of the Fig. 14 probe. Self-contained — its own
+/// ground truth, freshly built system, and per-service RNG streams —
+/// so cells fan out across workers bit-for-bit identically to the
+/// serial loop (a shared system would thread tuner/cache state from
+/// one service's probe into the next).
+fn max_throughput_cell(system: SystemKind, seed: u64, svc_idx: usize) -> (ServiceId, f64) {
+    let gt = GroundTruth::new(Zoo::standard(), seed ^ 0xA100);
+    let base_rng = SimRng::seed(seed);
+    let mut sys = build_system(system, &gt, &mut base_rng.fork("system"));
+    let mut rng = base_rng.fork_indexed("max-qps", svc_idx);
+    let colo_task = gt
+        .zoo()
+        .require_task("LSTM")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .id;
+    let svc = &gt.zoo().services()[svc_idx];
+
+    let sustainable = |qps: f64, sys: &mut Box<dyn Multiplexer>, rng: &mut SimRng| {
+        let view = DeviceView {
+            device: 0,
+            service: svc.id,
+            qps,
+            slo_secs: svc.slo_secs(),
+            tasks: vec![colo_task],
+            batch: 64,
+            fraction: 0.5,
+            measured_p99: None,
+            mem_headroom_gb: 10.0,
+        };
+        let d = sys.configure(&gt, &view, rng);
+        if d.pause_training || d.fraction > 0.90 + 1e-9 {
+            return false; // Training squeezed out.
+        }
+        let train_frac = (1.0 - d.fraction).max(0.0);
+        if train_frac < 0.10 - 1e-9 {
+            return false;
+        }
+        let colo = [ColoWorkload::training(colo_task, train_frac)];
+        let mean = gt.inference_latency(svc.id, d.batch, d.fraction, &colo);
+        let sigma = gt.effective_sigma(svc.id, d.batch, d.fraction, &colo);
+        violation_probability(qps, d.batch, svc.slo_secs(), mean, sigma) <= 0.01
+    };
+    // Exponential probe then binary refine.
+    let mut lo = 0.0;
+    let mut hi = 50.0;
+    while hi < 500_000.0 && sustainable(hi, &mut sys, &mut rng) {
+        lo = hi;
+        hi *= 2.0;
+    }
+    for _ in 0..24 {
+        let mid = (lo + hi) / 2.0;
+        if sustainable(mid, &mut sys, &mut rng) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (svc.id, lo)
+}
+
 /// Fig. 14: the maximum sustainable QPS per service while the SLO holds
 /// (violation rate ≤ 1 %) and at least 10 % of the GPU stays with the
-/// co-located training task.
+/// co-located training task. Per-service cells fan out across cores;
+/// output is identical to [`max_throughput_serial`].
 pub fn max_throughput(system: SystemKind, seed: u64) -> Vec<(ServiceId, f64)> {
-    let gt = GroundTruth::new(Zoo::standard(), seed ^ 0xA100);
-    let mut rng = SimRng::seed(seed);
-    let mut sys = build_system(system, &gt, &mut rng.fork("system"));
-    let colo_task = gt.zoo().task_by_name("LSTM").expect("LSTM in zoo").id;
+    max_throughput_workers(system, seed, simcore::pool::max_workers())
+}
 
-    gt.zoo()
-        .services()
-        .iter()
-        .map(|svc| {
-            let sustainable = |qps: f64, sys: &mut Box<dyn Multiplexer>, rng: &mut SimRng| {
-                let view = DeviceView {
-                    device: 0,
-                    service: svc.id,
-                    qps,
-                    slo_secs: svc.slo_secs(),
-                    tasks: vec![colo_task],
-                    batch: 64,
-                    fraction: 0.5,
-                    measured_p99: None,
-                    mem_headroom_gb: 10.0,
-                };
-                let d = sys.configure(&gt, &view, rng);
-                if d.pause_training || d.fraction > 0.90 + 1e-9 {
-                    return false; // Training squeezed out.
-                }
-                let train_frac = (1.0 - d.fraction).max(0.0);
-                if train_frac < 0.10 - 1e-9 {
-                    return false;
-                }
-                let colo = [ColoWorkload::training(colo_task, train_frac)];
-                let mean = gt.inference_latency(svc.id, d.batch, d.fraction, &colo);
-                let sigma = gt.effective_sigma(svc.id, d.batch, d.fraction, &colo);
-                violation_probability(qps, d.batch, svc.slo_secs(), mean, sigma) <= 0.01
-            };
-            // Exponential probe then binary refine.
-            let mut lo = 0.0;
-            let mut hi = 50.0;
-            while hi < 500_000.0 && sustainable(hi, &mut sys, &mut rng) {
-                lo = hi;
-                hi *= 2.0;
-            }
-            for _ in 0..24 {
-                let mid = (lo + hi) / 2.0;
-                if sustainable(mid, &mut sys, &mut rng) {
-                    lo = mid;
-                } else {
-                    hi = mid;
-                }
-            }
-            (svc.id, lo)
-        })
+/// [`max_throughput`] with an explicit worker count.
+pub fn max_throughput_workers(
+    system: SystemKind,
+    seed: u64,
+    workers: usize,
+) -> Vec<(ServiceId, f64)> {
+    let n = Zoo::standard().services().len();
+    simcore::pool::scoped_map_workers((0..n).collect(), workers, move |i| {
+        max_throughput_cell(system, seed, i)
+    })
+}
+
+/// Reference serial implementation of [`max_throughput`].
+pub fn max_throughput_serial(system: SystemKind, seed: u64) -> Vec<(ServiceId, f64)> {
+    let n = Zoo::standard().services().len();
+    (0..n)
+        .map(|i| max_throughput_cell(system, seed, i))
         .collect()
 }
 
@@ -325,12 +483,12 @@ pub fn bursty_case_study(
     let mut sys = build_system(system, &gt, &mut rng.fork("system"));
     let svc = gt
         .zoo()
-        .service_by_name(service_name)
-        .expect("service exists");
+        .require_service(service_name)
+        .unwrap_or_else(|e| panic!("{e}"));
     let task = gt
         .zoo()
-        .task_by_name(training_name)
-        .expect("task exists")
+        .require_task(training_name)
+        .unwrap_or_else(|e| panic!("{e}"))
         .id;
 
     let mut dev = GpuDevice::new(DeviceId(0), DEVICE_MEMORY_GB);
@@ -406,6 +564,40 @@ pub fn bursty_case_study(
         mean_swap_transfer_secs: dev.memory().stats().mean_transfer_secs(),
         points,
     }
+}
+
+/// One self-contained [`bursty_case_study`] cell for the pooled
+/// fan-out.
+#[derive(Clone, Debug)]
+pub struct CaseStudySpec {
+    /// System driving the device.
+    pub system: SystemKind,
+    /// Inference service name in the zoo.
+    pub service: String,
+    /// Training task name in the zoo.
+    pub training: String,
+    /// The QPS burst schedule.
+    pub burst: BurstSchedule,
+    /// Run length in (simulated) seconds.
+    pub duration_secs: f64,
+    /// Cell seed.
+    pub seed: u64,
+}
+
+/// Runs several case-study cells through the scoped worker pool. Each
+/// cell is self-contained, so output is bit-for-bit identical to
+/// calling [`bursty_case_study`] in a serial loop over the specs.
+pub fn bursty_case_study_many(specs: Vec<CaseStudySpec>) -> Vec<CaseStudy> {
+    simcore::pool::scoped_map(specs, |s| {
+        bursty_case_study(
+            s.system,
+            &s.service,
+            &s.training,
+            s.burst,
+            s.duration_secs,
+            s.seed,
+        )
+    })
 }
 
 /// §5.4 optimality analysis output.

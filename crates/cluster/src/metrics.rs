@@ -94,6 +94,22 @@ pub struct FaultMetrics {
     /// Cumulative training outage from process/MPS restarts, seconds
     /// (summed over affected processes).
     pub restart_downtime_secs: f64,
+    /// Times a service lost its *last* live replica — every survivor of
+    /// the triggering fault sat inside the same blast radius, so no
+    /// failover target existed (total outage).
+    pub service_outages: usize,
+    /// The subset of `service_outages` triggered by a correlated
+    /// (node- or rack-scoped) fault rather than an independent device
+    /// failure.
+    pub correlated_outages: usize,
+    /// Cumulative time services spent with zero live replicas, seconds
+    /// (summed over services; all traffic in these windows is counted
+    /// as dropped + violated).
+    pub service_outage_secs: f64,
+    /// Training checkpoints written (period boundaries crossed).
+    pub checkpoint_writes: u64,
+    /// Cumulative running time spent writing checkpoints, seconds.
+    pub checkpoint_write_secs: f64,
 }
 
 impl FaultMetrics {
@@ -265,6 +281,15 @@ impl ExperimentResult {
             f.dropped_requests,
             f.device_down_secs,
             f.restart_downtime_secs
+        );
+        let _ = writeln!(
+            s,
+            "outages: total={} correlated={} secs={:?} ckpt_writes={} ckpt_secs={:?}",
+            f.service_outages,
+            f.correlated_outages,
+            f.service_outage_secs,
+            f.checkpoint_writes,
+            f.checkpoint_write_secs
         );
         let _ = writeln!(s, "useful_iterations={:?}", self.useful_iterations);
         let _ = writeln!(s, "jobs={}/{}", self.jobs_completed, self.jobs_submitted);

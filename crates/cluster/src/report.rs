@@ -97,6 +97,42 @@ pub fn fault_table(labels: &[String], results: &[ExperimentResult]) -> Table {
     t
 }
 
+/// Renders the correlated-failure table (Fig. 20): per run, the
+/// blast-radius outcome — total-outage windows (no live replica left),
+/// the subset triggered by correlated node/rack events, time spent in
+/// outage, and the checkpoint write overhead — next to the headline
+/// rates.
+pub fn outage_table(labels: &[String], results: &[ExperimentResult]) -> Table {
+    assert_eq!(labels.len(), results.len(), "one label per result");
+    let mut t = Table::new(&[
+        "run",
+        "system",
+        "faults",
+        "slo viol",
+        "goodput it/h",
+        "outages",
+        "corr",
+        "outage time",
+        "ckpt writes",
+        "ckpt time",
+    ]);
+    for (label, r) in labels.iter().zip(results) {
+        t.row(vec![
+            label.clone(),
+            r.system.clone(),
+            r.faults.total_faults().to_string(),
+            pct(r.overall_violation_rate()),
+            format!("{:.0}", r.goodput_iters_per_hour()),
+            r.faults.service_outages.to_string(),
+            r.faults.correlated_outages.to_string(),
+            dur(r.faults.service_outage_secs),
+            r.faults.checkpoint_writes.to_string(),
+            dur(r.faults.checkpoint_write_secs),
+        ]);
+    }
+    t
+}
+
 /// Formats a ratio like `2.27x`.
 pub fn ratio(a: f64, b: f64) -> String {
     if b == 0.0 {

@@ -37,6 +37,11 @@ pub enum SystemKind {
     MudiClusterOnly,
     /// Ablation: device-level control only, random placement (§7.3).
     MudiDeviceOnly,
+    /// Ablation: full Mudi with the topology-blind flat-pool selector —
+    /// reliability prior and fault-domain anti-affinity disabled, and
+    /// replicas laid out without rack striping. The control arm of the
+    /// fig20 correlated-failure sweep.
+    MudiFlat,
     /// GSLICE baseline.
     Gslice,
     /// gpulets baseline.
@@ -57,6 +62,7 @@ impl SystemKind {
             SystemKind::MudiMore => "Mudi-more",
             SystemKind::MudiClusterOnly => "Mudi-cluster-only",
             SystemKind::MudiDeviceOnly => "Mudi-device-only",
+            SystemKind::MudiFlat => "Mudi-flat",
             SystemKind::Gslice => "GSLICE",
             SystemKind::Gpulets => "gpulets",
             SystemKind::MuxFlow => "MuxFlow",
@@ -74,6 +80,7 @@ impl SystemKind {
                 | SystemKind::MudiMore
                 | SystemKind::MudiClusterOnly
                 | SystemKind::MudiDeviceOnly
+                | SystemKind::MudiFlat
         )
     }
 
@@ -83,6 +90,17 @@ impl SystemKind {
             SystemKind::MudiMore => 3,
             _ => 1,
         }
+    }
+
+    /// Whether this system places with topology awareness: the
+    /// reliability prior and fault-domain anti-affinity in the
+    /// selector, plus rack-striped replica layout. `MudiFlat` and
+    /// every baseline are topology-blind.
+    pub fn reliability_aware(self) -> bool {
+        matches!(
+            self,
+            SystemKind::Mudi | SystemKind::MudiMore | SystemKind::MudiClusterOnly
+        )
     }
 }
 
@@ -158,7 +176,8 @@ pub fn build_system(kind: SystemKind, gt: &GroundTruth, rng: &mut SimRng) -> Box
         SystemKind::Mudi
         | SystemKind::MudiMore
         | SystemKind::MudiClusterOnly
-        | SystemKind::MudiDeviceOnly => Box::new(MudiSystem::new(kind, gt, rng)),
+        | SystemKind::MudiDeviceOnly
+        | SystemKind::MudiFlat => Box::new(MudiSystem::new(kind, gt, rng)),
         SystemKind::Gslice => Box::new(Gslice::new(gt, rng)),
         SystemKind::Gpulets => Box::new(Gpulets::new(gt, rng)),
         SystemKind::MuxFlow => Box::new(MuxFlow::new(gt, rng)),
@@ -185,6 +204,7 @@ impl MudiSystem {
     pub fn new(kind: SystemKind, gt: &GroundTruth, rng: &mut SimRng) -> Self {
         let config = match kind {
             SystemKind::MudiMore => MudiConfig::more(),
+            SystemKind::MudiFlat => MudiConfig::flat(),
             _ => MudiConfig::default(),
         };
         let profiler = LatencyProfiler::new(config.clone());
@@ -884,6 +904,8 @@ mod tests {
                 service: s.id,
                 existing_tasks: vec![],
                 mem_headroom_gb: 35.0,
+                reliability: mudi::ReliabilityPrior::default(),
+                domain_training_load: 0.0,
             })
             .collect()
     }
@@ -891,9 +913,13 @@ mod tests {
     #[test]
     fn kind_properties() {
         assert!(SystemKind::Mudi.manages_memory());
+        assert!(SystemKind::MudiFlat.manages_memory());
         assert!(!SystemKind::Gslice.manages_memory());
         assert_eq!(SystemKind::MudiMore.max_trainings(), 3);
         assert_eq!(SystemKind::Gpulets.max_trainings(), 1);
+        assert!(SystemKind::Mudi.reliability_aware());
+        assert!(!SystemKind::MudiFlat.reliability_aware());
+        assert!(!SystemKind::MuxFlow.reliability_aware());
     }
 
     #[test]

@@ -34,6 +34,16 @@ pub struct MudiConfig {
     /// Maximum training tasks multiplexed per GPU (1 for Mudi, up to 3
     /// for Mudi-more, §5.5).
     pub max_trainings_per_gpu: usize,
+    /// Weight of the per-device reliability prior in the §5.2 score: a
+    /// device observed to fault `f` times/day (or still in post-repair
+    /// burn-in) has its score inflated by `1 + weight·f` (plus `weight`
+    /// while degraded). Zero ignores reliability entirely.
+    pub reliability_weight: f64,
+    /// Weight of the fault-domain anti-affinity term: a candidate whose
+    /// rack already hosts training on fraction `l` of its devices has
+    /// its score inflated by `1 + weight·l`, spreading load (and blast
+    /// exposure) across racks. Zero reproduces the flat-pool selector.
+    pub anti_affinity_weight: f64,
 }
 
 impl Default for MudiConfig {
@@ -50,6 +60,8 @@ impl Default for MudiConfig {
             monitor_interval: SimDuration::from_secs(5.0),
             bo_max_iters: 25,
             max_trainings_per_gpu: 1,
+            reliability_weight: 0.25,
+            anti_affinity_weight: 0.15,
         }
     }
 }
@@ -59,6 +71,17 @@ impl MudiConfig {
     pub fn more() -> Self {
         MudiConfig {
             max_trainings_per_gpu: 3,
+            ..Self::default()
+        }
+    }
+
+    /// The flat-pool ablation: reliability prior and fault-domain
+    /// anti-affinity both disabled, reproducing the topology-blind
+    /// §5.2 selector exactly.
+    pub fn flat() -> Self {
+        MudiConfig {
+            reliability_weight: 0.0,
+            anti_affinity_weight: 0.0,
             ..Self::default()
         }
     }
@@ -89,5 +112,14 @@ mod tests {
     #[test]
     fn more_variant_allows_three() {
         assert_eq!(MudiConfig::more().max_trainings_per_gpu, 3);
+    }
+
+    #[test]
+    fn flat_variant_disables_topology_terms() {
+        let c = MudiConfig::flat();
+        assert_eq!(c.reliability_weight, 0.0);
+        assert_eq!(c.anti_affinity_weight, 0.0);
+        assert!(MudiConfig::default().reliability_weight > 0.0);
+        assert!(MudiConfig::default().anti_affinity_weight > 0.0);
     }
 }

@@ -43,5 +43,5 @@ pub use interference::InterferenceModeler;
 pub use monitor::{Monitor, MonitorEvent};
 pub use predictor::InterferencePredictor;
 pub use profiler::{LatencyProfiler, ProfileDatabase, ProfileKey};
-pub use selector::{DeviceCandidate, DeviceSelector, PlacementDecision};
+pub use selector::{DeviceCandidate, DeviceSelector, PlacementDecision, ReliabilityPrior};
 pub use tuner::{TuneTrigger, Tuner, TuningOutcome};

@@ -6,6 +6,17 @@
 //! (plus any training tasks already there). A small slope means both
 //! less SLO risk and less sensitivity to resource partitioning —
 //! allowing a larger training share.
+//!
+//! Beyond the paper's interference score, the selector optionally
+//! weighs *reliability*: a per-device [`ReliabilityPrior`] (observed
+//! fault rate and post-repair burn-in, fed from the engine's fault
+//! metrics) penalizes historically flaky devices, and a fault-domain
+//! anti-affinity term steers training away from racks already carrying
+//! load — so one rack-level incident cannot take out a
+//! disproportionate share of the cluster's work. Both weights default
+//! on for Mudi and zero for the flat-pool ablation
+//! (`MudiConfig::flat`), which reproduces the paper's topology-blind
+//! behaviour exactly.
 
 use simcore::SimRng;
 use workloads::{GroundTruth, ServiceId, TaskId};
@@ -13,6 +24,34 @@ use workloads::{GroundTruth, ServiceId, TaskId};
 use crate::config::MudiConfig;
 use crate::predictor::InterferencePredictor;
 use crate::profiler::LatencyProfiler;
+
+/// Observed reliability of a device, fed from the engine's fault
+/// metrics. The default (no observed faults, not degraded) is a
+/// perfectly healthy device and contributes no penalty.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReliabilityPrior {
+    /// Observed faults per day of simulated time on this device (all
+    /// classes: failures, slowdowns, crashes, MPS restarts).
+    pub faults_per_day: f64,
+    /// Whether the device is currently in post-repair burn-in (reduced
+    /// clocks while the driver re-validates memory).
+    pub degraded: bool,
+}
+
+impl ReliabilityPrior {
+    /// The multiplicative score penalty at the given weight:
+    /// `1 + weight·f/(1+f)` for `f` observed faults per day, plus
+    /// `weight` while degraded. The fault term *saturates* at `weight`
+    /// — under heavy fault injection every device accumulates a long
+    /// history, and an unbounded penalty would drown the §5.2
+    /// interference score that remains the primary signal. Always
+    /// `1.0` at weight zero.
+    pub fn penalty(&self, weight: f64) -> f64 {
+        let degraded = if self.degraded { weight } else { 0.0 };
+        let f = self.faults_per_day.max(0.0);
+        1.0 + weight * f / (1.0 + f) + degraded
+    }
+}
 
 /// A placement-eligible device as seen by the selector.
 #[derive(Clone, Debug)]
@@ -25,6 +64,11 @@ pub struct DeviceCandidate {
     pub existing_tasks: Vec<TaskId>,
     /// Free device memory, GB (negative headroom forces swapping).
     pub mem_headroom_gb: f64,
+    /// Observed reliability of this device.
+    pub reliability: ReliabilityPrior,
+    /// Fraction of devices in this candidate's fault domain (rack)
+    /// already hosting training, in `[0, 1]` — the anti-affinity input.
+    pub domain_training_load: f64,
 }
 
 /// The selector's decision.
@@ -71,7 +115,13 @@ impl DeviceSelector {
         let incoming_mem = gt.training_memory_gb(incoming);
         let overflow = (incoming_mem - candidate.mem_headroom_gb).max(0.0);
         // Each GB of immediate overflow costs like ~4 % extra slope.
-        Some(base * (1.0 + 0.04 * overflow))
+        let memory = 1.0 + 0.04 * overflow;
+        let reliability = candidate
+            .reliability
+            .penalty(self.config.reliability_weight);
+        let anti_affinity =
+            1.0 + self.config.anti_affinity_weight * candidate.domain_training_load.clamp(0.0, 1.0);
+        Some(base * memory * reliability * anti_affinity)
     }
 
     /// Picks the best device for the incoming task.
@@ -153,6 +203,8 @@ mod tests {
             service,
             existing_tasks: tasks,
             mem_headroom_gb: 30.0,
+            reliability: ReliabilityPrior::default(),
+            domain_training_load: 0.0,
         }
     }
 
@@ -233,6 +285,72 @@ mod tests {
             vec![gt.zoo().tasks()[1].id, gt.zoo().tasks()[2].id],
         );
         assert!(sel.score(&gt, &p, incoming, &busy).is_some());
+    }
+
+    #[test]
+    fn flaky_device_is_penalized() {
+        let (gt, p, sel) = build();
+        let incoming = gt.zoo().tasks()[0].id;
+        let svc = gt.zoo().services()[0].id;
+        let healthy = candidate(0, svc, vec![]);
+        let mut flaky = candidate(1, svc, vec![]);
+        flaky.reliability.faults_per_day = 3.0;
+        let s_healthy = sel.score(&gt, &p, incoming, &healthy).unwrap();
+        let s_flaky = sel.score(&gt, &p, incoming, &flaky).unwrap();
+        assert!(s_flaky > s_healthy);
+        // Burn-in alone also penalizes.
+        let mut degraded = candidate(2, svc, vec![]);
+        degraded.reliability.degraded = true;
+        assert!(sel.score(&gt, &p, incoming, &degraded).unwrap() > s_healthy);
+        // The flat-pool config ignores reliability entirely.
+        let flat = DeviceSelector::new(MudiConfig::flat());
+        let f_healthy = flat.score(&gt, &p, incoming, &healthy).unwrap();
+        let f_flaky = flat.score(&gt, &p, incoming, &flaky).unwrap();
+        assert_eq!(f_healthy, f_flaky);
+    }
+
+    #[test]
+    fn loaded_fault_domain_is_penalized() {
+        let (gt, p, sel) = build();
+        let incoming = gt.zoo().tasks()[0].id;
+        let svc = gt.zoo().services()[0].id;
+        let empty_rack = candidate(0, svc, vec![]);
+        let mut busy_rack = candidate(1, svc, vec![]);
+        busy_rack.domain_training_load = 1.0;
+        let s_empty = sel.score(&gt, &p, incoming, &empty_rack).unwrap();
+        let s_busy = sel.score(&gt, &p, incoming, &busy_rack).unwrap();
+        assert!(s_busy > s_empty);
+        let flat = DeviceSelector::new(MudiConfig::flat());
+        assert_eq!(
+            flat.score(&gt, &p, incoming, &empty_rack).unwrap(),
+            flat.score(&gt, &p, incoming, &busy_rack).unwrap()
+        );
+    }
+
+    #[test]
+    fn reliability_penalty_formula() {
+        let healthy = ReliabilityPrior::default();
+        assert_eq!(healthy.penalty(0.25), 1.0);
+        let flaky = ReliabilityPrior {
+            faults_per_day: 2.0,
+            degraded: true,
+        };
+        // 1 + 0.25·(2/3) + 0.25 (degraded).
+        assert!((flaky.penalty(0.25) - (1.0 + 0.25 * 2.0 / 3.0 + 0.25)).abs() < 1e-12);
+        assert_eq!(flaky.penalty(0.0), 1.0);
+        // The fault term saturates: even an absurd history stays below
+        // `1 + 2·weight`, so interference remains the primary signal.
+        let chaos = ReliabilityPrior {
+            faults_per_day: 1e6,
+            degraded: true,
+        };
+        assert!(chaos.penalty(0.25) < 1.5 + 1e-12);
+        // More observed faults still rank strictly worse.
+        let mild = ReliabilityPrior {
+            faults_per_day: 0.5,
+            degraded: false,
+        };
+        assert!(flaky.penalty(0.25) > mild.penalty(0.25));
     }
 
     #[test]

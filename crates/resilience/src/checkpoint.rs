@@ -21,24 +21,51 @@ pub struct CheckpointTracker {
     checkpoint_iters: f64,
     /// Run-clock time of the most recent checkpoint.
     checkpoint_run_secs: f64,
+    /// Stall charged per checkpoint write, seconds of running time.
+    write_secs: f64,
+    /// Checkpoints written so far (period boundaries crossed).
+    writes: u64,
 }
 
 impl CheckpointTracker {
     /// Starts tracking a job with `initial_iters` of prior progress
     /// (zero for a fresh job; non-zero when a requeued job restarts
     /// from its restored checkpoint, which counts as a checkpoint-on-
-    /// start).
+    /// start). Checkpoint writes are free; use [`Self::with_write_cost`]
+    /// to charge bandwidth time per write.
     ///
     /// # Panics
     ///
     /// Panics unless `period` is strictly positive.
     pub fn new(period: SimDuration, initial_iters: f64) -> Self {
+        Self::with_write_cost(period, initial_iters, 0.0)
+    }
+
+    /// Like [`Self::new`], but each checkpoint write stalls the job for
+    /// `write_secs` of running time (working set over PCIe/NVMe
+    /// bandwidth). The engine folds the stall into the job's effective
+    /// progress rate via [`Self::efficiency`]: over one period the job
+    /// computes for `period` and writes for `write_secs`, so useful
+    /// progress per unit running time scales by
+    /// `period / (period + write_secs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period` is strictly positive and `write_secs` is
+    /// finite and non-negative.
+    pub fn with_write_cost(period: SimDuration, initial_iters: f64, write_secs: f64) -> Self {
         assert!(period.as_secs() > 0.0, "checkpoint period must be positive");
+        assert!(
+            write_secs.is_finite() && write_secs >= 0.0,
+            "invalid checkpoint write cost {write_secs}"
+        );
         CheckpointTracker {
             period_secs: period.as_secs(),
             run_secs: 0.0,
             checkpoint_iters: initial_iters,
             checkpoint_run_secs: 0.0,
+            write_secs,
+            writes: 0,
         }
     }
 
@@ -52,6 +79,11 @@ impl CheckpointTracker {
         }
         let span_start = self.run_secs;
         self.run_secs += span_secs;
+        // Every boundary crossed is a checkpoint written (and paid
+        // for), even though only the latest one matters for restores.
+        let crossed = (self.run_secs / self.period_secs).floor() as u64
+            - (span_start / self.period_secs).floor() as u64;
+        self.writes += crossed;
         // Last whole-period boundary at or before the new run clock.
         let k = (self.run_secs / self.period_secs).floor();
         let boundary = k * self.period_secs;
@@ -92,6 +124,28 @@ impl CheckpointTracker {
     /// period (up to floating-point rounding) by construction.
     pub fn secs_since_checkpoint(&self) -> f64 {
         self.run_secs - self.checkpoint_run_secs
+    }
+
+    /// The stall charged per checkpoint write, seconds.
+    pub fn write_secs(&self) -> f64 {
+        self.write_secs
+    }
+
+    /// Checkpoints written so far (one per period boundary crossed).
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total running time spent writing checkpoints so far, seconds.
+    pub fn write_time_spent(&self) -> f64 {
+        self.writes as f64 * self.write_secs
+    }
+
+    /// The fraction of running time that produces iterations once the
+    /// per-period write stall is charged: `period / (period + write)`.
+    /// `1.0` when writes are free.
+    pub fn efficiency(&self) -> f64 {
+        self.period_secs / (self.period_secs + self.write_secs)
     }
 }
 
@@ -177,5 +231,43 @@ mod tests {
         assert_eq!(t.rollback(), 500.0);
         t.on_progress(10.0, 500.0, 510.0);
         assert_eq!(t.loss_if_failed(510.0), 10.0);
+    }
+
+    #[test]
+    fn free_writes_have_unit_efficiency() {
+        let t = tracker(100.0);
+        assert_eq!(t.write_secs(), 0.0);
+        assert_eq!(t.efficiency(), 1.0);
+        assert_eq!(t.checkpoints_taken(), 0);
+    }
+
+    #[test]
+    fn every_boundary_crossing_is_a_write() {
+        let mut t = CheckpointTracker::with_write_cost(SimDuration::from_secs(100.0), 0.0, 8.0);
+        t.on_progress(99.0, 0.0, 99.0); // no boundary
+        assert_eq!(t.checkpoints_taken(), 0);
+        t.on_progress(2.0, 99.0, 101.0); // crosses 100
+        assert_eq!(t.checkpoints_taken(), 1);
+        t.on_progress(350.0, 101.0, 451.0); // crosses 200, 300, 400
+        assert_eq!(t.checkpoints_taken(), 4);
+        assert!((t.write_time_spent() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_charges_the_per_period_stall() {
+        let t = CheckpointTracker::with_write_cost(SimDuration::from_secs(600.0), 0.0, 6.0);
+        assert!((t.efficiency() - 600.0 / 606.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_cost_does_not_change_checkpoint_interpolation() {
+        let mut free = tracker(100.0);
+        let mut paid = CheckpointTracker::with_write_cost(SimDuration::from_secs(100.0), 0.0, 5.0);
+        for t in [&mut free, &mut paid] {
+            t.on_progress(60.0, 0.0, 600.0);
+            t.on_progress(80.0, 600.0, 1400.0);
+        }
+        assert_eq!(free.checkpoint_iters(), paid.checkpoint_iters());
+        assert_eq!(free.rollback(), paid.rollback());
     }
 }

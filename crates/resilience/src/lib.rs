@@ -30,4 +30,6 @@ pub mod schedule;
 
 pub use checkpoint::CheckpointTracker;
 pub use recovery::{FaultProfile, RecoveryPolicy};
-pub use schedule::{FaultConfig, FaultEvent, FaultKind, FaultSchedule};
+pub use schedule::{
+    CorrelatedFaultConfig, FaultConfig, FaultDomain, FaultEvent, FaultKind, FaultSchedule,
+};

@@ -6,7 +6,7 @@
 
 use simcore::SimDuration;
 
-use crate::schedule::FaultConfig;
+use crate::schedule::{CorrelatedFaultConfig, FaultConfig};
 
 /// Knobs controlling recovery behaviour after injected faults.
 #[derive(Clone, Copy, Debug)]
@@ -35,6 +35,12 @@ pub struct RecoveryPolicy {
     /// How long a freshly repaired device stays in degraded mode
     /// (burn-in: reduced clocks while the driver re-validates memory).
     pub degraded_hold: SimDuration,
+    /// Effective bandwidth for writing a training checkpoint (PCIe to
+    /// host then NVMe, end to end), in GB/s. Each checkpoint stalls the
+    /// job for `working_set_gb / checkpoint_write_gbps` seconds of
+    /// accrued running time, so checkpoints are no longer free — the
+    /// first step toward a Young/Daly-optimal period.
+    pub checkpoint_write_gbps: f64,
 }
 
 impl RecoveryPolicy {
@@ -50,6 +56,7 @@ impl RecoveryPolicy {
             retune_dwell: SimDuration::from_secs(10.0),
             degraded_training_share: 0.5,
             degraded_hold: SimDuration::from_mins(5.0),
+            checkpoint_write_gbps: 4.0,
         }
     }
 
@@ -84,16 +91,29 @@ impl Default for RecoveryPolicy {
 pub struct FaultProfile {
     /// Fault rates and magnitudes.
     pub faults: FaultConfig,
+    /// Correlated node/rack outage rates; `None` keeps faults strictly
+    /// device-local (the pre-topology behaviour).
+    pub correlated: Option<CorrelatedFaultConfig>,
     /// Recovery strategy.
     pub recovery: RecoveryPolicy,
 }
 
 impl FaultProfile {
-    /// Standard recovery under the baseline fault mix scaled by `rate`.
+    /// Standard recovery under the baseline fault mix scaled by `rate`,
+    /// device-local faults only.
     pub fn scaled(rate: f64) -> Self {
         FaultProfile {
             faults: FaultConfig::scaled(rate),
+            correlated: None,
             recovery: RecoveryPolicy::standard(),
+        }
+    }
+
+    /// Adds correlated node/rack outage classes to this profile.
+    pub fn with_correlated(self, correlated: CorrelatedFaultConfig) -> Self {
+        FaultProfile {
+            correlated: Some(correlated),
+            ..self
         }
     }
 }

@@ -20,6 +20,7 @@ pub mod metrics;
 pub mod pool;
 pub mod rng;
 pub mod time;
+pub mod topology;
 
 pub use dist::{normal_cdf, normal_quantile, Exponential, LogNormal, Normal, Poisson};
 pub use event::{EventQueue, ScheduledEvent};
@@ -27,3 +28,4 @@ pub use metrics::{Cdf, Histogram, StreamingStats, TimeSeries, UtilizationIntegra
 pub use pool::{max_workers, scoped_map, scoped_map_workers};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use topology::{DeviceAddress, Topology, TopologyShape};

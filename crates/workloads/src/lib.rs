@@ -31,5 +31,6 @@ pub use arch::{LayerKind, NetworkArchitecture};
 pub use arrivals::{BurstSchedule, FluctuatingQps, PhillyArrivals, PoissonProcess};
 pub use perf::{ColoKind, ColoWorkload, GroundTruth, InferencePhases};
 pub use zoo::{
-    Domain, InferenceServiceSpec, Optimizer, ServiceId, SizeClass, TaskId, TrainingTaskSpec, Zoo,
+    Domain, InferenceServiceSpec, Optimizer, ServiceId, SizeClass, TaskId, TrainingTaskSpec,
+    UnknownModel, Zoo,
 };

@@ -193,6 +193,42 @@ impl TrainingTaskSpec {
     }
 }
 
+/// A by-name model lookup failed: the requested name is not in the
+/// catalogue. Displays the missing name plus everything that *is*
+/// available, so a typo in a bench driver fails with an actionable
+/// message instead of a bare `unwrap()` panic.
+#[derive(Clone, PartialEq, Eq)]
+pub struct UnknownModel {
+    /// The name that was requested.
+    pub name: String,
+    /// What was being looked up (`"inference service"` / `"training task"`).
+    pub kind: &'static str,
+    /// Every name the catalogue does contain, in catalogue order.
+    pub available: Vec<&'static str>,
+}
+
+impl std::fmt::Display for UnknownModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown {} {:?}; the zoo has: {}",
+            self.kind,
+            self.name,
+            self.available.join(", ")
+        )
+    }
+}
+
+// Debug forwards to Display so `main() -> Result<_, UnknownModel>`
+// prints the readable message, not a struct dump.
+impl std::fmt::Debug for UnknownModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for UnknownModel {}
+
 /// The complete workload catalogue.
 #[derive(Clone, Debug)]
 pub struct Zoo {
@@ -245,6 +281,28 @@ impl Zoo {
     /// Looks up a training-task type by name.
     pub fn task_by_name(&self, name: &str) -> Option<&TrainingTaskSpec> {
         self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a service by name, or a contextful error naming the
+    /// missing model and the catalogue it was looked up in — for bench
+    /// and example mains, where a bare `unwrap()` panic would hide
+    /// *which* model string was wrong.
+    pub fn require_service(&self, name: &str) -> Result<&InferenceServiceSpec, UnknownModel> {
+        self.service_by_name(name).ok_or_else(|| UnknownModel {
+            name: name.to_string(),
+            kind: "inference service",
+            available: self.services.iter().map(|s| s.name).collect(),
+        })
+    }
+
+    /// Looks up a training-task type by name, or a contextful error —
+    /// see [`Self::require_service`].
+    pub fn require_task(&self, name: &str) -> Result<&TrainingTaskSpec, UnknownModel> {
+        self.task_by_name(name).ok_or_else(|| UnknownModel {
+            name: name.to_string(),
+            kind: "training task",
+            available: self.tasks.iter().map(|t| t.name).collect(),
+        })
     }
 
     /// The "observed" task types used for offline profiling: the first
@@ -685,9 +743,25 @@ mod tests {
     #[test]
     fn tab1_param_counts_match_paper() {
         let zoo = Zoo::standard();
-        assert_eq!(zoo.service_by_name("GPT2").unwrap().params_m, 335.0);
+        assert_eq!(zoo.require_service("GPT2").unwrap().params_m, 335.0);
         assert_eq!(zoo.service_by_name("ResNet50").unwrap().params_m, 25.6);
         assert_eq!(zoo.service_by_name("YOLOS").unwrap().params_m, 30.7);
+    }
+
+    #[test]
+    fn unknown_model_error_names_the_miss_and_the_catalogue() {
+        let zoo = Zoo::standard();
+        let err = zoo.require_task("YOLOv7").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("training task"), "{msg}");
+        assert!(msg.contains("\"YOLOv7\""), "{msg}");
+        assert!(msg.contains("YOLOv5"), "should list available: {msg}");
+        // Debug output is the same readable message (what a bench
+        // `main() -> Result` prints on failure).
+        assert_eq!(format!("{err:?}"), msg);
+        let err = zoo.require_service("AlexNet").unwrap_err();
+        assert!(err.to_string().contains("inference service"));
+        assert!(zoo.require_service("ResNet50").is_ok());
     }
 
     #[test]

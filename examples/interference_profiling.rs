@@ -14,9 +14,9 @@
 
 use mudi::{InterferencePredictor, LatencyProfiler, MudiConfig};
 use simcore::SimRng;
-use workloads::{ColoWorkload, GroundTruth, Zoo};
+use workloads::{ColoWorkload, GroundTruth, UnknownModel, Zoo};
 
-fn main() {
+fn main() -> Result<(), UnknownModel> {
     let gt = GroundTruth::new(Zoo::standard(), 42);
     let mut rng = SimRng::seed(2);
     let config = MudiConfig::default();
@@ -29,8 +29,8 @@ fn main() {
 
     // The unseen arrival: BERT fine-tuning (encoder blocks — a layer
     // type absent from every profiled task).
-    let svc = gt.zoo().service_by_name("GPT2").expect("in zoo");
-    let task = gt.zoo().task_by_name("BERT-train").expect("in zoo");
+    let svc = gt.zoo().require_service("GPT2")?;
+    let task = gt.zoo().require_task("BERT-train")?;
     println!(
         "\nincoming unobserved task: {} — layers: {}",
         task.name, task.arch
@@ -73,4 +73,5 @@ fn main() {
            Mudi verifies candidate configurations against live measurements before\n\
            committing them (see mudi::tuner)."
     );
+    Ok(())
 }

@@ -8,9 +8,9 @@
 
 use mudi::{InterferencePredictor, LatencyProfiler, MudiConfig, Tuner};
 use simcore::SimRng;
-use workloads::{ColoWorkload, GroundTruth, Zoo};
+use workloads::{ColoWorkload, GroundTruth, UnknownModel, Zoo};
 
-fn main() {
+fn main() -> Result<(), UnknownModel> {
     // 1. The workload catalogue (Tab. 1 + Tab. 3 of the paper) and the
     //    simulated hardware it runs on.
     let gt = GroundTruth::new(Zoo::standard(), 42);
@@ -33,8 +33,8 @@ fn main() {
     // 3. Online: a VGG16 training task lands on the BERT replica's GPU.
     //    The Tuner finds the batching size and GPU% that maximize
     //    training speed while holding BERT's 330 ms SLO at 240 QPS.
-    let svc = gt.zoo().service_by_name("BERT").expect("BERT in Tab. 1");
-    let task = gt.zoo().task_by_name("VGG16").expect("VGG16 in Tab. 3");
+    let svc = gt.zoo().require_service("BERT")?;
+    let task = gt.zoo().require_task("VGG16")?;
     let qps = 240.0;
     let tuner = Tuner::new(config);
     let outcome = tuner.tune(
@@ -93,4 +93,5 @@ fn main() {
         "tuned configuration violates the SLO"
     );
     println!("  => SLO holds with the training task running alongside");
+    Ok(())
 }

@@ -141,3 +141,74 @@ fn burst_schedule_applies_cluster_wide() {
     let r = ClusterEngine::new(cfg).run_scaled(0.002);
     assert_eq!(r.jobs_completed, r.jobs_submitted);
 }
+
+/// A rack-scoped blast that swallows *every* replica of one service:
+/// failover is enabled but finds no survivor, so the service's traffic
+/// must be charged as dropped requests and SLO violations — never
+/// silently vanish — and the window must surface in the explicit
+/// total-outage accounting with its correlated domain tag.
+#[test]
+fn rack_blast_with_no_survivors_is_accounted_not_dropped() {
+    use resilience::{FaultDomain, FaultEvent, FaultKind, FaultSchedule, RecoveryPolicy};
+    use simcore::{SimDuration, SimTime};
+    use workloads::Zoo;
+
+    // Flat layout (no fault profile in the config, Random system):
+    // device d serves service d % n, so service 0's two replicas sit on
+    // devices 0 and n. A hand-built Rack(0) incident kills both at once
+    // with one shared repair interval.
+    let n = Zoo::standard().services().len();
+    let mut cfg = tiny(SystemKind::Random, 53, 24);
+    cfg.devices = n + 1;
+    let mut engine = ClusterEngine::new(cfg);
+    let at = SimTime::from_secs(600.0);
+    let repair = SimDuration::from_mins(30.0);
+    engine.set_fault_schedule(FaultSchedule::from_events(
+        [0usize, n]
+            .into_iter()
+            .map(|d| FaultEvent {
+                at,
+                device: d,
+                kind: FaultKind::DeviceFailure { repair },
+                domain: FaultDomain::Rack(0),
+            })
+            .collect(),
+    ));
+    engine.set_recovery_policy(RecoveryPolicy {
+        failover_inference: true,
+        ..RecoveryPolicy::standard()
+    });
+    let r = engine.run_scaled(0.002);
+
+    assert_eq!(r.faults.device_failures, 2);
+    // The outage is explicit: one total-outage window, tagged with its
+    // correlated (rack) domain, open for the shared repair interval.
+    assert!(r.faults.service_outages >= 1, "outage window not recorded");
+    assert!(
+        r.faults.correlated_outages >= 1,
+        "rack-domain outage not tagged correlated"
+    );
+    assert!(
+        r.faults.service_outage_secs > 0.0,
+        "outage window has no duration"
+    );
+    assert!(
+        r.faults.service_outage_secs <= repair.as_secs() + 1e-6,
+        "outage {}s outlived the repair {}s",
+        r.faults.service_outage_secs,
+        repair.as_secs()
+    );
+    // Conservation: with every survivor inside the blast radius the
+    // traffic is dropped *visibly*, and each dropped request is booked
+    // as an SLO violation too.
+    assert!(
+        r.faults.dropped_requests > 0.0,
+        "outage traffic silently vanished"
+    );
+    let total_viol: f64 = r.services.values().map(|m| m.violations).sum();
+    assert!(
+        total_viol + 1e-9 >= r.faults.dropped_requests,
+        "violations {total_viol} must cover dropped {}",
+        r.faults.dropped_requests
+    );
+}

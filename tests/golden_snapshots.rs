@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use cluster::engine::ClusterConfig;
-use cluster::experiments::{failure_sweep, load_sensitivity};
+use cluster::experiments::{correlated_failure_sweep, failure_sweep, load_sensitivity, FaultScope};
 use cluster::metrics::ExperimentResult;
 use cluster::systems::SystemKind;
 
@@ -71,6 +71,28 @@ fn failure_sweep_matches_golden() {
     let (base, scale) = snapshot_config(SystemKind::Mudi, 7);
     let series = failure_sweep(SystemKind::Mudi, 7, &[0.0, 100.0], base, scale);
     check_golden("failure_sweep.txt", &render_series(&series));
+}
+
+/// The fig. 20 shape: correlated blast radii over the default 4×2
+/// topology. Pins the topology expansion, the rack-striped layout, the
+/// reliability-aware selector inputs, and the total-outage accounting.
+#[test]
+fn correlated_failures_match_golden() {
+    let (base, scale) = snapshot_config(SystemKind::Mudi, 7);
+    let series = correlated_failure_sweep(
+        SystemKind::Mudi,
+        7,
+        &[FaultScope::Node, FaultScope::Rack],
+        &[200.0],
+        base,
+        scale,
+    );
+    let mut out = String::new();
+    for (scope, rate, r) in &series {
+        let _ = writeln!(out, "== cell scope={} rate={rate:?} ==", scope.name());
+        out.push_str(&r.canonical_text());
+    }
+    check_golden("correlated_failures.txt", &out);
 }
 
 #[test]

@@ -14,8 +14,9 @@
 
 use cluster::engine::ClusterConfig;
 use cluster::experiments::{
-    end_to_end, end_to_end_many_workers, failure_sweep_serial, failure_sweep_workers,
-    load_sensitivity_serial, load_sensitivity_workers,
+    correlated_failure_sweep_serial, correlated_failure_sweep_workers, end_to_end,
+    end_to_end_many_workers, failure_sweep_serial, failure_sweep_workers, load_sensitivity_serial,
+    load_sensitivity_workers, max_throughput_serial, max_throughput_workers, FaultScope,
 };
 use cluster::metrics::ExperimentResult;
 use cluster::systems::SystemKind;
@@ -117,6 +118,64 @@ fn end_to_end_fanout_is_bit_identical_across_thread_counts() {
             serial, pooled,
             "end_to_end fan-out diverged from serial at workers={workers}"
         );
+    }
+}
+
+/// The fig. 20 driver shape: a correlated-failure sweep over blast
+/// scope × rate, serial reference vs the pool at every worker count.
+/// Exercises the topology expansion, rack-striped layout, and
+/// total-outage accounting under pooled execution.
+#[test]
+fn correlated_sweep_is_bit_identical_across_thread_counts() {
+    let scopes = [FaultScope::Device, FaultScope::Rack];
+    let rates = [0.0, 200.0];
+    let (base, scale) = small_config(SystemKind::Mudi, 42);
+    let serial: Vec<String> =
+        correlated_failure_sweep_serial(SystemKind::Mudi, 42, &scopes, &rates, base.clone(), scale)
+            .iter()
+            .map(|(s, r, res)| format!("{}@{r:?}\n{}", s.name(), res.canonical_text()))
+            .collect();
+    assert_eq!(serial.len(), scopes.len() * rates.len());
+    for workers in WORKER_COUNTS {
+        let pooled: Vec<String> = correlated_failure_sweep_workers(
+            SystemKind::Mudi,
+            42,
+            &scopes,
+            &rates,
+            base.clone(),
+            scale,
+            workers,
+        )
+        .iter()
+        .map(|(s, r, res)| format!("{}@{r:?}\n{}", s.name(), res.canonical_text()))
+        .collect();
+        assert_eq!(
+            serial, pooled,
+            "correlated_failure_sweep diverged from serial at workers={workers}"
+        );
+    }
+}
+
+/// The fig. 14 driver shape: per-service max-throughput cells, serial
+/// loop vs the pooled fan-out.
+#[test]
+fn max_throughput_is_bit_identical_across_thread_counts() {
+    let serial = max_throughput_serial(SystemKind::Mudi, 9);
+    assert!(!serial.is_empty());
+    for workers in WORKER_COUNTS {
+        let pooled = max_throughput_workers(SystemKind::Mudi, 9, workers);
+        assert_eq!(
+            serial.len(),
+            pooled.len(),
+            "max_throughput length diverged at workers={workers}"
+        );
+        for ((sa, qa), (sb, qb)) in serial.iter().zip(&pooled) {
+            assert_eq!(sa, sb, "service order diverged at workers={workers}");
+            assert!(
+                (qa - qb).abs() == 0.0,
+                "max QPS diverged at workers={workers}: {qa} vs {qb}"
+            );
+        }
     }
 }
 

@@ -40,6 +40,8 @@ fn profile_predict_place_tune_holds_slo_for_unobserved_tasks() {
                 service: s.id,
                 existing_tasks: vec![],
                 mem_headroom_gb: 38.0 - gt.training_memory_gb(task),
+                reliability: mudi::ReliabilityPrior::default(),
+                domain_training_load: 0.0,
             })
             .collect();
         let decision = selector
@@ -115,6 +117,8 @@ fn selector_ranking_correlates_with_ground_truth() {
             service: s.id,
             existing_tasks: vec![],
             mem_headroom_gb: 10.0,
+            reliability: mudi::ReliabilityPrior::default(),
+            domain_training_load: 0.0,
         })
         .collect();
     let decision = selector

@@ -7,8 +7,8 @@ use cluster::engine::{ClusterConfig, ClusterEngine};
 use cluster::systems::SystemKind;
 use modeling::fit::piecewise::{fit_piecewise, PiecewiseLinear};
 use modeling::solver::{latency_budget, min_gpu_fraction};
-use resilience::{FaultConfig, FaultProfile, FaultSchedule};
-use simcore::{EventQueue, Histogram, SimRng, SimTime, StreamingStats};
+use resilience::{CorrelatedFaultConfig, FaultConfig, FaultDomain, FaultProfile, FaultSchedule};
+use simcore::{EventQueue, Histogram, SimRng, SimTime, StreamingStats, Topology, TopologyShape};
 use workloads::{ColoWorkload, GroundTruth, ServiceId, TaskId, Zoo};
 
 fn gt() -> GroundTruth {
@@ -246,6 +246,61 @@ proptest! {
             }
         }
     }
+
+    /// Correlated schedules replay bit-for-bit from a seed, every
+    /// blast radius is contained within its declared fault domain, and
+    /// turning correlated classes on never perturbs the device-local
+    /// draws (the Device-tagged subsequence equals the plain schedule).
+    #[test]
+    fn correlated_schedule_replays_and_contains_blast_radius(
+        seed in any::<u64>(),
+        rate in 50.0f64..600.0,
+        racks in 1usize..5,
+        nodes_per_rack in 1usize..4,
+        devices in 2usize..24,
+    ) {
+        let shape = TopologyShape { racks, nodes_per_rack };
+        let topo = Topology::new(shape, devices);
+        let cfg = FaultConfig::scaled(rate);
+        let corr = CorrelatedFaultConfig::scaled(rate);
+        let horizon = 200_000.0;
+        let gen = || {
+            FaultSchedule::generate_with_topology(
+                &cfg, Some(&corr), &topo, horizon, &SimRng::seed(seed),
+            )
+        };
+        let (a, b) = (gen(), gen());
+        prop_assert_eq!(a.events(), b.events());
+        // Blast-radius containment: a Node(n)/Rack(r) event may only
+        // strike a device that the topology places in that domain.
+        for e in a.events() {
+            match e.domain {
+                FaultDomain::Device => {}
+                FaultDomain::Node(n) => {
+                    prop_assert!(topo.devices_in_node(n).contains(&e.device),
+                        "node {n} event hit device {} outside {:?}",
+                        e.device, topo.devices_in_node(n));
+                    prop_assert_eq!(topo.node_of(e.device), n);
+                }
+                FaultDomain::Rack(r) => {
+                    prop_assert!(topo.devices_in_rack(r).contains(&e.device),
+                        "rack {r} event hit device {} outside {:?}",
+                        e.device, topo.devices_in_rack(r));
+                    prop_assert_eq!(topo.rack_of(e.device), r);
+                }
+            }
+        }
+        // Stream isolation: device-local draws are byte-identical to
+        // the flat generator for the same seed.
+        let flat = FaultSchedule::generate(&cfg, devices, horizon, &SimRng::seed(seed));
+        let device_only: Vec<_> = a
+            .events()
+            .iter()
+            .filter(|e| e.domain == FaultDomain::Device)
+            .cloned()
+            .collect();
+        prop_assert_eq!(device_only.as_slice(), flat.events());
+    }
 }
 
 proptest! {
@@ -285,5 +340,41 @@ proptest! {
         prop_assert!(
             (a.overall_violation_rate() - b.overall_violation_rate()).abs() < 1e-12
         );
+    }
+
+    /// End-to-end determinism under *correlated* faults, across system
+    /// kinds: the same seeded config replays the identical expanded
+    /// schedule and lands on identical results — including the
+    /// total-outage accounting — no matter which placement policy runs.
+    #[test]
+    fn correlated_experiment_replays_identically(
+        seed in 0u64..1_000_000,
+        rate in prop::sample::select(vec![100.0f64, 400.0]),
+        system in prop::sample::select(vec![
+            SystemKind::Gslice,
+            SystemKind::MudiFlat,
+            SystemKind::Mudi,
+        ]),
+    ) {
+        let build = || {
+            let mut cfg = ClusterConfig::tiny(system, seed).with_faults(
+                FaultProfile::scaled(rate)
+                    .with_correlated(CorrelatedFaultConfig::scaled(rate)),
+            );
+            cfg.devices = 6;
+            cfg.jobs = 8;
+            ClusterEngine::new(cfg)
+        };
+        let (ea, eb) = (build(), build());
+        prop_assert_eq!(ea.fault_schedule().events(), eb.fault_schedule().events());
+        let a = ea.run_scaled(0.002);
+        let b = eb.run_scaled(0.002);
+        prop_assert_eq!(a.canonical_text(), b.canonical_text());
+        prop_assert_eq!(a.faults.service_outages, b.faults.service_outages);
+        prop_assert_eq!(a.faults.correlated_outages, b.faults.correlated_outages);
+        prop_assert!((a.faults.service_outage_secs - b.faults.service_outage_secs).abs() < 1e-12);
+        // Correlated outage windows can only come from correlated
+        // service outages.
+        prop_assert!(a.faults.correlated_outages <= a.faults.service_outages);
     }
 }
