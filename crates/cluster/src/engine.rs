@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use gpu_sim::{
-    DeviceId, GpuDevice, InferenceInstance, ReconfigPolicy, ResidentId, TrainingProcess,
-    MPS_RESTART_SECS,
+    DeviceId, GpuDevice, InferenceInstance, ReconfigPolicy, ResidentId, StandbyInstance,
+    TrainingProcess, MPS_RESTART_SECS, SHADOW_SWITCH_SECS,
 };
 use mudi::policy::{FairState, QueueItem, QueuePolicy};
 use mudi::{CircuitBreaker, DeviceCandidate, Monitor, ReliabilityPrior, RetuneGuard};
@@ -196,6 +196,13 @@ enum Event {
         device: usize,
         job: JobId,
     },
+    /// A warm-standby shadow instance finishes its bounded promote and
+    /// starts serving a failed replica's traffic. The token invalidates
+    /// promotes superseded by a host failure or an early repair.
+    StandbyPromote {
+        host: usize,
+        token: u64,
+    },
 }
 
 /// Per-device engine-side state beyond the `GpuDevice` itself.
@@ -250,6 +257,18 @@ struct DeviceState {
     /// Faults observed on this device (every class), feeding the
     /// reliability prior of reliability-aware selectors.
     faults_seen: usize,
+    /// While this (failed) device's traffic is served by a promoted
+    /// standby: the host device carrying it.
+    standby_host: Option<usize>,
+    /// The persistent standby-pool slot seeded on this device (the
+    /// service it can cover); survives the host's own failure so the
+    /// pool re-seeds at repair.
+    standby_slot: Option<ServiceId>,
+    /// A promote in flight on this host: `(failed device, token)`.
+    pending_promote: Option<(usize, u64)>,
+    /// Bumped per promote so a stale `StandbyPromote` event cannot
+    /// activate a superseded hand-off.
+    promote_token: u64,
 }
 
 /// Placement log entries for the §5.4 optimality analysis: the task,
@@ -367,7 +386,57 @@ impl ClusterEngine {
                 breaker: CircuitBreaker::new(recovery.degraded_training_share.clamp(0.05, 1.0)),
                 degrade_token: 0,
                 faults_seen: 0,
+                standby_host: None,
+                standby_slot: None,
+                pending_promote: None,
+                promote_token: 0,
             });
+        }
+
+        // Seed the warm-standby pool: for each service, park
+        // `pool_per_service` shadow instances on hosts whose primary is
+        // a *different* service, preferring racks with the fewest
+        // primaries of the covered service (so a rack blast that takes
+        // every primary down leaves a standby alive elsewhere). Only
+        // engages under fault injection with an enabled pool, keeping
+        // every other run bit-identical.
+        let mut fmetrics = FaultMetrics::default();
+        if config.faults.is_some() && recovery.standby.is_enabled() {
+            let standby = recovery.standby;
+            for svc_def in gt.zoo().services() {
+                let svc = svc_def.id;
+                for _ in 0..standby.pool_per_service {
+                    let host = (0..config.devices)
+                        .filter(|&h| dstate[h].standby_slot.is_none() && dstate[h].service != svc)
+                        .min_by_key(|&h| {
+                            let rack = topo.rack_of(h);
+                            let primaries_in_rack = topo
+                                .devices_in_rack(rack)
+                                .filter(|&d| dstate[d].service == svc)
+                                .count();
+                            let standbys_in_rack = topo
+                                .devices_in_rack(rack)
+                                .filter(|&d| dstate[d].standby_slot == Some(svc))
+                                .count();
+                            (primaries_in_rack, standbys_in_rack, h)
+                        });
+                    let Some(h) = host else {
+                        break; // Every eligible device already hosts a slot.
+                    };
+                    dstate[h].standby_slot = Some(svc);
+                    devices[h].seed_standby(
+                        &gt,
+                        SimTime::ZERO,
+                        StandbyInstance::new(
+                            svc,
+                            16,
+                            standby.reserve_fraction,
+                            standby.preloaded_weights,
+                        ),
+                    );
+                    fmetrics.standby_slots += 1;
+                }
+            }
         }
 
         ClusterEngine {
@@ -389,7 +458,7 @@ impl ClusterEngine {
             placement_log: Vec::new(),
             fault_schedule,
             recovery,
-            fmetrics: FaultMetrics::default(),
+            fmetrics,
             ckpt: Vec::new(),
             topo,
             outage_start: HashMap::new(),
@@ -503,6 +572,7 @@ impl ClusterEngine {
                 Event::DeviceRepair(d) => self.on_device_repair(now, d),
                 Event::SlowdownEnd { device, token } => self.on_slowdown_end(now, device, token),
                 Event::ProcessRestart { device, job } => self.on_process_restart(now, device, job),
+                Event::StandbyPromote { host, token } => self.on_standby_promote(now, host, token),
             }
             if self.all_done() {
                 break;
@@ -556,11 +626,20 @@ impl ClusterEngine {
             } else {
                 0.0
             };
-            self.ckpt.push(CheckpointTracker::with_write_cost(
-                self.recovery.checkpoint_period,
-                0.0,
-                write_secs,
-            ));
+            // Resolve the per-task period: fixed policies pass through
+            // unchanged; Young/Daly derives `sqrt(2·MTTF·write)` from
+            // the device MTTF and this task's write cost.
+            let mtbf_secs = self
+                .config
+                .faults
+                .as_ref()
+                .map_or(f64::INFINITY, |p| p.faults.mttf.as_secs());
+            let period = self
+                .recovery
+                .checkpoint_period
+                .resolve(mtbf_secs, write_secs);
+            self.ckpt
+                .push(CheckpointTracker::with_write_cost(period, 0.0, write_secs));
             self.events
                 .schedule_at(t, Event::JobArrival(JobId(i as u64)));
         }
@@ -602,10 +681,12 @@ impl ClusterEngine {
         if !self.devices[d].is_up() {
             // Down device: traffic addressed to its replica is dropped
             // — and every dropped request is an SLO violation — unless
-            // failover moved the base demand to survivors. Carried
-            // failover traffic (`extra_qps`) is always dropped here.
+            // failover moved the base demand to survivors or a promoted
+            // standby is serving it (the host books that traffic).
+            // Carried failover traffic (`extra_qps`) is always dropped
+            // here.
             let st = &self.dstate[d];
-            let base = if st.rerouted.is_empty() {
+            let base = if st.rerouted.is_empty() && st.standby_host.is_none() {
                 st.stashed_inference.as_ref().map_or(0.0, |i| i.qps)
             } else {
                 0.0
@@ -654,6 +735,30 @@ impl ClusterEngine {
         let extra = self.dstate[d].extra_qps.min(qps);
         if extra > 0.0 {
             self.fmetrics.rerouted_requests += extra * dt;
+        }
+
+        // --- Warm-standby accounting. ---
+        if let Some(s) = dev.standby() {
+            // The reserved slice is charged for the whole span, active
+            // or idle: the pool's standing GPU% cost.
+            self.fmetrics.standby_reserved_gpu_secs += s.reserve_fraction * dt;
+            if s.is_active() {
+                let (s_service, s_batch, s_qps) = (s.service, s.batch, s.qps);
+                let s_frac = (s.reserve_fraction * pf).max(0.01);
+                let s_colo = dev.colo_for_standby();
+                let s_slo = self.gt.zoo().service(s_service).slo_secs();
+                let s_mean = self
+                    .gt
+                    .inference_latency(s_service, s_batch, s_frac, &s_colo);
+                let s_sigma = self.gt.effective_sigma(s_service, s_batch, s_frac, &s_colo);
+                let s_p99 = s_mean * (2.326 * s_sigma).exp();
+                let p_viol = violation_probability(s_qps, s_batch, s_slo, s_mean, s_sigma);
+                let m = self.services.entry(s_service).or_default();
+                m.requests += s_qps * dt;
+                m.violations += s_qps * dt * p_viol;
+                m.p99_stats.record(s_p99);
+                self.fmetrics.standby_served_requests += s_qps * dt;
+            }
         }
 
         // --- Training progress. ---
@@ -765,6 +870,13 @@ impl ClusterEngine {
             if self.dstate[d].rerouted.is_empty() {
                 if let Some(st) = self.dstate[d].stashed_inference.as_mut() {
                     st.qps = qps;
+                }
+                // An active standby keeps tracking the demand it covers.
+                if let Some(h) = self.dstate[d].standby_host {
+                    if self.devices[h].is_up() {
+                        self.accrue(now, h);
+                        self.devices[h].set_standby_qps(&self.gt, now, qps);
+                    }
                 }
             }
             self.events.schedule_at(
@@ -979,9 +1091,15 @@ impl ClusterEngine {
         };
         let qps = inf.qps;
         let old_fraction = inf.gpu_fraction;
-        let decision: ConfigDecision = self.system.configure(&self.gt, &view, &mut self.rng);
+        let mut decision: ConfigDecision = self.system.configure(&self.gt, &view, &mut self.rng);
         if decision.bo_iterations > 0 {
             self.bo_iterations.push(decision.bo_iterations);
+        }
+        // A standby's reserved slice is invisible to the tuner; clamp so
+        // the primary plus the reserve never overcommits the device.
+        let reserve = self.devices[d].standby_reserve();
+        if reserve > 0.0 {
+            decision.fraction = decision.fraction.min(1.0 - reserve).max(0.01);
         }
 
         // Apply the batch (free) and memory demand.
@@ -1220,6 +1338,33 @@ impl ClusterEngine {
         stash.qps = base;
         self.dstate[d].stashed_inference = Some(stash);
 
+        if self.recovery.standby.is_enabled() {
+            // A standby hosted on `d` dies with it: any device it was
+            // covering loses coverage (its traffic drops until repair,
+            // and the service may now be in total outage).
+            for f in 0..self.dstate.len() {
+                if self.dstate[f].standby_host == Some(d) {
+                    self.dstate[f].standby_host = None;
+                    let fsvc = self.dstate[f].service;
+                    let up = (0..self.devices.len())
+                        .filter(|&s| self.devices[s].is_up() && self.dstate[s].service == fsvc)
+                        .count();
+                    if up == 0 {
+                        self.fmetrics.service_outages += 1;
+                        if domain.is_correlated() {
+                            self.fmetrics.correlated_outages += 1;
+                        }
+                        self.outage_start.entry(fsvc).or_insert(now);
+                    }
+                }
+            }
+            // Cancel any promotion this device was about to perform.
+            if self.dstate[d].pending_promote.take().is_some() {
+                self.dstate[d].promote_token += 1;
+            }
+        }
+
+        let mut standby_covered = false;
         if self.recovery.failover_inference && base > 0.0 {
             let survivors: Vec<usize> = (0..self.devices.len())
                 .filter(|&s| {
@@ -1239,7 +1384,52 @@ impl ClusterEngine {
                     self.dstate[d].rerouted.push((s, share));
                     self.reconfigure_guarded(now, s);
                 }
+                // Rerouting is immediate in the model: survivors absorb
+                // the load within the same instant.
+                self.fmetrics.failover_latency_secs.push(0.0);
+            } else {
+                // No survivor left — the blast swallowed every replica.
+                // The warm-standby pool is the last line of defense: an
+                // idle standby for this service on another up device is
+                // promoted after a bounded switch latency instead of
+                // dropping every request until repair.
+                if self.recovery.standby.is_enabled() {
+                    let svc = self.dstate[d].service;
+                    let host = (0..self.devices.len()).find(|&h| {
+                        h != d
+                            && self.devices[h].is_up()
+                            && self.dstate[h].pending_promote.is_none()
+                            && self.devices[h]
+                                .standby()
+                                .is_some_and(|s| s.service == svc && !s.is_active())
+                    });
+                    if let Some(h) = host {
+                        self.dstate[h].promote_token += 1;
+                        let token = self.dstate[h].promote_token;
+                        self.dstate[h].pending_promote = Some((d, token));
+                        let promote_secs = if self.devices[h].standby().expect("standby").preloaded
+                        {
+                            SHADOW_SWITCH_SECS
+                        } else {
+                            MPS_RESTART_SECS
+                        };
+                        self.events.schedule_at(
+                            now + SimDuration::from_secs(promote_secs),
+                            Event::StandbyPromote { host: h, token },
+                        );
+                        self.fmetrics.failover_latency_secs.push(promote_secs);
+                        self.fmetrics.inference_failovers += 1;
+                        standby_covered = true;
+                    }
+                }
+                if !standby_covered {
+                    // Nobody can take the load: dropped until repair.
+                    self.fmetrics.failover_latency_secs.push(repair.as_secs());
+                }
             }
+        } else if base > 0.0 {
+            // Failover disabled: traffic drops for the whole outage.
+            self.fmetrics.failover_latency_secs.push(repair.as_secs());
         }
 
         // Total-outage accounting: if this failure took down the
@@ -1252,7 +1442,17 @@ impl ClusterEngine {
         let up_replicas = (0..self.devices.len())
             .filter(|&s| self.devices[s].is_up() && self.dstate[s].service == svc)
             .count();
-        if up_replicas == 0 {
+        // A pending or already-active standby keeps the service alive:
+        // no replica is up, but traffic resumes within the bounded
+        // promote window rather than waiting for repair.
+        let standby_cover = standby_covered
+            || (0..self.devices.len()).any(|h| {
+                self.devices[h].is_up()
+                    && self.devices[h]
+                        .standby()
+                        .is_some_and(|s| s.service == svc && s.is_active())
+            });
+        if up_replicas == 0 && !standby_cover {
             self.fmetrics.service_outages += 1;
             if domain.is_correlated() {
                 self.fmetrics.correlated_outages += 1;
@@ -1314,6 +1514,24 @@ impl ClusterEngine {
             self.fmetrics.service_outage_secs += now.since(start).as_secs();
         }
 
+        // Release warm-standby coverage: the covering standby drains
+        // back to idle and waits for the next failure.
+        if let Some(h) = self.dstate[d].standby_host.take() {
+            if self.devices[h].is_up() {
+                self.accrue(now, h);
+                self.devices[h].demote_standby(&self.gt, now);
+                self.fmetrics.standby_reseeds += 1;
+                self.reconfigure_guarded(now, h);
+            }
+        }
+        // Cancel any promotion still pending on this device's behalf.
+        for h in 0..self.dstate.len() {
+            if matches!(self.dstate[h].pending_promote, Some((t, _)) if t == d) {
+                self.dstate[h].pending_promote = None;
+                self.dstate[h].promote_token += 1;
+            }
+        }
+
         // Undo the failover: survivors stop serving this replica's share.
         let rerouted = std::mem::take(&mut self.dstate[d].rerouted);
         for (s, share) in rerouted {
@@ -1336,6 +1554,22 @@ impl ClusterEngine {
             * self.burst_multiplier(now);
         inst.qps = base + self.dstate[d].extra_qps;
         self.devices[d].deploy_inference(&self.gt, now, inst);
+
+        // Re-seed the pool: a repaired device that held a standby slot
+        // rejoins with a fresh idle standby.
+        let sb = self.recovery.standby;
+        if sb.is_enabled() {
+            if let Some(svc) = self.dstate[d].standby_slot {
+                if self.devices[d].standby().is_none() {
+                    self.devices[d].seed_standby(
+                        &self.gt,
+                        now,
+                        StandbyInstance::new(svc, 16, sb.reserve_fraction, sb.preloaded_weights),
+                    );
+                    self.fmetrics.standby_reseeds += 1;
+                }
+            }
+        }
 
         // Stranded jobs resume in place from their checkpoints.
         let stranded = std::mem::take(&mut self.dstate[d].stranded);
@@ -1375,6 +1609,38 @@ impl ClusterEngine {
         self.refresh_memory_pause(now, d);
         self.reconfigure(now, d);
         self.try_dispatch(now);
+    }
+
+    /// A scheduled standby promotion fires. If still valid (the token
+    /// matches, the host is up, the covered device is still down), the
+    /// standby starts serving the failed replica's base traffic on its
+    /// reserved slice; otherwise the event is a stale no-op.
+    fn on_standby_promote(&mut self, now: SimTime, host: usize, token: u64) {
+        if self.dstate[host].promote_token != token {
+            return; // Cancelled or superseded.
+        }
+        let Some((target, t)) = self.dstate[host].pending_promote.take() else {
+            return;
+        };
+        debug_assert_eq!(t, token);
+        if !self.devices[host].is_up() || self.devices[target].is_up() {
+            return; // Host died meanwhile, or the target already repaired.
+        }
+        let qps = self.dstate[target]
+            .stashed_inference
+            .as_ref()
+            .map_or(0.0, |i| i.qps);
+        if qps <= 0.0 {
+            return; // Demand vanished during the promote window.
+        }
+        // Book the drop span on the target up to the promote instant,
+        // then hand its traffic to the standby.
+        self.accrue(now, target);
+        self.accrue(now, host);
+        self.devices[host].promote_standby(&self.gt, now, qps);
+        self.dstate[target].standby_host = Some(host);
+        self.fmetrics.standby_promotions += 1;
+        self.reconfigure_guarded(now, host);
     }
 
     /// Transient slowdown: the device keeps running at `factor` of its
@@ -1620,27 +1886,34 @@ pub fn violation_probability(qps: f64, batch: u32, slo: f64, mean: f64, sigma: f
 }
 
 /// Assigns one inference service per device so that a service's
-/// replicas land in as many different racks as possible (deploy-time
-/// anti-affinity). Greedy and deterministic: devices are visited in
-/// index order and each takes the service with the fewest replicas in
-/// its own rack, breaking ties by fewest replicas overall, then by
-/// service index. Totals stay as balanced as the flat `d % n` layout
-/// (each service gets `devices / n` ± 1 replicas), and a single-rack
-/// topology degenerates to exactly the flat layout.
+/// replicas land in as many different fault domains as possible
+/// (deploy-time anti-affinity). Greedy and deterministic: devices are
+/// visited in index order and each takes the service with the fewest
+/// replicas on its own node, breaking ties by fewest replicas in its
+/// rack, then fewest overall, then by service index. Striping at node
+/// granularity (not just rack) keeps two replicas of the same service
+/// off one node whenever the rack has room — a node-level blast then
+/// takes at most one replica per service. Totals stay as balanced as
+/// the flat `d % n` layout (each service gets `devices / n` ± 1
+/// replicas), and a single-node topology degenerates to the flat
+/// layout.
 pub fn striped_service_assignment(
     topo: &Topology,
     devices: usize,
     n_services: usize,
 ) -> Vec<usize> {
     assert!(n_services > 0, "need at least one service");
+    let mut in_node = vec![vec![0usize; n_services]; topo.shape().nodes()];
     let mut in_rack = vec![vec![0usize; n_services]; topo.shape().racks];
     let mut total = vec![0usize; n_services];
     let mut out = Vec::with_capacity(devices);
     for d in 0..devices {
+        let node = topo.node_of(d);
         let r = topo.rack_of(d);
         let best = (0..n_services)
-            .min_by_key(|&s| (in_rack[r][s], total[s], s))
+            .min_by_key(|&s| (in_node[node][s], in_rack[r][s], total[s], s))
             .expect("non-empty service list");
+        in_node[node][best] += 1;
         in_rack[r][best] += 1;
         total[best] += 1;
         out.push(best);
@@ -1863,6 +2136,207 @@ mod tests {
         let svc = striped_service_assignment(&topo, 10, 6);
         let flat: Vec<usize> = (0..10).map(|d| d % 6).collect();
         assert_eq!(svc, flat);
+    }
+
+    /// The PR 3 assignment keyed on racks alone. At large device counts
+    /// (more devices per node than services) it parks two replicas of
+    /// one service on a single node inside a rack — the collision the
+    /// node-granularity key bounds. Kept inline as the regression
+    /// baseline.
+    fn rack_only_assignment(topo: &Topology, devices: usize, n_services: usize) -> Vec<usize> {
+        let mut in_rack = vec![vec![0usize; n_services]; topo.shape().racks];
+        let mut total = vec![0usize; n_services];
+        let mut out = Vec::with_capacity(devices);
+        for d in 0..devices {
+            let r = topo.rack_of(d);
+            let best = (0..n_services)
+                .min_by_key(|&s| (in_rack[r][s], total[s], s))
+                .expect("non-empty service list");
+            in_rack[r][best] += 1;
+            total[best] += 1;
+            out.push(best);
+        }
+        out
+    }
+
+    #[test]
+    fn node_striping_regression_bounds_same_node_collisions() {
+        // Reproduce the old collision: 64 devices over 4x2 means 8
+        // devices per node with only 6 services — the rack-only key
+        // doubles some service up on a node.
+        let topo = Topology::new(TopologyShape::new(4, 2), 64);
+        let old = rack_only_assignment(&topo, 64, 6);
+        let count = |assign: &[usize], node: usize, s: usize| {
+            (0..64)
+                .filter(|&d| topo.node_of(d) == node && assign[d] == s)
+                .count()
+        };
+        let collided = (0..topo.shape().nodes()).any(|n| (0..6).any(|s| count(&old, n, s) >= 2));
+        assert!(
+            collided,
+            "the rack-only layout should exhibit the collision"
+        );
+
+        // The node-granularity key pins the regression: per node, no
+        // service ever exceeds the pigeonhole optimum
+        // ceil(node devices / services), across a sweep of shapes.
+        for (racks, npr, devices, n_services) in [
+            (4, 2, 64, 6),
+            (4, 2, 12, 6),
+            (2, 2, 40, 3),
+            (8, 4, 256, 6),
+            (3, 3, 100, 7),
+            (2, 1, 30, 4),
+        ] {
+            let topo = Topology::new(TopologyShape::new(racks, npr), devices);
+            let svc = striped_service_assignment(&topo, devices, n_services);
+            for node in 0..topo.shape().nodes() {
+                let node_devs = topo.devices_in_node(node).len();
+                let bound = node_devs.div_ceil(n_services);
+                for s in 0..n_services {
+                    let c = topo.devices_in_node(node).filter(|&d| svc[d] == s).count();
+                    assert!(
+                        c <= bound,
+                        "{racks}x{npr}/{devices}dev/{n_services}svc: node {node} \
+                         holds {c} replicas of service {s} (bound {bound})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_striping_preserves_the_golden_layouts() {
+        // The fix must not disturb the layouts the recorded goldens ran
+        // on: at the default-scale shapes the node-aware key picks the
+        // same assignment the rack-only key did.
+        for (racks, npr, devices, n_services) in [(4, 2, 12, 6), (4, 2, 6, 6), (2, 2, 10, 6)] {
+            let topo = Topology::new(TopologyShape::new(racks, npr), devices);
+            assert_eq!(
+                striped_service_assignment(&topo, devices, n_services),
+                rack_only_assignment(&topo, devices, n_services),
+                "{racks}x{npr}/{devices}dev/{n_services}svc layout changed"
+            );
+        }
+    }
+
+    /// Kills both replicas of one service (flat layout: devices d and
+    /// d + n_services) with a shared rack-tagged incident, with and
+    /// without a standby pool.
+    fn rack_blast_run(pool: usize) -> ExperimentResult {
+        use resilience::{FaultDomain, FaultEvent, RecoveryPolicy, StandbyPolicy};
+        let n = Zoo::standard().services().len();
+        let mut cfg = ClusterConfig::tiny(SystemKind::Random, 53);
+        cfg.devices = n + 1;
+        // The profile carries the pool so the engine seeds it at
+        // construction; the generated schedule is replaced below with
+        // the hand-built blast.
+        let mut profile = FaultProfile::scaled(1.0);
+        profile.recovery = RecoveryPolicy {
+            failover_inference: true,
+            ..RecoveryPolicy::standard()
+        };
+        profile.recovery.standby = StandbyPolicy::warm(pool);
+        cfg.faults = Some(profile);
+        let mut engine = ClusterEngine::new(cfg);
+        // A repair interval short enough that the repairs land before
+        // the last job completes (the run ends with the final job).
+        let at = SimTime::from_secs(600.0);
+        let repair = SimDuration::from_mins(6.0);
+        engine.set_fault_schedule(FaultSchedule::from_events(
+            [0usize, n]
+                .into_iter()
+                .map(|d| FaultEvent {
+                    at,
+                    device: d,
+                    kind: FaultKind::DeviceFailure { repair },
+                    domain: FaultDomain::Rack(0),
+                })
+                .collect(),
+        ));
+        engine.run_scaled(0.002)
+    }
+
+    #[test]
+    fn standby_promotes_when_the_blast_leaves_no_survivor() {
+        let with_pool = rack_blast_run(1);
+        let without = rack_blast_run(0);
+
+        // Pool path: the service's only hope is the standby — it must
+        // have been promoted, served traffic, and bounded the failover
+        // latency at the shadow-switch cost.
+        assert!(with_pool.faults.standby_slots >= 1);
+        assert!(
+            with_pool.faults.standby_promotions >= 1,
+            "no standby promoted"
+        );
+        assert!(with_pool.faults.standby_served_requests > 0.0);
+        assert!(with_pool.faults.standby_reserved_gpu_secs > 0.0);
+        assert!(
+            with_pool
+                .faults
+                .failover_latency_secs
+                .contains(&gpu_sim::SHADOW_SWITCH_SECS),
+            "promote latency sample missing: {:?}",
+            with_pool.faults.failover_latency_secs
+        );
+        // The standby drains back to idle at repair, and the repaired
+        // slot-holders rejoin the pool.
+        assert!(with_pool.faults.standby_reseeds >= 1);
+
+        // Against the pool-0 baseline on the identical schedule: less
+        // outage time and fewer dropped requests.
+        assert!(without.faults.service_outage_secs > 0.0);
+        assert!(
+            with_pool.faults.service_outage_secs < without.faults.service_outage_secs,
+            "pool {} vs baseline {}",
+            with_pool.faults.service_outage_secs,
+            without.faults.service_outage_secs
+        );
+        assert!(
+            with_pool.faults.dropped_requests < without.faults.dropped_requests,
+            "pool {} vs baseline {}",
+            with_pool.faults.dropped_requests,
+            without.faults.dropped_requests
+        );
+        // The baseline's failover ledger shows the unbounded path: the
+        // doomed replica's sample is the full repair interval.
+        assert!(without
+            .faults
+            .failover_latency_secs
+            .contains(&SimDuration::from_mins(6.0).as_secs()));
+        assert!(
+            without.faults.failover_latency_p99() >= with_pool.faults.failover_latency_p99(),
+            "pool must not lengthen the failover tail"
+        );
+    }
+
+    #[test]
+    fn young_daly_period_raises_checkpoint_cadence_under_heavy_faults() {
+        use resilience::{CheckpointPeriod, RecoveryPolicy};
+        // MTBF at 400x the base rate is ~1.8h; with multi-second write
+        // costs the Young/Daly optimum sqrt(2·MTBF·w) sits well under
+        // the fixed 10-minute default, so the adaptive policy must
+        // checkpoint at least as often as the fixed one.
+        let run = |period: CheckpointPeriod| {
+            let cfg = ClusterConfig::tiny(SystemKind::Random, 61)
+                .with_faults(FaultProfile::scaled(400.0));
+            let mut engine = ClusterEngine::new(cfg);
+            engine.set_recovery_policy(RecoveryPolicy {
+                checkpoint_period: period,
+                ..RecoveryPolicy::standard()
+            });
+            engine.run_scaled(0.002)
+        };
+        let fixed = run(CheckpointPeriod::Fixed(SimDuration::from_mins(10.0)));
+        let adaptive = run(CheckpointPeriod::YoungDaly);
+        assert!(fixed.faults.checkpoint_writes > 0);
+        assert!(
+            adaptive.faults.checkpoint_writes >= fixed.faults.checkpoint_writes,
+            "Young/Daly wrote {} checkpoints vs fixed {}",
+            adaptive.faults.checkpoint_writes,
+            fixed.faults.checkpoint_writes
+        );
     }
 
     #[test]

@@ -273,6 +273,111 @@ pub fn correlated_failure_sweep_serial(
         .collect()
 }
 
+/// The per-(pool, rate) cell configurations a warm-standby sweep runs:
+/// rack-correlated faults at `rate`, standard recovery plus a standby
+/// pool of the given size. Pool size 0 keeps [`StandbyPolicy`]
+/// disabled, so those cells replay the plain rack-correlated path
+/// byte-for-byte. Public so drivers sweeping several systems can
+/// flatten all (system × pool × rate) cells into one
+/// [`end_to_end_many`].
+///
+/// [`StandbyPolicy`]: resilience::StandbyPolicy
+pub fn warm_standby_cells(
+    system: SystemKind,
+    seed: u64,
+    pools: &[usize],
+    rates: &[f64],
+    base: &ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(ClusterConfig, f64)> {
+    let mut cells = Vec::with_capacity(pools.len() * rates.len());
+    for &pool in pools {
+        for &rate in rates {
+            let mut cfg = base.clone();
+            cfg.system = system;
+            cfg.seed = seed;
+            if rate > 0.0 {
+                let mut profile = resilience::FaultProfile::scaled(rate)
+                    .with_correlated(resilience::CorrelatedFaultConfig::rack_level(rate));
+                profile.recovery.standby = resilience::StandbyPolicy::warm(pool);
+                cfg.faults = Some(profile);
+            }
+            cells.push((cfg, iteration_scale));
+        }
+    }
+    cells
+}
+
+/// Fig. 21: the warm-standby pool's cost/benefit ledger. Sweeps pool
+/// size × fault rate under rack-correlated faults and reports, per
+/// cell, the violation-seconds avoided, the bounded failover-latency
+/// p99, and the standing reserved-GPU%-seconds cost. Cells fan out
+/// across cores; output is identical to [`warm_standby_sweep_serial`].
+pub fn warm_standby_sweep(
+    system: SystemKind,
+    seed: u64,
+    pools: &[usize],
+    rates: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(usize, f64, ExperimentResult)> {
+    warm_standby_sweep_workers(
+        system,
+        seed,
+        pools,
+        rates,
+        base,
+        iteration_scale,
+        simcore::pool::max_workers(),
+    )
+}
+
+/// [`warm_standby_sweep`] with an explicit worker count.
+pub fn warm_standby_sweep_workers(
+    system: SystemKind,
+    seed: u64,
+    pools: &[usize],
+    rates: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+    workers: usize,
+) -> Vec<(usize, f64, ExperimentResult)> {
+    let cells = warm_standby_cells(system, seed, pools, rates, &base, iteration_scale);
+    let keys: Vec<(usize, f64)> = pools
+        .iter()
+        .flat_map(|&p| rates.iter().map(move |&r| (p, r)))
+        .collect();
+    keys.into_iter()
+        .zip(end_to_end_many_workers(cells, workers))
+        .map(|((p, r), res)| (p, r, res))
+        .collect()
+}
+
+/// Reference serial implementation of [`warm_standby_sweep`]: a plain
+/// loop with no pool involvement, the ground truth the equivalence
+/// tests compare the parallel path against.
+pub fn warm_standby_sweep_serial(
+    system: SystemKind,
+    seed: u64,
+    pools: &[usize],
+    rates: &[f64],
+    base: ClusterConfig,
+    iteration_scale: f64,
+) -> Vec<(usize, f64, ExperimentResult)> {
+    let keys: Vec<(usize, f64)> = pools
+        .iter()
+        .flat_map(|&p| rates.iter().map(move |&r| (p, r)))
+        .collect();
+    keys.into_iter()
+        .zip(
+            warm_standby_cells(system, seed, pools, rates, &base, iteration_scale)
+                .into_iter()
+                .map(|(cfg, scale)| end_to_end(cfg, scale)),
+        )
+        .map(|((p, r), res)| (p, r, res))
+        .collect()
+}
+
 /// The per-multiplier cell configurations a load sweep runs. Public for
 /// the same flattening reason as [`failure_cells`].
 pub fn load_cells(

@@ -110,12 +110,40 @@ pub struct FaultMetrics {
     pub checkpoint_writes: u64,
     /// Cumulative running time spent writing checkpoints, seconds.
     pub checkpoint_write_secs: f64,
+    /// Warm-standby shadow instances seeded into the pool at start.
+    pub standby_slots: usize,
+    /// Standby promotions that completed (standby took over traffic).
+    pub standby_promotions: usize,
+    /// Standbys drained back to idle / re-seeded after a repair.
+    pub standby_reseeds: usize,
+    /// Standing cost of the pool: reserved GPU%-seconds, idle or
+    /// active, summed over devices.
+    pub standby_reserved_gpu_secs: f64,
+    /// Requests served by promoted standbys.
+    pub standby_served_requests: f64,
+    /// Per-failure time-to-restored-service samples, seconds: the
+    /// bounded promote latency when a standby covered, `0` when
+    /// survivors absorbed the load instantly, the full repair time when
+    /// the traffic dropped.
+    pub failover_latency_secs: Vec<f64>,
 }
 
 impl FaultMetrics {
     /// Total injected faults of every class.
     pub fn total_faults(&self) -> usize {
         self.device_failures + self.slowdowns + self.process_crashes + self.mps_failures
+    }
+
+    /// p99 of the failover-latency samples (nearest-rank over the
+    /// sorted list), `0.0` when no replica failure carried traffic.
+    pub fn failover_latency_p99(&self) -> f64 {
+        if self.failover_latency_secs.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.failover_latency_secs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((sorted.len() as f64) * 0.99).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
     }
 }
 
@@ -291,6 +319,22 @@ impl ExperimentResult {
             f.checkpoint_writes,
             f.checkpoint_write_secs
         );
+        // Standby accounting appears only when a pool was provisioned:
+        // a pool-size-0 run stays byte-identical to a pre-standby run.
+        if f.standby_slots > 0 {
+            let _ = writeln!(
+                s,
+                "standby: slots={} promotions={} reseeds={} reserved={:?} served={:?} \
+                 failover_p99={:?} failover_n={}",
+                f.standby_slots,
+                f.standby_promotions,
+                f.standby_reseeds,
+                f.standby_reserved_gpu_secs,
+                f.standby_served_requests,
+                f.failover_latency_p99(),
+                f.failover_latency_secs.len()
+            );
+        }
         let _ = writeln!(s, "useful_iterations={:?}", self.useful_iterations);
         let _ = writeln!(s, "jobs={}/{}", self.jobs_completed, self.jobs_submitted);
         s

@@ -133,6 +133,41 @@ pub fn outage_table(labels: &[String], results: &[ExperimentResult]) -> Table {
     t
 }
 
+/// Renders the warm-standby table (Fig. 21): per run, the pool's cost
+/// (reserved GPU%-seconds held idle-or-active) next to its benefit
+/// (violation rate, bounded failover-latency p99, outage time, traffic
+/// the promoted standbys carried).
+pub fn standby_table(labels: &[String], results: &[ExperimentResult]) -> Table {
+    assert_eq!(labels.len(), results.len(), "one label per result");
+    let mut t = Table::new(&[
+        "run",
+        "system",
+        "slots",
+        "slo viol",
+        "failover p99",
+        "outage time",
+        "promotions",
+        "standby req",
+        "reserved GPU%-s",
+        "goodput it/h",
+    ]);
+    for (label, r) in labels.iter().zip(results) {
+        t.row(vec![
+            label.clone(),
+            r.system.clone(),
+            r.faults.standby_slots.to_string(),
+            pct(r.overall_violation_rate()),
+            dur(r.faults.failover_latency_p99()),
+            dur(r.faults.service_outage_secs),
+            r.faults.standby_promotions.to_string(),
+            format!("{:.0}", r.faults.standby_served_requests),
+            format!("{:.0}", r.faults.standby_reserved_gpu_secs),
+            format!("{:.0}", r.goodput_iters_per_hour()),
+        ]);
+    }
+    t
+}
+
 /// Formats a ratio like `2.27x`.
 pub fn ratio(a: f64, b: f64) -> String {
     if b == 0.0 {

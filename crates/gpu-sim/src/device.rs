@@ -9,7 +9,7 @@ use simcore::{SimDuration, SimTime, UtilizationIntegrator};
 use workloads::{ColoWorkload, GroundTruth};
 
 use crate::memory::MemoryManager;
-use crate::process::{InferenceInstance, ResidentId, TrainingProcess};
+use crate::process::{InferenceInstance, ResidentId, StandbyInstance, TrainingProcess};
 
 /// Mudi multiplexes one inference service with at most three training
 /// tasks per GPU (§5.5).
@@ -40,6 +40,7 @@ pub struct GpuDevice {
     id: DeviceId,
     memory: MemoryManager,
     inference: Option<InferenceInstance>,
+    standby: Option<StandbyInstance>,
     trainings: Vec<TrainingProcess>,
     health: DeviceHealth,
     sm_util: UtilizationIntegrator,
@@ -57,6 +58,7 @@ impl GpuDevice {
             id,
             memory: MemoryManager::new(capacity_gb),
             inference: None,
+            standby: None,
             trainings: Vec::new(),
             health: DeviceHealth::Healthy,
             sm_util,
@@ -118,6 +120,7 @@ impl GpuDevice {
         self.health = DeviceHealth::Down;
         let inference = self.inference.take();
         let trainings = std::mem::take(&mut self.trainings);
+        self.standby = None;
         self.memory.release_all(now);
         (inference, trainings)
     }
@@ -137,6 +140,82 @@ impl GpuDevice {
     /// The resident inference instance, if any.
     pub fn inference(&self) -> Option<&InferenceInstance> {
         self.inference.as_ref()
+    }
+
+    /// The parked warm-standby shadow instance, if any.
+    pub fn standby(&self) -> Option<&StandbyInstance> {
+        self.standby.as_ref()
+    }
+
+    /// GPU% currently reserved by the standby (0 when none is parked).
+    pub fn standby_reserve(&self) -> f64 {
+        self.standby.as_ref().map_or(0.0, |s| s.reserve_fraction)
+    }
+
+    /// Parks a warm-standby shadow instance on the device, pinning its
+    /// model memory when weights are pre-loaded. Returns the swap
+    /// transfer time from the memory rebalance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is down or already hosts a standby.
+    pub fn seed_standby(
+        &mut self,
+        gt: &GroundTruth,
+        now: SimTime,
+        instance: StandbyInstance,
+    ) -> SimDuration {
+        assert!(self.is_up(), "cannot seed a standby on a down device");
+        assert!(self.standby.is_none(), "device already hosts a standby");
+        let demand = if instance.preloaded {
+            gt.inference_memory_gb(instance.service, instance.batch, 0.0)
+        } else {
+            0.0
+        };
+        self.standby = Some(instance);
+        self.memory.set_standby_demand(now, demand)
+    }
+
+    /// Promotes the parked standby to serving `qps` (the shadow
+    /// hand-off: traffic starts routing to the reserved slice). Returns
+    /// the swap transfer time from the staging-pool growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no standby is parked.
+    pub fn promote_standby(&mut self, gt: &GroundTruth, now: SimTime, qps: f64) -> SimDuration {
+        assert!(qps >= 0.0);
+        let s = self.standby.as_mut().expect("no standby to promote");
+        s.qps = qps;
+        let demand = gt.inference_memory_gb(s.service, s.batch, s.qps);
+        self.memory.set_standby_demand(now, demand)
+    }
+
+    /// Updates the traffic served by an active standby.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no standby is parked.
+    pub fn set_standby_qps(&mut self, gt: &GroundTruth, now: SimTime, qps: f64) -> SimDuration {
+        self.promote_standby(gt, now, qps)
+    }
+
+    /// Returns an active standby to the idle pool (the covered replica
+    /// rejoined): traffic stops, memory shrinks back to the pinned
+    /// weights (or zero for a cold standby).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no standby is parked.
+    pub fn demote_standby(&mut self, gt: &GroundTruth, now: SimTime) -> SimDuration {
+        let s = self.standby.as_mut().expect("no standby to demote");
+        s.qps = 0.0;
+        let demand = if s.preloaded {
+            gt.inference_memory_gb(s.service, s.batch, 0.0)
+        } else {
+            0.0
+        };
+        self.memory.set_standby_demand(now, demand)
     }
 
     /// Resident training processes.
@@ -270,7 +349,9 @@ impl GpuDevice {
         if n == 0 {
             return 0.0;
         }
-        let total = (1.0 - inf_frac).min(share_cap);
+        let total = (1.0 - inf_frac - self.standby_reserve())
+            .max(0.0)
+            .min(share_cap);
         let share = (total / n as f64).max(0.01);
         for t in &mut self.trainings {
             t.gpu_fraction = share;
@@ -281,10 +362,36 @@ impl GpuDevice {
     /// The co-location set as seen by the inference instance (all
     /// resident trainings).
     pub fn colo_for_inference(&self) -> Vec<ColoWorkload> {
-        self.trainings
+        let mut colo: Vec<ColoWorkload> = self
+            .trainings
             .iter()
             .map(|t| ColoWorkload::training(t.task, t.gpu_fraction))
-            .collect()
+            .collect();
+        if let Some(s) = self.standby.as_ref().filter(|s| s.is_active()) {
+            colo.push(ColoWorkload::inference(
+                s.service,
+                s.batch,
+                s.reserve_fraction,
+            ));
+        }
+        colo
+    }
+
+    /// The co-location set as seen by an *active* standby (the primary
+    /// inference instance plus all resident trainings).
+    pub fn colo_for_standby(&self) -> Vec<ColoWorkload> {
+        let mut colo = Vec::new();
+        if let Some(inf) = &self.inference {
+            colo.push(ColoWorkload::inference(
+                inf.service,
+                inf.batch,
+                inf.gpu_fraction,
+            ));
+        }
+        for t in &self.trainings {
+            colo.push(ColoWorkload::training(t.task, t.gpu_fraction));
+        }
+        colo
     }
 
     /// The co-location set as seen by training `id` (the inference
@@ -302,6 +409,13 @@ impl GpuDevice {
             if t.id != id {
                 colo.push(ColoWorkload::training(t.task, t.gpu_fraction));
             }
+        }
+        if let Some(s) = self.standby.as_ref().filter(|s| s.is_active()) {
+            colo.push(ColoWorkload::inference(
+                s.service,
+                s.batch,
+                s.reserve_fraction,
+            ));
         }
         colo
     }
@@ -323,6 +437,12 @@ impl GpuDevice {
                 0.0
             };
             util += inf.gpu_fraction * busy;
+        }
+        if let Some(s) = self.standby.as_ref().filter(|s| s.is_active()) {
+            let colo = self.colo_for_standby();
+            let latency = gt.inference_latency(s.service, s.batch, s.reserve_fraction, &colo);
+            let busy = (s.qps * latency / s.batch as f64).min(1.0);
+            util += s.reserve_fraction * busy;
         }
         util.min(1.0)
     }
@@ -588,6 +708,74 @@ mod tests {
     fn repair_requires_down() {
         let mut d = GpuDevice::new(DeviceId(0), 40.0);
         d.repair();
+    }
+
+    #[test]
+    fn standby_lifecycle_reserves_and_releases() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        d.deploy_inference(
+            &g,
+            t(0.0),
+            InferenceInstance::new(ServiceId(0), 16, 0.6, 200.0),
+        );
+        d.add_training(
+            &g,
+            t(0.0),
+            TrainingProcess::new(ResidentId(1), TaskId(0), 0.2, 100),
+        )
+        .unwrap();
+        let idle_demand = d.memory().total_demand_gb();
+        d.seed_standby(
+            &g,
+            t(1.0),
+            StandbyInstance::new(ServiceId(2), 16, 0.1, true),
+        );
+        assert_eq!(d.standby_reserve(), 0.1);
+        assert!(!d.standby().unwrap().is_active());
+        assert!(
+            d.memory().total_demand_gb() > idle_demand,
+            "pre-loaded weights must pin memory"
+        );
+        // The reserve comes out of the training leftover.
+        let share = d.rebalance_training_fractions(1.0);
+        assert!((share - (1.0 - 0.6 - 0.1)).abs() < 1e-12);
+        // An idle standby is invisible to the interference sets.
+        assert_eq!(d.colo_for_inference().len(), 1);
+        let parked = d.memory().total_demand_gb();
+
+        d.promote_standby(&g, t(2.0), 150.0);
+        assert!(d.standby().unwrap().is_active());
+        assert!(d.memory().total_demand_gb() >= parked);
+        assert_eq!(d.colo_for_inference().len(), 2, "active standby co-runs");
+        assert_eq!(d.colo_for_training(ResidentId(1)).len(), 2);
+        assert!(d.sm_utilization(&g) <= 1.0);
+
+        d.demote_standby(&g, t(3.0));
+        assert!(!d.standby().unwrap().is_active());
+        assert!((d.memory().total_demand_gb() - parked).abs() < 1e-9);
+
+        // Failure wipes the standby with everything else.
+        d.fail(t(4.0));
+        assert!(d.standby().is_none());
+        assert_eq!(d.standby_reserve(), 0.0);
+        assert_eq!(d.memory().total_demand_gb(), 0.0);
+    }
+
+    #[test]
+    fn cold_standby_holds_no_idle_memory() {
+        let g = gt();
+        let mut d = GpuDevice::new(DeviceId(0), 40.0);
+        d.seed_standby(
+            &g,
+            t(0.0),
+            StandbyInstance::new(ServiceId(1), 16, 0.15, false),
+        );
+        assert_eq!(d.memory().total_demand_gb(), 0.0);
+        d.promote_standby(&g, t(1.0), 80.0);
+        assert!(d.memory().total_demand_gb() > 0.0);
+        d.demote_standby(&g, t(2.0));
+        assert_eq!(d.memory().total_demand_gb(), 0.0);
     }
 
     #[test]

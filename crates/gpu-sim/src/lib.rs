@@ -25,5 +25,5 @@ pub mod restart;
 pub use device::{DeviceHealth, DeviceId, GpuDevice};
 pub use memory::{MemoryManager, SwapStats, PCIE_GBPS};
 pub use mig::{MigInstance, MigProfile};
-pub use process::{InferenceInstance, ResidentId, TrainingProcess};
+pub use process::{InferenceInstance, ResidentId, StandbyInstance, TrainingProcess};
 pub use restart::{ReconfigPolicy, MPS_RESTART_SECS, SHADOW_SWITCH_SECS};

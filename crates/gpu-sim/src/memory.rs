@@ -51,6 +51,9 @@ impl SwapStats {
 pub struct MemoryManager {
     capacity_gb: f64,
     inference_gb: f64,
+    /// Memory pinned by a warm-standby shadow instance (pre-loaded
+    /// weights). Like inference memory it never swaps to the host.
+    standby_gb: f64,
     trainings: Vec<(ResidentId, f64)>,
     /// GB of training memory currently on the host, per training.
     swapped: Vec<(ResidentId, f64)>,
@@ -72,6 +75,7 @@ impl MemoryManager {
         MemoryManager {
             capacity_gb,
             inference_gb: 0.0,
+            standby_gb: 0.0,
             trainings: Vec::new(),
             swapped: Vec::new(),
             stats: SwapStats::default(),
@@ -87,7 +91,7 @@ impl MemoryManager {
 
     /// Total demand from all residents, GB.
     pub fn total_demand_gb(&self) -> f64 {
-        self.inference_gb + self.trainings.iter().map(|&(_, gb)| gb).sum::<f64>()
+        self.inference_gb + self.standby_gb + self.trainings.iter().map(|&(_, gb)| gb).sum::<f64>()
     }
 
     /// Memory currently resident on the device, GB.
@@ -110,6 +114,15 @@ impl MemoryManager {
     pub fn set_inference_demand(&mut self, now: SimTime, gb: f64) -> SimDuration {
         assert!(gb >= 0.0, "negative demand");
         self.inference_gb = gb;
+        self.rebalance(now)
+    }
+
+    /// Sets the memory pinned by a warm-standby shadow instance
+    /// (model weights held resident for a bounded promote) and
+    /// rebalances. Standby memory, like inference memory, never swaps.
+    pub fn set_standby_demand(&mut self, now: SimTime, gb: f64) -> SimDuration {
+        assert!(gb >= 0.0, "negative demand");
+        self.standby_gb = gb;
         self.rebalance(now)
     }
 
@@ -189,6 +202,7 @@ impl MemoryManager {
     /// re-register on restart, rebuilding the manager's state.
     pub fn release_all(&mut self, now: SimTime) {
         self.inference_gb = 0.0;
+        self.standby_gb = 0.0;
         self.trainings.clear();
         self.swapped.clear();
         self.overflow_time.set(now, 0.0);
@@ -342,6 +356,21 @@ mod tests {
         // All training memory is out; inference keeps the device.
         assert!((m.total_swapped_gb() - 10.0).abs() < 1e-9);
         assert_eq!(m.utilization(), 1.0);
+    }
+
+    #[test]
+    fn standby_memory_pins_like_inference() {
+        let mut m = MemoryManager::new(40.0);
+        m.add_training(t(0.0), ResidentId(1), 25.0);
+        let d = m.set_standby_demand(t(1.0), 30.0);
+        // Demand 55, capacity 40 -> 15 GB of *training* on host; the
+        // standby's pinned weights never swap.
+        assert!((m.total_swapped_gb() - 15.0).abs() < 1e-9);
+        assert!(d.as_secs() > 0.0);
+        assert!((m.total_demand_gb() - 55.0).abs() < 1e-9);
+        // Dropping the standby releases the pressure again.
+        m.set_standby_demand(t(2.0), 0.0);
+        assert!(!m.is_overflowed());
     }
 
     #[test]

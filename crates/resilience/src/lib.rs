@@ -29,7 +29,9 @@ pub mod recovery;
 pub mod schedule;
 
 pub use checkpoint::CheckpointTracker;
-pub use recovery::{FaultProfile, RecoveryPolicy};
+pub use recovery::{
+    young_daly_period, CheckpointPeriod, FaultProfile, RecoveryPolicy, StandbyPolicy,
+};
 pub use schedule::{
     CorrelatedFaultConfig, FaultConfig, FaultDomain, FaultEvent, FaultKind, FaultSchedule,
 };

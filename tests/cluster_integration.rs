@@ -212,3 +212,78 @@ fn rack_blast_with_no_survivors_is_accounted_not_dropped() {
         r.faults.dropped_requests
     );
 }
+
+/// The same no-survivor rack blast with a warm-standby pool: the only
+/// thing left serving the service is a standby seeded in another rack
+/// (seeding anti-affines standbys away from their service's primaries).
+/// The pool must convert the total outage into bounded-latency
+/// coverage: a promotion at the shadow-switch cost, traffic served on
+/// the reserved slice, and no total-outage window at all.
+#[test]
+fn rack_blast_survived_only_by_standby_in_another_rack() {
+    use gpu_sim::SHADOW_SWITCH_SECS;
+    use resilience::{
+        FaultDomain, FaultEvent, FaultKind, FaultProfile, FaultSchedule, RecoveryPolicy,
+        StandbyPolicy,
+    };
+    use simcore::{SimDuration, SimTime};
+    use workloads::Zoo;
+
+    let n = Zoo::standard().services().len();
+    let mut cfg = tiny(SystemKind::Random, 53, 24);
+    cfg.devices = n + 1;
+    // The pool must ride in on the config's fault profile: seeding
+    // happens at engine construction. The generated schedule is then
+    // replaced with the hand-built blast.
+    let mut profile = FaultProfile::scaled(1.0);
+    profile.recovery = RecoveryPolicy {
+        failover_inference: true,
+        ..RecoveryPolicy::standard()
+    };
+    profile.recovery.standby = StandbyPolicy::warm(1);
+    cfg.faults = Some(profile);
+    let mut engine = ClusterEngine::new(cfg);
+    // Short repair so both repairs land before the last job finishes.
+    let at = SimTime::from_secs(600.0);
+    let repair = SimDuration::from_mins(6.0);
+    engine.set_fault_schedule(FaultSchedule::from_events(
+        [0usize, n]
+            .into_iter()
+            .map(|d| FaultEvent {
+                at,
+                device: d,
+                kind: FaultKind::DeviceFailure { repair },
+                domain: FaultDomain::Rack(0),
+            })
+            .collect(),
+    ));
+    let r = engine.run_scaled(0.002);
+
+    assert_eq!(r.faults.device_failures, 2);
+    assert!(r.faults.standby_slots >= 1, "pool was never seeded");
+    assert!(
+        r.faults.standby_promotions >= 1,
+        "no standby promoted despite a survivor-free blast"
+    );
+    assert!(
+        r.faults.standby_served_requests > 0.0,
+        "promoted standby served no traffic"
+    );
+    // The hand-off is bounded at the shadow-switch latency — orders of
+    // magnitude under the repair interval the pool-0 path pays.
+    assert!(r.faults.failover_latency_secs.contains(&SHADOW_SWITCH_SECS));
+    assert!(
+        r.faults.failover_latency_p99() <= SHADOW_SWITCH_SECS + 1e-9,
+        "failover p99 {}s not bounded by the promote latency",
+        r.faults.failover_latency_p99()
+    );
+    // Standby coverage suppresses the total-outage window entirely.
+    assert_eq!(
+        r.faults.service_outages, 0,
+        "outage window recorded despite standby coverage"
+    );
+    assert_eq!(r.faults.service_outage_secs, 0.0);
+    // The run's canonical text carries the standby ledger (and so the
+    // goldens that include pools will too).
+    assert!(r.canonical_text().contains("standby:"));
+}

@@ -19,7 +19,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use cluster::engine::ClusterConfig;
-use cluster::experiments::{correlated_failure_sweep, failure_sweep, load_sensitivity, FaultScope};
+use cluster::experiments::{
+    correlated_failure_sweep, failure_sweep, load_sensitivity, warm_standby_sweep, FaultScope,
+};
 use cluster::metrics::ExperimentResult;
 use cluster::systems::SystemKind;
 
@@ -93,6 +95,23 @@ fn correlated_failures_match_golden() {
         out.push_str(&r.canonical_text());
     }
     check_golden("correlated_failures.txt", &out);
+}
+
+/// The fig. 21 shape: warm-standby pool sizes against the pool-0
+/// baseline under rack-correlated faults. Pins the pool seeding, the
+/// promote/demote state machine, the reserved-GPU%-seconds ledger, and
+/// — via the pool-0 cell — that a zero pool replays the plain
+/// rack-correlated path byte-for-byte.
+#[test]
+fn warm_standby_matches_golden() {
+    let (base, scale) = snapshot_config(SystemKind::Mudi, 7);
+    let series = warm_standby_sweep(SystemKind::Mudi, 7, &[0, 1], &[200.0], base, scale);
+    let mut out = String::new();
+    for (pool, rate, r) in &series {
+        let _ = writeln!(out, "== cell pool={pool} rate={rate:?} ==");
+        out.push_str(&r.canonical_text());
+    }
+    check_golden("warm_standby.txt", &out);
 }
 
 #[test]

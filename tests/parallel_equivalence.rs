@@ -16,7 +16,8 @@ use cluster::engine::ClusterConfig;
 use cluster::experiments::{
     correlated_failure_sweep_serial, correlated_failure_sweep_workers, end_to_end,
     end_to_end_many_workers, failure_sweep_serial, failure_sweep_workers, load_sensitivity_serial,
-    load_sensitivity_workers, max_throughput_serial, max_throughput_workers, FaultScope,
+    load_sensitivity_workers, max_throughput_serial, max_throughput_workers,
+    warm_standby_sweep_serial, warm_standby_sweep_workers, FaultScope,
 };
 use cluster::metrics::ExperimentResult;
 use cluster::systems::SystemKind;
@@ -176,6 +177,41 @@ fn max_throughput_is_bit_identical_across_thread_counts() {
                 "max QPS diverged at workers={workers}: {qa} vs {qb}"
             );
         }
+    }
+}
+
+/// The fig. 21 driver shape: a warm-standby sweep over pool size ×
+/// fault rate, serial reference vs the pool at every worker count.
+/// Exercises the standby seeding, promote/demote transitions, and the
+/// reserved-GPU%-seconds ledger under pooled execution.
+#[test]
+fn warm_standby_sweep_is_bit_identical_across_thread_counts() {
+    let pools = [0usize, 1];
+    let rates = [0.0, 200.0];
+    let (base, scale) = small_config(SystemKind::Mudi, 42);
+    let serial: Vec<String> =
+        warm_standby_sweep_serial(SystemKind::Mudi, 42, &pools, &rates, base.clone(), scale)
+            .iter()
+            .map(|(p, r, res)| format!("pool{p}@{r:?}\n{}", res.canonical_text()))
+            .collect();
+    assert_eq!(serial.len(), pools.len() * rates.len());
+    for workers in WORKER_COUNTS {
+        let pooled: Vec<String> = warm_standby_sweep_workers(
+            SystemKind::Mudi,
+            42,
+            &pools,
+            &rates,
+            base.clone(),
+            scale,
+            workers,
+        )
+        .iter()
+        .map(|(p, r, res)| format!("pool{p}@{r:?}\n{}", res.canonical_text()))
+        .collect();
+        assert_eq!(
+            serial, pooled,
+            "warm_standby_sweep diverged from serial at workers={workers}"
+        );
     }
 }
 

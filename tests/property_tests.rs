@@ -207,6 +207,56 @@ proptest! {
         }
     }
 
+    /// Standby GPU% conservation: on one device, the inference
+    /// fraction plus the standby reserve plus the rebalanced training
+    /// total never exceeds 100% (beyond the documented per-task 1%
+    /// floor) — whether the standby is idle or promoted.
+    #[test]
+    fn standby_reserve_conserves_device_gpu(
+        inf_pct in 1u32..9,
+        reserve_pct in 1u32..4,
+        n_train in 1usize..4,
+        cap_pct in 2u32..11,
+        qps in 1.0f64..500.0,
+    ) {
+        use gpu_sim::{
+            DeviceId, GpuDevice, InferenceInstance, ResidentId, StandbyInstance, TrainingProcess,
+        };
+        let g = gt();
+        let t0 = SimTime::from_secs(0.0);
+        let mut dev = GpuDevice::new(DeviceId(0), 40.0);
+        let reserve = reserve_pct as f64 * 0.1;
+        dev.seed_standby(&g, t0, StandbyInstance::new(ServiceId(0), 16, reserve, true));
+        // The engine caps the primary's slice at 1 - reserve; mirror it.
+        let inf = (inf_pct as f64 * 0.1).min(1.0 - reserve).max(0.01);
+        dev.deploy_inference(&g, t0, InferenceInstance::new(ServiceId(1), 16, inf, qps));
+        for i in 0..n_train {
+            dev.add_training(
+                &g,
+                t0,
+                TrainingProcess::new(ResidentId(i as u64), TaskId(i), 0.2, 1000),
+            )
+            .expect("free training slot");
+        }
+        let cap = (cap_pct as f64 * 0.1).min(1.0);
+        let floor = 0.01 * n_train as f64;
+        let total = |dev: &GpuDevice| -> f64 {
+            inf + dev.standby_reserve()
+                + dev.trainings().iter().map(|t| t.gpu_fraction).sum::<f64>()
+        };
+        dev.rebalance_training_fractions(cap);
+        prop_assert!(total(&dev) <= 1.0 + floor + 1e-9, "idle total {}", total(&dev));
+        // Promotion serves on the reserved slice — it never grows it.
+        dev.promote_standby(&g, SimTime::from_secs(1.0), qps);
+        prop_assert!(dev.standby_reserve() <= reserve + 1e-12);
+        dev.rebalance_training_fractions(cap);
+        prop_assert!(total(&dev) <= 1.0 + floor + 1e-9, "active total {}", total(&dev));
+        // And demotion hands the same slice back to the idle pool.
+        dev.demote_standby(&g, SimTime::from_secs(2.0));
+        prop_assert!((dev.standby_reserve() - reserve).abs() < 1e-12);
+        prop_assert!(!dev.standby().expect("still parked").is_active());
+    }
+
     /// Fork determinism: the same (seed, label) always yields the same
     /// stream; drawing from the parent never disturbs children.
     #[test]
@@ -376,5 +426,83 @@ proptest! {
         // Correlated outage windows can only come from correlated
         // service outages.
         prop_assert!(a.faults.correlated_outages <= a.faults.service_outages);
+    }
+
+    /// Traffic conservation across standby promote/rejoin: a rack
+    /// blast that kills every replica of one service books the blast
+    /// window's demand exactly once. With a pool, the standby serves
+    /// what the pool-0 run drops — so `dropped + standby_served` must
+    /// equal the pool-0 run's `dropped` on the identical schedule.
+    #[test]
+    fn standby_coverage_conserves_blast_traffic(seed in 0u64..100_000) {
+        use resilience::{FaultEvent, FaultKind, FaultProfile, RecoveryPolicy, StandbyPolicy};
+        use simcore::SimDuration;
+        let n = Zoo::standard().services().len();
+        let run = |pool: usize| {
+            let mut cfg = ClusterConfig::tiny(SystemKind::Random, seed);
+            cfg.devices = n + 1; // Flat layout: service 0 on devices 0 and n.
+            let mut profile = FaultProfile::scaled(1.0);
+            profile.recovery = RecoveryPolicy {
+                failover_inference: true,
+                ..RecoveryPolicy::standard()
+            };
+            profile.recovery.standby = StandbyPolicy::warm(pool);
+            cfg.faults = Some(profile);
+            let mut engine = ClusterEngine::new(cfg);
+            engine.set_fault_schedule(FaultSchedule::from_events(
+                [0usize, n]
+                    .into_iter()
+                    .map(|d| FaultEvent {
+                        at: SimTime::from_secs(300.0),
+                        device: d,
+                        kind: FaultKind::DeviceFailure {
+                            repair: SimDuration::from_mins(4.0),
+                        },
+                        domain: FaultDomain::Rack(0),
+                    })
+                    .collect(),
+            ));
+            engine.run_scaled(0.002)
+        };
+        let with_pool = run(1);
+        let without = run(0);
+        // Both runs must outlive the blast window for the books to
+        // cover it in full.
+        prop_assert!(with_pool.makespan_secs > 540.0 && without.makespan_secs > 540.0);
+        prop_assert!(with_pool.faults.standby_served_requests > 0.0);
+        let covered =
+            with_pool.faults.dropped_requests + with_pool.faults.standby_served_requests;
+        let baseline = without.faults.dropped_requests;
+        // Exact up to the sub-second promote window the standby cannot
+        // cover (and a matching sliver of reroute-ledger rounding).
+        let err = (covered - baseline).abs() / baseline.max(1.0);
+        prop_assert!(err < 0.01, "covered {covered} vs dropped {baseline} (err {err})");
+    }
+
+    /// Pool size 0 is byte-identical to the pre-standby failover path:
+    /// `StandbyPolicy::warm(0)` and `StandbyPolicy::disabled()` produce
+    /// the same canonical result text, with no standby section in it.
+    #[test]
+    fn zero_pool_replays_the_plain_failover_path(
+        seed in 0u64..1_000_000,
+        rate in prop::sample::select(vec![50.0f64, 200.0]),
+    ) {
+        use resilience::{FaultProfile, StandbyPolicy};
+        let run = |standby: StandbyPolicy| {
+            let mut profile = FaultProfile::scaled(rate)
+                .with_correlated(CorrelatedFaultConfig::scaled(rate));
+            profile.recovery.standby = standby;
+            let mut cfg = ClusterConfig::tiny(SystemKind::Mudi, seed).with_faults(profile);
+            cfg.devices = 6;
+            cfg.jobs = 8;
+            ClusterEngine::new(cfg).run_scaled(0.002)
+        };
+        let zero = run(StandbyPolicy::warm(0));
+        let disabled = run(StandbyPolicy::disabled());
+        prop_assert_eq!(zero.canonical_text(), disabled.canonical_text());
+        prop_assert!(!zero.canonical_text().contains("standby:"));
+        prop_assert_eq!(zero.faults.standby_slots, 0);
+        prop_assert_eq!(zero.faults.standby_promotions, 0);
+        prop_assert!(zero.faults.standby_reserved_gpu_secs == 0.0);
     }
 }
