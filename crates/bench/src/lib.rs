@@ -47,8 +47,30 @@ pub fn simulated_config(system: SystemKind) -> (ClusterConfig, f64) {
     }
 }
 
-/// Prints the standard banner for a regeneration binary.
+/// Handles the shared `--trace` CLI flag every regeneration binary
+/// accepts: equivalent to running with `MUDI_TRACE=1`. Each engine run
+/// then records structured [`simcore::SimEvent`]s and dumps the
+/// per-run summary and event tail to **stderr** — stdout (and the
+/// goldens diffed against it) stays byte-identical.
+pub fn apply_trace_flag() {
+    if std::env::args().any(|a| a == "--trace") {
+        std::env::set_var("MUDI_TRACE", "1");
+    }
+}
+
+/// Prints a labelled trace summary to stderr if the run recorded any
+/// events (no-op on the disabled bus, so callers can pass it through
+/// unconditionally).
+pub fn trace_report(label: &str, trace: &simcore::TraceSummary) {
+    if !trace.is_empty() {
+        eprint!("[{label}] {trace}");
+    }
+}
+
+/// Prints the standard banner for a regeneration binary, and applies
+/// the shared `--trace` flag (see [`apply_trace_flag`]).
 pub fn banner(id: &str, paper_claim: &str) {
+    apply_trace_flag();
     println!("==============================================================");
     println!("{id}");
     println!("Paper: {paper_claim}");

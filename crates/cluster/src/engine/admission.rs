@@ -1,0 +1,192 @@
+//! Admission stage: training-task arrivals and §5.2 device selection.
+//!
+//! Owns job submission (the Philly-like arrival process), the pending
+//! queue, candidate-set construction (reliability priors and rack
+//! anti-affinity included under fault injection), and dispatch through
+//! the system's `Multiplexer::place`. Every placement decision —
+//! including deferrals — is published on the trace bus with the
+//! candidate set the selector saw.
+
+use std::time::Instant;
+
+use mudi::{DeviceCandidate, ReliabilityPrior};
+use simcore::{SimDuration, SimEvent, SimTime};
+use workloads::PhillyArrivals;
+
+use crate::job::{JobId, TrainingJob};
+
+use super::control::Control;
+use super::state::{Event, SimState};
+
+/// The admission stage. Stateless: everything lives in [`SimState`].
+pub(super) struct Admission;
+
+impl Admission {
+    /// Draws the run's arrival process and schedules every job's
+    /// arrival event (with its checkpoint tracker resolved).
+    pub fn submit_jobs(&self, st: &mut SimState) {
+        let mut arrivals = PhillyArrivals::new(
+            st.config.arrival_rate,
+            st.config.arrival_scale,
+            st.rng.fork("arrivals"),
+        );
+        let times = arrivals.generate(SimTime::ZERO, st.config.jobs);
+        let weights: Vec<f64> = st
+            .gt
+            .zoo()
+            .tasks()
+            .iter()
+            .map(|t| t.arrival_fraction)
+            .collect();
+        let mut task_rng = st.rng.fork("task-mix");
+        for (i, &t) in times.iter().enumerate() {
+            let task_idx = task_rng.pick_weighted(&weights);
+            let task = st.gt.zoo().tasks()[task_idx].id;
+            let total = ((st.gt.zoo().task(task).total_iterations() as f64 * st.iter_scale).round()
+                as u64)
+                .max(10);
+            let job = TrainingJob::new(JobId(i as u64), task, t, total);
+            st.jobs.push(job);
+            // Checkpoint writes cost wall-clock time proportional to the
+            // task's working set over the write bandwidth — but only
+            // under fault injection; fault-free runs keep the paper's
+            // free-checkpoint accounting bit-for-bit.
+            let write_secs = if st.config.faults.is_some() {
+                st.gt.training_memory_gb(task) / st.recovery.checkpoint_write_gbps.max(0.1)
+            } else {
+                0.0
+            };
+            // Resolve the per-task period: fixed policies pass through
+            // unchanged; Young/Daly derives `sqrt(2·MTTF·write)` from
+            // the device MTTF and this task's write cost.
+            let mtbf_secs = st
+                .config
+                .faults
+                .as_ref()
+                .map_or(f64::INFINITY, |p| p.faults.mttf.as_secs());
+            let period = st.recovery.checkpoint_period.resolve(mtbf_secs, write_secs);
+            st.ckpt.push(resilience::CheckpointTracker::with_write_cost(
+                period, 0.0, write_secs,
+            ));
+            st.events.schedule_at(t, Event::JobArrival(JobId(i as u64)));
+        }
+    }
+
+    /// A job arrives: enqueue it and try to place the queue head.
+    pub fn on_arrival(&self, st: &mut SimState, now: SimTime, job: JobId) {
+        let j = &st.jobs[job.0 as usize];
+        let est = st.gt.zoo().task(j.task).gpu_hours * 3600.0 * st.iter_scale;
+        st.queue.push(mudi::policy::QueueItem {
+            arrival: now,
+            est_duration: SimDuration::from_secs(est),
+            priority: j.priority,
+            class: j.class,
+            payload: job,
+        });
+        self.try_dispatch(st, now);
+    }
+
+    /// The candidate view the §5.2 selector scores: every up device
+    /// with a free training slot, with reliability terms only under
+    /// fault injection.
+    pub fn candidates(&self, st: &SimState, now: SimTime) -> Vec<DeviceCandidate> {
+        let max_t = st.config.system.max_trainings();
+        // Reliability terms only engage under fault injection so the
+        // fault-free paper-reproduction runs see exactly the flat-pool
+        // scores (the prior is all-healthy and the anti-affinity term
+        // zero; `MudiConfig::flat` additionally zeroes the weights).
+        let reliability_on = st.config.faults.is_some();
+        // Fraction of each rack already hosting training work — the
+        // anti-affinity signal spreading jobs across fault domains.
+        let rack_load: Vec<f64> = (0..st.topo.shape().racks)
+            .map(|r| {
+                let range = st.topo.devices_in_rack(r);
+                if range.is_empty() {
+                    return 0.0;
+                }
+                let busy = range
+                    .clone()
+                    .filter(|&d| !st.devices[d].trainings().is_empty())
+                    .count();
+                busy as f64 / range.len() as f64
+            })
+            .collect();
+        let elapsed_days = (now.as_secs() / 86_400.0).max(0.25);
+        st.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, dev)| dev.is_up() && dev.trainings().len() < max_t)
+            .map(|(i, dev)| {
+                let service = dev.inference().expect("replica deployed").service;
+                let (reliability, domain_training_load) = if reliability_on {
+                    let prior = ReliabilityPrior {
+                        faults_per_day: st.dstate[i].faults_seen as f64 / elapsed_days,
+                        degraded: dev.perf_factor() < 1.0,
+                    };
+                    (prior, rack_load[st.topo.rack_of(i)])
+                } else {
+                    (ReliabilityPrior::default(), 0.0)
+                };
+                DeviceCandidate {
+                    device: i,
+                    service,
+                    existing_tasks: dev.trainings().iter().map(|t| t.task).collect(),
+                    mem_headroom_gb: (dev.memory().capacity_gb() - dev.memory().total_demand_gb())
+                        .max(-20.0),
+                    reliability,
+                    domain_training_load,
+                }
+            })
+            .collect()
+    }
+
+    /// Drains the pending queue head-first while the system keeps
+    /// finding placements.
+    pub fn try_dispatch(&self, st: &mut SimState, now: SimTime) {
+        loop {
+            if st.queue.is_empty() {
+                return;
+            }
+            let candidates = self.candidates(st, now);
+            if candidates.is_empty() {
+                return;
+            }
+            let Some(idx) = st.config.policy.next_index(&st.queue, &st.fair) else {
+                return;
+            };
+            let job_id = st.queue[idx].payload;
+            let task = st.jobs[job_id.0 as usize].task;
+
+            let t0 = Instant::now();
+            let placed = st.system.place(&st.gt, task, &candidates, &mut st.rng);
+            st.placement_secs.push(t0.elapsed().as_secs_f64());
+
+            let Some(device) = placed else {
+                // Head of queue cannot be placed; wait.
+                st.trace.emit_with(now, || SimEvent::PlacementDeferred {
+                    task: task.0,
+                    candidates: candidates.len(),
+                });
+                return;
+            };
+            st.queue.remove(idx);
+            st.trace.emit_with(now, || SimEvent::Placement {
+                task: task.0,
+                device,
+                candidates: candidates.iter().map(|c| (c.device, c.service.0)).collect(),
+            });
+
+            Control.accrue(st, now, device);
+            // Requeued jobs resume from their checkpointed progress.
+            let proc = st.restored_process(job_id);
+            st.devices[device]
+                .add_training(&st.gt, now, proc)
+                .expect("candidate had a free slot");
+            st.jobs[job_id.0 as usize].start(now, device);
+            let cap = st.applied_share_cap(now, device);
+            st.devices[device].rebalance_training_fractions(cap);
+            Control.refresh_memory_pause(st, now, device);
+            Control.reconfigure(st, now, device);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Run configuration: scale presets and the config builder.
+//!
+//! The three historical constructors (`physical`, `simulated`, `tiny`)
+//! are thin wrappers over one [`ClusterConfigBuilder`] seeded by a
+//! [`ScalePreset`], so the shared defaults exist in exactly one place
+//! and the presets cannot drift apart.
+
+use mudi::policy::QueuePolicy;
+use resilience::FaultProfile;
+use simcore::TopologyShape;
+use workloads::BurstSchedule;
+
+use crate::systems::SystemKind;
+
+/// Cluster scale presets matching §7.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterScale {
+    /// The private physical cluster: 12 A100s, 300 training tasks.
+    Physical,
+    /// The simulated cluster: 1000 GPUs, 5000 tasks, arrivals ×80.
+    Simulated,
+}
+
+/// The scale preset a config builder starts from. Each preset fixes
+/// the fields that differ between the paper's two clusters (and the
+/// reduced test scale); everything else shares one set of defaults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScalePreset {
+    /// 12 GPUs, 300 tasks (§7.1 physical cluster).
+    Physical,
+    /// 1000 GPUs, 5000 tasks, arrivals ×80 (§7.1 simulated cluster).
+    Simulated,
+    /// 6 GPUs, 24 tasks — reduced scale for tests and smoke benches.
+    Tiny,
+}
+
+/// Full run configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// System under test.
+    pub system: SystemKind,
+    /// Number of GPU devices.
+    pub devices: usize,
+    /// Number of training jobs to submit.
+    pub jobs: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Global QPS multiplier (Fig. 15 uses 1×–4×).
+    pub load_multiplier: f64,
+    /// Optional burst schedule applied on top of the fluctuating QPS.
+    pub burst: Option<BurstSchedule>,
+    /// Queue policy for pending training tasks.
+    pub policy: QueuePolicy,
+    /// Mean dwell time of a QPS segment, seconds.
+    pub qps_dwell_secs: f64,
+    /// Base training-task arrival rate, tasks/second.
+    pub arrival_rate: f64,
+    /// Arrival scaling factor (×80 in the simulated cluster).
+    pub arrival_scale: f64,
+    /// Interval between cluster-utilization samples, seconds.
+    pub util_sample_secs: f64,
+    /// Safety cap on simulated time, seconds.
+    pub max_sim_secs: f64,
+    /// Optional fault injection + recovery profile. `None` reproduces
+    /// the paper's fault-free runs exactly.
+    pub faults: Option<FaultProfile>,
+    /// The rack/node hierarchy devices are laid out over. Defaults to
+    /// [`TopologyShape::from_env`] (`MUDI_TOPOLOGY=RxN`, else 4×2).
+    /// Only consulted when faults are injected: correlated outages
+    /// expand over it, and reliability-aware systems stripe same-
+    /// service replicas across racks. Fault-free runs keep the paper's
+    /// flat layout regardless, so topology never perturbs the
+    /// fault-free reproduction.
+    pub topology: TopologyShape,
+}
+
+/// Builds a [`ClusterConfig`] from a scale preset plus overrides.
+#[derive(Clone, Debug)]
+pub struct ClusterConfigBuilder {
+    config: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Starts from the given preset's scale parameters and the shared
+    /// defaults (1× load, no burst, FCFS queue, no faults, topology
+    /// from the environment).
+    pub fn new(preset: ScalePreset, system: SystemKind, seed: u64) -> Self {
+        let (devices, jobs, qps_dwell_secs, arrival_rate, arrival_scale, util_sample_secs, days) =
+            match preset {
+                ScalePreset::Physical => (12, 300, 45.0, 0.02, 1.0, 300.0, 40.0),
+                ScalePreset::Simulated => (1000, 5000, 120.0, 0.02, 80.0, 900.0, 40.0),
+                ScalePreset::Tiny => (6, 24, 45.0, 0.05, 1.0, 600.0, 20.0),
+            };
+        ClusterConfigBuilder {
+            config: ClusterConfig {
+                system,
+                devices,
+                jobs,
+                seed,
+                load_multiplier: 1.0,
+                burst: None,
+                policy: QueuePolicy::Fcfs,
+                qps_dwell_secs,
+                arrival_rate,
+                arrival_scale,
+                util_sample_secs,
+                max_sim_secs: days * 24.0 * 3600.0,
+                faults: None,
+                topology: TopologyShape::from_env(),
+            },
+        }
+    }
+
+    /// Overrides the device count.
+    pub fn devices(mut self, devices: usize) -> Self {
+        self.config.devices = devices;
+        self
+    }
+
+    /// Overrides the job count.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.config.jobs = jobs;
+        self
+    }
+
+    /// Overrides the global QPS multiplier.
+    pub fn load_multiplier(mut self, mult: f64) -> Self {
+        self.config.load_multiplier = mult;
+        self
+    }
+
+    /// Applies a burst schedule on top of the fluctuating QPS.
+    pub fn burst(mut self, burst: BurstSchedule) -> Self {
+        self.config.burst = Some(burst);
+        self
+    }
+
+    /// Overrides the pending-queue policy.
+    pub fn policy(mut self, policy: QueuePolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Overrides the base training-task arrival rate (tasks/second).
+    pub fn arrival_rate(mut self, rate: f64) -> Self {
+        self.config.arrival_rate = rate;
+        self
+    }
+
+    /// Overrides the arrival scaling factor.
+    pub fn arrival_scale(mut self, scale: f64) -> Self {
+        self.config.arrival_scale = scale;
+        self
+    }
+
+    /// Enables fault injection with the given profile.
+    pub fn faults(mut self, profile: FaultProfile) -> Self {
+        self.config.faults = Some(profile);
+        self
+    }
+
+    /// Overrides the rack/node topology shape.
+    pub fn topology(mut self, shape: TopologyShape) -> Self {
+        self.config.topology = shape;
+        self
+    }
+
+    /// Overrides the simulated-time safety cap.
+    pub fn max_sim_secs(mut self, secs: f64) -> Self {
+        self.config.max_sim_secs = secs;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> ClusterConfig {
+        self.config
+    }
+}
+
+impl ClusterConfig {
+    /// A builder starting from `preset`'s scale parameters.
+    pub fn builder(preset: ScalePreset, system: SystemKind, seed: u64) -> ClusterConfigBuilder {
+        ClusterConfigBuilder::new(preset, system, seed)
+    }
+
+    /// The physical-cluster preset (12 GPUs, 300 tasks).
+    pub fn physical(system: SystemKind, seed: u64) -> Self {
+        Self::builder(ScalePreset::Physical, system, seed).build()
+    }
+
+    /// The simulated-cluster preset (1000 GPUs, 5000 tasks, ×80).
+    pub fn simulated(system: SystemKind, seed: u64) -> Self {
+        Self::builder(ScalePreset::Simulated, system, seed).build()
+    }
+
+    /// A reduced-scale preset for tests and smoke benches.
+    pub fn tiny(system: SystemKind, seed: u64) -> Self {
+        Self::builder(ScalePreset::Tiny, system, seed).build()
+    }
+
+    /// Enables fault injection with the given profile.
+    pub fn with_faults(mut self, profile: FaultProfile) -> Self {
+        self.faults = Some(profile);
+        self
+    }
+
+    /// Which paper-scale regime this configuration falls into.
+    pub fn scale(&self) -> ClusterScale {
+        if self.devices >= 100 {
+            ClusterScale::Simulated
+        } else {
+            ClusterScale::Physical
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! Control stage: analytic accrual and per-device resource control.
+//!
+//! Owns the closed-form integration of SLO violations and training
+//! progress over piecewise-constant spans (`accrue`), the per-device
+//! GP-LCB retune path (`reconfigure` and the Monitor/SLO-risk triggers
+//! in `on_qps_change`), completion handling and rescheduling, memory
+//! pause bookkeeping, stuck-device eviction, and the periodic
+//! cluster-utilization sample. Retune accept/reject decisions and
+//! training evictions are published on the trace bus.
+
+use gpu_sim::{ReconfigPolicy, ResidentId};
+use simcore::{normal_cdf, SimDuration, SimEvent, SimTime};
+
+use crate::job::{JobId, JobState};
+use crate::systems::{ConfigDecision, DeviceView, SystemKind};
+
+use super::admission::Admission;
+use super::state::{Event, SimState};
+
+/// The control stage. Stateless: everything lives in [`SimState`].
+pub(super) struct Control;
+
+impl Control {
+    // ------------------------------------------------------------------
+    // Analytic accrual.
+    // ------------------------------------------------------------------
+
+    /// Integrates SLO violations and training progress for device `d`
+    /// over `[last_accrue, now]` under the current configuration.
+    pub fn accrue(&self, st: &mut SimState, now: SimTime, d: usize) {
+        let span_start = st.dstate[d].last_accrue;
+        let dt = now.since(span_start).as_secs();
+        st.dstate[d].last_accrue = now;
+        if dt <= 0.0 {
+            return;
+        }
+        if !st.devices[d].is_up() {
+            // Down device: traffic addressed to its replica is dropped
+            // — and every dropped request is an SLO violation — unless
+            // failover moved the base demand to survivors or a promoted
+            // standby is serving it (the host books that traffic).
+            // Carried failover traffic (`extra_qps`) is always dropped
+            // here.
+            let ds = &st.dstate[d];
+            let base = if ds.rerouted.is_empty() && ds.standby_host.is_none() {
+                ds.stashed_inference.as_ref().map_or(0.0, |i| i.qps)
+            } else {
+                0.0
+            };
+            let q = base + ds.extra_qps;
+            if q > 0.0 {
+                let m = st.services.entry(ds.service).or_default();
+                m.requests += q * dt;
+                m.violations += q * dt;
+                st.fmetrics.dropped_requests += q * dt;
+            }
+            let gt = &st.gt;
+            st.devices[d].record_utilization(gt, now);
+            return;
+        }
+        let dev = &st.devices[d];
+        let Some(inf) = dev.inference() else {
+            return;
+        };
+        let (service, batch, frac, qps) = (inf.service, inf.batch, inf.gpu_fraction, inf.qps);
+        let colo = dev.colo_for_inference();
+        let slo = st.gt.zoo().service(service).slo_secs();
+        // Degraded devices deliver only `pf` of their effective compute:
+        // the same model query at a proportionally smaller GPU share.
+        let pf = dev.perf_factor();
+        let frac = (frac * pf).max(0.01);
+
+        // --- SLO violations. ---
+        let mean = st.gt.inference_latency(service, batch, frac, &colo);
+        let sigma = st.gt.effective_sigma(service, batch, frac, &colo);
+        let p99 = mean * (2.326 * sigma).exp();
+        st.dstate[d].last_p99 = Some(p99);
+        st.dstate[d].last_util = if qps > 0.0 {
+            mean / (batch as f64 / qps)
+        } else {
+            0.0
+        };
+        let p_violation = violation_probability(qps, batch, slo, mean, sigma);
+        st.dstate[d].last_pviol = p_violation;
+        let requests = qps * dt;
+        let m = st.services.entry(service).or_default();
+        m.requests += requests;
+        m.violations += requests * p_violation;
+        m.p99_stats.record(p99);
+        // Failover traffic served here counts toward the reroute ledger.
+        let extra = st.dstate[d].extra_qps.min(qps);
+        if extra > 0.0 {
+            st.fmetrics.rerouted_requests += extra * dt;
+        }
+
+        // --- Warm-standby accounting. ---
+        if let Some(s) = dev.standby() {
+            // The reserved slice is charged for the whole span, active
+            // or idle: the pool's standing GPU% cost.
+            st.fmetrics.standby_reserved_gpu_secs += s.reserve_fraction * dt;
+            if s.is_active() {
+                let (s_service, s_batch, s_qps) = (s.service, s.batch, s.qps);
+                let s_frac = (s.reserve_fraction * pf).max(0.01);
+                let s_colo = dev.colo_for_standby();
+                let s_slo = st.gt.zoo().service(s_service).slo_secs();
+                let s_mean = st.gt.inference_latency(s_service, s_batch, s_frac, &s_colo);
+                let s_sigma = st.gt.effective_sigma(s_service, s_batch, s_frac, &s_colo);
+                let s_p99 = s_mean * (2.326 * s_sigma).exp();
+                let p_viol = violation_probability(s_qps, s_batch, s_slo, s_mean, s_sigma);
+                let m = st.services.entry(s_service).or_default();
+                m.requests += s_qps * dt;
+                m.violations += s_qps * dt * p_viol;
+                m.p99_stats.record(s_p99);
+                st.fmetrics.standby_served_requests += s_qps * dt;
+            }
+        }
+
+        // --- Training progress. ---
+        if !st.dstate[d].training_paused {
+            let mut advanced: Vec<(ResidentId, f64, f64)> = Vec::new();
+            for proc in dev.trainings() {
+                // A restarting process makes no progress until its
+                // restart completes; clip the span accordingly.
+                let run_dt = match st.dstate[d]
+                    .restarting
+                    .iter()
+                    .find(|(id, _)| *id == proc.id)
+                {
+                    Some(&(_, until)) => now.since(until.max(span_start)).as_secs().max(0.0),
+                    None => dt,
+                };
+                if run_dt <= 0.0 {
+                    continue;
+                }
+                let view = dev.colo_for_training(proc.id);
+                let eff = (proc.gpu_fraction * pf).max(1e-3);
+                let iter = st.gt.training_iteration(proc.task, eff, &view);
+                let slow = dev.memory().training_slowdown(proc.id);
+                // Checkpoint writes steal a fixed fraction of the run
+                // time (1.0 when writes are free).
+                let ck_eff = st
+                    .ckpt
+                    .get(proc.id.0 as usize)
+                    .map_or(1.0, |c| c.efficiency());
+                advanced.push((proc.id, run_dt * ck_eff / (iter * slow), run_dt));
+            }
+            for (rid, iters, run_dt) in advanced {
+                if let Some(job) = st.jobs.get_mut(rid.0 as usize) {
+                    let before = job.completed_iterations;
+                    job.completed_iterations += iters;
+                    let after = job.completed_iterations;
+                    if let Some(ck) = st.ckpt.get_mut(rid.0 as usize) {
+                        ck.on_progress(run_dt, before, after);
+                    }
+                }
+                if let Some(proc) = st.devices[d].training_mut(rid) {
+                    proc.advance(iters as u64);
+                }
+            }
+        }
+
+        // Utilization integrators see the (constant) current state.
+        let gt = &st.gt;
+        st.devices[d].record_utilization(gt, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers.
+    // ------------------------------------------------------------------
+
+    /// A training job's completion event fires. Returns `true` when the
+    /// job actually finished (the stepper tracks the last finish time).
+    pub fn on_completion(&self, st: &mut SimState, now: SimTime, job: JobId, epoch: u64) -> bool {
+        let device = match st.jobs[job.0 as usize].device {
+            Some(d) => d,
+            None => return false,
+        };
+        if st.dstate[device].epoch != epoch {
+            return false; // Stale event; a reconfiguration rescheduled it.
+        }
+        self.accrue(st, now, device);
+        let j = &st.jobs[job.0 as usize];
+        if j.remaining_iterations() > 1.0 {
+            // Progress drifted from the estimate (noise, pauses):
+            // reschedule from the true remaining work.
+            self.reschedule_completions(st, now, device);
+            return false;
+        }
+        let rid = ResidentId(job.0);
+        st.devices[device].remove_training(now, rid);
+        st.jobs[job.0 as usize].finish(now);
+        let est = now - st.jobs[job.0 as usize].submitted;
+        st.fair.record(st.jobs[job.0 as usize].class, est.as_secs());
+        let cap = st.applied_share_cap(now, device);
+        st.devices[device].rebalance_training_fractions(cap);
+        self.refresh_memory_pause(st, now, device);
+        self.reconfigure(st, now, device);
+        Admission.try_dispatch(st, now);
+        true
+    }
+
+    /// A replica's QPS segment rolls over; doubles as the Monitor check
+    /// (§5.3.2) and the SLO-risk retune trigger.
+    pub fn on_qps_change(&self, st: &mut SimState, now: SimTime, d: usize) {
+        self.accrue(st, now, d);
+        let (dwell, raw_qps) = st.dstate[d].qps_gen.next_segment();
+        let burst = st.burst_multiplier(now);
+        let qps = raw_qps * st.config.load_multiplier * burst;
+        if !st.devices[d].is_up() {
+            // The replica is down but demand keeps fluctuating. If the
+            // traffic was not failed over, the drop rate follows demand;
+            // if it was, survivors keep serving the frozen failover
+            // share and the new demand level applies at repair.
+            if st.dstate[d].rerouted.is_empty() {
+                if let Some(stash) = st.dstate[d].stashed_inference.as_mut() {
+                    stash.qps = qps;
+                }
+                // An active standby keeps tracking the demand it covers.
+                if let Some(h) = st.dstate[d].standby_host {
+                    if st.devices[h].is_up() {
+                        self.accrue(st, now, h);
+                        st.devices[h].set_standby_qps(&st.gt, now, qps);
+                    }
+                }
+            }
+            st.events.schedule_at(
+                now + dwell.max(SimDuration::from_secs(0.5)),
+                Event::QpsChange(d),
+            );
+            return;
+        }
+        st.devices[d].set_inference_qps(&st.gt, now, qps + st.dstate[d].extra_qps);
+
+        // Monitor check (§5.3.2): retune when drift exceeds 50 %.
+        let triggered = st.dstate[d].monitor.observe_qps(qps).is_some();
+        // SLO-risk triggers (§5.3.2): tail latency near the SLO, or the
+        // replica's service rate close to the arrival rate (queueing
+        // pressure a real monitor would see as rising latency).
+        let throttled = now.since(st.dstate[d].last_risk_tune).as_secs() <= 30.0;
+        let risk = !throttled
+            && (st.dstate[d]
+                .last_p99
+                .map(|p| p > 0.95 * st.device_slo(d))
+                .unwrap_or(false)
+                || st.dstate[d].last_util > 0.85
+                || st.dstate[d].last_pviol > 0.02);
+        if triggered || risk {
+            if risk {
+                st.dstate[d].last_risk_tune = now;
+            }
+            self.reconfigure(st, now, d);
+        }
+
+        // Cap the next dwell so bursts (Fig. 16) are noticed promptly.
+        let mut next = dwell;
+        if let Some(b) = &st.config.burst {
+            if let Some(t) = b.next_change_after(now) {
+                next = next.min(t - now + SimDuration::from_secs(0.1));
+            }
+        }
+        st.events.schedule_at(
+            now + next.max(SimDuration::from_secs(0.5)),
+            Event::QpsChange(d),
+        );
+    }
+
+    /// Periodic cluster-utilization sample.
+    pub fn on_util_sample(&self, st: &mut SimState, now: SimTime) {
+        let mut sm = 0.0;
+        let mut mem = 0.0;
+        for dev in &st.devices {
+            sm += dev.sm_utilization(&st.gt);
+            mem += dev.memory().utilization();
+        }
+        let n = st.devices.len() as f64;
+        st.util_series.push((now.as_secs(), sm / n, mem / n));
+        if !st.all_done() {
+            st.events.schedule_in(
+                SimDuration::from_secs(st.config.util_sample_secs),
+                Event::UtilSample,
+            );
+        }
+    }
+
+    /// The Retune heartbeat fires for a paused device: re-evaluate, and
+    /// after 30 stuck minutes evict (systems without unified memory).
+    pub fn on_retune(&self, st: &mut SimState, now: SimTime, d: usize) {
+        st.dstate[d].retune_pending = false;
+        if st.dstate[d].training_paused {
+            self.reconfigure(st, now, d);
+            // Systems without unified-memory swapping can
+            // stay overcommitted indefinitely (e.g. a
+            // static split that never shrinks); after 30
+            // simulated minutes the operator evicts the
+            // training task back to the queue, as a real
+            // cluster would.
+            let stuck = st.dstate[d]
+                .paused_since
+                .map(|t0| now.since(t0).as_secs() > 1800.0)
+                .unwrap_or(false);
+            if st.dstate[d].training_paused && stuck && !st.config.system.manages_memory() {
+                self.evict_trainings(st, now, d);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration.
+    // ------------------------------------------------------------------
+
+    /// The end-to-end P99 a latency monitor would measure on device
+    /// `d`: batch P99 plus tail fill wait, inflated by queueing once
+    /// utilization approaches 1 (feedback systems like GSLICE consume
+    /// this signal).
+    pub fn observed_p99(&self, st: &SimState, d: usize) -> Option<f64> {
+        let p99 = st.dstate[d].last_p99?;
+        let inf = st.devices[d].inference()?;
+        let fill = if inf.qps > 0.0 {
+            inf.batch as f64 / inf.qps
+        } else {
+            0.0
+        };
+        let queue_factor = 1.0 + 10.0 * (st.dstate[d].last_util - 0.85).max(0.0);
+        Some((p99 + fill * 5.0 / 6.0) * queue_factor)
+    }
+
+    /// Runs the system's configure step for device `d` and applies the
+    /// decision: batch (free), fraction (visible downtime accounted as
+    /// violated requests), training pause state, and memory effects.
+    pub fn reconfigure(&self, st: &mut SimState, now: SimTime, d: usize) {
+        if !st.devices[d].is_up() {
+            return; // Nothing to tune on a down device.
+        }
+        self.accrue(st, now, d);
+        let dev = &st.devices[d];
+        let inf = dev.inference().expect("replica deployed");
+        let view = DeviceView {
+            device: d,
+            service: inf.service,
+            qps: inf.qps,
+            slo_secs: st.gt.zoo().service(inf.service).slo_secs(),
+            tasks: dev.trainings().iter().map(|t| t.task).collect(),
+            batch: inf.batch,
+            fraction: inf.gpu_fraction,
+            measured_p99: self.observed_p99(st, d),
+            mem_headroom_gb: dev.memory().capacity_gb() - dev.memory().total_demand_gb(),
+        };
+        let qps = inf.qps;
+        let old_fraction = inf.gpu_fraction;
+        let mut decision: ConfigDecision = st.system.configure(&st.gt, &view, &mut st.rng);
+        if decision.bo_iterations > 0 {
+            st.bo_iterations.push(decision.bo_iterations);
+        }
+        // A standby's reserved slice is invisible to the tuner; clamp so
+        // the primary plus the reserve never overcommits the device.
+        decision.clamp_for_reserve(st.devices[d].standby_reserve());
+
+        // Apply the batch (free) and memory demand.
+        st.devices[d].set_inference_batch(&st.gt, now, decision.batch);
+
+        // Apply the fraction; a change costs visible downtime, accrued
+        // as violated requests at the current QPS. Hysteresis: tiny
+        // adjustments are not worth an instance hand-off — keep the old
+        // partition unless the move exceeds 5 GPU-percentage points or
+        // shrinks below a requirement increase.
+        if (decision.fraction - old_fraction).abs() > 0.05
+            || (decision.fraction > old_fraction && decision.pause_training)
+        {
+            st.devices[d].set_inference_fraction(decision.fraction);
+            let downtime = match st.config.system {
+                SystemKind::Gslice | SystemKind::Gpulets | SystemKind::MuxFlow => {
+                    SimDuration::from_secs(1.0)
+                }
+                _ => ReconfigPolicy::ShadowInstance.visible_downtime(),
+            };
+            let svc = st.devices[d].inference().expect("replica").service;
+            let m = st.services.entry(svc).or_default();
+            let lost = qps * downtime.as_secs();
+            m.requests += lost;
+            m.violations += lost;
+            st.trace.emit_with(now, || SimEvent::RetuneApplied {
+                device: d,
+                batch: decision.batch,
+                old_fraction,
+                new_fraction: decision.fraction,
+                pause_training: decision.pause_training,
+            });
+        } else {
+            st.trace.emit_with(now, || SimEvent::RetuneRejected {
+                device: d,
+                fraction_delta: decision.fraction - old_fraction,
+            });
+        }
+        st.dstate[d].training_share_cap = decision.training_share_cap;
+        // The SLO circuit-breaker sheds best-effort training share while
+        // the device is post-failure degraded.
+        let cap = st.applied_share_cap(now, d);
+        st.devices[d].rebalance_training_fractions(cap);
+
+        // Pause bookkeeping: SLO infeasibility (any system) or memory
+        // overflow (systems without Mudi's Memory Manager). A paused
+        // device re-evaluates soon — pausing is meant to be transient
+        // ("until suitable resources become available", §5.3.2).
+        st.dstate[d].training_paused = decision.pause_training;
+        self.refresh_memory_pause(st, now, d);
+        if st.dstate[d].training_paused {
+            if st.dstate[d].paused_since.is_none() {
+                st.dstate[d].paused_since = Some(now);
+            }
+            self.schedule_retune(st, d);
+        } else {
+            st.dstate[d].paused_since = None;
+        }
+        st.dstate[d].monitor.mark_tuned(qps);
+        self.reschedule_completions(st, now, d);
+    }
+
+    /// For systems without unified-memory swapping, training cannot run
+    /// while the device is overcommitted.
+    pub fn refresh_memory_pause(&self, st: &mut SimState, now: SimTime, d: usize) {
+        if !st.config.system.manages_memory() && st.devices[d].memory().is_overflowed() {
+            if !st.dstate[d].training_paused {
+                st.dstate[d].training_paused = true;
+                // Keep the original pause start across reconfigure's
+                // transient unpause/repause so eviction can trigger.
+                if st.dstate[d].paused_since.is_none() {
+                    st.dstate[d].paused_since = Some(now);
+                }
+                // Memory pauses need their own re-evaluation heartbeat:
+                // nothing else may touch this device for a long time.
+                self.schedule_retune(st, d);
+            }
+        } else if !st.config.system.manages_memory() {
+            // Overflow cleared: resume unless paused for SLO reasons —
+            // heuristic systems only pause for memory.
+            st.dstate[d].training_paused = false;
+            st.dstate[d].paused_since = None;
+        }
+    }
+
+    /// Schedules a single pending Retune heartbeat for `d`.
+    pub fn schedule_retune(&self, st: &mut SimState, d: usize) {
+        if !st.dstate[d].retune_pending {
+            st.dstate[d].retune_pending = true;
+            st.events
+                .schedule_in(SimDuration::from_secs(60.0), Event::Retune(d));
+        }
+    }
+
+    /// Evicts every training resident of `d` back to the pending queue
+    /// (keeping their progress), then redistributes them.
+    pub fn evict_trainings(&self, st: &mut SimState, now: SimTime, d: usize) {
+        self.accrue(st, now, d);
+        let ids: Vec<ResidentId> = st.devices[d].trainings().iter().map(|t| t.id).collect();
+        st.trace.emit_with(now, || SimEvent::TrainingEvicted {
+            device: d,
+            jobs: ids.len(),
+        });
+        for rid in ids {
+            st.devices[d].remove_training(now, rid);
+            let job = &mut st.jobs[rid.0 as usize];
+            job.state = JobState::Queued;
+            job.device = None;
+            st.push_queue_item(JobId(rid.0));
+        }
+        st.dstate[d].training_paused = false;
+        st.dstate[d].paused_since = None;
+        st.dstate[d].epoch += 1; // Invalidate stale completions.
+        Admission.try_dispatch(st, now);
+    }
+
+    /// Re-derives completion events for every training resident on `d`
+    /// from its current progress and rate; bumps the epoch so stale
+    /// events are ignored.
+    pub fn reschedule_completions(&self, st: &mut SimState, now: SimTime, d: usize) {
+        st.dstate[d].epoch += 1;
+        let epoch = st.dstate[d].epoch;
+        if st.dstate[d].training_paused {
+            return; // No completion while paused; resume reschedules.
+        }
+        let dev = &st.devices[d];
+        let pf = dev.perf_factor();
+        if pf <= 0.0 {
+            return; // Down: completions resume at repair.
+        }
+        let mut to_schedule = Vec::new();
+        for proc in dev.trainings() {
+            let job = &st.jobs[proc.id.0 as usize];
+            let view = dev.colo_for_training(proc.id);
+            let eff = (proc.gpu_fraction * pf).max(1e-3);
+            let iter = st.gt.training_iteration(proc.task, eff, &view);
+            let slow = dev.memory().training_slowdown(proc.id);
+            let ck_eff = st
+                .ckpt
+                .get(proc.id.0 as usize)
+                .map_or(1.0, |c| c.efficiency());
+            let mut remaining = job.remaining_iterations() * iter * slow / ck_eff;
+            // A restarting process only resumes once its restart ends.
+            if let Some(&(_, until)) = st.dstate[d]
+                .restarting
+                .iter()
+                .find(|(id, _)| *id == proc.id)
+            {
+                remaining += until.since(now).as_secs().max(0.0);
+            }
+            to_schedule.push((proc.id, remaining.max(1e-3)));
+        }
+        for (rid, secs) in to_schedule {
+            st.events.schedule_at(
+                now + SimDuration::from_secs(secs),
+                Event::JobCompletion {
+                    job: JobId(rid.0),
+                    epoch,
+                },
+            );
+        }
+    }
+}
+
+/// Per-request SLO-violation probability under a constant
+/// configuration.
+///
+/// A request waits `u · b/W` for its batch to fill (`u` its position)
+/// and then experiences the log-normal batch latency `L · ε`. The
+/// probability is averaged over three batch positions; an unstable
+/// service (`L ≥ b/W`, batches finishing slower than they form) is
+/// driven toward certain violation.
+pub fn violation_probability(qps: f64, batch: u32, slo: f64, mean: f64, sigma: f64) -> f64 {
+    if qps <= 0.0 {
+        return 0.0;
+    }
+    let fill = batch as f64 / qps;
+    let mut p = 0.0;
+    for u in [1.0 / 6.0, 0.5, 5.0 / 6.0] {
+        let budget = slo - u * fill;
+        p += if budget <= 0.0 {
+            1.0
+        } else {
+            let z = (budget / mean).ln() / sigma.max(1e-6);
+            1.0 - normal_cdf(z)
+        };
+    }
+    let mut p = p / 3.0;
+    // Stability: sustained utilization near or above 1 grows the queue
+    // and eventually violates every request; the penalty ramps from
+    // 95 % utilization (transient queueing absorbs brief overloads).
+    let util = mean / fill;
+    if util > 0.95 {
+        p = p.max(((util - 0.95) * 2.5).min(1.0));
+    }
+    p.clamp(0.0, 1.0)
+}

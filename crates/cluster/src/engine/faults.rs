@@ -1,0 +1,520 @@
+//! Faults stage: schedule application, blast expansion, and recovery.
+//!
+//! Owns the dispatch of pre-drawn [`resilience::FaultSchedule`] events
+//! into device failures, slowdowns, process crashes, and MPS restarts,
+//! plus every recovery path: repair, inference failover, warm-standby
+//! promotion/demotion, checkpoint rollback and requeue, and post-repair
+//! burn-in. Each fault application and standby hand-off is published on
+//! the trace bus (faults via [`resilience::FaultEvent::trace_event`],
+//! device-level transitions via the gpu-sim traced hooks).
+
+use gpu_sim::{ResidentId, StandbyInstance, TrainingProcess, MPS_RESTART_SECS, SHADOW_SWITCH_SECS};
+use mudi::policy::QueueItem;
+use resilience::{FaultDomain, FaultKind};
+use simcore::{SimDuration, SimEvent, SimTime};
+
+use crate::job::{JobId, JobState};
+
+use super::admission::Admission;
+use super::control::Control;
+use super::state::{Event, SimState};
+
+/// Effective-compute factor of a freshly repaired device during its
+/// burn-in window (reduced clocks while the driver re-validates
+/// memory); cleared after [`resilience::RecoveryPolicy::degraded_hold`].
+pub(super) const POST_REPAIR_FACTOR: f64 = 0.85;
+
+/// The faults stage. Stateless: everything lives in [`SimState`].
+pub(super) struct Faults;
+
+impl Faults {
+    /// A fault-triggered retune, gated by the anti-thrashing guard: a
+    /// burst of faults on one device retunes at most once per dwell,
+    /// and not at all during an explicit cooldown. Load-driven retunes
+    /// (Monitor drift, SLO risk) are not gated — only fault reactions.
+    pub fn reconfigure_guarded(&self, st: &mut SimState, now: SimTime, d: usize) {
+        if !st.devices[d].is_up() {
+            return;
+        }
+        if st.dstate[d].guard.allows(now) {
+            st.dstate[d].guard.record(now);
+            Control.reconfigure(st, now, d);
+        }
+    }
+
+    /// Dispatches schedule entry `idx` to its class handler.
+    pub fn on_fault(&self, st: &mut SimState, now: SimTime, idx: usize) {
+        let ev = st.fault_schedule.events()[idx];
+        // Every observed fault — any class — feeds the device's
+        // reliability prior.
+        st.dstate[ev.device].faults_seen += 1;
+        st.trace.emit_with(now, || ev.trace_event());
+        match ev.kind {
+            FaultKind::DeviceFailure { repair } => {
+                self.on_device_failure(st, now, ev.device, repair, ev.domain)
+            }
+            FaultKind::Slowdown { factor, duration } => {
+                self.on_slowdown(st, now, ev.device, factor, duration)
+            }
+            FaultKind::ProcessCrash { salt } => self.on_process_crash(st, now, ev.device, salt),
+            FaultKind::MpsRestartFailure => self.on_mps_failure(st, now, ev.device),
+        }
+    }
+
+    /// Hard device failure: the replica and every training process are
+    /// evicted, memory state is lost, and the device stays down until
+    /// `repair` later. Inference fails over to surviving same-service
+    /// replicas (or its traffic drops, every request a violation);
+    /// training rolls back to its last checkpoint and either requeues
+    /// through the system's placement logic or waits for repair.
+    pub fn on_device_failure(
+        &self,
+        st: &mut SimState,
+        now: SimTime,
+        d: usize,
+        repair: SimDuration,
+        domain: FaultDomain,
+    ) {
+        if !st.devices[d].is_up() {
+            return; // Already down (schedules never overlap, but be safe).
+        }
+        Control.accrue(st, now, d);
+        st.fmetrics.device_failures += 1;
+        st.fmetrics.device_down_secs += repair.as_secs();
+
+        let (inf, procs) = st.devices[d].fail(now);
+        let inf = inf.expect("replica deployed");
+        // Split the replica's demand into its own (`base`) and carried
+        // failover traffic; only the base fails over onward — carried
+        // shares stay ledgered to their origin devices and drop here.
+        let base = (inf.qps - st.dstate[d].extra_qps).max(0.0);
+        let mut stash = inf;
+        stash.qps = base;
+        st.dstate[d].stashed_inference = Some(stash);
+
+        if st.recovery.standby.is_enabled() {
+            // A standby hosted on `d` dies with it: any device it was
+            // covering loses coverage (its traffic drops until repair,
+            // and the service may now be in total outage).
+            for f in 0..st.dstate.len() {
+                if st.dstate[f].standby_host == Some(d) {
+                    st.dstate[f].standby_host = None;
+                    let fsvc = st.dstate[f].service;
+                    let up = (0..st.devices.len())
+                        .filter(|&s| st.devices[s].is_up() && st.dstate[s].service == fsvc)
+                        .count();
+                    if up == 0 {
+                        st.fmetrics.service_outages += 1;
+                        if domain.is_correlated() {
+                            st.fmetrics.correlated_outages += 1;
+                        }
+                        st.outage_start.entry(fsvc).or_insert(now);
+                    }
+                }
+            }
+            // Cancel any promotion this device was about to perform.
+            if st.dstate[d].pending_promote.take().is_some() {
+                st.dstate[d].promote_token += 1;
+            }
+        }
+
+        let mut standby_covered = false;
+        if st.recovery.failover_inference && base > 0.0 {
+            let survivors: Vec<usize> = (0..st.devices.len())
+                .filter(|&s| {
+                    s != d && st.devices[s].is_up() && st.dstate[s].service == st.dstate[d].service
+                })
+                .collect();
+            if !survivors.is_empty() {
+                st.fmetrics.inference_failovers += 1;
+                st.trace.emit_with(now, || SimEvent::FailoverRerouted {
+                    from: d,
+                    survivors: survivors.len(),
+                });
+                let share = base / survivors.len() as f64;
+                for &s in &survivors {
+                    Control.accrue(st, now, s);
+                    st.dstate[s].extra_qps += share;
+                    let cur = st.devices[s].inference().expect("up replica").qps;
+                    st.devices[s].set_inference_qps(&st.gt, now, cur + share);
+                    st.dstate[d].rerouted.push((s, share));
+                    self.reconfigure_guarded(st, now, s);
+                }
+                // Rerouting is immediate in the model: survivors absorb
+                // the load within the same instant.
+                st.fmetrics.failover_latency_secs.push(0.0);
+            } else {
+                // No survivor left — the blast swallowed every replica.
+                // The warm-standby pool is the last line of defense: an
+                // idle standby for this service on another up device is
+                // promoted after a bounded switch latency instead of
+                // dropping every request until repair.
+                if st.recovery.standby.is_enabled() {
+                    let svc = st.dstate[d].service;
+                    let host = (0..st.devices.len()).find(|&h| {
+                        h != d
+                            && st.devices[h].is_up()
+                            && st.dstate[h].pending_promote.is_none()
+                            && st.devices[h]
+                                .standby()
+                                .is_some_and(|s| s.service == svc && !s.is_active())
+                    });
+                    if let Some(h) = host {
+                        st.dstate[h].promote_token += 1;
+                        let token = st.dstate[h].promote_token;
+                        st.dstate[h].pending_promote = Some((d, token));
+                        let promote_secs = if st.devices[h].standby().expect("standby").preloaded {
+                            SHADOW_SWITCH_SECS
+                        } else {
+                            MPS_RESTART_SECS
+                        };
+                        st.events.schedule_at(
+                            now + SimDuration::from_secs(promote_secs),
+                            Event::StandbyPromote { host: h, token },
+                        );
+                        st.fmetrics.failover_latency_secs.push(promote_secs);
+                        st.fmetrics.inference_failovers += 1;
+                        standby_covered = true;
+                    }
+                }
+                if !standby_covered {
+                    // Nobody can take the load: dropped until repair.
+                    st.fmetrics.failover_latency_secs.push(repair.as_secs());
+                }
+            }
+        } else if base > 0.0 {
+            // Failover disabled: traffic drops for the whole outage.
+            st.fmetrics.failover_latency_secs.push(repair.as_secs());
+        }
+
+        // Total-outage accounting: if this failure took down the
+        // service's last live replica (e.g. every survivor sat inside
+        // the same blast radius), open an outage window. The dropped
+        // traffic itself is charged per-span by `accrue`; this makes
+        // the outage *explicit* rather than silently folded into
+        // violations.
+        let svc = st.dstate[d].service;
+        let up_replicas = (0..st.devices.len())
+            .filter(|&s| st.devices[s].is_up() && st.dstate[s].service == svc)
+            .count();
+        // A pending or already-active standby keeps the service alive:
+        // no replica is up, but traffic resumes within the bounded
+        // promote window rather than waiting for repair.
+        let standby_cover = standby_covered
+            || (0..st.devices.len()).any(|h| {
+                st.devices[h].is_up()
+                    && st.devices[h]
+                        .standby()
+                        .is_some_and(|s| s.service == svc && s.is_active())
+            });
+        if up_replicas == 0 && !standby_cover {
+            st.fmetrics.service_outages += 1;
+            if domain.is_correlated() {
+                st.fmetrics.correlated_outages += 1;
+            }
+            st.outage_start.entry(svc).or_insert(now);
+        }
+
+        // Training: roll back to the checkpoint, then requeue (the
+        // scheduler re-places through the system's DeviceSelector) or
+        // strand until repair.
+        for proc in procs {
+            let ji = proc.id.0 as usize;
+            let ck = st.ckpt[ji].rollback();
+            let lost = (st.jobs[ji].completed_iterations - ck).max(0.0);
+            st.fmetrics.lost_iterations += lost;
+            st.jobs[ji].rollback_to(ck);
+            if st.recovery.requeue_training {
+                st.fmetrics.training_evictions += 1;
+                let job = &mut st.jobs[ji];
+                job.state = JobState::Queued;
+                job.device = None;
+                let est = st.gt.zoo().task(job.task).gpu_hours * 3600.0 * st.iter_scale;
+                st.queue.push(QueueItem {
+                    arrival: job.submitted,
+                    est_duration: SimDuration::from_secs(est),
+                    priority: job.priority,
+                    class: job.class,
+                    payload: JobId(proc.id.0),
+                });
+            } else {
+                st.jobs[ji].state = JobState::Queued;
+                st.dstate[d].stranded.push(JobId(proc.id.0));
+            }
+        }
+
+        st.dstate[d].restarting.clear();
+        st.dstate[d].training_paused = false;
+        st.dstate[d].paused_since = None;
+        st.dstate[d].epoch += 1; // Invalidate in-flight completions.
+        st.dstate[d].guard.cooldown(now, repair);
+        st.events.schedule_at(now + repair, Event::DeviceRepair(d));
+        if st.recovery.requeue_training {
+            Admission.try_dispatch(st, now);
+        }
+    }
+
+    /// Repair: redeploy the replica at the current demand level, return
+    /// failover traffic to this device, restore stranded jobs from
+    /// their checkpoints, and enter a degraded burn-in window with the
+    /// circuit-breaker shedding training share.
+    pub fn on_device_repair(&self, st: &mut SimState, now: SimTime, d: usize) {
+        Control.accrue(st, now, d); // Final span of the outage (drop accounting).
+        let (devices, trace) = (&mut st.devices, &mut st.trace);
+        devices[d].repair_traced(now, trace);
+
+        // This repair brings the service's replica count back above
+        // zero; close any open total-outage window.
+        if let Some(start) = st.outage_start.remove(&st.dstate[d].service) {
+            st.fmetrics.service_outage_secs += now.since(start).as_secs();
+        }
+
+        // Release warm-standby coverage: the covering standby drains
+        // back to idle and waits for the next failure.
+        if let Some(h) = st.dstate[d].standby_host.take() {
+            if st.devices[h].is_up() {
+                Control.accrue(st, now, h);
+                let (devices, trace) = (&mut st.devices, &mut st.trace);
+                devices[h].demote_standby_traced(&st.gt, now, d, trace);
+                st.fmetrics.standby_reseeds += 1;
+                self.reconfigure_guarded(st, now, h);
+            }
+        }
+        // Cancel any promotion still pending on this device's behalf.
+        for h in 0..st.dstate.len() {
+            if matches!(st.dstate[h].pending_promote, Some((t, _)) if t == d) {
+                st.dstate[h].pending_promote = None;
+                st.dstate[h].promote_token += 1;
+            }
+        }
+
+        // Undo the failover: survivors stop serving this replica's share.
+        let rerouted = std::mem::take(&mut st.dstate[d].rerouted);
+        for (s, share) in rerouted {
+            st.dstate[s].extra_qps = (st.dstate[s].extra_qps - share).max(0.0);
+            if st.devices[s].is_up() {
+                Control.accrue(st, now, s);
+                let cur = st.devices[s].inference().expect("up replica").qps;
+                st.devices[s].set_inference_qps(&st.gt, now, (cur - share).max(0.0));
+                self.reconfigure_guarded(st, now, s);
+            }
+        }
+
+        // Redeploy at the demand the generator currently calls for.
+        let mut inst = st.dstate[d]
+            .stashed_inference
+            .take()
+            .expect("replica stashed at failure");
+        let base =
+            st.dstate[d].qps_gen.current() * st.config.load_multiplier * st.burst_multiplier(now);
+        inst.qps = base + st.dstate[d].extra_qps;
+        st.devices[d].deploy_inference(&st.gt, now, inst);
+
+        // Re-seed the pool: a repaired device that held a standby slot
+        // rejoins with a fresh idle standby.
+        let sb = st.recovery.standby;
+        if sb.is_enabled() {
+            if let Some(svc) = st.dstate[d].standby_slot {
+                if st.devices[d].standby().is_none() {
+                    st.devices[d].seed_standby(
+                        &st.gt,
+                        now,
+                        StandbyInstance::new(svc, 16, sb.reserve_fraction, sb.preloaded_weights),
+                    );
+                    st.fmetrics.standby_reseeds += 1;
+                }
+            }
+        }
+
+        // Stranded jobs resume in place from their checkpoints.
+        let stranded = std::mem::take(&mut st.dstate[d].stranded);
+        for job_id in stranded {
+            let ji = job_id.0 as usize;
+            let job = &mut st.jobs[ji];
+            job.state = JobState::Running;
+            job.device = Some(d);
+            let proc = TrainingProcess::with_progress(
+                ResidentId(job_id.0),
+                job.task,
+                0.1,
+                job.completed_iterations.max(0.0) as u64,
+                job.total_iterations,
+            );
+            st.devices[d]
+                .add_training(&st.gt, now, proc)
+                .expect("repaired device has free slots");
+        }
+        if !st.devices[d].trainings().is_empty() {
+            let cap = st.applied_share_cap(now, d);
+            st.devices[d].rebalance_training_fractions(cap);
+        }
+
+        // Post-repair burn-in: degraded clocks + training share shed.
+        st.devices[d].set_degraded(POST_REPAIR_FACTOR);
+        st.dstate[d].degrade_token += 1;
+        let token = st.dstate[d].degrade_token;
+        st.events.schedule_at(
+            now + st.recovery.degraded_hold,
+            Event::SlowdownEnd { device: d, token },
+        );
+        st.dstate[d].breaker.trip(now, st.recovery.degraded_hold);
+
+        Control.refresh_memory_pause(st, now, d);
+        Control.reconfigure(st, now, d);
+        Admission.try_dispatch(st, now);
+    }
+
+    /// A scheduled standby promotion fires. If still valid (the token
+    /// matches, the host is up, the covered device is still down), the
+    /// standby starts serving the failed replica's base traffic on its
+    /// reserved slice; otherwise the event is a stale no-op.
+    pub fn on_standby_promote(&self, st: &mut SimState, now: SimTime, host: usize, token: u64) {
+        if st.dstate[host].promote_token != token {
+            return; // Cancelled or superseded.
+        }
+        let Some((target, t)) = st.dstate[host].pending_promote.take() else {
+            return;
+        };
+        debug_assert_eq!(t, token);
+        if !st.devices[host].is_up() || st.devices[target].is_up() {
+            return; // Host died meanwhile, or the target already repaired.
+        }
+        let qps = st.dstate[target]
+            .stashed_inference
+            .as_ref()
+            .map_or(0.0, |i| i.qps);
+        if qps <= 0.0 {
+            return; // Demand vanished during the promote window.
+        }
+        // Book the drop span on the target up to the promote instant,
+        // then hand its traffic to the standby.
+        Control.accrue(st, now, target);
+        Control.accrue(st, now, host);
+        let (devices, trace) = (&mut st.devices, &mut st.trace);
+        devices[host].promote_standby_traced(&st.gt, now, qps, target, trace);
+        st.dstate[target].standby_host = Some(host);
+        st.fmetrics.standby_promotions += 1;
+        self.reconfigure_guarded(st, now, host);
+    }
+
+    /// Transient slowdown: the device keeps running at `factor` of its
+    /// effective compute for `duration`; the breaker sheds training
+    /// share and a (guarded) retune lets the system adapt its batch.
+    pub fn on_slowdown(
+        &self,
+        st: &mut SimState,
+        now: SimTime,
+        d: usize,
+        factor: f64,
+        duration: SimDuration,
+    ) {
+        if !st.devices[d].is_up() {
+            return;
+        }
+        Control.accrue(st, now, d);
+        st.fmetrics.slowdowns += 1;
+        st.devices[d].set_degraded(factor.clamp(0.05, 1.0));
+        st.dstate[d].degrade_token += 1;
+        let token = st.dstate[d].degrade_token;
+        st.events
+            .schedule_at(now + duration, Event::SlowdownEnd { device: d, token });
+        st.dstate[d].breaker.trip(now, duration);
+        self.reconfigure_guarded(st, now, d);
+        Control.reschedule_completions(st, now, d);
+    }
+
+    /// A slowdown or burn-in window closes (token-guarded).
+    pub fn on_slowdown_end(&self, st: &mut SimState, now: SimTime, d: usize, token: u64) {
+        if st.dstate[d].degrade_token != token || !st.devices[d].is_up() {
+            return; // Superseded by a newer window or a failure.
+        }
+        Control.accrue(st, now, d);
+        st.devices[d].clear_degraded();
+        self.reconfigure_guarded(st, now, d);
+        Control.reschedule_completions(st, now, d);
+    }
+
+    /// One training process dies and restarts from its checkpoint:
+    /// rolled-back work is lost and the process sits out the restart.
+    pub fn on_process_crash(&self, st: &mut SimState, now: SimTime, d: usize, salt: u64) {
+        if !st.devices[d].is_up() || st.devices[d].trainings().is_empty() {
+            return;
+        }
+        Control.accrue(st, now, d);
+        st.fmetrics.process_crashes += 1;
+        let n = st.devices[d].trainings().len();
+        let victim = st.devices[d].trainings()[salt as usize % n].id;
+        let ji = victim.0 as usize;
+        let ck = st.ckpt[ji].rollback();
+        let lost = (st.jobs[ji].completed_iterations - ck).max(0.0);
+        st.fmetrics.lost_iterations += lost;
+        st.jobs[ji].rollback_to(ck);
+        if let Some(proc) = st.devices[d].training_mut(victim) {
+            proc.completed_iterations = ck.max(0.0) as u64;
+        }
+        let restart = st.recovery.process_restart;
+        st.fmetrics.restart_downtime_secs += restart.as_secs();
+        let until = now + restart;
+        st.dstate[d].restarting.retain(|&(id, _)| id != victim);
+        st.dstate[d].restarting.push((victim, until));
+        st.events.schedule_at(
+            until,
+            Event::ProcessRestart {
+                device: d,
+                job: JobId(victim.0),
+            },
+        );
+        Control.reschedule_completions(st, now, d);
+    }
+
+    /// A process restart completes (superseded entries are no-ops).
+    pub fn on_process_restart(&self, st: &mut SimState, now: SimTime, d: usize, job: JobId) {
+        let before = st.dstate[d].restarting.len();
+        st.dstate[d]
+            .restarting
+            .retain(|&(id, until)| id.0 != job.0 || until > now);
+        if before == st.dstate[d].restarting.len() {
+            return; // Entry superseded (e.g. the device failed meanwhile).
+        }
+        if st.devices[d].is_up() {
+            Control.accrue(st, now, d);
+            Control.reschedule_completions(st, now, d);
+        }
+    }
+
+    /// MPS daemon failure: every process on the device takes a cold
+    /// restart. No training work is lost (the processes were healthy),
+    /// but inference is down for the restart — every request in the
+    /// window violates — and training sits out the outage.
+    pub fn on_mps_failure(&self, st: &mut SimState, now: SimTime, d: usize) {
+        if !st.devices[d].is_up() {
+            return;
+        }
+        Control.accrue(st, now, d);
+        st.fmetrics.mps_failures += 1;
+        let q = st.devices[d].inference().expect("up replica").qps;
+        let lost = q * MPS_RESTART_SECS;
+        let m = st.services.entry(st.dstate[d].service).or_default();
+        m.requests += lost;
+        m.violations += lost;
+        st.fmetrics.dropped_requests += lost;
+
+        let restart = SimDuration::from_secs(MPS_RESTART_SECS);
+        let until = now + restart;
+        let ids: Vec<ResidentId> = st.devices[d].trainings().iter().map(|t| t.id).collect();
+        for id in ids {
+            st.fmetrics.restart_downtime_secs += MPS_RESTART_SECS;
+            st.dstate[d].restarting.retain(|&(i, _)| i != id);
+            st.dstate[d].restarting.push((id, until));
+            st.events.schedule_at(
+                until,
+                Event::ProcessRestart {
+                    device: d,
+                    job: JobId(id.0),
+                },
+            );
+        }
+        st.dstate[d].guard.cooldown(now, restart);
+        Control.reschedule_completions(st, now, d);
+    }
+}

@@ -1,0 +1,427 @@
+//! Shared simulation state and the engine-internal event alphabet.
+//!
+//! [`SimState`] is the single mutable contract every stage operates
+//! on: the stage structs ([`Admission`], [`Control`], [`Faults`],
+//! [`Stepper`]) hold no state of their own and receive `&mut SimState`
+//! explicitly, so the data flow between stages is visible at every
+//! call site instead of hidden in captured locals.
+//!
+//! [`Admission`]: super::admission::Admission
+//! [`Control`]: super::control::Control
+//! [`Faults`]: super::faults::Faults
+//! [`Stepper`]: super::stepper::Stepper
+
+use std::collections::HashMap;
+
+use gpu_sim::{
+    DeviceId, GpuDevice, InferenceInstance, ResidentId, StandbyInstance, TrainingProcess,
+};
+use mudi::policy::{FairState, QueueItem};
+use mudi::{CircuitBreaker, Monitor, RetuneGuard};
+use resilience::{CheckpointTracker, FaultSchedule, RecoveryPolicy};
+use simcore::{EventQueue, SimRng, SimTime, Topology, TraceBus, TraceConfig};
+use workloads::perf::DEVICE_MEMORY_GB;
+use workloads::{FluctuatingQps, GroundTruth, ServiceId, Zoo};
+
+use crate::job::{JobId, TrainingJob};
+use crate::metrics::{FaultMetrics, ServiceMetrics};
+use crate::systems::{build_system, Multiplexer};
+
+use super::config::ClusterConfig;
+
+/// Engine-internal events, sequenced by the stepper.
+#[derive(Clone, Debug)]
+pub(super) enum Event {
+    JobArrival(JobId),
+    JobCompletion {
+        job: JobId,
+        epoch: u64,
+    },
+    QpsChange(usize),
+    UtilSample,
+    /// Forced retune, scheduled when a device pauses its training so
+    /// the pause is re-evaluated even without a QPS trigger.
+    Retune(usize),
+    /// Injected fault (index into the run's [`FaultSchedule`]).
+    Fault(usize),
+    /// A failed device comes back into service.
+    DeviceRepair(usize),
+    /// A degraded window (slowdown or post-repair burn-in) ends. The
+    /// token invalidates stale events superseded by a newer window.
+    SlowdownEnd {
+        device: usize,
+        token: u64,
+    },
+    /// A restarting training process finishes its cold restart.
+    ProcessRestart {
+        device: usize,
+        job: JobId,
+    },
+    /// A warm-standby shadow instance finishes its bounded promote and
+    /// starts serving a failed replica's traffic. The token invalidates
+    /// promotes superseded by a host failure or an early repair.
+    StandbyPromote {
+        host: usize,
+        token: u64,
+    },
+}
+
+/// Per-device engine-side state beyond the `GpuDevice` itself.
+pub(super) struct DeviceState {
+    pub qps_gen: FluctuatingQps,
+    pub monitor: Monitor,
+    /// Last time this device's metrics were accrued.
+    pub last_accrue: SimTime,
+    /// Last accrued P99 batch latency (feedback for GSLICE).
+    pub last_p99: Option<f64>,
+    /// Last accrued batch-service utilization (`mean latency / fill`).
+    pub last_util: f64,
+    /// Last accrued per-request violation probability.
+    pub last_pviol: f64,
+    /// Whether co-located training is paused (SLO infeasibility or,
+    /// for non-Mudi systems, memory overflow).
+    pub training_paused: bool,
+    /// Epoch counter invalidating stale completion events.
+    pub epoch: u64,
+    /// Last SLO-risk-triggered retune (throttled).
+    pub last_risk_tune: SimTime,
+    /// The system's current cap on the total training GPU share.
+    pub training_share_cap: f64,
+    /// When the current pause began (None while running).
+    pub paused_since: Option<SimTime>,
+    /// Whether a Retune event is already queued for this device
+    /// (prevents the pause paths from multiplying heartbeats).
+    pub retune_pending: bool,
+    /// Service pinned to this device (survives the replica's eviction
+    /// while the device is down).
+    pub service: ServiceId,
+    /// Replica stashed while the device is down; its `qps` tracks the
+    /// demand that is being dropped (zero-rated if failed over).
+    pub stashed_inference: Option<InferenceInstance>,
+    /// Failover traffic routed *to* this device from failed replicas.
+    pub extra_qps: f64,
+    /// Where this (failed) device's traffic went: `(survivor, share)`,
+    /// undone at repair.
+    pub rerouted: Vec<(usize, f64)>,
+    /// Jobs pinned here awaiting repair (no-requeue recovery policies).
+    pub stranded: Vec<JobId>,
+    /// Residents mid-restart `(id, until)`: no progress accrues before
+    /// `until`.
+    pub restarting: Vec<(ResidentId, SimTime)>,
+    /// Anti-thrashing dwell/cooldown on fault-triggered retunes.
+    pub guard: RetuneGuard,
+    /// Sheds best-effort training share while the device is degraded.
+    pub breaker: CircuitBreaker,
+    /// Bumped whenever a new degraded window starts, so a stale
+    /// `SlowdownEnd` cannot clear a newer window.
+    pub degrade_token: u64,
+    /// Faults observed on this device (every class), feeding the
+    /// reliability prior of reliability-aware selectors.
+    pub faults_seen: usize,
+    /// While this (failed) device's traffic is served by a promoted
+    /// standby: the host device carrying it.
+    pub standby_host: Option<usize>,
+    /// The persistent standby-pool slot seeded on this device (the
+    /// service it can cover); survives the host's own failure so the
+    /// pool re-seeds at repair.
+    pub standby_slot: Option<ServiceId>,
+    /// A promote in flight on this host: `(failed device, token)`.
+    pub pending_promote: Option<(usize, u64)>,
+    /// Bumped per promote so a stale `StandbyPromote` event cannot
+    /// activate a superseded hand-off.
+    pub promote_token: u64,
+}
+
+/// Everything a run mutates, shared by every stage through an explicit
+/// `&mut SimState` parameter.
+pub(super) struct SimState {
+    pub config: ClusterConfig,
+    pub gt: GroundTruth,
+    pub system: Box<dyn Multiplexer>,
+    pub devices: Vec<GpuDevice>,
+    pub dstate: Vec<DeviceState>,
+    pub jobs: Vec<TrainingJob>,
+    pub queue: Vec<QueueItem<JobId>>,
+    pub fair: FairState,
+    pub events: EventQueue<Event>,
+    pub rng: SimRng,
+    pub services: HashMap<ServiceId, ServiceMetrics>,
+    pub util_series: Vec<(f64, f64, f64)>,
+    pub bo_iterations: Vec<usize>,
+    pub placement_secs: Vec<f64>,
+    pub iter_scale: f64,
+    /// Pre-drawn fault sequence for this run (empty without a profile).
+    pub fault_schedule: FaultSchedule,
+    /// Recovery strategy applied to every injected fault.
+    pub recovery: RecoveryPolicy,
+    /// Fault/recovery accounting, surfaced in the result.
+    pub fmetrics: FaultMetrics,
+    /// Per-job checkpoint trackers, indexed like `jobs`.
+    pub ckpt: Vec<CheckpointTracker>,
+    /// The rack/node hierarchy devices are addressed through.
+    pub topo: Topology,
+    /// Services currently in total outage (no live replica) and when
+    /// the outage began; closed at repair or end-of-run.
+    pub outage_start: HashMap<ServiceId, SimTime>,
+    /// The structured event-trace bus (disabled unless `MUDI_TRACE=1`
+    /// or a caller opted in; zero-cost when disabled).
+    pub trace: TraceBus,
+}
+
+impl SimState {
+    /// Builds the cluster state with the ground truth seeded from the
+    /// config and the system's offline profiling already performed.
+    pub fn new(config: ClusterConfig) -> Self {
+        let gt = GroundTruth::new(Zoo::standard(), config.seed ^ 0xA100);
+        let rng = SimRng::seed(config.seed);
+        let system = build_system(config.system, &gt, &mut rng.fork("system"));
+        let n_services = gt.zoo().services().len();
+        let recovery = config
+            .faults
+            .map(|p| p.recovery)
+            .unwrap_or_else(RecoveryPolicy::standard);
+        let topo = Topology::new(config.topology, config.devices);
+        let fault_schedule = match &config.faults {
+            Some(profile) => FaultSchedule::generate_with_topology(
+                &profile.faults,
+                profile.correlated.as_ref(),
+                &topo,
+                config.max_sim_secs,
+                &rng.fork("faults"),
+            ),
+            None => FaultSchedule::default(),
+        };
+
+        // Reliability-aware systems stripe same-service replicas across
+        // racks so a single rack outage cannot take every replica down.
+        // The striped layout only engages under fault injection: the
+        // fault-free paper-reproduction runs keep the flat `d % n`
+        // layout so topology never perturbs their results.
+        let striped = config.faults.is_some() && config.system.reliability_aware();
+        let service_idx: Vec<usize> = if striped {
+            striped_service_assignment(&topo, config.devices, n_services)
+        } else {
+            (0..config.devices).map(|d| d % n_services).collect()
+        };
+
+        let mut devices = Vec::with_capacity(config.devices);
+        let mut dstate = Vec::with_capacity(config.devices);
+        for (d, &svc_idx) in service_idx.iter().enumerate() {
+            let service = gt.zoo().services()[svc_idx].id;
+            let slo = gt.zoo().service(service).slo;
+            let mut dev = GpuDevice::new(DeviceId(d), DEVICE_MEMORY_GB);
+            let mut qps_gen = FluctuatingQps::per_replica(rng.fork_indexed("qps", d));
+            let qps = qps_gen.current() * config.load_multiplier;
+            dev.deploy_inference(
+                &gt,
+                SimTime::ZERO,
+                InferenceInstance::new(service, 16, 0.6, qps),
+            );
+            devices.push(dev);
+            let _ = &mut qps_gen;
+            dstate.push(DeviceState {
+                qps_gen,
+                monitor: Monitor::new(0.5, slo),
+                last_accrue: SimTime::ZERO,
+                last_p99: None,
+                last_util: 0.0,
+                last_pviol: 0.0,
+                training_paused: false,
+                epoch: 0,
+                last_risk_tune: SimTime::ZERO,
+                training_share_cap: 1.0,
+                paused_since: None,
+                retune_pending: false,
+                service,
+                stashed_inference: None,
+                extra_qps: 0.0,
+                rerouted: Vec::new(),
+                stranded: Vec::new(),
+                restarting: Vec::new(),
+                guard: RetuneGuard::new(recovery.retune_dwell),
+                breaker: CircuitBreaker::new(recovery.degraded_training_share.clamp(0.05, 1.0)),
+                degrade_token: 0,
+                faults_seen: 0,
+                standby_host: None,
+                standby_slot: None,
+                pending_promote: None,
+                promote_token: 0,
+            });
+        }
+
+        // Seed the warm-standby pool: for each service, park
+        // `pool_per_service` shadow instances on hosts whose primary is
+        // a *different* service, preferring racks with the fewest
+        // primaries of the covered service (so a rack blast that takes
+        // every primary down leaves a standby alive elsewhere). Only
+        // engages under fault injection with an enabled pool, keeping
+        // every other run bit-identical.
+        let mut fmetrics = FaultMetrics::default();
+        if config.faults.is_some() && recovery.standby.is_enabled() {
+            let standby = recovery.standby;
+            for svc_def in gt.zoo().services() {
+                let svc = svc_def.id;
+                for _ in 0..standby.pool_per_service {
+                    let host = (0..config.devices)
+                        .filter(|&h| dstate[h].standby_slot.is_none() && dstate[h].service != svc)
+                        .min_by_key(|&h| {
+                            let rack = topo.rack_of(h);
+                            let primaries_in_rack = topo
+                                .devices_in_rack(rack)
+                                .filter(|&d| dstate[d].service == svc)
+                                .count();
+                            let standbys_in_rack = topo
+                                .devices_in_rack(rack)
+                                .filter(|&d| dstate[d].standby_slot == Some(svc))
+                                .count();
+                            (primaries_in_rack, standbys_in_rack, h)
+                        });
+                    let Some(h) = host else {
+                        break; // Every eligible device already hosts a slot.
+                    };
+                    dstate[h].standby_slot = Some(svc);
+                    devices[h].seed_standby(
+                        &gt,
+                        SimTime::ZERO,
+                        StandbyInstance::new(
+                            svc,
+                            16,
+                            standby.reserve_fraction,
+                            standby.preloaded_weights,
+                        ),
+                    );
+                    fmetrics.standby_slots += 1;
+                }
+            }
+        }
+
+        SimState {
+            config,
+            gt,
+            system,
+            devices,
+            dstate,
+            jobs: Vec::new(),
+            queue: Vec::new(),
+            fair: FairState::new(),
+            events: EventQueue::new(),
+            rng,
+            services: HashMap::new(),
+            util_series: Vec::new(),
+            bo_iterations: Vec::new(),
+            placement_secs: Vec::new(),
+            iter_scale: 1.0,
+            fault_schedule,
+            recovery,
+            fmetrics,
+            ckpt: Vec::new(),
+            topo,
+            outage_start: HashMap::new(),
+            trace: TraceBus::new(TraceConfig::from_env()),
+        }
+    }
+
+    /// The multiplier the burst schedule applies right now.
+    pub fn burst_multiplier(&self, now: SimTime) -> f64 {
+        self.config
+            .burst
+            .as_ref()
+            .map_or(1.0, |b| b.multiplier_at(now))
+    }
+
+    /// The training share cap actually applied: the system's decision,
+    /// shed by the circuit-breaker while the device is degraded.
+    pub fn applied_share_cap(&self, now: SimTime, d: usize) -> f64 {
+        let st = &self.dstate[d];
+        (st.training_share_cap * st.breaker.share_multiplier(now)).clamp(0.01, 1.0)
+    }
+
+    /// The SLO (seconds) of the service pinned to device `d`.
+    pub fn device_slo(&self, d: usize) -> f64 {
+        let svc = self.devices[d]
+            .inference()
+            .expect("replica deployed")
+            .service;
+        self.gt.zoo().service(svc).slo_secs()
+    }
+
+    /// Whether every submitted job has completed.
+    pub fn all_done(&self) -> bool {
+        !self.jobs.is_empty()
+            && self
+                .jobs
+                .iter()
+                .all(|j| j.state == crate::job::JobState::Completed)
+    }
+
+    /// Re-enqueues a job into the pending queue from its current
+    /// recorded progress (requeue recovery and operator eviction).
+    pub fn push_queue_item(&mut self, job_id: JobId) {
+        let job = &self.jobs[job_id.0 as usize];
+        let est = self.gt.zoo().task(job.task).gpu_hours * 3600.0 * self.iter_scale;
+        self.queue.push(QueueItem {
+            arrival: job.submitted,
+            est_duration: simcore::SimDuration::from_secs(est),
+            priority: job.priority,
+            class: job.class,
+            payload: job_id,
+        });
+    }
+
+    /// Restores a training process for a queued-or-stranded job from
+    /// its checkpointed progress.
+    pub fn restored_process(&self, job_id: JobId) -> TrainingProcess {
+        let job = &self.jobs[job_id.0 as usize];
+        TrainingProcess::with_progress(
+            ResidentId(job_id.0),
+            job.task,
+            0.1,
+            job.completed_iterations.max(0.0) as u64,
+            job.total_iterations,
+        )
+    }
+}
+
+// Re-exported through `super` so callers keep the historical
+// `cluster::engine::striped_service_assignment` path.
+/// Assigns one inference service per device so that a service's
+/// replicas land in as many different fault domains as possible
+/// (deploy-time anti-affinity). Greedy and deterministic: devices are
+/// visited in index order and each takes the service with the fewest
+/// replicas on its own node, breaking ties by fewest replicas in its
+/// rack, then fewest overall, then by service index. Striping at node
+/// granularity (not just rack) keeps two replicas of the same service
+/// off one node whenever the rack has room — a node-level blast then
+/// takes at most one replica per service. Totals stay as balanced as
+/// the flat `d % n` layout (each service gets `devices / n` ± 1
+/// replicas), and a single-node topology degenerates to the flat
+/// layout.
+pub fn striped_service_assignment(
+    topo: &Topology,
+    devices: usize,
+    n_services: usize,
+) -> Vec<usize> {
+    assert!(n_services > 0, "need at least one service");
+    let mut in_node = vec![vec![0usize; n_services]; topo.shape().nodes()];
+    let mut in_rack = vec![vec![0usize; n_services]; topo.shape().racks];
+    let mut total = vec![0usize; n_services];
+    let mut out = Vec::with_capacity(devices);
+    for d in 0..devices {
+        let node = topo.node_of(d);
+        let r = topo.rack_of(d);
+        let best = (0..n_services)
+            .min_by_key(|&s| (in_node[node][s], in_rack[r][s], total[s], s))
+            .expect("non-empty service list");
+        in_node[node][best] += 1;
+        in_rack[r][best] += 1;
+        total[best] += 1;
+        out.push(best);
+    }
+    out
+}
+
+/// The per-placement log retained for the §5.4 optimality analysis:
+/// the task, the chosen device, and the candidate `(device, service)`
+/// set the selector saw. Reconstructed from the trace bus's placement
+/// events — the structured replacement for the old ad-hoc log.
+pub type PlacementLog = Vec<(workloads::TaskId, usize, Vec<(usize, ServiceId)>)>;

@@ -1,0 +1,200 @@
+//! Stepper stage: the simulation time loop.
+//!
+//! Owns event-loop sequencing — popping the queue, dispatching each
+//! event to its stage ([`Admission`], [`Control`], [`Faults`]) — plus
+//! initial event seeding, end-of-run finalization (final accrual spans,
+//! open-outage closure), and result assembly.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use gpu_sim::GpuDevice;
+use simcore::{SimDuration, SimTime};
+use workloads::ServiceId;
+
+use crate::job::JobState;
+use crate::metrics::ExperimentResult;
+
+use super::admission::Admission;
+use super::control::Control;
+use super::faults::Faults;
+use super::state::{Event, SimState};
+
+/// The stepper. Stateless: everything lives in [`SimState`].
+pub(super) struct Stepper;
+
+impl Stepper {
+    /// Seeds the initial event population: first QPS segment change per
+    /// device, the first utilization sample, and the fault schedule.
+    pub fn schedule_initial_events(&self, st: &mut SimState) {
+        for d in 0..st.devices.len() {
+            // First QPS segment change per device.
+            let dwell = SimDuration::from_secs(
+                st.rng
+                    .fork_indexed("dwell0", d)
+                    .uniform(1.0, st.config.qps_dwell_secs),
+            );
+            st.events
+                .schedule_at(SimTime::ZERO + dwell, Event::QpsChange(d));
+        }
+        st.events.schedule_at(
+            SimTime::from_secs(st.config.util_sample_secs),
+            Event::UtilSample,
+        );
+        for (i, ev) in st.fault_schedule.events().iter().enumerate() {
+            st.events.schedule_at(ev.at, Event::Fault(i));
+        }
+    }
+
+    /// Runs the event loop to completion (or the sim-time cap) and
+    /// returns the assembled result. `wall_start` anchors the reported
+    /// wall-clock cost; job submission and initial seeding must already
+    /// have happened.
+    pub fn run(&self, st: &mut SimState, wall_start: Instant) -> ExperimentResult {
+        let debug = std::env::var("MUDI_DEBUG_EVENTS").is_ok();
+        let mut last_finish = SimTime::ZERO;
+        while let Some((now, event)) = st.events.pop() {
+            if debug && st.events.fired().is_multiple_of(200_000) {
+                eprintln!(
+                    "[engine] events={} t={:.3}s pending={} done={}/{} ev={:?}",
+                    st.events.fired(),
+                    now.as_secs(),
+                    st.events.len(),
+                    st.jobs
+                        .iter()
+                        .filter(|j| j.state == JobState::Completed)
+                        .count(),
+                    st.jobs.len(),
+                    event
+                );
+            }
+            if now.as_secs() > st.config.max_sim_secs {
+                break;
+            }
+            match event {
+                Event::JobArrival(job) => Admission.on_arrival(st, now, job),
+                Event::JobCompletion { job, epoch } => {
+                    if Control.on_completion(st, now, job, epoch) {
+                        last_finish = now;
+                    }
+                }
+                Event::QpsChange(d) => Control.on_qps_change(st, now, d),
+                Event::UtilSample => Control.on_util_sample(st, now),
+                Event::Retune(d) => Control.on_retune(st, now, d),
+                Event::Fault(idx) => Faults.on_fault(st, now, idx),
+                Event::DeviceRepair(d) => Faults.on_device_repair(st, now, d),
+                Event::SlowdownEnd { device, token } => {
+                    Faults.on_slowdown_end(st, now, device, token)
+                }
+                Event::ProcessRestart { device, job } => {
+                    Faults.on_process_restart(st, now, device, job)
+                }
+                Event::StandbyPromote { host, token } => {
+                    Faults.on_standby_promote(st, now, host, token)
+                }
+            }
+            if st.all_done() {
+                break;
+            }
+        }
+
+        let end = st.events.now();
+        for d in 0..st.devices.len() {
+            Control.accrue(st, end, d);
+            st.devices[d].finish(end);
+        }
+        self.close_open_outages(st, end);
+        self.build_result(st, last_finish, wall_start.elapsed().as_secs_f64())
+    }
+
+    /// Closes total-outage windows still open at end-of-run. Drained in
+    /// sorted order: `HashMap` iteration order is unspecified and float
+    /// addition is order-sensitive, which would break bit-identical
+    /// replay.
+    fn close_open_outages(&self, st: &mut SimState, end: SimTime) {
+        let mut open: Vec<(ServiceId, SimTime)> = st.outage_start.drain().collect();
+        open.sort_by_key(|&(s, _)| s);
+        for (_, start) in open {
+            st.fmetrics.service_outage_secs += end.since(start).as_secs();
+        }
+    }
+
+    fn build_result(&self, st: &mut SimState, last_finish: SimTime, wall: f64) -> ExperimentResult {
+        let mut result = ExperimentResult {
+            system: st.config.system.name().to_string(),
+            services: std::mem::take(&mut st.services),
+            ..Default::default()
+        };
+        let first_submit = st
+            .jobs
+            .iter()
+            .map(|j| j.submitted)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        result.makespan_secs = last_finish.since(first_submit).as_secs();
+        for j in &st.jobs {
+            if let Some(ct) = j.completion_time() {
+                result.ct.record(ct.as_secs());
+                result.jobs_completed += 1;
+            }
+            if let Some(w) = j.waiting_time() {
+                result.waiting.record(w.as_secs());
+            }
+        }
+        result.jobs_submitted = st.jobs.len();
+        // Goodput counts only retained progress; work rolled back to a
+        // checkpoint was subtracted from `completed_iterations` and
+        // shows up in `faults.lost_iterations` instead.
+        result.useful_iterations = st.jobs.iter().map(|j| j.completed_iterations).sum();
+        for ck in &st.ckpt {
+            st.fmetrics.checkpoint_writes += ck.checkpoints_taken();
+            st.fmetrics.checkpoint_write_secs += ck.write_time_spent();
+        }
+        result.faults = std::mem::take(&mut st.fmetrics);
+
+        let n = st.devices.len() as f64;
+        result.mean_sm_util = st
+            .devices
+            .iter()
+            .map(GpuDevice::mean_sm_utilization)
+            .sum::<f64>()
+            / n;
+        result.mean_mem_util = st
+            .devices
+            .iter()
+            .map(GpuDevice::mean_mem_utilization)
+            .sum::<f64>()
+            / n;
+        result.util_series = std::mem::take(&mut st.util_series);
+
+        // Swap accounting per service (Tab. 4).
+        let mut frac_by_service: HashMap<ServiceId, (f64, usize)> = HashMap::new();
+        let mut transfer_sum = 0.0;
+        let mut transfer_events = 0u64;
+        for (i, dev) in st.devices.iter().enumerate() {
+            // A device can finish the run mid-outage with no replica
+            // deployed; its service binding lives in the engine state.
+            let svc = st.dstate[i].service;
+            let e = frac_by_service.entry(svc).or_insert((0.0, 0));
+            e.0 += dev.memory().overflow_time_fraction();
+            e.1 += 1;
+            let s = dev.memory().stats();
+            transfer_sum += s.total_transfer_secs;
+            transfer_events += s.swap_in_events + s.swap_out_events;
+        }
+        result.swap_time_fraction = frac_by_service
+            .into_iter()
+            .map(|(s, (sum, n))| (s, sum / n as f64))
+            .collect();
+        result.mean_swap_transfer_secs = if transfer_events == 0 {
+            0.0
+        } else {
+            transfer_sum / transfer_events as f64
+        };
+
+        result.overhead.bo_iterations = std::mem::take(&mut st.bo_iterations);
+        result.overhead.placement_secs = std::mem::take(&mut st.placement_secs);
+        result.wall_clock_secs = wall;
+        result
+    }
+}

@@ -19,10 +19,20 @@ use crate::systems::{build_system, DeviceView, Multiplexer, Optimal, SystemKind}
 /// cell — engine construction (ground-truth fitting) plus the event
 /// loop — so pooled fan-outs account their per-cell cost correctly.
 pub fn end_to_end(config: ClusterConfig, iteration_scale: f64) -> ExperimentResult {
+    end_to_end_traced(config, iteration_scale).0
+}
+
+/// [`end_to_end`] additionally returning the run's trace-bus summary
+/// (all zeros unless tracing is on — `MUDI_TRACE=1` or an injected
+/// [`simcore::TraceConfig`]).
+pub fn end_to_end_traced(
+    config: ClusterConfig,
+    iteration_scale: f64,
+) -> (ExperimentResult, simcore::TraceSummary) {
     let started = std::time::Instant::now();
-    let mut result = ClusterEngine::new(config).run_scaled(iteration_scale);
+    let (mut result, trace) = ClusterEngine::new(config).run_traced(iteration_scale);
     result.wall_clock_secs = started.elapsed().as_secs_f64();
-    result
+    (result, trace)
 }
 
 /// Runs many independent experiment cells through the scoped worker

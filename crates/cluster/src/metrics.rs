@@ -199,11 +199,15 @@ impl ExperimentResult {
     }
 
     /// Overall SLO violation rate across services (request-weighted).
+    /// Summed in service-id order: `HashMap` iteration order is
+    /// unspecified and float addition is order-sensitive, which would
+    /// break bit-identical replay.
     pub fn overall_violation_rate(&self) -> f64 {
-        let (v, r) = self
-            .services
-            .values()
-            .fold((0.0, 0.0), |(v, r), m| (v + m.violations, r + m.requests));
+        let mut per: Vec<(&ServiceId, &ServiceMetrics)> = self.services.iter().collect();
+        per.sort_by_key(|&(s, _)| s);
+        let (v, r) = per.iter().fold((0.0, 0.0), |(v, r), (_, m)| {
+            (v + m.violations, r + m.requests)
+        });
         if r <= 0.0 {
             0.0
         } else {

@@ -144,6 +144,19 @@ pub struct ConfigDecision {
     pub training_share_cap: f64,
 }
 
+impl ConfigDecision {
+    /// Clamps the inference fraction so the primary plus a warm
+    /// standby's reserved slice never overcommits the device. The
+    /// reserve is invisible to every tuner (the standby pool sits below
+    /// the systems' abstraction), so the engine applies this after
+    /// `configure`. A zero reserve leaves the decision untouched.
+    pub fn clamp_for_reserve(&mut self, reserve: f64) {
+        if reserve > 0.0 {
+            self.fraction = self.fraction.min(1.0 - reserve).max(0.01);
+        }
+    }
+}
+
 /// The common interface the engine drives.
 pub trait Multiplexer {
     /// Chooses a device for an incoming training task, or `None` to

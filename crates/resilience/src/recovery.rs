@@ -24,7 +24,7 @@ pub enum CheckpointPeriod {
     /// Per-task Young/Daly optimum: `sqrt(2 · MTBF · write_cost)`,
     /// where the write cost comes from the task's working-set size and
     /// the policy's checkpoint bandwidth. Tasks with a zero write cost
-    /// (fault-free runs) fall back to [`CheckpointPeriod::DEFAULT`].
+    /// (fault-free runs) fall back to [`CheckpointPeriod::DEFAULT_SECS`].
     YoungDaly,
 }
 

@@ -236,6 +236,23 @@ impl FaultEvent {
             domain: FaultDomain::Device,
         }
     }
+
+    /// This fault's application as a structured trace event, classed by
+    /// [`simcore::FaultClass`] and tagged with whether the incident
+    /// radiated from a shared fault domain.
+    pub fn trace_event(&self) -> simcore::SimEvent {
+        let class = match self.kind {
+            FaultKind::DeviceFailure { .. } => simcore::FaultClass::DeviceFailure,
+            FaultKind::Slowdown { .. } => simcore::FaultClass::Slowdown,
+            FaultKind::ProcessCrash { .. } => simcore::FaultClass::ProcessCrash,
+            FaultKind::MpsRestartFailure => simcore::FaultClass::MpsRestart,
+        };
+        simcore::SimEvent::FaultApplied {
+            device: self.device,
+            class,
+            correlated: self.domain.is_correlated(),
+        }
+    }
 }
 
 /// A replayable, time-sorted sequence of fault events.

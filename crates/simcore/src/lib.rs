@@ -21,6 +21,7 @@ pub mod pool;
 pub mod rng;
 pub mod time;
 pub mod topology;
+pub mod trace;
 
 pub use dist::{normal_cdf, normal_quantile, Exponential, LogNormal, Normal, Poisson};
 pub use event::{EventQueue, ScheduledEvent};
@@ -29,3 +30,6 @@ pub use pool::{max_workers, scoped_map, scoped_map_workers};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use topology::{DeviceAddress, Topology, TopologyShape};
+pub use trace::{
+    FaultClass, SimEvent, SimEventKind, TraceBus, TraceConfig, TraceSummary, TracedEvent,
+};

@@ -1,0 +1,78 @@
+//! The disabled trace bus must be zero-cost on the hot path: stages
+//! call [`simcore::TraceBus::emit_with`] from inside the event loop,
+//! and when tracing is off the event-constructing closure must never
+//! run — no allocation, no event assembly.
+//!
+//! Asserted with a counting global allocator. This file deliberately
+//! holds a single test: the counter is process-global, and a sibling
+//! test allocating on another thread would race the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use simcore::{SimEvent, SimTime, TraceBus, TraceConfig};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// An event whose construction must allocate (candidate vector), so a
+/// disabled-path slip would show up in the counter.
+fn allocating_event() -> SimEvent {
+    SimEvent::Placement {
+        task: 3,
+        device: 7,
+        candidates: vec![(0, 1), (2, 3), (4, 5)],
+    }
+}
+
+#[test]
+fn disabled_bus_emits_without_allocating() {
+    let mut bus = TraceBus::disabled();
+
+    // Warm up any lazy one-time allocation outside the measured window.
+    bus.emit_with(SimTime::ZERO, allocating_event);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        bus.emit_with(SimTime::from_secs(i as f64), allocating_event);
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "disabled trace bus allocated {delta} times over 10k emits"
+    );
+    assert_eq!(bus.emitted(), 0, "disabled bus must not record events");
+
+    // Sanity-check the counter itself: the enabled bus must allocate
+    // (it actually builds the events), or the zero above proves nothing.
+    let mut on = TraceBus::new(TraceConfig::enabled());
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..100u64 {
+        on.emit_with(SimTime::from_secs(i as f64), allocating_event);
+    }
+    assert!(
+        ALLOCATIONS.load(Ordering::SeqCst) > before,
+        "counting allocator failed to observe enabled-path allocations"
+    );
+    assert_eq!(on.emitted(), 100);
+}
