@@ -1,0 +1,133 @@
+//! Kernel performance ledger: steps/sec and simulated-seconds per
+//! wall-second on fixed cluster shapes.
+//!
+//! Drives the staged kernel through [`ClusterSession`] on three pinned
+//! shapes — tiny and physical clusters swept in one shot, plus the
+//! serving access pattern (five-minute increments) — and writes the
+//! measurements to `BENCH_perf_kernel.json` at the repo root. The
+//! committed copy is the reference ledger: rerun after kernel changes
+//! and diff the throughput fields to catch regressions that the
+//! (correctness-only) golden snapshots cannot see.
+//!
+//! Each shape fires a deterministic event count (fixed seed, fixed
+//! horizon), so steps-per-second is comparable across runs on the same
+//! machine; wall-clock numbers move with hardware. `MUDI_PERF_SAMPLES`
+//! (default 3) controls how many repetitions the reported median comes
+//! from.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cluster::engine::{ClusterConfig, ClusterSession};
+use cluster::systems::SystemKind;
+use simcore::SimTime;
+
+struct Measurement {
+    shape: &'static str,
+    events: u64,
+    sim_secs: f64,
+    wall_secs: f64,
+}
+
+impl Measurement {
+    fn steps_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-9)
+    }
+    fn sim_secs_per_wall_sec(&self) -> f64 {
+        self.sim_secs / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Runs `f` `samples` times and keeps the median-wall-time run.
+fn median_of(samples: usize, f: impl Fn() -> Measurement) -> Measurement {
+    let mut runs: Vec<Measurement> = (0..samples.max(1)).map(|_| f()).collect();
+    runs.sort_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs));
+    runs.remove(runs.len() / 2)
+}
+
+/// Steps a fresh session to `horizon_secs` in `step_secs` increments.
+/// One giant increment measures the raw event loop; five-minute
+/// increments measure the serving control plane's access pattern.
+fn run_shape(
+    shape: &'static str,
+    config: ClusterConfig,
+    horizon_secs: f64,
+    step_secs: f64,
+) -> Measurement {
+    let mut session = ClusterSession::new_scaled(config, 0.01);
+    let start = Instant::now();
+    let mut events = 0u64;
+    let mut t = 0.0;
+    while t < horizon_secs {
+        t = (t + step_secs).min(horizon_secs);
+        events += session.step_until(SimTime::from_secs(t));
+    }
+    Measurement {
+        shape,
+        events: events.max(1),
+        sim_secs: session.now().as_secs(),
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let samples = simcore::env::parse_or::<usize>("MUDI_PERF_SAMPLES", 3);
+    println!("perf_kernel: {samples} samples per shape, reporting medians\n");
+
+    const DAY: f64 = 24.0 * 3600.0;
+    let shapes: Vec<Measurement> = vec![
+        median_of(samples, || {
+            run_shape(
+                "batch-tiny-mudi-5day",
+                ClusterConfig::tiny(SystemKind::Mudi, 7),
+                5.0 * DAY,
+                5.0 * DAY,
+            )
+        }),
+        median_of(samples, || {
+            run_shape(
+                "batch-physical-mudi-5day",
+                ClusterConfig::physical(SystemKind::Mudi, 7),
+                5.0 * DAY,
+                5.0 * DAY,
+            )
+        }),
+        median_of(samples, || {
+            run_shape(
+                "session-tiny-1day-5min-steps",
+                ClusterConfig::tiny(SystemKind::Mudi, 7),
+                DAY,
+                300.0,
+            )
+        }),
+    ];
+
+    let mut json = String::from("{\n  \"shapes\": [\n");
+    for (i, m) in shapes.iter().enumerate() {
+        println!(
+            "{:<32} {:>9} events  {:>10.0} steps/s  {:>12.0} sim-s/wall-s",
+            m.shape,
+            m.events,
+            m.steps_per_sec(),
+            m.sim_secs_per_wall_sec()
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"shape\": \"{}\", \"events\": {}, \"sim_secs\": {:.3}, \"wall_secs\": {:.6}, \"steps_per_sec\": {:.0}, \"sim_secs_per_wall_sec\": {:.0}}}{}",
+            m.shape,
+            m.events,
+            m.sim_secs,
+            m.wall_secs,
+            m.steps_per_sec(),
+            m.sim_secs_per_wall_sec(),
+            if i + 1 < shapes.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"samples_per_shape\": ");
+    let _ = write!(json, "{samples}\n}}");
+    json.push('\n');
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf_kernel.json");
+    std::fs::write(path, &json).expect("write BENCH_perf_kernel.json");
+    println!("\nledger written to BENCH_perf_kernel.json");
+}

@@ -11,15 +11,12 @@ use cluster::systems::SystemKind;
 
 /// Whether full paper-scale runs were requested.
 pub fn full_scale() -> bool {
-    std::env::var("MUDI_FULL_SCALE").is_ok_and(|v| v == "1" || v == "true")
+    simcore::env::flag("MUDI_FULL_SCALE")
 }
 
 /// The experiment seed (override with `MUDI_SEED`).
 pub fn seed() -> u64 {
-    std::env::var("MUDI_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42)
+    simcore::env::parse_or("MUDI_SEED", 42)
 }
 
 /// Physical-cluster configuration at the chosen scale, plus the

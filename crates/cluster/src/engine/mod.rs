@@ -32,6 +32,7 @@ mod admission;
 mod config;
 mod control;
 mod faults;
+mod session;
 mod state;
 mod stepper;
 
@@ -53,6 +54,9 @@ use stepper::Stepper;
 
 pub use config::{ClusterConfig, ClusterConfigBuilder, ClusterScale, ScalePreset};
 pub use control::violation_probability;
+pub use session::{
+    ClusterSession, InferOutcome, LiveFault, ScaleOutcome, ServiceSlo, SessionError,
+};
 pub use state::{striped_service_assignment, PlacementLog};
 
 /// The cluster engine: a thin facade over the staged kernel.
@@ -168,7 +172,7 @@ impl ClusterEngine {
         let bus = std::mem::replace(&mut self.st.trace, TraceBus::disabled());
         // `MUDI_TRACE=1` dumps to stderr only: stdout (and the goldens
         // derived from it) stays byte-identical with tracing on.
-        if bus.is_enabled() && std::env::var("MUDI_TRACE").is_ok() {
+        if bus.is_enabled() && simcore::env::is_set("MUDI_TRACE") {
             eprint!("{}", bus.summary());
             eprint!("{}", bus.render_tail(20));
         }

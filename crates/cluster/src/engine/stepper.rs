@@ -51,7 +51,7 @@ impl Stepper {
     /// wall-clock cost; job submission and initial seeding must already
     /// have happened.
     pub fn run(&self, st: &mut SimState, wall_start: Instant) -> ExperimentResult {
-        let debug = std::env::var("MUDI_DEBUG_EVENTS").is_ok();
+        let debug = simcore::env::is_set("MUDI_DEBUG_EVENTS");
         let mut last_finish = SimTime::ZERO;
         while let Some((now, event)) = st.events.pop() {
             if debug && st.events.fired().is_multiple_of(200_000) {
@@ -71,27 +71,8 @@ impl Stepper {
             if now.as_secs() > st.config.max_sim_secs {
                 break;
             }
-            match event {
-                Event::JobArrival(job) => Admission.on_arrival(st, now, job),
-                Event::JobCompletion { job, epoch } => {
-                    if Control.on_completion(st, now, job, epoch) {
-                        last_finish = now;
-                    }
-                }
-                Event::QpsChange(d) => Control.on_qps_change(st, now, d),
-                Event::UtilSample => Control.on_util_sample(st, now),
-                Event::Retune(d) => Control.on_retune(st, now, d),
-                Event::Fault(idx) => Faults.on_fault(st, now, idx),
-                Event::DeviceRepair(d) => Faults.on_device_repair(st, now, d),
-                Event::SlowdownEnd { device, token } => {
-                    Faults.on_slowdown_end(st, now, device, token)
-                }
-                Event::ProcessRestart { device, job } => {
-                    Faults.on_process_restart(st, now, device, job)
-                }
-                Event::StandbyPromote { host, token } => {
-                    Faults.on_standby_promote(st, now, host, token)
-                }
+            if self.dispatch(st, now, event) {
+                last_finish = now;
             }
             if st.all_done() {
                 break;
@@ -99,12 +80,46 @@ impl Stepper {
         }
 
         let end = st.events.now();
+        self.finalize(st, end);
+        self.build_result(st, last_finish, wall_start.elapsed().as_secs_f64())
+    }
+
+    /// Routes one popped event to its stage. Returns `true` when the
+    /// event completed a training job (callers track the last finish
+    /// time for the makespan). Shared by the batch run loop and the
+    /// incremental session API.
+    pub fn dispatch(&self, st: &mut SimState, now: SimTime, event: Event) -> bool {
+        match event {
+            Event::JobArrival(job) => Admission.on_arrival(st, now, job),
+            Event::JobCompletion { job, epoch } => {
+                return Control.on_completion(st, now, job, epoch);
+            }
+            Event::QpsChange(d) => Control.on_qps_change(st, now, d),
+            Event::UtilSample => Control.on_util_sample(st, now),
+            Event::Retune(d) => Control.on_retune(st, now, d),
+            Event::Fault(idx) => Faults.on_fault(st, now, idx),
+            Event::DeviceRepair(d) => Faults.on_device_repair(st, now, d),
+            Event::SlowdownEnd { device, token } => Faults.on_slowdown_end(st, now, device, token),
+            Event::ProcessRestart { device, job } => {
+                Faults.on_process_restart(st, now, device, job)
+            }
+            Event::StandbyPromote { host, token } => {
+                Faults.on_standby_promote(st, now, host, token)
+            }
+        }
+        false
+    }
+
+    /// End-of-run finalization: accrues every device's final span to
+    /// `end`, closes utilization integrators, and closes still-open
+    /// total-outage windows. Must run exactly once, before
+    /// [`Stepper::build_result`].
+    pub fn finalize(&self, st: &mut SimState, end: SimTime) {
         for d in 0..st.devices.len() {
             Control.accrue(st, end, d);
             st.devices[d].finish(end);
         }
         self.close_open_outages(st, end);
-        self.build_result(st, last_finish, wall_start.elapsed().as_secs_f64())
     }
 
     /// Closes total-outage windows still open at end-of-run. Drained in
@@ -119,7 +134,12 @@ impl Stepper {
         }
     }
 
-    fn build_result(&self, st: &mut SimState, last_finish: SimTime, wall: f64) -> ExperimentResult {
+    pub fn build_result(
+        &self,
+        st: &mut SimState,
+        last_finish: SimTime,
+        wall: f64,
+    ) -> ExperimentResult {
         let mut result = ExperimentResult {
             system: st.config.system.name().to_string(),
             services: std::mem::take(&mut st.services),

@@ -158,7 +158,11 @@ impl ConfigDecision {
 }
 
 /// The common interface the engine drives.
-pub trait Multiplexer {
+///
+/// `Send` so a whole engine/session can move to (or be shared behind a
+/// mutex with) another thread — the serving control plane steps a
+/// session from HTTP handler threads.
+pub trait Multiplexer: Send {
     /// Chooses a device for an incoming training task, or `None` to
     /// leave it queued.
     fn place(

@@ -286,6 +286,17 @@ impl FaultSchedule {
         FaultSchedule { events }
     }
 
+    /// Appends a live-injected event and returns its index. Unlike
+    /// [`FaultSchedule::from_events`] the schedule is *not* re-sorted:
+    /// pre-drawn events are dispatched by index, so reordering them
+    /// mid-run would misdeliver every already-scheduled
+    /// `Event::Fault(idx)`. Serving-mode fault injection appends at the
+    /// current simulated time and dispatches the new index immediately.
+    pub fn push(&mut self, event: FaultEvent) -> usize {
+        self.events.push(event);
+        self.events.len() - 1
+    }
+
     /// Draws every device-local fault in `[0, horizon_secs)` for
     /// `devices` devices.
     ///

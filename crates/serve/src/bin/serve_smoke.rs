@@ -1,0 +1,148 @@
+//! CI smoke driver: boots the control plane on loopback and walks the
+//! full deploy → infer → fault → SLO-query lifecycle over real HTTP,
+//! asserting at the end that the `/metrics` exposition agrees with the
+//! trace bus's own counters. Exits non-zero (panics) on any mismatch.
+//!
+//! Runs on a virtual clock so the walk is deterministic and fast —
+//! simulated hours pass in milliseconds of wall time.
+
+use std::sync::Arc;
+
+use cluster::engine::{ClusterConfig, ClusterSession};
+use cluster::systems::SystemKind;
+use serve::client::request;
+use serve::json::Json;
+use serve::{App, ServeClock, Server};
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, Json) {
+    let reply = request(addr, "POST", path, Some(body)).expect("request");
+    let json = Json::parse(&reply.body_str()).expect("JSON body");
+    (reply.status, json)
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let reply = request(addr, "GET", path, None).expect("request");
+    (reply.status, reply.body_str())
+}
+
+fn main() {
+    let session = ClusterSession::new_scaled(ClusterConfig::tiny(SystemKind::Mudi, 11), 0.002);
+    let app = App::new(session, ServeClock::frozen());
+    let server = Server::start(Arc::clone(&app), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+    println!("smoke: serving on {addr}");
+
+    // Liveness before any time has passed.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "healthz: {body}");
+    assert!(body.contains("\"virtual_clock\":true"), "healthz: {body}");
+
+    // Let the cluster warm up: 30 simulated minutes.
+    let (status, clock) = post(addr, "/admin/clock", r#"{"advance_s":1800}"#);
+    assert_eq!(status, 200, "clock: {}", clock.render());
+
+    // Deploy: repurpose device 0 for service 1.
+    let (status, dep) = post(
+        addr,
+        "/admin/services",
+        r#"{"action":"deploy","device":0,"service":1}"#,
+    );
+    assert_eq!(status, 200, "deploy: {}", dep.render());
+
+    // The deploy repurposed ResNet50's only replica (6 devices, 6
+    // services), so routing to it is now a clean outage 503…
+    let (status, out) = post(addr, "/v1/infer", r#"{"service":"ResNet50"}"#);
+    assert_eq!(status, 503, "outage: {}", out.render());
+    // …until we scale it back up.
+    let (status, out) = post(
+        addr,
+        "/admin/services",
+        r#"{"action":"scale","service":0,"target":1}"#,
+    );
+    assert_eq!(status, 200, "scale: {}", out.render());
+    assert_eq!(out.get("achieved").unwrap().as_usize(), Some(1));
+
+    // Infer a few times against both names and ids.
+    let mut infers = 0u64;
+    for body in [
+        r#"{"service":1}"#,
+        r#"{"service":"ResNet50"}"#,
+        r#"{"service":"GPT2"}"#,
+        r#"{"service":3}"#,
+    ] {
+        let (status, out) = post(addr, "/v1/infer", body);
+        assert_eq!(status, 200, "infer {body}: {}", out.render());
+        assert!(out.get("latency_ms").unwrap().as_f64().unwrap() > 0.0);
+        infers += 1;
+    }
+    // Unknown service is a clean 404, not a panic.
+    let (status, _) = post(addr, "/v1/infer", r#"{"service":"nonesuch"}"#);
+    assert_eq!(status, 404);
+
+    // Fault device 1, then ride through the outage.
+    let (status, fault) = post(
+        addr,
+        "/admin/faults",
+        r#"{"device":1,"kind":"device-failure","repair_s":600}"#,
+    );
+    assert_eq!(status, 200, "fault: {}", fault.render());
+    let (_, health) = get(addr, "/healthz");
+    assert!(health.contains("\"devices_up\":5"), "health: {health}");
+    post(addr, "/admin/clock", r#"{"advance_s":900}"#);
+    let (_, health) = get(addr, "/healthz");
+    assert!(health.contains("\"devices_up\":6"), "repair: {health}");
+
+    // SLO report: every service accounted for, API tallies visible.
+    let (status, slo) = get(addr, "/admin/slo");
+    assert_eq!(status, 200);
+    let slo = Json::parse(&slo).expect("slo JSON");
+    let services = match slo.get("services") {
+        Some(Json::Arr(rows)) => rows.clone(),
+        other => panic!("bad slo payload: {other:?}"),
+    };
+    assert_eq!(services.len(), 6, "six services in the zoo");
+    let api_total: f64 = services
+        .iter()
+        .map(|r| r.get("api_requests").unwrap().as_f64().unwrap())
+        .sum();
+    assert_eq!(api_total as u64, infers, "API request tally");
+
+    // /metrics must agree with the trace bus exactly.
+    let (status, page) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let routed = scrape(&page, "mudi_trace_events_total{kind=\"inference-routed\"}");
+    assert_eq!(routed as u64, infers, "routed counter: {routed}");
+    let failures = scrape(&page, "mudi_fault_device_failures_total");
+    assert_eq!(failures as u64, 1, "failure counter");
+    let emitted = scrape(&page, "mudi_trace_events_emitted_total");
+    let per_kind: f64 = page
+        .lines()
+        .filter(|l| l.starts_with("mudi_trace_events_total{"))
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse::<f64>().unwrap())
+        .sum();
+    assert_eq!(per_kind, emitted, "per-kind counters sum to the total");
+
+    // The SSE tail replays the fault we injected.
+    let (status, events) = get(addr, "/events?from=0");
+    assert_eq!(status, 200);
+    assert!(
+        events.contains("event: fault-applied"),
+        "tail: no fault event"
+    );
+    assert!(
+        events.contains("event: inference-routed"),
+        "tail: no routing events"
+    );
+
+    server.stop();
+    println!("smoke: OK ({infers} inferences, {emitted} trace events)");
+}
+
+/// Value of a metric line with this exact name (incl. labels).
+fn scrape(page: &str, name: &str) -> f64 {
+    page.lines()
+        .find_map(|l| l.strip_prefix(name).map(str::trim))
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+        .parse()
+        .unwrap_or_else(|_| panic!("metric {name} not a number"))
+}

@@ -1,0 +1,378 @@
+//! A std-only HTTP/1.1 subset: incremental request parsing and
+//! response serialization.
+//!
+//! The parser is *incremental*: the connection loop appends whatever
+//! `read()` produced into a buffer and re-offers it; until the head and
+//! declared body have fully arrived the answer is
+//! [`ParseStatus::Partial`]. Limits are enforced as the bytes arrive —
+//! an oversized head is rejected (`431`) even if the terminator never
+//! shows up, so a peer cannot balloon the buffer.
+//!
+//! Deliberately out of scope: chunked transfer encoding, multiple
+//! header folding, HTTP/2. The in-tree client and common CLI tools
+//! (`curl`) stay well inside the subset.
+
+use std::io;
+
+/// Hard cap on the request head (request line + headers + CRLFCRLF).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Hard cap on a request body.
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …) as sent.
+    pub method: String,
+    /// Path component of the target, percent-decoding not applied.
+    pub path: String,
+    /// Raw query string (no leading `?`), empty if absent.
+    pub query: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header with this (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (`None` if it is not).
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// First value of a query parameter (`a=1&b=2` form; no decoding).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+}
+
+/// Result of offering the buffer to the parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseStatus {
+    /// A full request; `consumed` bytes of the buffer belong to it.
+    Complete {
+        /// The parsed request.
+        request: Box<Request>,
+        /// How many buffer bytes the request occupied (drain these).
+        consumed: usize,
+    },
+    /// Valid so far, but incomplete — read more bytes.
+    Partial,
+    /// Protocol violation; respond with `status` and close.
+    Invalid {
+        /// The HTTP status to answer with (`400`, `431`, `413`, `505`).
+        status: u16,
+        /// Human-readable cause (ends up in the error body).
+        reason: &'static str,
+    },
+}
+
+fn invalid(status: u16, reason: &'static str) -> ParseStatus {
+    ParseStatus::Invalid { status, reason }
+}
+
+/// Offers `buf` (the bytes received so far on a connection) to the
+/// parser. See [`ParseStatus`].
+pub fn parse_request(buf: &[u8]) -> ParseStatus {
+    let Some(head_end) = find_head_end(buf) else {
+        // No terminator yet: partial, unless the head already blew the
+        // cap — then the terminator can never arrive in time.
+        if buf.len() > MAX_HEAD_BYTES {
+            return invalid(431, "request head too large");
+        }
+        return ParseStatus::Partial;
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return invalid(431, "request head too large");
+    }
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return invalid(400, "request head is not UTF-8"),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return invalid(400, "malformed request line");
+    };
+    if parts.next().is_some() || method.is_empty() || target.is_empty() {
+        return invalid(400, "malformed request line");
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return invalid(400, "malformed method");
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return invalid(505, "unsupported HTTP version");
+    }
+    if !target.starts_with('/') {
+        return invalid(400, "target must be origin-form");
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return invalid(400, "malformed header line");
+        };
+        if name.is_empty() || name.contains(' ') {
+            return invalid(400, "malformed header name");
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return invalid(400, "bad Content-Length"),
+        },
+    };
+    if content_length > MAX_BODY_BYTES {
+        return invalid(413, "body too large");
+    }
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return invalid(501, "chunked bodies not supported");
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return ParseStatus::Partial;
+    }
+
+    let keep_alive = {
+        let conn = headers
+            .iter()
+            .find(|(k, _)| k == "connection")
+            .map(|(_, v)| v.to_ascii_lowercase());
+        match (version, conn.as_deref()) {
+            (_, Some("close")) => false,
+            ("HTTP/1.0", Some("keep-alive")) => true,
+            ("HTTP/1.0", _) => false,
+            _ => true,
+        }
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    ParseStatus::Complete {
+        request: Box::new(Request {
+            method: method.to_string(),
+            path,
+            query,
+            headers,
+            body: buf[body_start..body_start + content_length].to_vec(),
+            keep_alive,
+        }),
+        consumed: body_start + content_length,
+    }
+}
+
+/// Index of `\r\n\r\n` (start of the terminator), if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One response to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Close the connection after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = crate::json::obj(vec![("error", crate::json::Json::Str(message.to_string()))]);
+        Response::json(status, body.render())
+    }
+
+    /// Serializes status line, headers, and body. No `Date` header —
+    /// responses must be byte-identical across replays.
+    pub fn write_to(&self, w: &mut impl io::Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        if self.close {
+            head.push_str("connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The canonical reason phrase for the statuses this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8]) -> (Request, usize) {
+        match parse_request(buf) {
+            ParseStatus::Complete { request, consumed } => (*request, consumed),
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let (req, used) = complete(b"GET /events?from=12 HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/events");
+        assert_eq!(req.query_param("from"), Some("12"));
+        assert!(req.keep_alive);
+        assert_eq!(used, 41);
+    }
+
+    #[test]
+    fn parses_a_post_with_body_split_across_offers() {
+        let full = b"POST /v1/infer HTTP/1.1\r\ncontent-length: 13\r\n\r\n{\"service\":0}";
+        for cut in 1..full.len() {
+            assert_eq!(
+                parse_request(&full[..cut]),
+                ParseStatus::Partial,
+                "cut at {cut}"
+            );
+        }
+        let (req, used) = complete(full);
+        assert_eq!(req.body_str(), Some("{\"service\":0}"));
+        assert_eq!(used, full.len());
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET relative HTTP/1.1\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse_request(bad), ParseStatus::Invalid { status: 400, .. }),
+                "accepted {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+        assert!(matches!(
+            parse_request(b"GET / HTTP/2.0\r\n\r\n"),
+            ParseStatus::Invalid { status: 505, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_heads_even_without_terminator() {
+        let mut buf = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+        buf.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 1));
+        assert!(matches!(
+            parse_request(&buf),
+            ParseStatus::Invalid { status: 431, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_declared_bodies() {
+        let head = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_request(head.as_bytes()),
+            ParseStatus::Invalid { status: 413, .. }
+        ));
+    }
+
+    #[test]
+    fn connection_close_and_http10_semantics() {
+        let (req, _) = complete(b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req, _) = complete(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req, _) = complete(b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (req, used) = complete(two);
+        assert_eq!(req.path, "/a");
+        let (req2, _) = complete(&two[used..]);
+        assert_eq!(req2.path, "/b");
+    }
+
+    #[test]
+    fn response_serialization_is_stable() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 11\r\n\r\n{\"ok\":true}"
+        );
+    }
+}

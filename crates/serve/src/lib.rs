@@ -1,0 +1,36 @@
+//! mudi-serve: a live HTTP control plane over the simulated cluster.
+//!
+//! The batch engine answers "what would this cluster have done?"; this
+//! crate answers it *interactively*. A [`ClusterSession`] steps the
+//! staged kernel incrementally behind a std-only HTTP/1.1 front end:
+//! operators (or test drivers) route individual inference requests
+//! through the paper's §5.2 replica selector, deploy and scale
+//! services, inject faults, and watch SLO compliance and the
+//! structured event trace — all against the same deterministic
+//! simulation the figures are generated from.
+//!
+//! No external dependencies: HTTP parsing, JSON, SSE framing, and the
+//! Prometheus exposition are all in-tree (the workspace builds
+//! offline). Time is pluggable via [`ServeClock`] — the `mudi-serve`
+//! binary paces simulated seconds off the wall clock, while tests use
+//! a virtual clock advanced through `POST /admin/clock`, making entire
+//! HTTP transcripts replay byte-for-byte.
+//!
+//! Start here: [`App::handle`] for the endpoint surface,
+//! [`server::Server::start`] for the TCP front end, and DESIGN.md
+//! ("The serving control plane") for the architecture.
+//!
+//! [`ClusterSession`]: cluster::engine::ClusterSession
+
+pub mod api;
+pub mod client;
+pub mod clock;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod sse;
+
+pub use api::App;
+pub use clock::ServeClock;
+pub use server::Server;

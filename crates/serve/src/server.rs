@@ -1,0 +1,138 @@
+//! The TCP front end: accept loop, per-connection threads, keep-alive.
+//!
+//! One `std::net::TcpListener`, one thread per connection (the control
+//! plane serves operators and test drivers, not production fan-in —
+//! dozens of connections, not thousands). Each connection runs the
+//! incremental parser until a full request arrives, hands it to
+//! [`App::handle`] (which serializes on the session mutex), writes the
+//! response, and loops while keep-alive holds. Read timeouts bound how
+//! long an idle or trickling peer can pin a thread.
+
+use std::io::Read as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::api::App;
+use crate::http::{parse_request, ParseStatus, Response};
+
+/// How long a connection may sit idle (or trickle a partial request)
+/// before the server gives up on it.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running server.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts accepting in a background thread.
+    pub fn start(app: Arc<App>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("mudi-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &app, &flag))
+            .expect("spawn accept thread");
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the accept loop exits (the binary's main thread
+    /// parks here).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops accepting new connections. In-flight connections finish
+    /// their current request; idle keep-alive connections die at the
+    /// read timeout.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, app: &Arc<App>, shutdown: &Arc<AtomicBool>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let app = Arc::clone(app);
+        let _ = std::thread::Builder::new()
+            .name("mudi-serve-conn".into())
+            .spawn(move || serve_connection(stream, &app));
+    }
+}
+
+/// Runs one connection to completion. Public so integration tests can
+/// drive a raw in-process stream without a listener.
+pub fn serve_connection(mut stream: TcpStream, app: &Arc<App>) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_request(&buf) {
+            ParseStatus::Complete { request, consumed } => {
+                buf.drain(..consumed);
+                let mut response = app.handle(&request);
+                if !request.keep_alive {
+                    response.close = true;
+                }
+                let close = response.close;
+                if response.write_to(&mut stream).is_err() || close {
+                    return;
+                }
+            }
+            ParseStatus::Invalid { status, reason } => {
+                let mut resp = Response::error(status, reason);
+                resp.close = true;
+                let _ = resp.write_to(&mut stream);
+                return;
+            }
+            ParseStatus::Partial => {
+                match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return, // EOF, timeout, or reset
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! End-to-end API tests over real loopback HTTP on the virtual clock.
+//!
+//! The headline property is the determinism contract: the control
+//! plane's responses are a pure function of (seed, request sequence).
+//! Two freshly booted servers driven through an identical scripted
+//! session — time advances, deploys, scales, faults, inference traffic,
+//! SLO queries, metrics scrapes, event tails — must produce
+//! **byte-identical** transcripts.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use cluster::engine::{ClusterConfig, ClusterSession};
+use cluster::systems::SystemKind;
+use serve::client::request;
+use serve::json::Json;
+use serve::{App, ServeClock, Server};
+use simcore::SimEventKind;
+
+fn boot(seed: u64) -> (Server, SocketAddr, Arc<App>) {
+    let session = ClusterSession::new_scaled(ClusterConfig::tiny(SystemKind::Mudi, seed), 0.002);
+    let app = App::new(session, ServeClock::frozen());
+    let server = Server::start(Arc::clone(&app), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    (server, addr, app)
+}
+
+/// `(method, path, body)` — the canonical scripted session.
+const SCRIPT: &[(&str, &str, Option<&str>)] = &[
+    ("GET", "/healthz", None),
+    ("POST", "/admin/clock", Some(r#"{"advance_s":1200}"#)),
+    ("POST", "/v1/infer", Some(r#"{"service":0}"#)),
+    ("POST", "/v1/infer", Some(r#"{"service":"GPT2"}"#)),
+    (
+        "POST",
+        "/admin/faults",
+        Some(r#"{"device":3,"kind":"slowdown","factor":0.4,"duration_s":300}"#),
+    ),
+    ("POST", "/admin/clock", Some(r#"{"advance_s":600}"#)),
+    ("POST", "/v1/infer", Some(r#"{"service":3}"#)),
+    (
+        "POST",
+        "/admin/services",
+        Some(r#"{"action":"scale","service":2,"target":2}"#),
+    ),
+    ("POST", "/v1/infer", Some(r#"{"service":2}"#)),
+    (
+        "POST",
+        "/admin/faults",
+        Some(r#"{"device":5,"kind":"device-failure","repair_s":900}"#),
+    ),
+    ("GET", "/healthz", None),
+    ("POST", "/admin/clock", Some(r#"{"advance_s":1800}"#)),
+    ("POST", "/v1/infer", Some(r#"{"service":4}"#)),
+    ("GET", "/admin/slo", None),
+    ("GET", "/metrics", None),
+    ("GET", "/events?from=0", None),
+];
+
+fn run_script(addr: SocketAddr) -> String {
+    let mut transcript = String::new();
+    for (method, path, body) in SCRIPT {
+        let reply = request(addr, method, path, *body).expect("request");
+        transcript.push_str(&format!(
+            "### {method} {path} -> {}\n{}\n",
+            reply.status,
+            reply.body_str()
+        ));
+    }
+    transcript
+}
+
+#[test]
+fn scripted_transcripts_are_byte_identical_across_runs() {
+    let (server_a, addr_a, _app_a) = boot(7);
+    let a = run_script(addr_a);
+    server_a.stop();
+    let (server_b, addr_b, _app_b) = boot(7);
+    let b = run_script(addr_b);
+    server_b.stop();
+    assert!(
+        a == b,
+        "transcripts diverged\n--- run A ---\n{a}\n--- run B ---\n{b}"
+    );
+    // And the script actually exercised the interesting paths.
+    assert!(a.contains("\"violation\""), "no inference outcomes: {a}");
+    assert!(
+        a.contains("mudi_fault_device_failures_total 1"),
+        "no fault counter"
+    );
+    assert!(a.contains("event: fault-applied"), "no fault event in tail");
+
+    // A different seed gives a different cluster — transcripts differ.
+    let (server_c, addr_c, _app_c) = boot(8);
+    let c = run_script(addr_c);
+    server_c.stop();
+    assert_ne!(a, c, "seed must matter");
+}
+
+#[test]
+fn metrics_page_matches_the_trace_bus_exactly() {
+    let (server, addr, app) = boot(11);
+    for (method, path, body) in SCRIPT {
+        request(addr, method, path, *body).expect("request");
+    }
+    let page = request(addr, "GET", "/metrics", None).unwrap().body_str();
+    let summary = app.session().lock().unwrap().trace_summary();
+    for kind in SimEventKind::ALL {
+        let needle = format!("mudi_trace_events_total{{kind=\"{}\"}} ", kind.name());
+        let value: u64 = page
+            .lines()
+            .find_map(|l| l.strip_prefix(&needle))
+            .unwrap_or_else(|| panic!("missing series for {}", kind.name()))
+            .parse()
+            .expect("integer counter");
+        assert_eq!(value, summary.count(kind), "kind {}", kind.name());
+    }
+    let emitted: u64 = page
+        .lines()
+        .find_map(|l| l.strip_prefix("mudi_trace_events_emitted_total "))
+        .expect("emitted total")
+        .parse()
+        .unwrap();
+    assert_eq!(emitted, summary.emitted());
+    server.stop();
+}
+
+#[test]
+fn slo_report_tracks_individual_requests() {
+    let (server, addr, _app) = boot(13);
+    request(addr, "POST", "/admin/clock", Some(r#"{"advance_s":900}"#)).unwrap();
+    for _ in 0..7 {
+        let reply = request(addr, "POST", "/v1/infer", Some(r#"{"service":1}"#)).unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.body_str());
+    }
+    let slo = request(addr, "GET", "/admin/slo", None).unwrap();
+    let doc = Json::parse(&slo.body_str()).unwrap();
+    let Some(Json::Arr(rows)) = doc.get("services") else {
+        panic!("bad payload: {}", slo.body_str());
+    };
+    let row = rows
+        .iter()
+        .find(|r| r.get("service").unwrap().as_usize() == Some(1))
+        .expect("service 1 present");
+    assert_eq!(row.get("api_requests").unwrap().as_u64(), Some(7));
+    assert!(
+        row.get("requests").unwrap().as_f64().unwrap() > 0.0,
+        "analytic mass accrued"
+    );
+    server.stop();
+}
+
+#[test]
+fn error_paths_return_clean_statuses() {
+    let (server, addr, _app) = boot(17);
+    let cases: &[(&str, &str, Option<&str>, u16)] = &[
+        ("POST", "/v1/infer", Some("not json"), 400),
+        ("POST", "/v1/infer", Some("[]"), 400),
+        ("POST", "/v1/infer", Some(r#"{"service":99}"#), 404),
+        ("POST", "/v1/infer", Some(r#"{"service":"nope"}"#), 404),
+        (
+            "POST",
+            "/admin/services",
+            Some(r#"{"action":"resize","service":0}"#),
+            400,
+        ),
+        (
+            "POST",
+            "/admin/services",
+            Some(r#"{"action":"deploy","service":0}"#),
+            400,
+        ),
+        (
+            "POST",
+            "/admin/faults",
+            Some(r#"{"device":99,"kind":"mps-restart"}"#),
+            404,
+        ),
+        (
+            "POST",
+            "/admin/faults",
+            Some(r#"{"device":0,"kind":"gamma-ray"}"#),
+            400,
+        ),
+        ("POST", "/admin/clock", Some(r#"{"advance_s":-5}"#), 400),
+        ("GET", "/nope", None, 404),
+        ("DELETE", "/healthz", None, 405),
+    ];
+    for (method, path, body, expect) in cases {
+        let reply = request(addr, method, path, *body).expect("request");
+        assert_eq!(
+            reply.status,
+            *expect,
+            "{method} {path} {body:?}: {}",
+            reply.body_str()
+        );
+        assert!(
+            reply.body_str().starts_with("{\"error\":"),
+            "error envelope for {method} {path}"
+        );
+    }
+    server.stop();
+}
+
+#[test]
+fn wall_clock_rejects_explicit_advance_with_409() {
+    let session = ClusterSession::new_scaled(ClusterConfig::tiny(SystemKind::Mudi, 19), 0.002);
+    let app = App::new(session, ServeClock::wall(60.0));
+    let server = Server::start(app, "127.0.0.1:0").expect("bind");
+    let reply = request(
+        server.addr(),
+        "POST",
+        "/admin/clock",
+        Some(r#"{"advance_s":60}"#),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 409, "{}", reply.body_str());
+    server.stop();
+}

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 pub mod dist;
+pub mod env;
 pub mod event;
 pub mod metrics;
 pub mod pool;

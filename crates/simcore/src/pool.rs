@@ -26,11 +26,7 @@ use std::sync::Mutex;
 /// The worker cap: `MUDI_THREADS` if set to a positive integer,
 /// otherwise [`std::thread::available_parallelism`] (1 if unknown).
 pub fn max_workers() -> usize {
-    if let Some(n) = std::env::var("MUDI_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-    {
+    if let Some(n) = crate::env::parse::<usize>("MUDI_THREADS").filter(|&n| n >= 1) {
         return n;
     }
     std::thread::available_parallelism()

@@ -54,8 +54,7 @@ impl TopologyShape {
     /// The shape from `MUDI_TOPOLOGY` (`RACKSxNODES`, e.g. `4x2`), or
     /// the default when unset or unparseable.
     pub fn from_env() -> Self {
-        std::env::var("MUDI_TOPOLOGY")
-            .ok()
+        crate::env::string("MUDI_TOPOLOGY")
             .and_then(|v| Self::parse(&v))
             .unwrap_or_default()
     }

@@ -135,6 +135,16 @@ pub enum SimEvent {
         /// How many jobs were evicted.
         jobs: usize,
     },
+    /// A live inference request was routed to a replica and served
+    /// (serving-mode control plane; batch sweeps never emit this).
+    InferenceRouted {
+        /// Service index (`workloads::ServiceId.0`).
+        service: usize,
+        /// The replica (device index) that served the request.
+        device: usize,
+        /// Whether the sampled end-to-end latency violated the SLO.
+        violation: bool,
+    },
 }
 
 /// The coarse kind of a [`SimEvent`], used as the counter key.
@@ -160,10 +170,12 @@ pub enum SimEventKind {
     StandbyDemoted,
     /// [`SimEvent::TrainingEvicted`].
     TrainingEvicted,
+    /// [`SimEvent::InferenceRouted`].
+    InferenceRouted,
 }
 
 /// How many distinct [`SimEventKind`]s exist.
-pub const KIND_COUNT: usize = 10;
+pub const KIND_COUNT: usize = 11;
 
 impl SimEventKind {
     /// Every kind, in counter order.
@@ -178,6 +190,7 @@ impl SimEventKind {
         SimEventKind::StandbyPromoted,
         SimEventKind::StandbyDemoted,
         SimEventKind::TrainingEvicted,
+        SimEventKind::InferenceRouted,
     ];
 
     /// Stable counter index.
@@ -193,6 +206,7 @@ impl SimEventKind {
             SimEventKind::StandbyPromoted => 7,
             SimEventKind::StandbyDemoted => 8,
             SimEventKind::TrainingEvicted => 9,
+            SimEventKind::InferenceRouted => 10,
         }
     }
 
@@ -209,6 +223,7 @@ impl SimEventKind {
             SimEventKind::StandbyPromoted => "standby-promoted",
             SimEventKind::StandbyDemoted => "standby-demoted",
             SimEventKind::TrainingEvicted => "training-evicted",
+            SimEventKind::InferenceRouted => "inference-routed",
         }
     }
 }
@@ -227,13 +242,19 @@ impl SimEvent {
             SimEvent::StandbyPromoted { .. } => SimEventKind::StandbyPromoted,
             SimEvent::StandbyDemoted { .. } => SimEventKind::StandbyDemoted,
             SimEvent::TrainingEvicted { .. } => SimEventKind::TrainingEvicted,
+            SimEvent::InferenceRouted { .. } => SimEventKind::InferenceRouted,
         }
     }
 }
 
-/// A [`SimEvent`] stamped with its simulated time.
+/// A [`SimEvent`] stamped with its simulated time and a bus-global
+/// monotonic sequence number.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TracedEvent {
+    /// Emission sequence number: the `seq`-th event emitted on this
+    /// bus (0-based, monotonic across ring and placement retention).
+    /// Subscribers resume a tail from it via [`TraceBus::events_since`].
+    pub seq: u64,
     /// When the event happened (simulated time).
     pub at: SimTime,
     /// What happened.
@@ -285,9 +306,10 @@ impl TraceConfig {
     /// Reads `MUDI_TRACE`: `1`/`true` enables the default trace;
     /// anything else (or unset) keeps it disabled.
     pub fn from_env() -> Self {
-        match std::env::var("MUDI_TRACE") {
-            Ok(v) if v == "1" || v == "true" => Self::enabled(),
-            _ => Self::disabled(),
+        if crate::env::flag("MUDI_TRACE") {
+            Self::enabled()
+        } else {
+            Self::disabled()
         }
     }
 }
@@ -348,8 +370,9 @@ impl TraceBus {
             return;
         }
         self.counts[event.kind().index()] += 1;
+        let seq = self.emitted;
         self.emitted += 1;
-        let traced = TracedEvent { at, event };
+        let traced = TracedEvent { seq, at, event };
         if self.cfg.keep_placements && matches!(traced.event, SimEvent::Placement { .. }) {
             self.placements.push(traced);
             return;
@@ -386,6 +409,31 @@ impl TraceBus {
     /// The retained recent events, oldest first.
     pub fn recent(&self) -> impl Iterator<Item = &TracedEvent> {
         self.ring.iter()
+    }
+
+    /// The sequence number the *next* emitted event will carry. A
+    /// subscriber that wants "only new events from here on" starts its
+    /// cursor at this value.
+    pub fn next_seq(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The retained ring events with `seq >= since`, oldest first — the
+    /// subscription primitive behind live event tails. The cursor
+    /// protocol: remember `last.seq + 1` (or [`TraceBus::next_seq`] at
+    /// subscribe time) and poll again. Events older than the ring
+    /// window are gone; [`TraceBus::missed_since`] reports the gap.
+    pub fn events_since(&self, since: u64) -> impl Iterator<Item = &TracedEvent> {
+        // The ring is ordered by seq, so skip the already-seen prefix.
+        self.ring.iter().skip_while(move |te| te.seq < since)
+    }
+
+    /// How many events with `seq >= since` are no longer retained in
+    /// the ring (dropped by capacity, or shunted to the placement log):
+    /// the tail a late subscriber can no longer observe.
+    pub fn missed_since(&self, since: u64) -> u64 {
+        let visible = self.events_since(since).count() as u64;
+        self.emitted.saturating_sub(since).saturating_sub(visible)
     }
 
     /// The retained placement events (only populated with
@@ -608,6 +656,36 @@ mod tests {
         let text = bus.summary().to_string();
         assert!(text.contains("fault-applied"));
         assert!(!text.contains("standby-promoted"));
+    }
+
+    #[test]
+    fn events_since_resumes_a_tail() {
+        let mut bus = TraceBus::new(TraceConfig {
+            enabled: true,
+            ring_capacity: 4,
+            keep_placements: false,
+        });
+        assert_eq!(bus.next_seq(), 0);
+        for d in 0..3 {
+            bus.emit(SimTime::from_secs(d as f64), ev_fault(d));
+        }
+        // A subscriber that saw everything up to seq 1 resumes at 2.
+        let tail: Vec<u64> = bus.events_since(2).map(|te| te.seq).collect();
+        assert_eq!(tail, vec![2]);
+        assert_eq!(bus.missed_since(2), 0);
+        // Overflow the ring: the oldest events become unobservable.
+        for d in 3..10 {
+            bus.emit(SimTime::from_secs(d as f64), ev_fault(d));
+        }
+        assert_eq!(bus.next_seq(), 10);
+        let tail: Vec<u64> = bus.events_since(0).map(|te| te.seq).collect();
+        assert_eq!(tail, vec![6, 7, 8, 9]);
+        assert_eq!(bus.missed_since(0), 6);
+        assert_eq!(bus.missed_since(8), 0);
+        // Sequence numbers survive into clones of retained events.
+        let last = bus.recent().last().unwrap();
+        assert_eq!(last.seq, 9);
+        assert!((last.at.as_secs() - 9.0).abs() < 1e-12);
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn golden_path(name: &str) -> PathBuf {
 
 fn check_golden(name: &str, actual: &str) {
     let path = golden_path(name);
-    if std::env::var("MUDI_BLESS").is_ok_and(|v| v == "1" || v == "true") {
+    if simcore::env::flag("MUDI_BLESS") {
         std::fs::write(&path, actual).expect("write golden");
         return;
     }
