@@ -14,6 +14,20 @@
 //! machine; wall-clock numbers move with hardware. `MUDI_PERF_SAMPLES`
 //! (default 3) controls how many repetitions the reported median comes
 //! from.
+//!
+//! Two extra modes turn the harness into a correctness and regression
+//! smoke:
+//!
+//! * `--check` runs each shape once, fingerprints its
+//!   [`ExperimentResult`](cluster::metrics::ExperimentResult), and
+//!   compares against `tests/golden/perf_kernel_fingerprints.txt` — a
+//!   kernel change that shifts any simulated quantity fails here even
+//!   though the throughput ledger cannot see it. Re-record with
+//!   `MUDI_BLESS=1` after an intentional behavior change.
+//! * `--gate` compares the fresh measurements against the committed
+//!   ledger before overwriting it and fails on a >20 % steps/sec
+//!   regression on any shape. `MUDI_BENCH_NO_GATE=1` disables the
+//!   failure for noisy runners.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -21,6 +35,37 @@ use std::time::Instant;
 use cluster::engine::{ClusterConfig, ClusterSession};
 use cluster::systems::SystemKind;
 use simcore::SimTime;
+
+const LEDGER_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf_kernel.json");
+const FINGERPRINT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/perf_kernel_fingerprints.txt"
+);
+
+/// The three pinned shapes: name, config, horizon, step increment.
+fn shapes() -> Vec<(&'static str, ClusterConfig, f64, f64)> {
+    const DAY: f64 = 24.0 * 3600.0;
+    vec![
+        (
+            "batch-tiny-mudi-5day",
+            ClusterConfig::tiny(SystemKind::Mudi, 7),
+            5.0 * DAY,
+            5.0 * DAY,
+        ),
+        (
+            "batch-physical-mudi-5day",
+            ClusterConfig::physical(SystemKind::Mudi, 7),
+            5.0 * DAY,
+            5.0 * DAY,
+        ),
+        (
+            "session-tiny-1day-5min-steps",
+            ClusterConfig::tiny(SystemKind::Mudi, 7),
+            DAY,
+            300.0,
+        ),
+    ]
+}
 
 struct Measurement {
     shape: &'static str,
@@ -70,37 +115,120 @@ fn run_shape(
     }
 }
 
+/// `--check`: fingerprint each shape's simulated outcome against the
+/// golden file. Pure correctness — no timing involved.
+fn run_check() {
+    let mut actual = String::new();
+    for (shape, config, horizon, step) in shapes() {
+        let mut session = ClusterSession::new_scaled(config, 0.01);
+        let mut t = 0.0;
+        while t < horizon {
+            t = (t + step).min(horizon);
+            session.step_until(SimTime::from_secs(t));
+        }
+        let fp = session.finish().fingerprint();
+        let _ = writeln!(actual, "{shape} {fp:016x}");
+    }
+    if simcore::env::flag("MUDI_BLESS") {
+        std::fs::write(FINGERPRINT_PATH, &actual).expect("write fingerprint golden");
+        println!("perf_kernel --check: fingerprints recorded\n{actual}");
+        return;
+    }
+    let expected = std::fs::read_to_string(FINGERPRINT_PATH).unwrap_or_else(|e| {
+        panic!("missing golden {FINGERPRINT_PATH}: {e}; record with MUDI_BLESS=1")
+    });
+    assert!(
+        expected == actual,
+        "perf_kernel --check: shape fingerprints drifted.\n\
+         The kernel's simulated results changed; if intentional, re-record\n\
+         with MUDI_BLESS=1.\n--- expected ---\n{expected}--- actual ---\n{actual}"
+    );
+    println!("perf_kernel --check: all shape fingerprints match\n{actual}");
+}
+
+/// Parses the committed ledger's `(shape, steps_per_sec)` pairs. The
+/// ledger is written by this binary, so the format is fixed; a parse
+/// failure just disables the gate.
+fn parse_ledger(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(shape) = line
+            .split("\"shape\": \"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+        else {
+            continue;
+        };
+        let Some(sps) = line
+            .split("\"steps_per_sec\": ")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.trim().parse::<f64>().ok())
+        else {
+            continue;
+        };
+        out.push((shape.to_string(), sps));
+    }
+    out
+}
+
+/// `--gate`: fail on a >20 % steps/sec regression vs the committed
+/// ledger (read before this run overwrites it).
+fn run_gate(reference: &[(String, f64)], fresh: &[Measurement]) {
+    let mut failures = Vec::new();
+    for m in fresh {
+        let Some((_, was)) = reference.iter().find(|(s, _)| s == m.shape) else {
+            continue;
+        };
+        let now = m.steps_per_sec();
+        if now < was * 0.80 {
+            failures.push(format!(
+                "{}: {now:.0} steps/s vs committed {was:.0} ({:.0}% of reference)",
+                m.shape,
+                100.0 * now / was
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("bench gate: no shape regressed >20% from the committed ledger");
+    } else if simcore::env::flag("MUDI_BENCH_NO_GATE") {
+        println!("bench gate: regressions ignored (MUDI_BENCH_NO_GATE=1):");
+        for f in &failures {
+            println!("  {f}");
+        }
+    } else {
+        eprintln!("bench gate: steps/sec regressed >20% from the committed ledger:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("(set MUDI_BENCH_NO_GATE=1 to bypass on a noisy runner)");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        run_check();
+        return;
+    }
+    let gate = args.iter().any(|a| a == "--gate");
+    let reference = if gate {
+        parse_ledger(&std::fs::read_to_string(LEDGER_PATH).unwrap_or_default())
+    } else {
+        Vec::new()
+    };
+
     let samples = simcore::env::parse_or::<usize>("MUDI_PERF_SAMPLES", 3);
     println!("perf_kernel: {samples} samples per shape, reporting medians\n");
 
-    const DAY: f64 = 24.0 * 3600.0;
-    let shapes: Vec<Measurement> = vec![
-        median_of(samples, || {
-            run_shape(
-                "batch-tiny-mudi-5day",
-                ClusterConfig::tiny(SystemKind::Mudi, 7),
-                5.0 * DAY,
-                5.0 * DAY,
-            )
-        }),
-        median_of(samples, || {
-            run_shape(
-                "batch-physical-mudi-5day",
-                ClusterConfig::physical(SystemKind::Mudi, 7),
-                5.0 * DAY,
-                5.0 * DAY,
-            )
-        }),
-        median_of(samples, || {
-            run_shape(
-                "session-tiny-1day-5min-steps",
-                ClusterConfig::tiny(SystemKind::Mudi, 7),
-                DAY,
-                300.0,
-            )
-        }),
-    ];
+    let measured: Vec<Measurement> = shapes()
+        .into_iter()
+        .map(|(shape, config, horizon, step)| {
+            median_of(samples, || run_shape(shape, config.clone(), horizon, step))
+        })
+        .collect();
+    let shapes = measured;
 
     let mut json = String::from("{\n  \"shapes\": [\n");
     for (i, m) in shapes.iter().enumerate() {
@@ -127,7 +255,10 @@ fn main() {
     let _ = write!(json, "{samples}\n}}");
     json.push('\n');
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf_kernel.json");
-    std::fs::write(path, &json).expect("write BENCH_perf_kernel.json");
+    if gate {
+        run_gate(&reference, &shapes);
+    }
+
+    std::fs::write(LEDGER_PATH, &json).expect("write BENCH_perf_kernel.json");
     println!("\nledger written to BENCH_perf_kernel.json");
 }

@@ -49,7 +49,7 @@ impl Control {
             };
             let q = base + ds.extra_qps;
             if q > 0.0 {
-                let m = st.services.entry(ds.service).or_default();
+                let m = st.services.entry(ds.service);
                 m.requests += q * dt;
                 m.violations += q * dt;
                 st.fmetrics.dropped_requests += q * dt;
@@ -63,7 +63,8 @@ impl Control {
             return;
         };
         let (service, batch, frac, qps) = (inf.service, inf.batch, inf.gpu_fraction, inf.qps);
-        let colo = dev.colo_for_inference();
+        let (colo_buf, colo_n) = dev.colo_for_inference_buf();
+        let colo = &colo_buf[..colo_n];
         let slo = st.gt.zoo().service(service).slo_secs();
         // Degraded devices deliver only `pf` of their effective compute:
         // the same model query at a proportionally smaller GPU share.
@@ -71,9 +72,7 @@ impl Control {
         let frac = (frac * pf).max(0.01);
 
         // --- SLO violations. ---
-        let mean = st.gt.inference_latency(service, batch, frac, &colo);
-        let sigma = st.gt.effective_sigma(service, batch, frac, &colo);
-        let p99 = mean * (2.326 * sigma).exp();
+        let (mean, sigma, p99) = dev.latency_profile(&st.gt, service, batch, frac, colo);
         st.dstate[d].last_p99 = Some(p99);
         st.dstate[d].last_util = if qps > 0.0 {
             mean / (batch as f64 / qps)
@@ -83,7 +82,7 @@ impl Control {
         let p_violation = violation_probability(qps, batch, slo, mean, sigma);
         st.dstate[d].last_pviol = p_violation;
         let requests = qps * dt;
-        let m = st.services.entry(service).or_default();
+        let m = st.services.entry(service);
         m.requests += requests;
         m.violations += requests * p_violation;
         m.p99_stats.record(p99);
@@ -101,13 +100,13 @@ impl Control {
             if s.is_active() {
                 let (s_service, s_batch, s_qps) = (s.service, s.batch, s.qps);
                 let s_frac = (s.reserve_fraction * pf).max(0.01);
-                let s_colo = dev.colo_for_standby();
+                let (s_colo_buf, s_colo_n) = dev.colo_for_standby_buf();
+                let s_colo = &s_colo_buf[..s_colo_n];
                 let s_slo = st.gt.zoo().service(s_service).slo_secs();
-                let s_mean = st.gt.inference_latency(s_service, s_batch, s_frac, &s_colo);
-                let s_sigma = st.gt.effective_sigma(s_service, s_batch, s_frac, &s_colo);
-                let s_p99 = s_mean * (2.326 * s_sigma).exp();
+                let (s_mean, s_sigma, s_p99) =
+                    dev.standby_latency_profile(&st.gt, s_service, s_batch, s_frac, s_colo);
                 let p_viol = violation_probability(s_qps, s_batch, s_slo, s_mean, s_sigma);
-                let m = st.services.entry(s_service).or_default();
+                let m = st.services.entry(s_service);
                 m.requests += s_qps * dt;
                 m.violations += s_qps * dt * p_viol;
                 m.p99_stats.record(s_p99);
@@ -117,7 +116,8 @@ impl Control {
 
         // --- Training progress. ---
         if !st.dstate[d].training_paused {
-            let mut advanced: Vec<(ResidentId, f64, f64)> = Vec::new();
+            // Pooled scratch: empty between events, capacity retained.
+            let mut advanced = std::mem::take(&mut st.scratch_advance);
             for proc in dev.trainings() {
                 // A restarting process makes no progress until its
                 // restart completes; clip the span accordingly.
@@ -132,9 +132,9 @@ impl Control {
                 if run_dt <= 0.0 {
                     continue;
                 }
-                let view = dev.colo_for_training(proc.id);
+                let (view, vn) = dev.colo_for_training_buf(proc.id);
                 let eff = (proc.gpu_fraction * pf).max(1e-3);
-                let iter = st.gt.training_iteration(proc.task, eff, &view);
+                let iter = st.gt.training_iteration(proc.task, eff, &view[..vn]);
                 let slow = dev.memory().training_slowdown(proc.id);
                 // Checkpoint writes steal a fixed fraction of the run
                 // time (1.0 when writes are free).
@@ -144,7 +144,7 @@ impl Control {
                     .map_or(1.0, |c| c.efficiency());
                 advanced.push((proc.id, run_dt * ck_eff / (iter * slow), run_dt));
             }
-            for (rid, iters, run_dt) in advanced {
+            for &(rid, iters, run_dt) in &advanced {
                 if let Some(job) = st.jobs.get_mut(rid.0 as usize) {
                     let before = job.completed_iterations;
                     job.completed_iterations += iters;
@@ -157,6 +157,8 @@ impl Control {
                     proc.advance(iters as u64);
                 }
             }
+            advanced.clear();
+            st.scratch_advance = advanced;
         }
 
         // Utilization integrators see the (constant) current state.
@@ -332,14 +334,18 @@ impl Control {
             return; // Nothing to tune on a down device.
         }
         self.accrue(st, now, d);
+        // The task list rides in a pooled vector (taken here, returned
+        // after configure) so a steady-state retune never allocates.
+        let mut tasks = std::mem::take(&mut st.scratch_tasks);
         let dev = &st.devices[d];
         let inf = dev.inference().expect("replica deployed");
+        tasks.extend(dev.trainings().iter().map(|t| t.task));
         let view = DeviceView {
             device: d,
             service: inf.service,
             qps: inf.qps,
             slo_secs: st.gt.zoo().service(inf.service).slo_secs(),
-            tasks: dev.trainings().iter().map(|t| t.task).collect(),
+            tasks,
             batch: inf.batch,
             fraction: inf.gpu_fraction,
             measured_p99: self.observed_p99(st, d),
@@ -348,6 +354,9 @@ impl Control {
         let qps = inf.qps;
         let old_fraction = inf.gpu_fraction;
         let mut decision: ConfigDecision = st.system.configure(&st.gt, &view, &mut st.rng);
+        let mut tasks = view.tasks;
+        tasks.clear();
+        st.scratch_tasks = tasks;
         if decision.bo_iterations > 0 {
             st.bo_iterations.push(decision.bo_iterations);
         }
@@ -374,7 +383,7 @@ impl Control {
                 _ => ReconfigPolicy::ShadowInstance.visible_downtime(),
             };
             let svc = st.devices[d].inference().expect("replica").service;
-            let m = st.services.entry(svc).or_default();
+            let m = st.services.entry(svc);
             let lost = qps * downtime.as_secs();
             m.requests += lost;
             m.violations += lost;
@@ -483,12 +492,13 @@ impl Control {
         if pf <= 0.0 {
             return; // Down: completions resume at repair.
         }
-        let mut to_schedule = Vec::new();
+        // Pooled scratch: empty between events, capacity retained.
+        let mut to_schedule = std::mem::take(&mut st.scratch_schedule);
         for proc in dev.trainings() {
             let job = &st.jobs[proc.id.0 as usize];
-            let view = dev.colo_for_training(proc.id);
+            let (view, vn) = dev.colo_for_training_buf(proc.id);
             let eff = (proc.gpu_fraction * pf).max(1e-3);
-            let iter = st.gt.training_iteration(proc.task, eff, &view);
+            let iter = st.gt.training_iteration(proc.task, eff, &view[..vn]);
             let slow = dev.memory().training_slowdown(proc.id);
             let ck_eff = st
                 .ckpt
@@ -505,7 +515,7 @@ impl Control {
             }
             to_schedule.push((proc.id, remaining.max(1e-3)));
         }
-        for (rid, secs) in to_schedule {
+        for &(rid, secs) in &to_schedule {
             st.events.schedule_at(
                 now + SimDuration::from_secs(secs),
                 Event::JobCompletion {
@@ -514,6 +524,8 @@ impl Control {
                 },
             );
         }
+        to_schedule.clear();
+        st.scratch_schedule = to_schedule;
     }
 }
 

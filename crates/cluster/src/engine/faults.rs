@@ -108,7 +108,7 @@ impl Faults {
                         if domain.is_correlated() {
                             st.fmetrics.correlated_outages += 1;
                         }
-                        st.outage_start.entry(fsvc).or_insert(now);
+                        st.outage_start[fsvc.0].get_or_insert(now);
                     }
                 }
             }
@@ -212,7 +212,7 @@ impl Faults {
             if domain.is_correlated() {
                 st.fmetrics.correlated_outages += 1;
             }
-            st.outage_start.entry(svc).or_insert(now);
+            st.outage_start[svc.0].get_or_insert(now);
         }
 
         // Training: roll back to the checkpoint, then requeue (the
@@ -265,7 +265,7 @@ impl Faults {
 
         // This repair brings the service's replica count back above
         // zero; close any open total-outage window.
-        if let Some(start) = st.outage_start.remove(&st.dstate[d].service) {
+        if let Some(start) = st.outage_start[st.dstate[d].service.0].take() {
             st.fmetrics.service_outage_secs += now.since(start).as_secs();
         }
 
@@ -314,7 +314,8 @@ impl Faults {
         // rejoins with a fresh idle standby.
         let sb = st.recovery.standby;
         if sb.is_enabled() {
-            if let Some(svc) = st.dstate[d].standby_slot {
+            if let Some(slot) = st.dstate[d].standby_slot {
+                let svc = st.standby_registry[slot.0];
                 if st.devices[d].standby().is_none() {
                     st.devices[d].seed_standby(
                         &st.gt,
@@ -494,7 +495,7 @@ impl Faults {
         st.fmetrics.mps_failures += 1;
         let q = st.devices[d].inference().expect("up replica").qps;
         let lost = q * MPS_RESTART_SECS;
-        let m = st.services.entry(st.dstate[d].service).or_default();
+        let m = st.services.entry(st.dstate[d].service);
         m.requests += lost;
         m.violations += lost;
         st.fmetrics.dropped_requests += lost;

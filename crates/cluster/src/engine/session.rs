@@ -286,12 +286,10 @@ impl ClusterSession {
             let slo = self.st.gt.zoo().service(service).slo_secs();
             let candidate = if let Some(inf) = dev.inference().filter(|i| i.service == service) {
                 let frac = (inf.gpu_fraction * pf).max(0.01);
-                let colo = dev.colo_for_inference();
-                let mean = self
-                    .st
-                    .gt
-                    .inference_latency(service, inf.batch, frac, &colo);
-                let sigma = self.st.gt.effective_sigma(service, inf.batch, frac, &colo);
+                let (colo_buf, colo_n) = dev.colo_for_inference_buf();
+                let colo = &colo_buf[..colo_n];
+                let mean = self.st.gt.inference_latency(service, inf.batch, frac, colo);
+                let sigma = self.st.gt.effective_sigma(service, inf.batch, frac, colo);
                 let p = violation_probability(inf.qps, inf.batch, slo, mean, sigma);
                 let fill = if inf.qps > 0.0 {
                     inf.batch as f64 / inf.qps
@@ -304,9 +302,10 @@ impl ClusterSession {
                 .filter(|s| s.service == service && s.is_active())
             {
                 let frac = (s.reserve_fraction * pf).max(0.01);
-                let colo = dev.colo_for_standby();
-                let mean = self.st.gt.inference_latency(service, s.batch, frac, &colo);
-                let sigma = self.st.gt.effective_sigma(service, s.batch, frac, &colo);
+                let (colo_buf, colo_n) = dev.colo_for_standby_buf();
+                let colo = &colo_buf[..colo_n];
+                let mean = self.st.gt.inference_latency(service, s.batch, frac, colo);
+                let sigma = self.st.gt.effective_sigma(service, s.batch, frac, colo);
                 let p = violation_probability(s.qps, s.batch, slo, mean, sigma);
                 let fill = if s.qps > 0.0 {
                     s.batch as f64 / s.qps
@@ -409,7 +408,7 @@ impl ClusterSession {
         self.st.dstate[device].monitor = Monitor::new(0.5, self.st.gt.zoo().service(service).slo);
         self.st.dstate[device].last_p99 = None;
         // This deploy restores the service if it was in total outage.
-        if let Some(start) = self.st.outage_start.remove(&service) {
+        if let Some(start) = self.st.outage_start[service.0].take() {
             self.st.fmetrics.service_outage_secs += now.since(start).as_secs();
         }
         Control.refresh_memory_pause(&mut self.st, now, device);
@@ -529,7 +528,7 @@ impl ClusterSession {
             let (requests, violations) = self
                 .st
                 .services
-                .get(&id)
+                .get(id)
                 .map_or((0.0, 0.0), |m| (m.requests, m.violations));
             let rate = if requests > 0.0 {
                 (violations / requests).clamp(0.0, 1.0)

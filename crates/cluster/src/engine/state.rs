@@ -11,8 +11,6 @@
 //! [`Faults`]: super::faults::Faults
 //! [`Stepper`]: super::stepper::Stepper
 
-use std::collections::HashMap;
-
 use gpu_sim::{
     DeviceId, GpuDevice, InferenceInstance, ResidentId, StandbyInstance, TrainingProcess,
 };
@@ -24,7 +22,7 @@ use workloads::perf::DEVICE_MEMORY_GB;
 use workloads::{FluctuatingQps, GroundTruth, ServiceId, Zoo};
 
 use crate::job::{JobId, TrainingJob};
-use crate::metrics::{FaultMetrics, ServiceMetrics};
+use crate::metrics::{FaultMetrics, ServiceTable};
 use crate::systems::{build_system, Multiplexer};
 
 use super::config::ClusterConfig;
@@ -65,6 +63,12 @@ pub(super) enum Event {
         token: u64,
     },
 }
+
+/// Index of a seeded warm-standby slot into
+/// [`SimState::standby_registry`], assigned densely at construction —
+/// the standby analogue of `ServiceId`/`DeviceId`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) struct StandbySlot(pub usize);
 
 /// Per-device engine-side state beyond the `GpuDevice` itself.
 pub(super) struct DeviceState {
@@ -122,9 +126,9 @@ pub(super) struct DeviceState {
     /// standby: the host device carrying it.
     pub standby_host: Option<usize>,
     /// The persistent standby-pool slot seeded on this device (the
-    /// service it can cover); survives the host's own failure so the
-    /// pool re-seeds at repair.
-    pub standby_slot: Option<ServiceId>,
+    /// covered service lives in [`SimState::standby_registry`]);
+    /// survives the host's own failure so the pool re-seeds at repair.
+    pub standby_slot: Option<StandbySlot>,
     /// A promote in flight on this host: `(failed device, token)`.
     pub pending_promote: Option<(usize, u64)>,
     /// Bumped per promote so a stale `StandbyPromote` event cannot
@@ -145,7 +149,7 @@ pub(super) struct SimState {
     pub fair: FairState,
     pub events: EventQueue<Event>,
     pub rng: SimRng,
-    pub services: HashMap<ServiceId, ServiceMetrics>,
+    pub services: ServiceTable,
     pub util_series: Vec<(f64, f64, f64)>,
     pub bo_iterations: Vec<usize>,
     pub placement_secs: Vec<f64>,
@@ -160,9 +164,24 @@ pub(super) struct SimState {
     pub ckpt: Vec<CheckpointTracker>,
     /// The rack/node hierarchy devices are addressed through.
     pub topo: Topology,
-    /// Services currently in total outage (no live replica) and when
-    /// the outage began; closed at repair or end-of-run.
-    pub outage_start: HashMap<ServiceId, SimTime>,
+    /// Open total-outage window start per service (indexed by
+    /// `ServiceId`, `None` while any replica is live); closed at repair
+    /// or end-of-run.
+    pub outage_start: Vec<Option<SimTime>>,
+    /// The covered service per seeded warm-standby slot, indexed by
+    /// [`StandbySlot`]; fixed after construction.
+    pub standby_registry: Vec<ServiceId>,
+    /// Pooled scratch for `Control::accrue`'s training-progress pass
+    /// (left empty between events; capacity survives).
+    pub scratch_advance: Vec<(ResidentId, f64, f64)>,
+    /// Pooled scratch for `Control::reschedule_completions`.
+    pub scratch_schedule: Vec<(ResidentId, f64)>,
+    /// Pooled backing storage for the [`crate::systems::DeviceView`]
+    /// task list built on every `Control::reconfigure`.
+    pub scratch_tasks: Vec<workloads::TaskId>,
+    /// Cached length of the leading run of completed jobs in `jobs`;
+    /// see [`SimState::all_done`].
+    pub done_prefix: usize,
     /// The structured event-trace bus (disabled unless `MUDI_TRACE=1`
     /// or a caller opted in; zero-cost when disabled).
     pub trace: TraceBus,
@@ -257,6 +276,7 @@ impl SimState {
         // engages under fault injection with an enabled pool, keeping
         // every other run bit-identical.
         let mut fmetrics = FaultMetrics::default();
+        let mut standby_registry: Vec<ServiceId> = Vec::new();
         if config.faults.is_some() && recovery.standby.is_enabled() {
             let standby = recovery.standby;
             for svc_def in gt.zoo().services() {
@@ -272,14 +292,18 @@ impl SimState {
                                 .count();
                             let standbys_in_rack = topo
                                 .devices_in_rack(rack)
-                                .filter(|&d| dstate[d].standby_slot == Some(svc))
+                                .filter(|&d| {
+                                    dstate[d].standby_slot.map(|s| standby_registry[s.0])
+                                        == Some(svc)
+                                })
                                 .count();
                             (primaries_in_rack, standbys_in_rack, h)
                         });
                     let Some(h) = host else {
                         break; // Every eligible device already hosts a slot.
                     };
-                    dstate[h].standby_slot = Some(svc);
+                    dstate[h].standby_slot = Some(StandbySlot(standby_registry.len()));
+                    standby_registry.push(svc);
                     devices[h].seed_standby(
                         &gt,
                         SimTime::ZERO,
@@ -295,6 +319,15 @@ impl SimState {
             }
         }
 
+        // Steady-state stepping must not allocate (the zero-alloc
+        // harness pins this): pre-size the event heap and the
+        // append-only series for their expected population so the warm
+        // kernel never grows them mid-run.
+        let mut events = EventQueue::new();
+        events.reserve(2 * config.devices + fault_schedule.events().len() + 64);
+        let util_samples = (config.max_sim_secs / config.util_sample_secs.max(1.0)) as usize;
+        let util_series = Vec::with_capacity(util_samples.saturating_add(2).min(1 << 18));
+
         SimState {
             config,
             gt,
@@ -304,19 +337,24 @@ impl SimState {
             jobs: Vec::new(),
             queue: Vec::new(),
             fair: FairState::new(),
-            events: EventQueue::new(),
+            events,
             rng,
-            services: HashMap::new(),
-            util_series: Vec::new(),
-            bo_iterations: Vec::new(),
-            placement_secs: Vec::new(),
+            services: ServiceTable::new(n_services),
+            util_series,
+            bo_iterations: Vec::with_capacity(4096),
+            placement_secs: Vec::with_capacity(1024),
             iter_scale: 1.0,
             fault_schedule,
             recovery,
             fmetrics,
             ckpt: Vec::new(),
             topo,
-            outage_start: HashMap::new(),
+            outage_start: vec![None; n_services],
+            standby_registry,
+            scratch_advance: Vec::new(),
+            scratch_schedule: Vec::new(),
+            scratch_tasks: Vec::new(),
+            done_prefix: 0,
             trace: TraceBus::new(TraceConfig::from_env()),
         }
     }
@@ -346,12 +384,20 @@ impl SimState {
     }
 
     /// Whether every submitted job has completed.
-    pub fn all_done(&self) -> bool {
-        !self.jobs.is_empty()
-            && self
-                .jobs
-                .iter()
-                .all(|j| j.state == crate::job::JobState::Completed)
+    ///
+    /// `done_prefix` caches the length of the leading run of completed
+    /// jobs so the per-event check is amortized O(1) instead of a scan
+    /// of the whole job table. [`crate::job::JobState::Completed`] is
+    /// terminal — only [`crate::job::TrainingJob::finish`] sets it, and
+    /// the requeue/restart paths operate on device residents, which
+    /// never include finished jobs — so the prefix only ever grows.
+    pub fn all_done(&mut self) -> bool {
+        while self.done_prefix < self.jobs.len()
+            && self.jobs[self.done_prefix].state == crate::job::JobState::Completed
+        {
+            self.done_prefix += 1;
+        }
+        !self.jobs.is_empty() && self.done_prefix == self.jobs.len()
     }
 
     /// Re-enqueues a job into the pending queue from its current

@@ -122,15 +122,15 @@ impl Stepper {
         self.close_open_outages(st, end);
     }
 
-    /// Closes total-outage windows still open at end-of-run. Drained in
-    /// sorted order: `HashMap` iteration order is unspecified and float
-    /// addition is order-sensitive, which would break bit-identical
-    /// replay.
+    /// Closes total-outage windows still open at end-of-run. The dense
+    /// table iterates in service-id order, which keeps the
+    /// order-sensitive float sum bit-identical to the sorted drain it
+    /// replaced.
     fn close_open_outages(&self, st: &mut SimState, end: SimTime) {
-        let mut open: Vec<(ServiceId, SimTime)> = st.outage_start.drain().collect();
-        open.sort_by_key(|&(s, _)| s);
-        for (_, start) in open {
-            st.fmetrics.service_outage_secs += end.since(start).as_secs();
+        for slot in &mut st.outage_start {
+            if let Some(start) = slot.take() {
+                st.fmetrics.service_outage_secs += end.since(start).as_secs();
+            }
         }
     }
 
@@ -142,7 +142,7 @@ impl Stepper {
     ) -> ExperimentResult {
         let mut result = ExperimentResult {
             system: st.config.system.name().to_string(),
-            services: std::mem::take(&mut st.services),
+            services: st.services.take_map(),
             ..Default::default()
         };
         let first_submit = st

@@ -27,6 +27,75 @@ impl ServiceMetrics {
     }
 }
 
+/// Dense per-service metrics keyed by [`ServiceId`] index — the
+/// kernel-side replacement for `HashMap<ServiceId, ServiceMetrics>` on
+/// the hot accrual path. Service ids are assigned densely at zoo
+/// construction, so a flat `Vec` plus a touched mask reproduces the
+/// map's exact observable behavior (an entry exists iff some accrual
+/// touched it) without hashing or allocating per lookup.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceTable {
+    metrics: Vec<ServiceMetrics>,
+    touched: Vec<bool>,
+}
+
+impl ServiceTable {
+    /// A table pre-sized for services `0..n` (no entries exist yet).
+    pub fn new(n: usize) -> Self {
+        ServiceTable {
+            metrics: vec![ServiceMetrics::default(); n],
+            touched: vec![false; n],
+        }
+    }
+
+    /// The metrics slot for `id`, created default on first touch —
+    /// exactly `HashMap::entry(id).or_default()`. Ids beyond the
+    /// pre-sized range grow the table (allocation then, never after).
+    pub fn entry(&mut self, id: ServiceId) -> &mut ServiceMetrics {
+        let i = id.0;
+        if i >= self.metrics.len() {
+            self.metrics.resize_with(i + 1, ServiceMetrics::default);
+            self.touched.resize(i + 1, false);
+        }
+        self.touched[i] = true;
+        &mut self.metrics[i]
+    }
+
+    /// The metrics for `id`, `None` unless some accrual touched it —
+    /// exactly `HashMap::get(&id)`.
+    pub fn get(&self, id: ServiceId) -> Option<&ServiceMetrics> {
+        if self.touched.get(id.0).copied().unwrap_or(false) {
+            Some(&self.metrics[id.0])
+        } else {
+            None
+        }
+    }
+
+    /// Number of touched entries.
+    pub fn len(&self) -> usize {
+        self.touched.iter().filter(|&&t| t).count()
+    }
+
+    /// `true` when no entry was ever touched.
+    pub fn is_empty(&self) -> bool {
+        !self.touched.iter().any(|&t| t)
+    }
+
+    /// Drains the touched entries into the `HashMap` form the result
+    /// carries, leaving the table empty (capacity retained). The key
+    /// set is exactly the set of ids ever passed to
+    /// [`ServiceTable::entry`], matching the map it replaced.
+    pub fn take_map(&mut self) -> HashMap<ServiceId, ServiceMetrics> {
+        let mut out = HashMap::new();
+        for (i, touched) in self.touched.iter_mut().enumerate() {
+            if std::mem::take(touched) {
+                out.insert(ServiceId(i), std::mem::take(&mut self.metrics[i]));
+            }
+        }
+        out
+    }
+}
+
 /// Tuning/multiplexing overhead statistics (Fig. 18).
 #[derive(Clone, Debug, Default)]
 pub struct OverheadMetrics {
@@ -462,6 +531,105 @@ mod tests {
         let pos = |needle: &str| text.find(needle).expect(needle);
         assert!(pos("service[0]") < pos("service[3]"));
         assert!(pos("service[3]") < pos("service[7]"));
+    }
+
+    /// Every aggregate that folds over a map must be invariant to the
+    /// map's (unspecified) iteration order. The two such folds are
+    /// `overall_violation_rate` and `canonical_text` (and through it
+    /// `fingerprint`); both sort by service id before touching floats,
+    /// and this test pins that by rebuilding the same logical result
+    /// under several insertion orders and demanding bit-equality.
+    #[test]
+    fn aggregates_invariant_under_insertion_order() {
+        // Values chosen so float addition is genuinely order-sensitive:
+        // summing these in a different order changes the low bits.
+        let entries = [
+            (0usize, 1e15, 7.0, 0.125),
+            (3, 3.0, 1e-3, 0.25),
+            (1, 1e-8, 1e9, 0.5),
+            (7, 2.5e7, 0.1, 0.0625),
+            (2, 9.0, 1e-7, 0.75),
+        ];
+        let orders: [[usize; 5]; 4] = [
+            [0, 1, 2, 3, 4],
+            [4, 3, 2, 1, 0],
+            [2, 0, 4, 1, 3],
+            [3, 4, 0, 2, 1],
+        ];
+        let build = |order: &[usize]| {
+            let mut r = ExperimentResult::default();
+            for &i in order {
+                let (id, req, viol, swap) = entries[i];
+                r.services.insert(
+                    ServiceId(id),
+                    ServiceMetrics {
+                        requests: req,
+                        violations: viol,
+                        p99_stats: StreamingStats::new(),
+                    },
+                );
+                r.swap_time_fraction.insert(ServiceId(id), swap);
+            }
+            r
+        };
+        let reference = build(&orders[0]);
+        for order in &orders[1..] {
+            let r = build(order);
+            assert_eq!(
+                r.overall_violation_rate().to_bits(),
+                reference.overall_violation_rate().to_bits(),
+                "overall_violation_rate must not depend on insertion order"
+            );
+            assert_eq!(
+                r.canonical_text(),
+                reference.canonical_text(),
+                "canonical_text must not depend on insertion order"
+            );
+            assert_eq!(r.fingerprint(), reference.fingerprint());
+        }
+    }
+
+    #[test]
+    fn service_table_mirrors_hashmap_entry_semantics() {
+        let mut table = ServiceTable::new(4);
+        let mut model: HashMap<ServiceId, ServiceMetrics> = HashMap::new();
+        assert!(table.is_empty());
+        assert!(table.get(ServiceId(0)).is_none(), "untouched is absent");
+        for &(id, req, viol) in &[(2usize, 10.0, 1.0), (0, 5.0, 0.0), (2, 3.0, 2.0)] {
+            let m = table.entry(ServiceId(id));
+            m.requests += req;
+            m.violations += viol;
+            let m = model.entry(ServiceId(id)).or_default();
+            m.requests += req;
+            m.violations += viol;
+        }
+        assert_eq!(table.len(), model.len());
+        for id in 0..4 {
+            let id = ServiceId(id);
+            assert_eq!(
+                table.get(id).map(|m| (m.requests, m.violations)),
+                model.get(&id).map(|m| (m.requests, m.violations)),
+                "{id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn service_table_take_map_round_trips_key_set() {
+        let mut table = ServiceTable::new(2);
+        table.entry(ServiceId(1)).requests = 7.0;
+        // An id beyond the pre-sized range grows the table.
+        table.entry(ServiceId(5)).violations = 3.0;
+        let map = table.take_map();
+        let mut keys: Vec<usize> = map.keys().map(|s| s.0).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 5], "exactly the touched ids");
+        assert_eq!(map[&ServiceId(1)].requests, 7.0);
+        assert_eq!(map[&ServiceId(5)].violations, 3.0);
+        // Draining resets the table for the next run.
+        assert!(table.is_empty());
+        assert!(table.get(ServiceId(1)).is_none());
+        assert!(table.take_map().is_empty());
     }
 
     #[test]

@@ -302,18 +302,24 @@ impl Multiplexer for MudiSystem {
         // (sampled from the ground truth, as a real agent would
         // measure).
         let mut sample_rng = rng.fork("iteration-samples");
-        let tasks = view.tasks.clone();
+        let tasks = view.tasks.as_slice();
         let service = view.service;
-        let colo_at = |frac: f64| -> Vec<ColoWorkload> {
+        // The tuner probes both closures once per BO evaluation; the
+        // co-location views are built in fixed stack buffers (a device
+        // hosts at most MAX_TRAININGS_PER_GPU trainings plus one
+        // inference replica) so a tuning pass never allocates.
+        const COLO_CAP: usize = gpu_sim::device::MAX_TRAININGS_PER_GPU + 1;
+        let colo_at = |frac: f64| -> ([ColoWorkload; COLO_CAP], usize) {
             let share = if tasks.is_empty() {
                 0.0
             } else {
                 ((1.0 - frac) / tasks.len() as f64).max(0.01)
             };
-            tasks
-                .iter()
-                .map(|&t| ColoWorkload::training(t, share))
-                .collect()
+            let mut buf = [ColoWorkload::training(TaskId(0), 0.0); COLO_CAP];
+            for (slot, &t) in buf.iter_mut().zip(tasks) {
+                *slot = ColoWorkload::training(t, share);
+            }
+            (buf, tasks.len())
         };
         let outcome = self.tuner.tune(
             &self.predictor,
@@ -331,20 +337,25 @@ impl Multiplexer for MudiSystem {
                 tasks
                     .iter()
                     .map(|&t| {
-                        let mut colo = vec![ColoWorkload::inference(service, batch, frac)];
-                        for &o in &tasks {
+                        let mut colo = [ColoWorkload::inference(service, batch, frac); COLO_CAP];
+                        let mut n = 1;
+                        for &o in tasks {
                             if o != t {
-                                colo.push(ColoWorkload::training(o, share));
+                                colo[n] = ColoWorkload::training(o, share);
+                                n += 1;
                             }
                         }
-                        gt.sample_training_iteration(t, share, &colo, &mut sample_rng)
+                        gt.sample_training_iteration(t, share, &colo[..n], &mut sample_rng)
                     })
                     .sum::<f64>()
             },
             // Online tail-latency measurement (§5.3.1's live constraint
             // feedback): the Service Agent reports the observed P99
             // under the probed configuration.
-            |batch, frac| gt.p99_inference_latency(service, batch, frac, &colo_at(frac)),
+            |batch, frac| {
+                let (colo, n) = colo_at(frac);
+                gt.p99_inference_latency(service, batch, frac, &colo[..n])
+            },
             rng,
         );
         ConfigDecision {

@@ -16,7 +16,9 @@
 //! reports infeasibility; the caller pauses training and gives the
 //! inference service the device (§5.3.2).
 
-use modeling::bo::GpLcbTuner;
+use std::cell::RefCell;
+
+use modeling::bo::{BoWorkspace, GpLcbTuner};
 use modeling::solver::{latency_budget, latency_budget_relaxed, min_gpu_fraction};
 use simcore::SimRng;
 use workloads::NetworkArchitecture;
@@ -53,12 +55,29 @@ pub struct TuningOutcome {
 /// The per-device tuner.
 pub struct Tuner {
     config: MudiConfig,
+    /// The GP-LCB search engine, built once from the config's candidate
+    /// set and iteration budget.
+    bo: GpLcbTuner,
+    /// Reusable GP-LCB buffers across tuning passes. Interior
+    /// mutability keeps [`Tuner::tune`] borrowing `&self`; a tuner is
+    /// owned by one session, never shared across threads.
+    ws: RefCell<BoWorkspace>,
 }
 
 impl Tuner {
     /// Creates a tuner.
     pub fn new(config: MudiConfig) -> Self {
-        Tuner { config }
+        let bo = GpLcbTuner::new(config.batch_candidates_f64(), config.bo_max_iters);
+        // Pre-size the search buffers for the candidate count so even
+        // the first tuning pass — and every later one — runs without
+        // growing a buffer (the kernel zero-alloc harness pins this).
+        let mut ws = BoWorkspace::default();
+        ws.reserve(bo.candidates().len());
+        Tuner {
+            config,
+            bo,
+            ws: RefCell::new(ws),
+        }
     }
 
     /// Runs a full tuning pass.
@@ -132,9 +151,9 @@ impl Tuner {
 
         // GP-LCB over the batch candidates, minimizing observed
         // iteration time among SLO-feasible candidates.
-        let tuner = GpLcbTuner::new(self.config.batch_candidates_f64(), self.config.bo_max_iters);
+        let mut ws = self.ws.borrow_mut();
         let mut chosen: Option<(u32, f64)> = None;
-        let result = tuner.run(rng, |b| {
+        let result = self.bo.run_with(&mut ws, rng, |b| {
             let batch = b as u32;
             let frac = required(batch, &mut observe_p99)?;
             if chosen.is_none_or(|(cb, _)| cb != batch) {

@@ -5,8 +5,10 @@
 //! GPU fractions, feeds the unified-memory manager, and integrates SM
 //! and memory utilization over time (Fig. 10).
 
+use std::cell::Cell;
+
 use simcore::{SimDuration, SimEvent, SimTime, TraceBus, UtilizationIntegrator};
-use workloads::{ColoWorkload, GroundTruth};
+use workloads::{ColoWorkload, GroundTruth, ServiceId, TaskId};
 
 use crate::memory::MemoryManager;
 use crate::process::{InferenceInstance, ResidentId, StandbyInstance, TrainingProcess};
@@ -14,6 +16,101 @@ use crate::process::{InferenceInstance, ResidentId, StandbyInstance, TrainingPro
 /// Mudi multiplexes one inference service with at most three training
 /// tasks per GPU (§5.5).
 pub const MAX_TRAININGS_PER_GPU: usize = 3;
+
+/// A co-location set never exceeds the training cap plus one active
+/// standby, so the latency-profile memo key can hold it inline.
+const COLO_KEY_MAX: usize = MAX_TRAININGS_PER_GPU + 1;
+
+/// Capacity of the stack buffer [`GpuDevice::colo_for_training_buf`]
+/// returns: the inference replica, every co-resident training, and an
+/// active standby.
+pub const COLO_VIEW_MAX: usize = MAX_TRAININGS_PER_GPU + 2;
+
+/// Exact-input key of one memoized latency-profile evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct InfProfileKey {
+    service: ServiceId,
+    batch: u32,
+    frac_bits: u64,
+    colo_len: usize,
+    colo: [Option<ColoWorkload>; COLO_KEY_MAX],
+}
+
+impl InfProfileKey {
+    /// Builds the key, or `None` for oversized co-location sets (never
+    /// produced by this device model, but a memo must not guess).
+    fn new(service: ServiceId, batch: u32, frac: f64, colo: &[ColoWorkload]) -> Option<Self> {
+        if colo.len() > COLO_KEY_MAX {
+            return None;
+        }
+        let mut inline = [None; COLO_KEY_MAX];
+        for (slot, &w) in inline.iter_mut().zip(colo) {
+            *slot = Some(w);
+        }
+        Some(InfProfileKey {
+            service,
+            batch,
+            frac_bits: frac.to_bits(),
+            colo_len: colo.len(),
+            colo: inline,
+        })
+    }
+
+    /// Whether this stored key matches the given inputs, compared in
+    /// place — the hit path avoids materializing a fresh key (and its
+    /// inline colo array) on every lookup.
+    fn matches(&self, service: ServiceId, batch: u32, frac: f64, colo: &[ColoWorkload]) -> bool {
+        self.service == service
+            && self.batch == batch
+            && self.frac_bits == frac.to_bits()
+            && self.colo_len == colo.len()
+            && colo
+                .iter()
+                .zip(&self.colo)
+                .all(|(w, slot)| *slot == Some(*w))
+    }
+}
+
+/// One memoized `(mean, sigma, p99)` latency profile.
+#[derive(Clone, Copy, Debug)]
+struct InfProfile {
+    key: InfProfileKey,
+    mean: f64,
+    sigma: f64,
+    p99: f64,
+}
+
+/// Memoized latency profile for exact inputs. [`GroundTruth`] is pure,
+/// so equal inputs give bit-equal outputs and the memo is
+/// behavior-invisible; one entry per consumer suffices because
+/// steady-state stepping re-queries an unchanged configuration on every
+/// QPS segment between retunes.
+fn profile_cached(
+    cache: &Cell<Option<InfProfile>>,
+    gt: &GroundTruth,
+    service: ServiceId,
+    batch: u32,
+    frac: f64,
+    colo: &[ColoWorkload],
+) -> (f64, f64, f64) {
+    if let Some(e) = cache.get() {
+        if e.key.matches(service, batch, frac, colo) {
+            return (e.mean, e.sigma, e.p99);
+        }
+    }
+    let mean = gt.inference_latency(service, batch, frac, colo);
+    let sigma = gt.effective_sigma(service, batch, frac, colo);
+    let p99 = mean * (2.326 * sigma).exp();
+    if let Some(key) = InfProfileKey::new(service, batch, frac, colo) {
+        cache.set(Some(InfProfile {
+            key,
+            mean,
+            sigma,
+            p99,
+        }));
+    }
+    (mean, sigma, p99)
+}
 
 /// Index of a device within the cluster.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -45,6 +142,10 @@ pub struct GpuDevice {
     health: DeviceHealth,
     sm_util: UtilizationIntegrator,
     mem_util: UtilizationIntegrator,
+    /// Latency-profile memo for the primary inference instance.
+    inf_profile: Cell<Option<InfProfile>>,
+    /// Latency-profile memo for an active standby.
+    standby_profile: Cell<Option<InfProfile>>,
 }
 
 impl GpuDevice {
@@ -63,7 +164,38 @@ impl GpuDevice {
             health: DeviceHealth::Healthy,
             sm_util,
             mem_util,
+            inf_profile: Cell::new(None),
+            standby_profile: Cell::new(None),
         }
+    }
+
+    /// Memoized `(mean latency, effective sigma, P99)` of an inference
+    /// profile evaluated against `gt` — bit-identical to calling
+    /// [`GroundTruth::inference_latency`] / `effective_sigma` /
+    /// `mean·exp(2.326σ)` directly, but cached across the steady-state
+    /// stepping loop.
+    pub fn latency_profile(
+        &self,
+        gt: &GroundTruth,
+        service: ServiceId,
+        batch: u32,
+        frac: f64,
+        colo: &[ColoWorkload],
+    ) -> (f64, f64, f64) {
+        profile_cached(&self.inf_profile, gt, service, batch, frac, colo)
+    }
+
+    /// [`GpuDevice::latency_profile`] through the standby's own memo
+    /// slot (so primary and standby lookups never evict each other).
+    pub fn standby_latency_profile(
+        &self,
+        gt: &GroundTruth,
+        service: ServiceId,
+        batch: u32,
+        frac: f64,
+        colo: &[ColoWorkload],
+    ) -> (f64, f64, f64) {
+        profile_cached(&self.standby_profile, gt, service, batch, frac, colo)
     }
 
     /// Device id.
@@ -362,62 +494,79 @@ impl GpuDevice {
     /// The co-location set as seen by the inference instance (all
     /// resident trainings).
     pub fn colo_for_inference(&self) -> Vec<ColoWorkload> {
-        let mut colo: Vec<ColoWorkload> = self
-            .trainings
-            .iter()
-            .map(|t| ColoWorkload::training(t.task, t.gpu_fraction))
-            .collect();
-        if let Some(s) = self.standby.as_ref().filter(|s| s.is_active()) {
-            colo.push(ColoWorkload::inference(
-                s.service,
-                s.batch,
-                s.reserve_fraction,
-            ));
+        let (buf, n) = self.colo_for_inference_buf();
+        buf[..n].to_vec()
+    }
+
+    /// [`GpuDevice::colo_for_inference`] into a fixed stack buffer,
+    /// `(buffer, len)` — the allocation-free form for per-event paths.
+    pub fn colo_for_inference_buf(&self) -> ([ColoWorkload; COLO_VIEW_MAX], usize) {
+        let mut buf = [ColoWorkload::training(TaskId(0), 0.0); COLO_VIEW_MAX];
+        let mut n = 0;
+        for t in &self.trainings {
+            buf[n] = ColoWorkload::training(t.task, t.gpu_fraction);
+            n += 1;
         }
-        colo
+        if let Some(s) = self.standby.as_ref().filter(|s| s.is_active()) {
+            buf[n] = ColoWorkload::inference(s.service, s.batch, s.reserve_fraction);
+            n += 1;
+        }
+        (buf, n)
     }
 
     /// The co-location set as seen by an *active* standby (the primary
     /// inference instance plus all resident trainings).
     pub fn colo_for_standby(&self) -> Vec<ColoWorkload> {
-        let mut colo = Vec::new();
+        let (buf, n) = self.colo_for_standby_buf();
+        buf[..n].to_vec()
+    }
+
+    /// [`GpuDevice::colo_for_standby`] into a fixed stack buffer,
+    /// `(buffer, len)` — the allocation-free form for per-event paths.
+    pub fn colo_for_standby_buf(&self) -> ([ColoWorkload; COLO_VIEW_MAX], usize) {
+        let mut buf = [ColoWorkload::training(TaskId(0), 0.0); COLO_VIEW_MAX];
+        let mut n = 0;
         if let Some(inf) = &self.inference {
-            colo.push(ColoWorkload::inference(
-                inf.service,
-                inf.batch,
-                inf.gpu_fraction,
-            ));
+            buf[n] = ColoWorkload::inference(inf.service, inf.batch, inf.gpu_fraction);
+            n += 1;
         }
         for t in &self.trainings {
-            colo.push(ColoWorkload::training(t.task, t.gpu_fraction));
+            buf[n] = ColoWorkload::training(t.task, t.gpu_fraction);
+            n += 1;
         }
-        colo
+        (buf, n)
     }
 
     /// The co-location set as seen by training `id` (the inference
     /// instance plus the other trainings).
     pub fn colo_for_training(&self, id: ResidentId) -> Vec<ColoWorkload> {
-        let mut colo = Vec::new();
+        let (buf, n) = self.colo_for_training_buf(id);
+        buf[..n].to_vec()
+    }
+
+    /// [`GpuDevice::colo_for_training`] into a fixed stack buffer,
+    /// returned as `(buffer, len)` — the allocation-free form the
+    /// engine's per-event accrual uses. [`COLO_VIEW_MAX`] covers the
+    /// worst case: the inference replica, every co-resident training,
+    /// and an active standby.
+    pub fn colo_for_training_buf(&self, id: ResidentId) -> ([ColoWorkload; COLO_VIEW_MAX], usize) {
+        let mut buf = [ColoWorkload::training(TaskId(0), 0.0); COLO_VIEW_MAX];
+        let mut n = 0;
         if let Some(inf) = &self.inference {
-            colo.push(ColoWorkload::inference(
-                inf.service,
-                inf.batch,
-                inf.gpu_fraction,
-            ));
+            buf[n] = ColoWorkload::inference(inf.service, inf.batch, inf.gpu_fraction);
+            n += 1;
         }
         for t in &self.trainings {
             if t.id != id {
-                colo.push(ColoWorkload::training(t.task, t.gpu_fraction));
+                buf[n] = ColoWorkload::training(t.task, t.gpu_fraction);
+                n += 1;
             }
         }
         if let Some(s) = self.standby.as_ref().filter(|s| s.is_active()) {
-            colo.push(ColoWorkload::inference(
-                s.service,
-                s.batch,
-                s.reserve_fraction,
-            ));
+            buf[n] = ColoWorkload::inference(s.service, s.batch, s.reserve_fraction);
+            n += 1;
         }
-        colo
+        (buf, n)
     }
 
     /// Instantaneous SM utilization estimate: training partitions run
@@ -429,8 +578,9 @@ impl GpuDevice {
             util += t.gpu_fraction * 0.95;
         }
         if let Some(inf) = &self.inference {
-            let colo = self.colo_for_inference();
-            let latency = gt.inference_latency(inf.service, inf.batch, inf.gpu_fraction, &colo);
+            let (colo, cn) = self.colo_for_inference_buf();
+            let (latency, _, _) =
+                self.latency_profile(gt, inf.service, inf.batch, inf.gpu_fraction, &colo[..cn]);
             let busy = if inf.qps > 0.0 {
                 (inf.qps * latency / inf.batch as f64).min(1.0)
             } else {
@@ -439,8 +589,14 @@ impl GpuDevice {
             util += inf.gpu_fraction * busy;
         }
         if let Some(s) = self.standby.as_ref().filter(|s| s.is_active()) {
-            let colo = self.colo_for_standby();
-            let latency = gt.inference_latency(s.service, s.batch, s.reserve_fraction, &colo);
+            let (colo, cn) = self.colo_for_standby_buf();
+            let (latency, _, _) = self.standby_latency_profile(
+                gt,
+                s.service,
+                s.batch,
+                s.reserve_fraction,
+                &colo[..cn],
+            );
             let busy = (s.qps * latency / s.batch as f64).min(1.0);
             util += s.reserve_fraction * busy;
         }

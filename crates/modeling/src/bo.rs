@@ -16,7 +16,39 @@
 
 use simcore::SimRng;
 
-use crate::gp::GaussianProcess;
+use crate::gp::{GaussianProcess, GpScratch};
+
+/// Reusable buffers for [`GpLcbTuner::run_with`]: the candidate masks,
+/// the observation log, and the GP surrogate with its prediction
+/// scratch. A long-lived workspace makes repeated searches
+/// allocation-free once every buffer has grown to the candidate count.
+#[derive(Clone, Debug, Default)]
+pub struct BoWorkspace {
+    feasible: Vec<bool>,
+    tried: Vec<bool>,
+    /// Observed candidates, flat (the GP input is one-dimensional).
+    observed_x: Vec<f64>,
+    observed_y: Vec<f64>,
+    to_try: Vec<usize>,
+    gp: GaussianProcess,
+    scratch: GpScratch,
+}
+
+impl BoWorkspace {
+    /// Pre-sizes every buffer for searches over `candidates` candidates.
+    /// Each candidate is tried at most once per run (the `tried` mask),
+    /// which bounds the observation count and hence the GP size — after
+    /// this call, [`GpLcbTuner::run_with`] never allocates.
+    pub fn reserve(&mut self, candidates: usize) {
+        self.feasible.reserve(candidates);
+        self.tried.reserve(candidates);
+        self.observed_x.reserve(candidates);
+        self.observed_y.reserve(candidates);
+        self.to_try.reserve(2);
+        self.gp.reserve(candidates, 1);
+        self.scratch.reserve(candidates, 1);
+    }
+}
 
 /// Result of one GP-LCB search.
 #[derive(Clone, Debug, PartialEq)]
@@ -93,12 +125,26 @@ impl GpLcbTuner {
     pub fn run(
         &self,
         rng: &mut SimRng,
+        objective: impl FnMut(f64) -> Option<f64>,
+    ) -> Option<BoResult> {
+        self.run_with(&mut BoWorkspace::default(), rng, objective)
+    }
+
+    /// [`GpLcbTuner::run`] through a caller-owned [`BoWorkspace`] —
+    /// identical search (same RNG draws, same proposals), but repeated
+    /// runs reuse the workspace buffers instead of allocating.
+    pub fn run_with(
+        &self,
+        ws: &mut BoWorkspace,
+        rng: &mut SimRng,
         mut objective: impl FnMut(f64) -> Option<f64>,
     ) -> Option<BoResult> {
-        let mut feasible: Vec<bool> = vec![true; self.candidates.len()];
-        let mut observed_x: Vec<Vec<f64>> = Vec::new();
-        let mut observed_y: Vec<f64> = Vec::new();
-        let mut tried: Vec<bool> = vec![false; self.candidates.len()];
+        ws.feasible.clear();
+        ws.feasible.resize(self.candidates.len(), true);
+        ws.tried.clear();
+        ws.tried.resize(self.candidates.len(), false);
+        ws.observed_x.clear();
+        ws.observed_y.clear();
         let mut evals = 0usize;
         let mut best: Option<(f64, f64)> = None;
         let mut converged = false;
@@ -106,31 +152,33 @@ impl GpLcbTuner {
         // Seed with two quasi-random distinct candidates for a usable GP.
         let first = rng.uniform_usize(0, self.candidates.len());
         let second = (first + self.candidates.len() / 2) % self.candidates.len();
-        let mut to_try = vec![first];
+        ws.to_try.clear();
+        ws.to_try.push(first);
         if second != first {
-            to_try.push(second);
+            ws.to_try.push(second);
         }
 
         for n in 1..=self.max_iters {
-            let idx = match to_try.pop() {
+            let idx = match ws.to_try.pop() {
                 Some(i) => i,
                 None => {
                     // Fit the GP and pick the LCB-minimizing untried
                     // feasible candidate.
-                    let gp = GaussianProcess::fit(&observed_x, &observed_y, self.gamma, self.noise);
+                    let fitted =
+                        ws.gp
+                            .refit(&ws.observed_x, 1, &ws.observed_y, self.gamma, self.noise);
                     let beta_sqrt = self.beta(n).sqrt();
                     let mut best_idx = None;
                     let mut best_acq = f64::INFINITY;
                     for (i, &c) in self.candidates.iter().enumerate() {
-                        if !feasible[i] || tried[i] {
+                        if !ws.feasible[i] || ws.tried[i] {
                             continue;
                         }
-                        let acq = match &gp {
-                            Some(gp) => {
-                                let (mu, var) = gp.predict(&[c]);
-                                mu - beta_sqrt * var.sqrt()
-                            }
-                            None => 0.0,
+                        let acq = if fitted {
+                            let (mu, var) = ws.gp.predict_with(&[c], &mut ws.scratch);
+                            mu - beta_sqrt * var.sqrt()
+                        } else {
+                            0.0
                         };
                         if acq < best_acq {
                             best_acq = acq;
@@ -148,7 +196,7 @@ impl GpLcbTuner {
                             // about the objective's shape).
                             let min_obs = self.candidates.len().min(5);
                             if let Some((_, incumbent)) = best {
-                                if best_acq >= incumbent - 1e-12 && observed_y.len() >= min_obs {
+                                if best_acq >= incumbent - 1e-12 && ws.observed_y.len() >= min_obs {
                                     converged = true;
                                     break;
                                 }
@@ -163,21 +211,21 @@ impl GpLcbTuner {
                 }
             };
 
-            if tried[idx] {
+            if ws.tried[idx] {
                 continue;
             }
-            tried[idx] = true;
+            ws.tried[idx] = true;
             let candidate = self.candidates[idx];
             evals += 1;
             match objective(candidate) {
                 Some(y) => {
-                    observed_x.push(vec![candidate]);
-                    observed_y.push(y);
+                    ws.observed_x.push(candidate);
+                    ws.observed_y.push(y);
                     if best.is_none_or(|(_, by)| y < by) {
                         best = Some((candidate, y));
                     }
                 }
-                None => feasible[idx] = false,
+                None => ws.feasible[idx] = false,
             }
         }
 
@@ -282,5 +330,17 @@ mod tests {
     #[should_panic(expected = "need at least one candidate")]
     fn empty_candidates_rejected() {
         let _ = GpLcbTuner::new(vec![], 10);
+    }
+
+    #[test]
+    fn reused_workspace_replays_fresh_run_exactly() {
+        let tuner = GpLcbTuner::new(batch_candidates(), 25);
+        let mut ws = BoWorkspace::default();
+        for seed in 0..12 {
+            let objective = |b: f64| (b <= 256.0).then(|| (b.log2() - 5.0).powi(2) + 0.25);
+            let fresh = tuner.run(&mut SimRng::seed(seed), objective);
+            let reused = tuner.run_with(&mut ws, &mut SimRng::seed(seed), objective);
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
     }
 }

@@ -3,23 +3,89 @@
 //! RBF kernel with observation noise; exact inference via Cholesky.
 //! Predictions return both mean and variance, which the LCB acquisition
 //! function in [`crate::bo`] consumes.
+//!
+//! Observations are stored flat (row-major, `width` features per row)
+//! and every fit-time intermediate lives in a reusable buffer, so a
+//! long-lived instance can be [`GaussianProcess::refit`] inside a hot
+//! loop without allocating once the buffers are warm — the property the
+//! kernel zero-alloc harness pins.
 
-use crate::linalg::{sq_dist, Matrix};
+use crate::linalg::{dot, sq_dist, Matrix};
 use crate::regressor::Standardizer;
+
+/// Reusable per-prediction buffers for
+/// [`GaussianProcess::predict_with`].
+#[derive(Clone, Debug, Default)]
+pub struct GpScratch {
+    q: Vec<f64>,
+    kstar: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl GpScratch {
+    /// Pre-sizes prediction buffers for a GP on up to `nmax`
+    /// observations of `width` features.
+    pub fn reserve(&mut self, nmax: usize, width: usize) {
+        self.q.reserve(width);
+        self.kstar.reserve(nmax);
+        self.v.reserve(nmax);
+    }
+}
 
 /// An exact GP regressor with RBF kernel.
 #[derive(Clone, Debug)]
 pub struct GaussianProcess {
-    xs: Vec<Vec<f64>>,
+    /// Standardized observations, flat row-major (`n × width`).
+    zs: Vec<f64>,
+    width: usize,
+    n: usize,
     alpha: Vec<f64>,
     chol: Matrix,
     gamma: f64,
     signal_var: f64,
     y_mean: f64,
     standardizer: Standardizer,
+    // Fit-time scratch kept across refits.
+    centered: Vec<f64>,
+    k: Matrix,
+    solve_y: Vec<f64>,
+}
+
+impl Default for GaussianProcess {
+    /// An unfitted GP on zero observations; [`GaussianProcess::refit`]
+    /// it before predicting.
+    fn default() -> Self {
+        GaussianProcess {
+            zs: Vec::new(),
+            width: 0,
+            n: 0,
+            alpha: Vec::new(),
+            chol: Matrix::zeros(0, 0),
+            gamma: 0.0,
+            signal_var: 0.0,
+            y_mean: 0.0,
+            standardizer: Standardizer::default(),
+            centered: Vec::new(),
+            k: Matrix::zeros(0, 0),
+            solve_y: Vec::new(),
+        }
+    }
 }
 
 impl GaussianProcess {
+    /// Pre-sizes every fit-time buffer for up to `nmax` observations of
+    /// `width` features, so no later [`GaussianProcess::refit`] has to
+    /// grow one mid-run.
+    pub fn reserve(&mut self, nmax: usize, width: usize) {
+        self.zs.reserve(nmax * width);
+        self.alpha.reserve(nmax);
+        self.centered.reserve(nmax);
+        self.solve_y.reserve(nmax);
+        self.k.reserve(nmax, nmax);
+        self.chol.reserve(nmax, nmax);
+        self.standardizer.reserve(width);
+    }
+
     /// Fits the GP to observations.
     ///
     /// * `gamma` — RBF inverse-width `exp(-gamma ||x-x'||²)` on
@@ -32,74 +98,92 @@ impl GaussianProcess {
         if xs.is_empty() || xs.len() != ys.len() {
             return None;
         }
-        let standardizer = Standardizer::fit(xs);
-        let z = standardizer.apply_all(xs);
-        let n = z.len();
-        let y_mean = ys.iter().sum::<f64>() / n as f64;
-        let centered: Vec<f64> = ys.iter().map(|&y| y - y_mean).collect();
-        let signal_var = (centered.iter().map(|&c| c * c).sum::<f64>() / n as f64).max(1e-9);
+        let width = xs[0].len();
+        let flat: Vec<f64> = xs.iter().flat_map(|r| r.iter().copied()).collect();
+        let mut gp = GaussianProcess::default();
+        gp.refit(&flat, width, ys, gamma, noise).then_some(gp)
+    }
 
-        let mut k = Matrix::zeros(n, n);
+    /// Refits in place on flat row-major observations (`width` features
+    /// per row), reusing every internal buffer.
+    ///
+    /// Returns `false` — leaving the GP unfitted — when `ys` is empty,
+    /// `xs.len() != width * ys.len()`, or the kernel matrix is
+    /// numerically singular.
+    pub fn refit(&mut self, xs: &[f64], width: usize, ys: &[f64], gamma: f64, noise: f64) -> bool {
+        let n = ys.len();
+        self.n = 0;
+        if n == 0 || xs.len() != width * n {
+            return false;
+        }
+        self.standardizer.refit_flat(xs, width);
+        self.standardizer.apply_flat_into(xs, width, &mut self.zs);
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        self.centered.clear();
+        self.centered.extend(ys.iter().map(|&y| y - y_mean));
+        let signal_var = (self.centered.iter().map(|&c| c * c).sum::<f64>() / n as f64).max(1e-9);
+
+        self.k.resize_zeroed(n, n);
         for i in 0..n {
             for j in 0..=i {
-                let v = signal_var * (-gamma * sq_dist(&z[i], &z[j])).exp();
-                k[(i, j)] = v;
-                k[(j, i)] = v;
+                let zi = &self.zs[i * width..(i + 1) * width];
+                let zj = &self.zs[j * width..(j + 1) * width];
+                let v = signal_var * (-gamma * sq_dist(zi, zj)).exp();
+                self.k[(i, j)] = v;
+                self.k[(j, i)] = v;
             }
         }
-        k.add_diagonal(noise.max(1e-9));
-        let chol = k.cholesky()?;
-        let alpha = chol.cholesky_solve(&centered);
-        Some(GaussianProcess {
-            xs: z,
-            alpha,
-            chol,
-            gamma,
-            signal_var,
-            y_mean,
-            standardizer,
-        })
+        self.k.add_diagonal(noise.max(1e-9));
+        if !self.k.cholesky_into(&mut self.chol) {
+            return false;
+        }
+        self.chol
+            .cholesky_solve_into(&self.centered, &mut self.solve_y, &mut self.alpha);
+        self.width = width;
+        self.n = n;
+        self.gamma = gamma;
+        self.signal_var = signal_var;
+        self.y_mean = y_mean;
+        true
     }
 
     /// Predictive mean and variance at `x`.
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
-        let q = self.standardizer.apply(x);
-        let kstar: Vec<f64> = self
-            .xs
-            .iter()
-            .map(|xi| self.signal_var * (-self.gamma * sq_dist(xi, &q)).exp())
-            .collect();
-        let mean = self.y_mean + crate::linalg::dot(&kstar, &self.alpha);
+        let mut scratch = GpScratch::default();
+        self.predict_with(x, &mut scratch)
+    }
+
+    /// [`GaussianProcess::predict`] through caller-owned scratch
+    /// buffers (allocation-free once warm).
+    pub fn predict_with(&self, x: &[f64], scratch: &mut GpScratch) -> (f64, f64) {
+        self.standardizer.apply_into(x, &mut scratch.q);
+        scratch.kstar.clear();
+        if self.width == 0 {
+            scratch.kstar.extend((0..self.n).map(|_| self.signal_var));
+        } else {
+            scratch.kstar.extend(
+                self.zs
+                    .chunks_exact(self.width)
+                    .map(|zi| self.signal_var * (-self.gamma * sq_dist(zi, &scratch.q)).exp()),
+            );
+        }
+        let mean = self.y_mean + dot(&scratch.kstar, &self.alpha);
         // var = k(x,x) − k*ᵀ K⁻¹ k*, computed via the Cholesky factor.
-        let v = forward_solve(&self.chol, &kstar);
-        let var = (self.signal_var - crate::linalg::dot(&v, &v)).max(0.0);
+        self.chol.forward_solve_into(&scratch.kstar, &mut scratch.v);
+        let var = (self.signal_var - dot(&scratch.v, &scratch.v)).max(0.0);
         (mean, var)
     }
 
     /// Number of observations the GP conditions on.
     pub fn len(&self) -> usize {
-        self.xs.len()
+        self.n
     }
 
-    /// Returns `true` when fitted on zero observations (cannot happen
-    /// through [`GaussianProcess::fit`], present for API completeness).
+    /// Returns `true` when unfitted (default state, or after a failed
+    /// [`GaussianProcess::refit`]).
     pub fn is_empty(&self) -> bool {
-        self.xs.is_empty()
+        self.n == 0
     }
-}
-
-/// Solves `L v = b` for lower-triangular `L`.
-fn forward_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
-    let n = b.len();
-    let mut v = vec![0.0; n];
-    for i in 0..n {
-        let mut sum = b[i];
-        for k in 0..i {
-            sum -= l[(i, k)] * v[k];
-        }
-        v[i] = sum / l[(i, i)];
-    }
-    v
 }
 
 #[cfg(test)]
@@ -150,5 +234,37 @@ mod tests {
         assert!((mean - 3.0).abs() < 1e-6);
         assert_eq!(gp.len(), 1);
         assert!(!gp.is_empty());
+    }
+
+    #[test]
+    fn refit_matches_fresh_fit_bitwise() {
+        // A reused instance — buffers warm from a larger earlier fit —
+        // must predict bit-identically to a fresh fit on the same data.
+        let big: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let big_ys: Vec<f64> = (0..9).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut reused = GaussianProcess::fit(&big, &big_ys, 2.0, 1e-4).unwrap();
+
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![16.0 * (1 << i) as f64]).collect();
+        let ys = [0.9, 0.4, 0.2, 0.35, 0.8];
+        let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+        assert!(reused.refit(&flat, 1, &ys, 2.0, 1e-4));
+        let fresh = GaussianProcess::fit(&xs, &ys, 2.0, 1e-4).unwrap();
+
+        let mut scratch = GpScratch::default();
+        for q in [8.0, 16.0, 100.0, 512.0, 777.0] {
+            let (m1, v1) = fresh.predict(&[q]);
+            let (m2, v2) = reused.predict_with(&[q], &mut scratch);
+            assert_eq!(m1.to_bits(), m2.to_bits(), "mean at {q}");
+            assert_eq!(v1.to_bits(), v2.to_bits(), "var at {q}");
+        }
+    }
+
+    #[test]
+    fn failed_refit_leaves_gp_unfitted() {
+        let mut gp = GaussianProcess::fit(&[vec![0.5]], &[3.0], 1.0, 1e-4).unwrap();
+        assert!(!gp.refit(&[], 1, &[], 1.0, 1e-4));
+        assert!(gp.is_empty());
+        assert!(!gp.refit(&[1.0, 2.0], 1, &[0.0, 1.0, 2.0], 1.0, 1e-4));
+        assert_eq!(gp.len(), 0);
     }
 }

@@ -35,11 +35,11 @@ pub mod select;
 pub mod solver;
 pub mod svr;
 
-pub use bo::{BoResult, GpLcbTuner};
+pub use bo::{BoResult, BoWorkspace, GpLcbTuner};
 pub use fit::kneedle::find_knee;
 pub use fit::piecewise::{fit_piecewise, PiecewiseLinear};
 pub use fit::poly::Polynomial;
-pub use gp::GaussianProcess;
+pub use gp::{GaussianProcess, GpScratch};
 pub use regressor::{Dataset, Regressor, RegressorKind};
 pub use select::{select_best_model, SelectionReport};
 pub use solver::min_gpu_fraction;

@@ -119,31 +119,59 @@ impl Matrix {
         }
     }
 
+    /// Resizes to `rows × cols` and zero-fills in place, reusing the
+    /// existing buffer (no allocation once the buffer is large enough).
+    /// Reserves backing storage for a later `rows × cols` resize
+    /// without changing the matrix's current shape or contents.
+    pub fn reserve(&mut self, rows: usize, cols: usize) {
+        let want = rows * cols;
+        self.data.reserve(want.saturating_sub(self.data.len()));
+    }
+
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Cholesky decomposition of a symmetric positive-definite matrix,
     /// returning lower-triangular `L` with `L Lᵀ = self`.
     ///
     /// Returns `None` if the matrix is not positive definite.
     pub fn cholesky(&self) -> Option<Matrix> {
+        let mut l = Matrix::zeros(0, 0);
+        self.cholesky_into(&mut l).then_some(l)
+    }
+
+    /// [`Matrix::cholesky`] into a caller-owned factor, reusing its
+    /// buffer. Returns `false` (leaving `out` unspecified) if the
+    /// matrix is not positive definite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn cholesky_into(&self, out: &mut Matrix) -> bool {
         assert_eq!(self.rows, self.cols, "cholesky needs a square matrix");
         let n = self.rows;
-        let mut l = Matrix::zeros(n, n);
+        out.resize_zeroed(n, n);
         for i in 0..n {
             for j in 0..=i {
                 let mut sum = self[(i, j)];
                 for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
+                    sum -= out[(i, k)] * out[(j, k)];
                 }
                 if i == j {
                     if sum <= 0.0 {
-                        return None;
+                        return false;
                     }
-                    l[(i, i)] = sum.sqrt();
+                    out[(i, i)] = sum.sqrt();
                 } else {
-                    l[(i, j)] = sum / l[(j, j)];
+                    out[(i, j)] = sum / out[(j, j)];
                 }
             }
         }
-        Some(l)
+        true
     }
 
     /// Solves `self * x = b` for symmetric positive-definite `self`
@@ -156,10 +184,20 @@ impl Matrix {
     /// Given `self = L` (lower triangular Cholesky factor), solves
     /// `L Lᵀ x = b`.
     pub fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        let mut x = Vec::new();
+        self.cholesky_solve_into(b, &mut y, &mut x);
+        x
+    }
+
+    /// [`Matrix::cholesky_solve`] into caller-owned buffers; `y` is the
+    /// forward-substitution scratch, `x` receives the solution.
+    pub fn cholesky_solve_into(&self, b: &[f64], y: &mut Vec<f64>, x: &mut Vec<f64>) {
         let n = self.rows;
         assert_eq!(b.len(), n);
         // Forward substitution: L y = b.
-        let mut y = vec![0.0; n];
+        y.clear();
+        y.resize(n, 0.0);
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
@@ -168,7 +206,8 @@ impl Matrix {
             y[i] = sum / self[(i, i)];
         }
         // Back substitution: Lᵀ x = y.
-        let mut x = vec![0.0; n];
+        x.clear();
+        x.resize(n, 0.0);
         for i in (0..n).rev() {
             let mut sum = y[i];
             for k in i + 1..n {
@@ -176,7 +215,21 @@ impl Matrix {
             }
             x[i] = sum / self[(i, i)];
         }
-        x
+    }
+
+    /// Solves `L v = b` (forward substitution, `self = L` lower
+    /// triangular) into a caller-owned buffer.
+    pub fn forward_solve_into(&self, b: &[f64], v: &mut Vec<f64>) {
+        let n = b.len();
+        v.clear();
+        v.resize(n, 0.0);
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self[(i, k)] * v[k];
+            }
+            v[i] = sum / self[(i, i)];
+        }
     }
 }
 
@@ -285,6 +338,41 @@ mod tests {
     fn cholesky_rejects_indefinite() {
         let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
         assert!(a.cholesky().is_none());
+        let mut out = Matrix::zeros(0, 0);
+        assert!(!a.cholesky_into(&mut out));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones_bitwise() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 3.0, 0.2],
+            vec![0.6, 0.2, 5.0],
+        ]);
+        let b = [8.0, 7.0, -1.5];
+        let l = a.cholesky().unwrap();
+        // A previously-used (differently-sized) factor must be fully
+        // overwritten, upper triangle included.
+        let mut l2 = Matrix::identity(5);
+        assert!(a.cholesky_into(&mut l2));
+        assert_eq!(l, l2);
+
+        let x = l.cholesky_solve(&b);
+        let (mut y2, mut x2) = (vec![9.0; 7], vec![9.0; 2]);
+        l.cholesky_solve_into(&b, &mut y2, &mut x2);
+        assert!(x.iter().zip(&x2).all(|(p, q)| p.to_bits() == q.to_bits()));
+
+        let mut v = vec![4.0; 1];
+        l.forward_solve_into(&b, &mut v);
+        assert!(y2.iter().zip(&v).all(|(p, q)| p.to_bits() == q.to_bits()));
+    }
+
+    #[test]
+    fn resize_zeroed_reuses_and_clears() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.resize_zeroed(1, 3);
+        assert_eq!((m.rows(), m.cols()), (1, 3));
+        assert_eq!(m, Matrix::zeros(1, 3));
     }
 
     #[test]

@@ -149,7 +149,7 @@ impl RegressorKind {
 /// inputs on a common scale; [`Standardizer`] remembers per-column mean
 /// and standard deviation from training data and applies them at
 /// prediction time.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Standardizer {
     means: Vec<f64>,
     stds: Vec<f64>,
@@ -176,6 +176,67 @@ impl Standardizer {
             *s = s.sqrt().max(1e-9);
         }
         Standardizer { means, stds }
+    }
+
+    /// Refits the column statistics in place from flat row-major data
+    /// with `width` columns, reusing the existing buffers. Replays the
+    /// exact [`Standardizer::fit`] arithmetic (same accumulation
+    /// order), so the results are bit-identical to a fresh fit on the
+    /// equivalent nested rows.
+    /// Reserves per-feature buffers for refits up to `width` features.
+    pub fn reserve(&mut self, width: usize) {
+        self.means.reserve(width.saturating_sub(self.means.len()));
+        self.stds.reserve(width.saturating_sub(self.stds.len()));
+    }
+
+    pub fn refit_flat(&mut self, xs: &[f64], width: usize) {
+        self.means.clear();
+        self.means.resize(width, 0.0);
+        self.stds.clear();
+        self.stds.resize(width, 0.0);
+        if width == 0 {
+            return;
+        }
+        let n = (xs.len() / width).max(1) as f64;
+        for row in xs.chunks_exact(width) {
+            for (m, &x) in self.means.iter_mut().zip(row) {
+                *m += x / n;
+            }
+        }
+        for row in xs.chunks_exact(width) {
+            for ((s, &m), &x) in self.stds.iter_mut().zip(&self.means).zip(row) {
+                *s += (x - m) * (x - m) / n;
+            }
+        }
+        for s in &mut self.stds {
+            *s = s.sqrt().max(1e-9);
+        }
+    }
+
+    /// Standardizes flat row-major data (`width` columns) into a
+    /// caller-supplied buffer, row by row.
+    pub fn apply_flat_into(&self, xs: &[f64], width: usize, out: &mut Vec<f64>) {
+        out.clear();
+        if width == 0 {
+            return;
+        }
+        for row in xs.chunks_exact(width) {
+            out.extend(
+                row.iter()
+                    .zip(self.means.iter().zip(&self.stds))
+                    .map(|(&x, (&m, &s))| (x - m) / s),
+            );
+        }
+    }
+
+    /// Standardizes one row into a caller-supplied buffer.
+    pub fn apply_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            row.iter()
+                .zip(self.means.iter().zip(&self.stds))
+                .map(|(&x, (&m, &s))| (x - m) / s),
+        );
     }
 
     /// Standardizes one row.

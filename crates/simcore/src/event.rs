@@ -106,6 +106,12 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Reserves heap capacity for at least `additional` more pending
+    /// events, so a bounded-population steady state never reallocates.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// Scheduling in the past is clamped to `now`: the event fires

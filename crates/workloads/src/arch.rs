@@ -89,7 +89,7 @@ impl fmt::Display for LayerKind {
 ///
 /// This is exactly what the Training Agent extracts from a model file
 /// (static graphs) or a traced mini-batch (dynamic graphs) in §4.2.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct NetworkArchitecture {
     counts: [u32; 11],
 }

@@ -18,12 +18,13 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use cluster::engine::ClusterConfig;
+use cluster::engine::{ClusterConfig, ClusterSession, LiveFault};
 use cluster::experiments::{
     correlated_failure_sweep, failure_sweep, load_sensitivity, warm_standby_sweep, FaultScope,
 };
 use cluster::metrics::ExperimentResult;
 use cluster::systems::SystemKind;
+use simcore::SimTime;
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -112,6 +113,83 @@ fn warm_standby_matches_golden() {
         out.push_str(&r.canonical_text());
     }
     check_golden("warm_standby.txt", &out);
+}
+
+/// A fixed scripted session — deploys, scales, live faults, routed
+/// requests — rendered down to the canonical result text. Pins the
+/// incremental `ClusterSession` surface (the dense-index engine must
+/// replay the exact pre-refactor behavior, not just the batch drivers).
+#[test]
+fn session_script_matches_golden() {
+    let (cfg, scale) = snapshot_config(SystemKind::Mudi, 7);
+    let mut s = ClusterSession::new_scaled(cfg, scale);
+    let mut out = String::new();
+
+    s.step_until(SimTime::from_secs(600.0));
+    let services: Vec<_> = s.zoo().services().iter().map(|sp| sp.id).collect();
+    for &svc in services.iter().take(3) {
+        for _ in 0..5 {
+            let r = s.infer(svc).expect("replica up");
+            let _ = writeln!(
+                out,
+                "infer {} -> dev{} {:?}",
+                svc.0, r.device, r.latency_secs
+            );
+        }
+    }
+
+    let grown = s.scale_service(services[1], 3).expect("scale up");
+    let _ = writeln!(
+        out,
+        "scale svc1 -> {} moves={:?}",
+        grown.achieved, grown.moves
+    );
+
+    s.inject_fault(2, LiveFault::DeviceFailure { repair_secs: 400.0 })
+        .expect("fault");
+    s.inject_fault(
+        5,
+        LiveFault::Slowdown {
+            factor: 0.5,
+            duration_secs: 300.0,
+        },
+    )
+    .expect("fault");
+    s.step_until(SimTime::from_secs(1800.0));
+    s.inject_fault(7, LiveFault::ProcessCrash { salt: 3 })
+        .expect("fault");
+    s.inject_fault(9, LiveFault::MpsRestart).expect("fault");
+    s.step_until(SimTime::from_secs(4000.0));
+
+    for r in s.service_report() {
+        let _ = writeln!(
+            out,
+            "svc {} {} up={}/{} req={:?} viol={:?} api={}/{} outage={}",
+            r.id.0,
+            r.name,
+            r.replicas_up,
+            r.replicas_assigned,
+            r.requests,
+            r.violations,
+            r.api_violations,
+            r.api_requests,
+            r.in_outage
+        );
+    }
+    let fm = s.fault_metrics();
+    let _ = writeln!(
+        out,
+        "faults dev={} slow={} crash={} mps={} outage_secs={:?}",
+        fm.device_failures,
+        fm.slowdowns,
+        fm.process_crashes,
+        fm.mps_failures,
+        fm.service_outage_secs
+    );
+    let _ = writeln!(out, "fired={}", s.events_fired());
+    out.push_str(&s.finish().canonical_text());
+
+    check_golden("session_script.txt", &out);
 }
 
 #[test]

@@ -1,0 +1,190 @@
+//! Steady-state stepping must not allocate.
+//!
+//! The staged kernel is dense-indexed: per-service metrics live in a
+//! [`cluster::metrics::ServiceTable`] keyed by `ServiceId`, per-device
+//! state in plain vectors, and every per-step scratch buffer is pooled
+//! inside the engine state. The payoff this file proves: once a
+//! session is *warm*, stepping it — QPS segment changes, accruals,
+//! tuner reconfigurations, training completions — performs **zero**
+//! heap allocations, across all three committed `perf_kernel` shapes.
+//!
+//! **Warm-up prefix.** A documented, bounded prefix of each run is
+//! excluded from the assertion window. Warm-up covers one-time,
+//! capacity-style allocations only: predictor curve memos and device
+//! latency-profile memos populating on first use, `ServiceTable` /
+//! event-queue / scratch-vector growth to their steady capacities, and
+//! the first wave of job placements. Everything after the prefix is
+//! the kernel's steady state and must be allocation-free.
+//!
+//! Asserted with a counting global allocator. The counter is
+//! process-global, so the tests in this file serialize on a mutex and
+//! only measure while holding it. Set `MUDI_ALLOC_TRACE=1` to print a
+//! backtrace for every allocation inside a measured window when
+//! hunting a regression.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cluster::engine::{ClusterConfig, ClusterSession};
+use cluster::systems::SystemKind;
+use simcore::SimTime;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+/// Window marker: when set, `MUDI_ALLOC_TRACE=1` prints a backtrace
+/// per allocation (re-entrancy guarded, since capturing allocates).
+static ARMED: AtomicBool = AtomicBool::new(false);
+static TRACING: AtomicBool = AtomicBool::new(false);
+/// Latched from `MUDI_ALLOC_TRACE` before arming; the allocator itself
+/// must never call into env machinery (it allocates).
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if ARMED.load(Ordering::Relaxed)
+            && TRACE_ON.load(Ordering::Relaxed)
+            && !TRACING.swap(true, Ordering::Relaxed)
+        {
+            eprintln!(
+                "[alloc {} bytes]\n{}",
+                layout.size(),
+                std::backtrace::Backtrace::force_capture()
+            );
+            TRACING.store(false, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if ARMED.load(Ordering::Relaxed)
+            && TRACE_ON.load(Ordering::Relaxed)
+            && !TRACING.swap(true, Ordering::Relaxed)
+        {
+            eprintln!(
+                "[realloc {} -> {new_size} bytes]\n{}",
+                layout.size(),
+                std::backtrace::Backtrace::force_capture()
+            );
+            TRACING.store(false, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Serializes the tests in this file: the allocation counter is
+/// process-global and a sibling test allocating concurrently would
+/// race the measured delta.
+static LOCK: Mutex<()> = Mutex::new(());
+
+const DAY: f64 = 24.0 * 3600.0;
+
+/// The same three shapes `perf_kernel` pins, restated here because the
+/// bench binary is not a library: (name, config, warm-up horizon,
+/// measure horizon, step increment).
+fn shapes() -> Vec<(&'static str, ClusterConfig, f64, f64, f64)> {
+    vec![
+        (
+            "batch-tiny-mudi-5day",
+            ClusterConfig::tiny(SystemKind::Mudi, 7),
+            2.0 * DAY,
+            5.0 * DAY,
+            3.0 * DAY,
+        ),
+        (
+            "batch-physical-mudi-5day",
+            ClusterConfig::physical(SystemKind::Mudi, 7),
+            2.0 * DAY,
+            5.0 * DAY,
+            3.0 * DAY,
+        ),
+        (
+            "session-tiny-1day-5min-steps",
+            ClusterConfig::tiny(SystemKind::Mudi, 7),
+            0.25 * DAY,
+            DAY,
+            300.0,
+        ),
+    ]
+}
+
+fn step_to(session: &mut ClusterSession, from: f64, to: f64, step: f64) -> u64 {
+    let mut events = 0;
+    let mut t = from;
+    while t < to {
+        t = (t + step).min(to);
+        events += session.step_until(SimTime::from_secs(t));
+    }
+    events
+}
+
+#[test]
+fn steady_state_stepping_allocates_nothing() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    TRACE_ON.store(
+        std::env::var_os("MUDI_ALLOC_TRACE").is_some_and(|v| v == "1"),
+        Ordering::SeqCst,
+    );
+
+    // Sanity-check the counter before trusting any zero below.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let v: Vec<u64> = (0..64).collect();
+    assert!(
+        ALLOCATIONS.load(Ordering::SeqCst) > before && v.len() == 64,
+        "counting allocator failed to observe a plain Vec allocation"
+    );
+
+    for (shape, config, warm, horizon, step) in shapes() {
+        // Construction and the warm-up prefix may allocate freely.
+        let mut session = ClusterSession::new_scaled(config, 0.01);
+        let warm_events = step_to(&mut session, 0.0, warm, step);
+
+        ARMED.store(true, Ordering::SeqCst);
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let events = step_to(&mut session, warm, horizon, step);
+        let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        ARMED.store(false, Ordering::SeqCst);
+
+        assert!(
+            events > 0,
+            "{shape}: measured window fired no events (warm-up fired {warm_events})"
+        );
+        assert_eq!(
+            delta, 0,
+            "{shape}: warm steady-state stepping allocated {delta} times \
+             over {events} events (set MUDI_ALLOC_TRACE=1 for backtraces)"
+        );
+    }
+}
+
+/// Dense-id regression guard: the kernel's dense service table must
+/// round-trip to exactly the key set the old `HashMap`-keyed report
+/// carried — a contiguous `0..k` block of service ids, one entry per
+/// touched service, no gaps and no phantom keys.
+#[test]
+fn dense_service_ids_round_trip_to_key_set() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+
+    let mut session = ClusterSession::new_scaled(ClusterConfig::tiny(SystemKind::Mudi, 7), 0.01);
+    step_to(&mut session, 0.0, 0.5 * DAY, 0.5 * DAY);
+    let result = session.finish();
+
+    let mut ids: Vec<usize> = result.services.keys().map(|s| s.0).collect();
+    ids.sort_unstable();
+    assert!(!ids.is_empty(), "tiny run reported no services");
+    assert_eq!(
+        ids,
+        (0..ids.len()).collect::<Vec<_>>(),
+        "dense service ids must form a contiguous 0..k block, got {ids:?}"
+    );
+}
