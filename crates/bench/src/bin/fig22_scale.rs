@@ -1,0 +1,210 @@
+//! Scale-sweep ledger: the rack-sharded engine at 1k / 10k / 100k
+//! simulated devices.
+//!
+//! For each cluster size the sweep replays the identical seeded run at
+//! several shard counts and records throughput (steps/sec,
+//! sim-secs per wall-sec), control-plane responsiveness (p99 wall time
+//! of one `step_until` increment — what a live `mudi-serve` caller
+//! would wait), goodput, and the overall SLO violation rate. Because
+//! sharding is bit-identical by construction, every cell of one
+//! cluster size must land on the *same* result fingerprint — the
+//! harness asserts that, so this ledger doubles as the
+//! shard-equivalence proof at scales the golden snapshots cannot
+//! reach (the committed ledger includes a real 100k-device run).
+//!
+//! Results go to `BENCH_fig22_scale.json` at the repo root; wall-clock
+//! fields move with hardware, event counts and fingerprints do not.
+//!
+//! `--smoke` runs only the 1k-device cell at 1/2/4 shards with a short
+//! horizon and skips the ledger write — the CI shape (paired with
+//! `MUDI_THREADS=2` so the speculation phase actually threads).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cluster::engine::{ClusterConfig, ClusterSession, ScalePreset};
+use cluster::systems::SystemKind;
+use simcore::{SimTime, TopologyShape};
+
+const LEDGER_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig22_scale.json");
+
+/// One sweep row: a cluster size with its topology, horizon, stepping
+/// increment, and the shard counts to replay it at.
+struct Sweep {
+    devices: usize,
+    racks: usize,
+    nodes_per_rack: usize,
+    horizon_secs: f64,
+    step_secs: f64,
+    shard_counts: &'static [usize],
+}
+
+fn sweeps(smoke: bool) -> Vec<Sweep> {
+    if smoke {
+        return vec![Sweep {
+            devices: 1_000,
+            racks: 8,
+            nodes_per_rack: 4,
+            horizon_secs: 900.0,
+            step_secs: 300.0,
+            shard_counts: &[1, 2, 4],
+        }];
+    }
+    vec![
+        Sweep {
+            devices: 1_000,
+            racks: 8,
+            nodes_per_rack: 4,
+            horizon_secs: 7_200.0,
+            step_secs: 600.0,
+            shard_counts: &[1, 2, 4, 8],
+        },
+        Sweep {
+            devices: 10_000,
+            racks: 16,
+            nodes_per_rack: 8,
+            horizon_secs: 3_600.0,
+            step_secs: 600.0,
+            shard_counts: &[1, 4, 8],
+        },
+        Sweep {
+            devices: 100_000,
+            racks: 32,
+            nodes_per_rack: 8,
+            horizon_secs: 900.0,
+            step_secs: 300.0,
+            shard_counts: &[1, 8],
+        },
+    ]
+}
+
+struct Cell {
+    devices: usize,
+    shards: usize,
+    events: u64,
+    sim_secs: f64,
+    wall_secs: f64,
+    p99_step_wall_ms: f64,
+    goodput_iters_per_hour: f64,
+    violation_rate: f64,
+    fingerprint: u64,
+}
+
+impl Cell {
+    fn steps_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+fn p99(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let idx = ((samples.len() as f64) * 0.99).ceil() as usize;
+    samples[idx.clamp(1, samples.len()) - 1]
+}
+
+fn run_cell(sweep: &Sweep, shards: usize) -> Cell {
+    // The simulated-cluster preset's dynamics (120 s QPS dwell, ×80
+    // arrivals) at a parameterized device count. Jobs are few and the
+    // horizon short: the sweep measures the serving-side kernel, not
+    // a batch campaign.
+    let cfg = ClusterConfig::builder(ScalePreset::Simulated, SystemKind::Mudi, 7)
+        .devices(sweep.devices)
+        .jobs(64)
+        .topology(TopologyShape::new(sweep.racks, sweep.nodes_per_rack))
+        .shards(shards)
+        .max_sim_secs(sweep.horizon_secs)
+        .build();
+    let mut session = ClusterSession::new_scaled(cfg, 0.01);
+    let start = Instant::now();
+    let mut events = 0u64;
+    let mut step_walls = Vec::new();
+    let mut t = 0.0;
+    while t < sweep.horizon_secs {
+        t = (t + sweep.step_secs).min(sweep.horizon_secs);
+        let s0 = Instant::now();
+        events += session.step_until(SimTime::from_secs(t));
+        step_walls.push(s0.elapsed().as_secs_f64() * 1e3);
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let sim_secs = session.now().as_secs();
+    let result = session.finish();
+    Cell {
+        devices: sweep.devices,
+        shards,
+        events: events.max(1),
+        sim_secs,
+        wall_secs,
+        p99_step_wall_ms: p99(&mut step_walls),
+        goodput_iters_per_hour: result.goodput_iters_per_hour(),
+        violation_rate: result.overall_violation_rate(),
+        fingerprint: result.fingerprint(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let mut cells: Vec<Cell> = Vec::new();
+    for sweep in sweeps(smoke) {
+        let mut base_fp: Option<u64> = None;
+        for &shards in sweep.shard_counts {
+            let cell = run_cell(&sweep, shards);
+            println!(
+                "{:>7} devices  {} shard(s)  {:>9} events  {:>10.0} steps/s  \
+                 p99 step {:>8.1} ms  goodput {:>10.1} it/h  viol {:.4}  fp {:016x}",
+                cell.devices,
+                cell.shards,
+                cell.events,
+                cell.steps_per_sec(),
+                cell.p99_step_wall_ms,
+                cell.goodput_iters_per_hour,
+                cell.violation_rate,
+                cell.fingerprint,
+            );
+            // The shard-equivalence assertion: within one cluster
+            // size, every shard count must land on the identical
+            // simulated outcome.
+            match base_fp {
+                None => base_fp = Some(cell.fingerprint),
+                Some(fp) => assert_eq!(
+                    cell.fingerprint, fp,
+                    "{} devices: {} shards diverged from the 1-shard run",
+                    cell.devices, cell.shards
+                ),
+            }
+            cells.push(cell);
+        }
+    }
+    println!("\nall shard counts bit-identical within each cluster size");
+    if smoke {
+        println!("smoke mode: ledger not written");
+        return;
+    }
+
+    let mut json = String::from("{\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"devices\": {}, \"shards\": {}, \"events\": {}, \"sim_secs\": {:.3}, \
+             \"wall_secs\": {:.6}, \"steps_per_sec\": {:.0}, \"p99_step_wall_ms\": {:.3}, \
+             \"goodput_iters_per_hour\": {:.3}, \"violation_rate\": {:.6}, \
+             \"fingerprint\": \"{:016x}\"}}{}",
+            c.devices,
+            c.shards,
+            c.events,
+            c.sim_secs,
+            c.wall_secs,
+            c.steps_per_sec(),
+            c.p99_step_wall_ms,
+            c.goodput_iters_per_hour,
+            c.violation_rate,
+            c.fingerprint,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(LEDGER_PATH, &json).expect("write BENCH_fig22_scale.json");
+    println!("ledger written to BENCH_fig22_scale.json");
+}

@@ -42,7 +42,7 @@ const FINGERPRINT_PATH: &str = concat!(
     "/../../tests/golden/perf_kernel_fingerprints.txt"
 );
 
-/// The three pinned shapes: name, config, horizon, step increment.
+/// The pinned shapes: name, config, horizon, step increment.
 fn shapes() -> Vec<(&'static str, ClusterConfig, f64, f64)> {
     const DAY: f64 = 24.0 * 3600.0;
     vec![
@@ -63,6 +63,23 @@ fn shapes() -> Vec<(&'static str, ClusterConfig, f64, f64)> {
             ClusterConfig::tiny(SystemKind::Mudi, 7),
             DAY,
             300.0,
+        ),
+        // The physical shape again through the rack-sharded engine
+        // (clamped to the 4-rack topology). Sharding must be
+        // unobservable in the simulated outcome, so this shape's
+        // committed fingerprint is *the same line* as
+        // batch-physical-mudi-5day's — the `--check` mode doubles as a
+        // shard-equivalence smoke. Its throughput entry tracks the
+        // sharded path's overhead/speedup against the plain loop.
+        (
+            "batch-physical-mudi-5day-4shard",
+            {
+                let mut c = ClusterConfig::physical(SystemKind::Mudi, 7);
+                c.shards = 4;
+                c
+            },
+            5.0 * DAY,
+            5.0 * DAY,
         ),
     ]
 }

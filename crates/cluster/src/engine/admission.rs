@@ -28,22 +28,23 @@ impl Admission {
         let mut arrivals = PhillyArrivals::new(
             st.config.arrival_rate,
             st.config.arrival_scale,
-            st.rng.fork("arrivals"),
+            st.shared.rng.fork("arrivals"),
         );
         let times = arrivals.generate(SimTime::ZERO, st.config.jobs);
         let weights: Vec<f64> = st
+            .shared
             .gt
             .zoo()
             .tasks()
             .iter()
             .map(|t| t.arrival_fraction)
             .collect();
-        let mut task_rng = st.rng.fork("task-mix");
+        let mut task_rng = st.shared.rng.fork("task-mix");
         for (i, &t) in times.iter().enumerate() {
             let task_idx = task_rng.pick_weighted(&weights);
-            let task = st.gt.zoo().tasks()[task_idx].id;
-            let total = ((st.gt.zoo().task(task).total_iterations() as f64 * st.iter_scale).round()
-                as u64)
+            let task = st.shared.gt.zoo().tasks()[task_idx].id;
+            let total = ((st.shared.gt.zoo().task(task).total_iterations() as f64 * st.iter_scale)
+                .round() as u64)
                 .max(10);
             let job = TrainingJob::new(JobId(i as u64), task, t, total);
             st.jobs.push(job);
@@ -52,7 +53,7 @@ impl Admission {
             // under fault injection; fault-free runs keep the paper's
             // free-checkpoint accounting bit-for-bit.
             let write_secs = if st.config.faults.is_some() {
-                st.gt.training_memory_gb(task) / st.recovery.checkpoint_write_gbps.max(0.1)
+                st.shared.gt.training_memory_gb(task) / st.recovery.checkpoint_write_gbps.max(0.1)
             } else {
                 0.0
             };
@@ -75,7 +76,7 @@ impl Admission {
     /// A job arrives: enqueue it and try to place the queue head.
     pub fn on_arrival(&self, st: &mut SimState, now: SimTime, job: JobId) {
         let j = &st.jobs[job.0 as usize];
-        let est = st.gt.zoo().task(j.task).gpu_hours * 3600.0 * st.iter_scale;
+        let est = st.shared.gt.zoo().task(j.task).gpu_hours * 3600.0 * st.iter_scale;
         st.queue.push(mudi::policy::QueueItem {
             arrival: now,
             est_duration: SimDuration::from_secs(est),
@@ -158,7 +159,10 @@ impl Admission {
             let task = st.jobs[job_id.0 as usize].task;
 
             let t0 = Instant::now();
-            let placed = st.system.place(&st.gt, task, &candidates, &mut st.rng);
+            let placed =
+                st.shared
+                    .system
+                    .place(&st.shared.gt, task, &candidates, &mut st.shared.rng);
             st.placement_secs.push(t0.elapsed().as_secs_f64());
 
             let Some(device) = placed else {
@@ -180,7 +184,7 @@ impl Admission {
             // Requeued jobs resume from their checkpointed progress.
             let proc = st.restored_process(job_id);
             st.devices[device]
-                .add_training(&st.gt, now, proc)
+                .add_training(&st.shared.gt, now, proc)
                 .expect("candidate had a free slot");
             st.jobs[job_id.0 as usize].start(now, device);
             let cap = st.applied_share_cap(now, device);

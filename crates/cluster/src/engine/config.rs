@@ -72,6 +72,18 @@ pub struct ClusterConfig {
     /// flat layout regardless, so topology never perturbs the
     /// fault-free reproduction.
     pub topology: TopologyShape,
+    /// Requested engine shard count (rack-aligned event-queue
+    /// partitions). `0` means auto: one shard for small clusters, up to
+    /// `min(racks, workers)` once the cluster is large enough that
+    /// sharding pays for itself. Any request is clamped to the rack
+    /// count; the `MUDI_SHARDS` environment variable overrides this
+    /// field. Results are bit-identical at every shard count.
+    pub shards: usize,
+    /// Length of one sharded stepping epoch, simulated seconds: the
+    /// commit barrier fires at multiples of this. Only consulted when
+    /// more than one shard is active; shorter epochs bound speculation
+    /// staleness, longer epochs amortize the per-epoch barrier cost.
+    pub shard_epoch_secs: f64,
 }
 
 /// Builds a [`ClusterConfig`] from a scale preset plus overrides.
@@ -107,6 +119,8 @@ impl ClusterConfigBuilder {
                 max_sim_secs: days * 24.0 * 3600.0,
                 faults: None,
                 topology: TopologyShape::from_env(),
+                shards: 0,
+                shard_epoch_secs: 60.0,
             },
         }
     }
@@ -168,6 +182,19 @@ impl ClusterConfigBuilder {
     /// Overrides the simulated-time safety cap.
     pub fn max_sim_secs(mut self, secs: f64) -> Self {
         self.config.max_sim_secs = secs;
+        self
+    }
+
+    /// Requests an explicit engine shard count (`0` = auto). The
+    /// engine clamps to the rack count; `MUDI_SHARDS` overrides.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Overrides the sharded stepping epoch length (simulated seconds).
+    pub fn shard_epoch_secs(mut self, secs: f64) -> Self {
+        self.config.shard_epoch_secs = secs.max(1.0);
         self
     }
 

@@ -54,7 +54,7 @@ impl Control {
                 m.violations += q * dt;
                 st.fmetrics.dropped_requests += q * dt;
             }
-            let gt = &st.gt;
+            let gt = &st.shared.gt;
             st.devices[d].record_utilization(gt, now);
             return;
         }
@@ -65,21 +65,24 @@ impl Control {
         let (service, batch, frac, qps) = (inf.service, inf.batch, inf.gpu_fraction, inf.qps);
         let (colo_buf, colo_n) = dev.colo_for_inference_buf();
         let colo = &colo_buf[..colo_n];
-        let slo = st.gt.zoo().service(service).slo_secs();
+        let slo = st.shared.gt.zoo().service(service).slo_secs();
         // Degraded devices deliver only `pf` of their effective compute:
         // the same model query at a proportionally smaller GPU share.
         let pf = dev.perf_factor();
         let frac = (frac * pf).max(0.01);
 
         // --- SLO violations. ---
-        let (mean, sigma, p99) = dev.latency_profile(&st.gt, service, batch, frac, colo);
+        let (mean, sigma, p99) = dev.latency_profile(&st.shared.gt, service, batch, frac, colo);
         st.dstate[d].last_p99 = Some(p99);
         st.dstate[d].last_util = if qps > 0.0 {
             mean / (batch as f64 / qps)
         } else {
             0.0
         };
-        let p_violation = violation_probability(qps, batch, slo, mean, sigma);
+        // Through the per-device memo: bit-identical to the direct
+        // call, and a hit when the sharded stepper's speculation phase
+        // (or the previous span) already computed this configuration.
+        let p_violation = st.dstate[d].vp_cache.get(qps, batch, slo, mean, sigma);
         st.dstate[d].last_pviol = p_violation;
         let requests = qps * dt;
         let m = st.services.entry(service);
@@ -102,9 +105,9 @@ impl Control {
                 let s_frac = (s.reserve_fraction * pf).max(0.01);
                 let (s_colo_buf, s_colo_n) = dev.colo_for_standby_buf();
                 let s_colo = &s_colo_buf[..s_colo_n];
-                let s_slo = st.gt.zoo().service(s_service).slo_secs();
+                let s_slo = st.shared.gt.zoo().service(s_service).slo_secs();
                 let (s_mean, s_sigma, s_p99) =
-                    dev.standby_latency_profile(&st.gt, s_service, s_batch, s_frac, s_colo);
+                    dev.standby_latency_profile(&st.shared.gt, s_service, s_batch, s_frac, s_colo);
                 let p_viol = violation_probability(s_qps, s_batch, s_slo, s_mean, s_sigma);
                 let m = st.services.entry(s_service);
                 m.requests += s_qps * dt;
@@ -134,7 +137,7 @@ impl Control {
                 }
                 let (view, vn) = dev.colo_for_training_buf(proc.id);
                 let eff = (proc.gpu_fraction * pf).max(1e-3);
-                let iter = st.gt.training_iteration(proc.task, eff, &view[..vn]);
+                let iter = st.shared.gt.training_iteration(proc.task, eff, &view[..vn]);
                 let slow = dev.memory().training_slowdown(proc.id);
                 // Checkpoint writes steal a fixed fraction of the run
                 // time (1.0 when writes are free).
@@ -162,7 +165,7 @@ impl Control {
         }
 
         // Utilization integrators see the (constant) current state.
-        let gt = &st.gt;
+        let gt = &st.shared.gt;
         st.devices[d].record_utilization(gt, now);
     }
 
@@ -221,7 +224,7 @@ impl Control {
                 if let Some(h) = st.dstate[d].standby_host {
                     if st.devices[h].is_up() {
                         self.accrue(st, now, h);
-                        st.devices[h].set_standby_qps(&st.gt, now, qps);
+                        st.devices[h].set_standby_qps(&st.shared.gt, now, qps);
                     }
                 }
             }
@@ -231,7 +234,7 @@ impl Control {
             );
             return;
         }
-        st.devices[d].set_inference_qps(&st.gt, now, qps + st.dstate[d].extra_qps);
+        st.devices[d].set_inference_qps(&st.shared.gt, now, qps + st.dstate[d].extra_qps);
 
         // Monitor check (§5.3.2): retune when drift exceeds 50 %.
         let triggered = st.dstate[d].monitor.observe_qps(qps).is_some();
@@ -271,7 +274,7 @@ impl Control {
         let mut sm = 0.0;
         let mut mem = 0.0;
         for dev in &st.devices {
-            sm += dev.sm_utilization(&st.gt);
+            sm += dev.sm_utilization(&st.shared.gt);
             mem += dev.memory().utilization();
         }
         let n = st.devices.len() as f64;
@@ -344,7 +347,7 @@ impl Control {
             device: d,
             service: inf.service,
             qps: inf.qps,
-            slo_secs: st.gt.zoo().service(inf.service).slo_secs(),
+            slo_secs: st.shared.gt.zoo().service(inf.service).slo_secs(),
             tasks,
             batch: inf.batch,
             fraction: inf.gpu_fraction,
@@ -353,7 +356,10 @@ impl Control {
         };
         let qps = inf.qps;
         let old_fraction = inf.gpu_fraction;
-        let mut decision: ConfigDecision = st.system.configure(&st.gt, &view, &mut st.rng);
+        let mut decision: ConfigDecision =
+            st.shared
+                .system
+                .configure(&st.shared.gt, &view, &mut st.shared.rng);
         let mut tasks = view.tasks;
         tasks.clear();
         st.scratch_tasks = tasks;
@@ -365,7 +371,7 @@ impl Control {
         decision.clamp_for_reserve(st.devices[d].standby_reserve());
 
         // Apply the batch (free) and memory demand.
-        st.devices[d].set_inference_batch(&st.gt, now, decision.batch);
+        st.devices[d].set_inference_batch(&st.shared.gt, now, decision.batch);
 
         // Apply the fraction; a change costs visible downtime, accrued
         // as violated requests at the current QPS. Hysteresis: tiny
@@ -498,7 +504,7 @@ impl Control {
             let job = &st.jobs[proc.id.0 as usize];
             let (view, vn) = dev.colo_for_training_buf(proc.id);
             let eff = (proc.gpu_fraction * pf).max(1e-3);
-            let iter = st.gt.training_iteration(proc.task, eff, &view[..vn]);
+            let iter = st.shared.gt.training_iteration(proc.task, eff, &view[..vn]);
             let slow = dev.memory().training_slowdown(proc.id);
             let ck_eff = st
                 .ckpt
@@ -516,7 +522,9 @@ impl Control {
             to_schedule.push((proc.id, remaining.max(1e-3)));
         }
         for &(rid, secs) in &to_schedule {
-            st.events.schedule_at(
+            // Completions live on the running device's home shard.
+            st.events.schedule_at_on(
+                d,
                 now + SimDuration::from_secs(secs),
                 Event::JobCompletion {
                     job: JobId(rid.0),

@@ -17,6 +17,7 @@ use crate::job::{JobId, JobState};
 
 use super::admission::Admission;
 use super::control::Control;
+use super::shard::ShardMsg;
 use super::state::{Event, SimState};
 
 /// Effective-compute factor of a freshly repaired device during its
@@ -40,6 +41,56 @@ impl Faults {
             st.dstate[d].guard.record(now);
             Control.reconfigure(st, now, d);
         }
+    }
+
+    /// Drains every shard inbox at the current instant, applying
+    /// cross-shard reroute traffic in canonical shard-ascending FIFO
+    /// order. Shards own contiguous ascending device ranges and each
+    /// emission site pushes its messages in ascending-survivor order,
+    /// so this drain order equals ascending-device order — exactly the
+    /// order the unsharded engine applied the same operations in.
+    /// Messages are applied *immediately* at the emitting event's
+    /// instant (never deferred to the epoch barrier): deferring would
+    /// let a survivor accrue a span at its pre-reroute QPS and change
+    /// the results.
+    fn drain_msgs(&self, st: &mut SimState, now: SimTime) {
+        let mut buf = std::mem::take(&mut st.scratch_msgs);
+        for s in 0..st.events.shard_count() {
+            debug_assert!(buf.is_empty());
+            st.events.take_inbox(s, &mut buf);
+            for &msg in &buf {
+                match msg {
+                    ShardMsg::Reroute {
+                        origin,
+                        survivor,
+                        share,
+                    } => {
+                        Control.accrue(st, now, survivor);
+                        st.dstate[survivor].extra_qps += share;
+                        let cur = st.devices[survivor].inference().expect("up replica").qps;
+                        st.devices[survivor].set_inference_qps(&st.shared.gt, now, cur + share);
+                        st.dstate[origin].rerouted.push((survivor, share));
+                        self.reconfigure_guarded(st, now, survivor);
+                    }
+                    ShardMsg::RerouteUndo { survivor, share } => {
+                        st.dstate[survivor].extra_qps =
+                            (st.dstate[survivor].extra_qps - share).max(0.0);
+                        if st.devices[survivor].is_up() {
+                            Control.accrue(st, now, survivor);
+                            let cur = st.devices[survivor].inference().expect("up replica").qps;
+                            st.devices[survivor].set_inference_qps(
+                                &st.shared.gt,
+                                now,
+                                (cur - share).max(0.0),
+                            );
+                            self.reconfigure_guarded(st, now, survivor);
+                        }
+                    }
+                }
+            }
+            buf.clear();
+        }
+        st.scratch_msgs = buf;
     }
 
     /// Dispatches schedule entry `idx` to its class handler.
@@ -132,14 +183,21 @@ impl Faults {
                     survivors: survivors.len(),
                 });
                 let share = base / survivors.len() as f64;
+                // Each survivor's share travels as a typed cross-shard
+                // message to its home shard's inbox; the immediate
+                // drain applies them in ascending-survivor order, as
+                // the inline loop did.
                 for &s in &survivors {
-                    Control.accrue(st, now, s);
-                    st.dstate[s].extra_qps += share;
-                    let cur = st.devices[s].inference().expect("up replica").qps;
-                    st.devices[s].set_inference_qps(&st.gt, now, cur + share);
-                    st.dstate[d].rerouted.push((s, share));
-                    self.reconfigure_guarded(st, now, s);
+                    st.events.push_msg_for(
+                        s,
+                        ShardMsg::Reroute {
+                            origin: d,
+                            survivor: s,
+                            share,
+                        },
+                    );
                 }
+                self.drain_msgs(st, now);
                 // Rerouting is immediate in the model: survivors absorb
                 // the load within the same instant.
                 st.fmetrics.failover_latency_secs.push(0.0);
@@ -229,7 +287,7 @@ impl Faults {
                 let job = &mut st.jobs[ji];
                 job.state = JobState::Queued;
                 job.device = None;
-                let est = st.gt.zoo().task(job.task).gpu_hours * 3600.0 * st.iter_scale;
+                let est = st.shared.gt.zoo().task(job.task).gpu_hours * 3600.0 * st.iter_scale;
                 st.queue.push(QueueItem {
                     arrival: job.submitted,
                     est_duration: SimDuration::from_secs(est),
@@ -275,7 +333,7 @@ impl Faults {
             if st.devices[h].is_up() {
                 Control.accrue(st, now, h);
                 let (devices, trace) = (&mut st.devices, &mut st.trace);
-                devices[h].demote_standby_traced(&st.gt, now, d, trace);
+                devices[h].demote_standby_traced(&st.shared.gt, now, d, trace);
                 st.fmetrics.standby_reseeds += 1;
                 self.reconfigure_guarded(st, now, h);
             }
@@ -288,17 +346,16 @@ impl Faults {
             }
         }
 
-        // Undo the failover: survivors stop serving this replica's share.
+        // Undo the failover: survivors stop serving this replica's
+        // share. The ledger was built in ascending-survivor order, so
+        // the message drain replays the undos in the same order the
+        // inline loop used.
         let rerouted = std::mem::take(&mut st.dstate[d].rerouted);
-        for (s, share) in rerouted {
-            st.dstate[s].extra_qps = (st.dstate[s].extra_qps - share).max(0.0);
-            if st.devices[s].is_up() {
-                Control.accrue(st, now, s);
-                let cur = st.devices[s].inference().expect("up replica").qps;
-                st.devices[s].set_inference_qps(&st.gt, now, (cur - share).max(0.0));
-                self.reconfigure_guarded(st, now, s);
-            }
+        for &(s, share) in &rerouted {
+            st.events
+                .push_msg_for(s, ShardMsg::RerouteUndo { survivor: s, share });
         }
+        self.drain_msgs(st, now);
 
         // Redeploy at the demand the generator currently calls for.
         let mut inst = st.dstate[d]
@@ -308,7 +365,7 @@ impl Faults {
         let base =
             st.dstate[d].qps_gen.current() * st.config.load_multiplier * st.burst_multiplier(now);
         inst.qps = base + st.dstate[d].extra_qps;
-        st.devices[d].deploy_inference(&st.gt, now, inst);
+        st.devices[d].deploy_inference(&st.shared.gt, now, inst);
 
         // Re-seed the pool: a repaired device that held a standby slot
         // rejoins with a fresh idle standby.
@@ -318,7 +375,7 @@ impl Faults {
                 let svc = st.standby_registry[slot.0];
                 if st.devices[d].standby().is_none() {
                     st.devices[d].seed_standby(
-                        &st.gt,
+                        &st.shared.gt,
                         now,
                         StandbyInstance::new(svc, 16, sb.reserve_fraction, sb.preloaded_weights),
                     );
@@ -342,7 +399,7 @@ impl Faults {
                 job.total_iterations,
             );
             st.devices[d]
-                .add_training(&st.gt, now, proc)
+                .add_training(&st.shared.gt, now, proc)
                 .expect("repaired device has free slots");
         }
         if !st.devices[d].trainings().is_empty() {
@@ -392,7 +449,7 @@ impl Faults {
         Control.accrue(st, now, target);
         Control.accrue(st, now, host);
         let (devices, trace) = (&mut st.devices, &mut st.trace);
-        devices[host].promote_standby_traced(&st.gt, now, qps, target, trace);
+        devices[host].promote_standby_traced(&st.shared.gt, now, qps, target, trace);
         st.dstate[target].standby_host = Some(host);
         st.fmetrics.standby_promotions += 1;
         self.reconfigure_guarded(st, now, host);

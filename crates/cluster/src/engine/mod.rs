@@ -33,6 +33,7 @@ mod config;
 mod control;
 mod faults;
 mod session;
+mod shard;
 mod state;
 mod stepper;
 
@@ -104,7 +105,7 @@ impl ClusterEngine {
 
     /// The ground-truth model backing this run.
     pub fn ground_truth(&self) -> &GroundTruth {
-        &self.st.gt
+        &self.st.shared.gt
     }
 
     /// The rack/node topology devices are addressed through.

@@ -202,8 +202,8 @@ impl ClusterSession {
         let wall_start = Instant::now();
         Admission.submit_jobs(&mut st);
         Stepper.schedule_initial_events(&mut st);
-        let infer_rng = st.rng.fork("serve-infer");
-        let n_services = st.gt.zoo().services().len();
+        let infer_rng = st.shared.rng.fork("serve-infer");
+        let n_services = st.shared.gt.zoo().services().len();
         ClusterSession {
             st,
             now: SimTime::ZERO,
@@ -242,10 +242,27 @@ impl ClusterSession {
         }
         let before = self.st.events.fired();
         // Handlers may schedule follow-ups at (clamped) times inside
-        // the horizon, so keep draining until none remain.
-        while let Some((t, event)) = self.st.events.pop_until(horizon) {
-            if Stepper.dispatch(&mut self.st, t, event) {
-                self.last_finish = t;
+        // the horizon, so keep draining until none remain. With
+        // multiple shards *and* workers the drain proceeds in epoch
+        // windows — parallel speculation, then a serial canonical-order
+        // commit — inheriting the batch stepper's contract, so a
+        // session over a sharded cluster replays bit-identically too.
+        let workers = self.st.events.workers();
+        while let Some(next) = self.st.events.peek_time().filter(|&t| t <= horizon) {
+            let window_end = if workers > 1 {
+                let end = self.st.events.epoch_end_after(next).min(horizon);
+                super::shard::speculate_epoch(&mut self.st, workers);
+                end
+            } else {
+                horizon
+            };
+            while let Some((t, event)) = self.st.events.pop_until(window_end) {
+                if Stepper.dispatch(&mut self.st, t, event) {
+                    self.last_finish = t;
+                }
+            }
+            if workers <= 1 {
+                break;
             }
         }
         self.now = horizon;
@@ -283,13 +300,21 @@ impl ClusterSession {
                 continue;
             }
             let pf = dev.perf_factor();
-            let slo = self.st.gt.zoo().service(service).slo_secs();
+            let slo = self.st.shared.gt.zoo().service(service).slo_secs();
             let candidate = if let Some(inf) = dev.inference().filter(|i| i.service == service) {
                 let frac = (inf.gpu_fraction * pf).max(0.01);
                 let (colo_buf, colo_n) = dev.colo_for_inference_buf();
                 let colo = &colo_buf[..colo_n];
-                let mean = self.st.gt.inference_latency(service, inf.batch, frac, colo);
-                let sigma = self.st.gt.effective_sigma(service, inf.batch, frac, colo);
+                let mean = self
+                    .st
+                    .shared
+                    .gt
+                    .inference_latency(service, inf.batch, frac, colo);
+                let sigma = self
+                    .st
+                    .shared
+                    .gt
+                    .effective_sigma(service, inf.batch, frac, colo);
                 let p = violation_probability(inf.qps, inf.batch, slo, mean, sigma);
                 let fill = if inf.qps > 0.0 {
                     inf.batch as f64 / inf.qps
@@ -304,8 +329,16 @@ impl ClusterSession {
                 let frac = (s.reserve_fraction * pf).max(0.01);
                 let (colo_buf, colo_n) = dev.colo_for_standby_buf();
                 let colo = &colo_buf[..colo_n];
-                let mean = self.st.gt.inference_latency(service, s.batch, frac, colo);
-                let sigma = self.st.gt.effective_sigma(service, s.batch, frac, colo);
+                let mean = self
+                    .st
+                    .shared
+                    .gt
+                    .inference_latency(service, s.batch, frac, colo);
+                let sigma = self
+                    .st
+                    .shared
+                    .gt
+                    .effective_sigma(service, s.batch, frac, colo);
                 let p = violation_probability(s.qps, s.batch, slo, mean, sigma);
                 let fill = if s.qps > 0.0 {
                     s.batch as f64 / s.qps
@@ -337,7 +370,7 @@ impl ClusterSession {
         let wait = self.infer_rng.f64() * fill;
         let z = simcore::normal_quantile(self.infer_rng.f64().clamp(1e-12, 1.0 - 1e-12));
         let latency_secs = wait + mean * (sigma * z).exp();
-        let slo_secs = self.st.gt.zoo().service(service).slo_secs();
+        let slo_secs = self.st.shared.gt.zoo().service(service).slo_secs();
         let violation = latency_secs > slo_secs;
 
         let idx = self.service_index(service);
@@ -400,12 +433,13 @@ impl ClusterSession {
             * self.st.config.load_multiplier
             * self.st.burst_multiplier(now);
         self.st.devices[device].deploy_inference(
-            &self.st.gt,
+            &self.st.shared.gt,
             now,
             InferenceInstance::new(service, 16, 0.6, qps),
         );
         self.st.dstate[device].service = service;
-        self.st.dstate[device].monitor = Monitor::new(0.5, self.st.gt.zoo().service(service).slo);
+        self.st.dstate[device].monitor =
+            Monitor::new(0.5, self.st.shared.gt.zoo().service(service).slo);
         self.st.dstate[device].last_p99 = None;
         // This deploy restores the service if it was in total outage.
         if let Some(start) = self.st.outage_start[service.0].take() {
@@ -466,6 +500,7 @@ impl ClusterSession {
                 let counts = self.up_replica_counts();
                 let to = self
                     .st
+                    .shared
                     .gt
                     .zoo()
                     .services()
@@ -513,7 +548,7 @@ impl ClusterSession {
             Control.accrue(&mut self.st, now, d);
         }
         let mut rows = Vec::new();
-        for (i, spec) in self.st.gt.zoo().services().iter().enumerate() {
+        for (i, spec) in self.st.shared.gt.zoo().services().iter().enumerate() {
             let id = spec.id;
             let assigned = (0..self.st.devices.len())
                 .filter(|&d| self.st.dstate[d].service == id)
@@ -595,7 +630,7 @@ impl ClusterSession {
 
     /// The ground-truth zoo behind this session (service catalogue).
     pub fn zoo(&self) -> &workloads::Zoo {
-        self.st.gt.zoo()
+        self.st.shared.gt.zoo()
     }
 
     /// Finalizes the session and assembles the batch-equivalent result.
@@ -614,7 +649,15 @@ impl ClusterSession {
     // ------------------------------------------------------------------
 
     fn check_service(&self, service: ServiceId) -> Result<(), SessionError> {
-        if self.st.gt.zoo().services().iter().any(|s| s.id == service) {
+        if self
+            .st
+            .shared
+            .gt
+            .zoo()
+            .services()
+            .iter()
+            .any(|s| s.id == service)
+        {
             Ok(())
         } else {
             Err(SessionError::UnknownService(service))
@@ -624,6 +667,7 @@ impl ClusterSession {
     /// Position of `service` in the zoo's service list.
     fn service_index(&self, service: ServiceId) -> usize {
         self.st
+            .shared
             .gt
             .zoo()
             .services()
@@ -639,7 +683,7 @@ impl ClusterSession {
     }
 
     fn up_replica_counts(&self) -> Vec<usize> {
-        let mut counts = vec![0usize; self.st.gt.zoo().services().len()];
+        let mut counts = vec![0usize; self.st.shared.gt.zoo().services().len()];
         for d in 0..self.st.devices.len() {
             if self.st.devices[d].is_up() {
                 counts[self.service_index(self.st.dstate[d].service)] += 1;

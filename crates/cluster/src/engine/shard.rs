@@ -1,0 +1,507 @@
+//! Rack-sharded event scheduling and the epoch-barrier stepping plan.
+//!
+//! The staged kernel partitions its event population over rack-aligned
+//! shards ([`simcore::ShardMap`]): every engine event has a *home
+//! shard* — the shard owning the device it concerns — and lives in that
+//! shard's own [`EventQueue`]. One **global** `(clock, sequence)` pair
+//! spans all queues, so popping the `(time, seq)`-minimum across the
+//! per-shard queues reproduces a single queue's pop order *exactly*:
+//! time order first, then global schedule order at equal times. That
+//! invariant is what makes every run bit-identical at 1, 2, 4, or 8
+//! shards — the sharding changes where events wait, never when or in
+//! what order they fire.
+//!
+//! # The epoch-barrier contract
+//!
+//! Sharded stepping alternates two phases per epoch window (a fixed
+//! stretch of simulated time, `shard_epoch_secs`, fast-forwarded past
+//! idle gaps):
+//!
+//! 1. **Speculation** (parallel): each shard's worker walks its own
+//!    contiguous device slice and warms *pure, per-device* memos — the
+//!    [`GpuDevice`] latency-profile cell and the [`VpCache`]
+//!    violation-probability slot — from the devices' current
+//!    configurations. Both memos are keyed on the exact bit patterns
+//!    of their inputs, so a stale entry can never be *wrongly* reused:
+//!    the commit phase re-checks the key and recomputes on any
+//!    mismatch. Speculation therefore cannot perturb results, only
+//!    move work off the serial critical path.
+//! 2. **Commit** (serial): events inside the window are popped in the
+//!    canonical global order and dispatched exactly as the
+//!    single-queue engine would. Order-sensitive state — the shared
+//!    tuner and placement RNG stream, global float accumulators —
+//!    is only ever touched here.
+//!
+//! Cross-shard traffic (failover reroutes and their undo at repair)
+//! travels as typed [`ShardMsg`] values through per-shard inboxes,
+//! drained *immediately at the emitting event's instant* in canonical
+//! shard-ascending order. Because shards own contiguous ascending
+//! device ranges, shard-ascending FIFO drain order equals ascending
+//! survivor-device order — the exact order the unsharded engine
+//! applied reroutes in, which is why the goldens stay byte-identical.
+//! Standby promotions and correlated blast expansions already travel
+//! through the event queues themselves, routed to the affected
+//! device's home shard.
+//!
+//! # Per-shard randomness
+//!
+//! Every order-insensitive stream the kernel draws is forked per
+//! *device* from the run seed (`fork_indexed("qps", d)`,
+//! `fork_indexed("dwell0", d)`), and devices never migrate between
+//! shards — so each shard already owns an independent, run-seed-derived
+//! family of RNG streams, identical at every shard count. The only
+//! draws on the shared global stream (GP-LCB retunes, placement) are
+//! order-sensitive by nature and run in the serial commit phase.
+
+use gpu_sim::GpuDevice;
+use simcore::{scoped_for_each_mut, EventQueue, ShardMap, SimDuration, SimTime, Topology};
+
+use super::control::violation_probability;
+use super::state::{DeviceState, Event, SimState};
+
+/// Auto-sharding floor: below this device count a single shard wins
+/// (the merge scan and epoch machinery cost more than they save).
+pub(super) const AUTO_SHARD_MIN_DEVICES: usize = 4096;
+
+/// A typed cross-shard message, applied at the instant it is emitted.
+#[derive(Clone, Copy, Debug)]
+pub(super) enum ShardMsg {
+    /// A failed replica's base traffic lands on a surviving
+    /// same-service replica (possibly on another shard).
+    Reroute {
+        /// The failed device whose traffic is moving.
+        origin: usize,
+        /// The surviving device absorbing `share` extra QPS.
+        survivor: usize,
+        /// QPS share this survivor absorbs.
+        share: f64,
+    },
+    /// A repair returns a previously rerouted share to its origin.
+    RerouteUndo {
+        /// The surviving device releasing `share` extra QPS.
+        survivor: usize,
+        /// QPS share released.
+        share: f64,
+    },
+}
+
+/// One shard's event lane: its own queue plus the inbox cross-shard
+/// messages land in until the canonical drain applies them.
+struct ShardLane {
+    queue: EventQueue<Event>,
+    inbox: Vec<ShardMsg>,
+}
+
+/// The sharded event scheduler: per-shard queues under one global
+/// clock and sequence counter. Drop-in replacement for the single
+/// [`EventQueue`] the kernel used to own — same `schedule_at` /
+/// `schedule_in` / `pop` / `pop_until` / `now` / `fired` surface, same
+/// observable behavior at every shard count.
+pub(super) struct ShardedEvents {
+    topo: Topology,
+    map: ShardMap,
+    lanes: Vec<ShardLane>,
+    /// Global simulated clock: the firing time of the last popped
+    /// event, regardless of which lane it came from.
+    clock: SimTime,
+    /// Global tie-break sequence spanning every lane.
+    next_seq: u64,
+    /// Global pop count.
+    fired: u64,
+    /// Epoch window length, simulated seconds.
+    epoch_secs: f64,
+    /// Worker count for the speculation phase, resolved once at
+    /// construction (`max_workers()` reads the environment and
+    /// allocates — the hot stepping paths must not call it per step).
+    workers: usize,
+}
+
+impl ShardedEvents {
+    /// Builds the lanes for `requested` shards (clamped to the rack
+    /// count by [`ShardMap`]) and pre-sizes each lane's heap for its
+    /// own device range plus `extra` shared events, so bounded
+    /// steady-state populations never reallocate.
+    pub fn new(topo: &Topology, requested: usize, epoch_secs: f64, extra: usize) -> Self {
+        let map = ShardMap::new(topo, requested.max(1));
+        let lanes = (0..map.shards())
+            .map(|s| {
+                let mut queue = EventQueue::new();
+                queue.reserve(2 * map.device_range(s).len() + extra);
+                ShardLane {
+                    queue,
+                    inbox: Vec::new(),
+                }
+            })
+            .collect();
+        let workers = simcore::max_workers().min(map.shards());
+        ShardedEvents {
+            topo: topo.clone(),
+            map,
+            lanes,
+            clock: SimTime::ZERO,
+            next_seq: 0,
+            fired: 0,
+            epoch_secs: epoch_secs.max(1.0),
+            workers,
+        }
+    }
+
+    /// Resolved shard count.
+    pub fn shard_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Speculation workers (`min(max_workers(), shards)`, resolved at
+    /// construction).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The rack→shard partition behind the lanes.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Global simulated time (firing time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Total events fired across every lane.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Total pending events across every lane.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.queue.len()).sum()
+    }
+
+    /// Whether every lane is drained.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(|l| l.queue.is_empty())
+    }
+
+    /// The home shard of a self-describing event. Events that do not
+    /// name a device (arrivals, the utilization sample) live on shard
+    /// 0; events whose device is known only to the caller
+    /// (completions, schedule faults) go through
+    /// [`ShardedEvents::schedule_at_on`].
+    fn home_shard(&self, ev: &Event) -> usize {
+        match *ev {
+            Event::QpsChange(d) | Event::Retune(d) | Event::DeviceRepair(d) => self.shard_of(d),
+            Event::SlowdownEnd { device, .. } | Event::ProcessRestart { device, .. } => {
+                self.shard_of(device)
+            }
+            Event::StandbyPromote { host, .. } => self.shard_of(host),
+            Event::JobArrival(_)
+            | Event::UtilSample
+            | Event::JobCompletion { .. }
+            | Event::Fault(_) => 0,
+        }
+    }
+
+    /// The shard owning device `d`.
+    pub fn shard_of(&self, d: usize) -> usize {
+        self.map.shard_of_device(&self.topo, d)
+    }
+
+    /// Schedules `event` at absolute time `at` on its home shard.
+    /// Scheduling in the past is clamped to the global clock, exactly
+    /// like the single queue clamped to its own.
+    pub fn schedule_at(&mut self, at: SimTime, event: Event) {
+        let lane = self.home_shard(&event);
+        self.schedule_on_lane(lane, at, event);
+    }
+
+    /// Schedules `event` on the shard owning `device` — the routing
+    /// for events whose home device is not in their payload
+    /// (completions and schedule-fault dispatches).
+    pub fn schedule_at_on(&mut self, device: usize, at: SimTime, event: Event) {
+        let lane = self.shard_of(device);
+        self.schedule_on_lane(lane, at, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the global clock.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: Event) {
+        self.schedule_at(self.clock + delay, event);
+    }
+
+    fn schedule_on_lane(&mut self, lane: usize, at: SimTime, event: Event) {
+        let at = at.max(self.clock);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.lanes[lane].queue.schedule_raw(at, seq, event);
+    }
+
+    /// The `(time, seq)` key and lane of the globally next event.
+    fn peek_best(&self) -> Option<((SimTime, u64), usize)> {
+        let mut best: Option<((SimTime, u64), usize)> = None;
+        for (s, lane) in self.lanes.iter().enumerate() {
+            if let Some(k) = lane.queue.peek_key() {
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, s));
+                }
+            }
+        }
+        best
+    }
+
+    /// Firing time of the globally next event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.peek_best().map(|((t, _), _)| t)
+    }
+
+    /// Pops the globally next event, advancing the global clock.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let (_, s) = self.peek_best()?;
+        let (at, event) = self.lanes[s].queue.pop().expect("peeked lane is non-empty");
+        self.clock = at;
+        self.fired += 1;
+        Some((at, event))
+    }
+
+    /// Pops the globally next event only if it fires at or before
+    /// `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, Event)> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// The first epoch boundary strictly after `t` — the commit
+    /// window's end. Windows are anchored on absolute multiples of the
+    /// epoch length so the boundary sequence is a property of the
+    /// config, not of the event population; anchoring on the *next
+    /// event's* time fast-forwards over idle stretches (a window is
+    /// never empty).
+    pub fn epoch_end_after(&self, t: SimTime) -> SimTime {
+        let e = self.epoch_secs;
+        let end = ((t.as_secs() / e).floor() + 1.0) * e;
+        if end > t.as_secs() {
+            SimTime::from_secs(end)
+        } else {
+            // f64 roundoff at extreme magnitudes: fall back to a plain
+            // one-epoch advance so the window always makes progress.
+            t + SimDuration::from_secs(e)
+        }
+    }
+
+    /// Drops `msg` into the inbox of the shard owning `device`.
+    pub fn push_msg_for(&mut self, device: usize, msg: ShardMsg) {
+        let s = self.shard_of(device);
+        self.lanes[s].inbox.push(msg);
+    }
+
+    /// Moves shard `s`'s pending messages into `buf` (in FIFO order),
+    /// leaving the inbox empty with its capacity retained.
+    pub fn take_inbox(&mut self, s: usize, buf: &mut Vec<ShardMsg>) {
+        buf.append(&mut self.lanes[s].inbox);
+    }
+}
+
+/// Single-slot memo for [`violation_probability`], keyed on the exact
+/// bit patterns of all five arguments. The function is pure, so a key
+/// hit is always safe to reuse — speculatively warmed entries included
+/// — and a miss just recomputes. One slot per device covers the common
+/// case (repeated accruals under an unchanged configuration).
+#[derive(Clone, Copy, Debug, Default)]
+pub(super) struct VpCache {
+    key: Option<(u64, u32, u64, u64, u64)>,
+    p: f64,
+}
+
+impl VpCache {
+    fn key_of(qps: f64, batch: u32, slo: f64, mean: f64, sigma: f64) -> (u64, u32, u64, u64, u64) {
+        (
+            qps.to_bits(),
+            batch,
+            slo.to_bits(),
+            mean.to_bits(),
+            sigma.to_bits(),
+        )
+    }
+
+    /// The memoized probability, or a fresh computation (stored for
+    /// the next lookup). Bit-identical to calling
+    /// [`violation_probability`] directly.
+    pub fn get(&mut self, qps: f64, batch: u32, slo: f64, mean: f64, sigma: f64) -> f64 {
+        let key = Self::key_of(qps, batch, slo, mean, sigma);
+        if self.key == Some(key) {
+            return self.p;
+        }
+        let p = violation_probability(qps, batch, slo, mean, sigma);
+        self.key = Some(key);
+        self.p = p;
+        p
+    }
+}
+
+/// The parallel speculation phase: each shard's worker warms its own
+/// devices' pure memos (latency-profile cells and [`VpCache`] slots)
+/// from their current configurations, so the serial commit phase's
+/// first accrual per device is a cache hit. Runs on
+/// [`scoped_for_each_mut`] with disjoint `&mut` slices cut along the
+/// shard map's contiguous device ranges — no locks, no sharing of the
+/// `!Sync` device memos across threads.
+///
+/// The multi-worker barrier allocates O(shards) claim slots and spawns
+/// worker threads per call; callers amortize that by invoking it once
+/// per epoch window, never per event.
+pub(super) fn speculate_epoch(st: &mut SimState, workers: usize) {
+    let shards = st.events.shard_count();
+    if shards <= 1 || workers <= 1 {
+        return;
+    }
+
+    struct ShardWork<'a> {
+        devices: &'a mut [GpuDevice],
+        dstate: &'a mut [DeviceState],
+    }
+
+    let mut work: Vec<ShardWork> = Vec::with_capacity(shards);
+    let mut dev_rest: &mut [GpuDevice] = &mut st.devices;
+    let mut ds_rest: &mut [DeviceState] = &mut st.dstate;
+    let mut cut = 0usize;
+    for s in 0..shards {
+        let range = st.events.map().device_range(s);
+        debug_assert_eq!(range.start, cut, "shard device ranges are contiguous");
+        let len = range.end - cut;
+        cut = range.end;
+        let (devices, rest_d) = dev_rest.split_at_mut(len);
+        let (dstate, rest_s) = ds_rest.split_at_mut(len);
+        dev_rest = rest_d;
+        ds_rest = rest_s;
+        work.push(ShardWork { devices, dstate });
+    }
+
+    let gt = &st.shared.gt;
+    scoped_for_each_mut(&mut work, workers, |_, w| {
+        for (dev, ds) in w.devices.iter_mut().zip(w.dstate.iter_mut()) {
+            let dev = &*dev;
+            if !dev.is_up() {
+                continue;
+            }
+            let Some(inf) = dev.inference() else { continue };
+            let pf = dev.perf_factor();
+            let frac = (inf.gpu_fraction * pf).max(0.01);
+            let (colo_buf, colo_n) = dev.colo_for_inference_buf();
+            let colo = &colo_buf[..colo_n];
+            let slo = gt.zoo().service(inf.service).slo_secs();
+            let (mean, sigma, _p99) = dev.latency_profile(gt, inf.service, inf.batch, frac, colo);
+            let _ = ds.vp_cache.get(inf.qps, inf.batch, slo, mean, sigma);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::TopologyShape;
+
+    fn sharded(racks: usize, npr: usize, devices: usize, shards: usize) -> ShardedEvents {
+        let topo = Topology::new(TopologyShape::new(racks, npr), devices);
+        ShardedEvents::new(&topo, shards, 60.0, 16)
+    }
+
+    #[test]
+    fn merged_pop_order_matches_a_single_queue() {
+        // Mixed routing across 4 shards: pops come back in global
+        // (time, seq) order no matter which lane each event sits in.
+        let mut q = sharded(4, 2, 16, 4);
+        q.schedule_at(SimTime::from_secs(5.0), Event::QpsChange(15)); // shard 3
+        q.schedule_at(SimTime::from_secs(1.0), Event::QpsChange(0)); // shard 0
+        q.schedule_at(SimTime::from_secs(1.0), Event::QpsChange(12)); // shard 3, same t
+        q.schedule_in(SimDuration::from_secs(2.0), Event::UtilSample); // shard 0
+        q.schedule_at_on(5, SimTime::from_secs(1.0), Event::Fault(0)); // shard 1, same t
+        let mut order = Vec::new();
+        while let Some((t, ev)) = q.pop() {
+            order.push((t.as_secs(), format!("{ev:?}")));
+        }
+        assert_eq!(
+            order,
+            vec![
+                (1.0, "QpsChange(0)".to_string()),
+                (1.0, "QpsChange(12)".to_string()),
+                (1.0, "Fault(0)".to_string()),
+                (2.0, "UtilSample".to_string()),
+                (5.0, "QpsChange(15)".to_string()),
+            ]
+        );
+        assert_eq!(q.fired(), 5);
+        assert_eq!(q.now(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_the_global_clock() {
+        // An event popped on shard 0 advances the *global* clock; a
+        // later schedule in the past on another shard clamps to it.
+        let mut q = sharded(4, 2, 16, 4);
+        q.schedule_at(SimTime::from_secs(10.0), Event::QpsChange(0));
+        q.pop();
+        q.schedule_at(SimTime::from_secs(1.0), Event::QpsChange(15));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(10.0));
+    }
+
+    #[test]
+    fn epoch_windows_fast_forward_past_idle_gaps() {
+        let q = sharded(4, 2, 16, 4);
+        // Inside an epoch: boundary is the next multiple of 60.
+        assert_eq!(
+            q.epoch_end_after(SimTime::from_secs(10.0)),
+            SimTime::from_secs(60.0)
+        );
+        // Exactly on a boundary: the window is the *next* epoch.
+        assert_eq!(
+            q.epoch_end_after(SimTime::from_secs(60.0)),
+            SimTime::from_secs(120.0)
+        );
+        // Far in the future: anchored on absolute multiples, so the
+        // window still lands on a config-derived boundary.
+        assert_eq!(
+            q.epoch_end_after(SimTime::from_secs(86_401.0)),
+            SimTime::from_secs(86_460.0)
+        );
+    }
+
+    #[test]
+    fn inboxes_drain_in_shard_ascending_fifo_order() {
+        let mut q = sharded(4, 2, 16, 4);
+        // Push out of device order; shard-ascending FIFO drain must
+        // return them in ascending-device order (contiguous ranges).
+        for d in [14usize, 2, 9, 5] {
+            q.push_msg_for(
+                d,
+                ShardMsg::RerouteUndo {
+                    survivor: d,
+                    share: 1.0,
+                },
+            );
+        }
+        let mut seen = Vec::new();
+        let mut buf = Vec::new();
+        for s in 0..q.shard_count() {
+            q.take_inbox(s, &mut buf);
+            for m in buf.drain(..) {
+                if let ShardMsg::RerouteUndo { survivor, .. } = m {
+                    seen.push(survivor);
+                }
+            }
+        }
+        assert_eq!(seen, vec![2, 5, 9, 14]);
+    }
+
+    #[test]
+    fn vp_cache_is_bit_identical_to_the_direct_call() {
+        let mut c = VpCache::default();
+        let args = [(30.0, 16u32, 0.2, 0.05, 0.3), (45.0, 8, 0.1, 0.09, 0.2)];
+        for &(qps, batch, slo, mean, sigma) in &args {
+            let direct = violation_probability(qps, batch, slo, mean, sigma);
+            assert_eq!(c.get(qps, batch, slo, mean, sigma), direct);
+            // Second lookup is the memo hit, same bits.
+            assert_eq!(c.get(qps, batch, slo, mean, sigma), direct);
+        }
+    }
+}

@@ -17,7 +17,7 @@ use gpu_sim::{
 use mudi::policy::{FairState, QueueItem};
 use mudi::{CircuitBreaker, Monitor, RetuneGuard};
 use resilience::{CheckpointTracker, FaultSchedule, RecoveryPolicy};
-use simcore::{EventQueue, SimRng, SimTime, Topology, TraceBus, TraceConfig};
+use simcore::{SimRng, SimTime, Topology, TraceBus, TraceConfig};
 use workloads::perf::DEVICE_MEMORY_GB;
 use workloads::{FluctuatingQps, GroundTruth, ServiceId, Zoo};
 
@@ -26,6 +26,7 @@ use crate::metrics::{FaultMetrics, ServiceTable};
 use crate::systems::{build_system, Multiplexer};
 
 use super::config::ClusterConfig;
+use super::shard::{ShardMsg, ShardedEvents, VpCache, AUTO_SHARD_MIN_DEVICES};
 
 /// Engine-internal events, sequenced by the stepper.
 #[derive(Clone, Debug)]
@@ -134,21 +135,41 @@ pub(super) struct DeviceState {
     /// Bumped per promote so a stale `StandbyPromote` event cannot
     /// activate a superseded hand-off.
     pub promote_token: u64,
+    /// Single-slot memo for this device's last violation-probability
+    /// computation; warmed speculatively by the sharded stepper and
+    /// consulted (bit-identically) by `Control::accrue`.
+    pub vp_cache: VpCache,
+}
+
+/// The truly global slice of the run state: what every shard reads and
+/// what only the serial commit phase may mutate. Kept deliberately
+/// small — the ground truth (immutable after construction, `Sync`), the
+/// system under test (its tuner history is order-sensitive), and the
+/// global RNG stream (every draw is order-sensitive by definition).
+/// Everything per-device lives in the flat `devices`/`dstate` arrays,
+/// sliced per shard along the [`ShardMap`](simcore::ShardMap)'s
+/// contiguous device ranges.
+pub(super) struct SharedState {
+    pub gt: GroundTruth,
+    pub system: Box<dyn Multiplexer>,
+    pub rng: SimRng,
 }
 
 /// Everything a run mutates, shared by every stage through an explicit
 /// `&mut SimState` parameter.
 pub(super) struct SimState {
     pub config: ClusterConfig,
-    pub gt: GroundTruth,
-    pub system: Box<dyn Multiplexer>,
+    /// Global state every shard reads; mutated only in the serial
+    /// commit phase (see [`SharedState`]).
+    pub shared: SharedState,
     pub devices: Vec<GpuDevice>,
     pub dstate: Vec<DeviceState>,
     pub jobs: Vec<TrainingJob>,
     pub queue: Vec<QueueItem<JobId>>,
     pub fair: FairState,
-    pub events: EventQueue<Event>,
-    pub rng: SimRng,
+    /// The rack-sharded event scheduler: per-shard queues under one
+    /// global clock, bit-identical to a single queue at every count.
+    pub events: ShardedEvents,
     pub services: ServiceTable,
     pub util_series: Vec<(f64, f64, f64)>,
     pub bo_iterations: Vec<usize>,
@@ -179,6 +200,9 @@ pub(super) struct SimState {
     /// Pooled backing storage for the [`crate::systems::DeviceView`]
     /// task list built on every `Control::reconfigure`.
     pub scratch_tasks: Vec<workloads::TaskId>,
+    /// Pooled drain buffer for cross-shard [`ShardMsg`] inboxes (left
+    /// empty between drains; capacity survives).
+    pub scratch_msgs: Vec<ShardMsg>,
     /// Cached length of the leading run of completed jobs in `jobs`;
     /// see [`SimState::all_done`].
     pub done_prefix: usize,
@@ -265,6 +289,7 @@ impl SimState {
                 standby_slot: None,
                 pending_promote: None,
                 promote_token: 0,
+                vp_cache: VpCache::default(),
             });
         }
 
@@ -319,26 +344,43 @@ impl SimState {
             }
         }
 
+        // Resolve the shard count: explicit request (env override
+        // first, then config) or auto — one shard until the cluster is
+        // large enough that sharding pays, then up to one shard per
+        // worker, rack-clamped by the map itself.
+        let requested = simcore::env::parse::<usize>("MUDI_SHARDS").unwrap_or(config.shards);
+        let shards = if requested == 0 {
+            if config.devices >= AUTO_SHARD_MIN_DEVICES {
+                simcore::max_workers().min(topo.shape().racks).max(1)
+            } else {
+                1
+            }
+        } else {
+            requested
+        };
+
         // Steady-state stepping must not allocate (the zero-alloc
-        // harness pins this): pre-size the event heap and the
-        // append-only series for their expected population so the warm
-        // kernel never grows them mid-run.
-        let mut events = EventQueue::new();
-        events.reserve(2 * config.devices + fault_schedule.events().len() + 64);
+        // harness pins this): pre-size the per-shard event heaps and
+        // the append-only series for their expected population so the
+        // warm kernel never grows them mid-run.
+        let events = ShardedEvents::new(
+            &topo,
+            shards,
+            config.shard_epoch_secs,
+            fault_schedule.events().len() + 64,
+        );
         let util_samples = (config.max_sim_secs / config.util_sample_secs.max(1.0)) as usize;
         let util_series = Vec::with_capacity(util_samples.saturating_add(2).min(1 << 18));
 
         SimState {
             config,
-            gt,
-            system,
+            shared: SharedState { gt, system, rng },
             devices,
             dstate,
             jobs: Vec::new(),
             queue: Vec::new(),
             fair: FairState::new(),
             events,
-            rng,
             services: ServiceTable::new(n_services),
             util_series,
             bo_iterations: Vec::with_capacity(4096),
@@ -354,6 +396,7 @@ impl SimState {
             scratch_advance: Vec::new(),
             scratch_schedule: Vec::new(),
             scratch_tasks: Vec::new(),
+            scratch_msgs: Vec::new(),
             done_prefix: 0,
             trace: TraceBus::new(TraceConfig::from_env()),
         }
@@ -380,7 +423,7 @@ impl SimState {
             .inference()
             .expect("replica deployed")
             .service;
-        self.gt.zoo().service(svc).slo_secs()
+        self.shared.gt.zoo().service(svc).slo_secs()
     }
 
     /// Whether every submitted job has completed.
@@ -404,7 +447,7 @@ impl SimState {
     /// recorded progress (requeue recovery and operator eviction).
     pub fn push_queue_item(&mut self, job_id: JobId) {
         let job = &self.jobs[job_id.0 as usize];
-        let est = self.gt.zoo().task(job.task).gpu_hours * 3600.0 * self.iter_scale;
+        let est = self.shared.gt.zoo().task(job.task).gpu_hours * 3600.0 * self.iter_scale;
         self.queue.push(QueueItem {
             arrival: job.submitted,
             est_duration: simcore::SimDuration::from_secs(est),

@@ -30,7 +30,8 @@ impl Stepper {
         for d in 0..st.devices.len() {
             // First QPS segment change per device.
             let dwell = SimDuration::from_secs(
-                st.rng
+                st.shared
+                    .rng
                     .fork_indexed("dwell0", d)
                     .uniform(1.0, st.config.qps_dwell_secs),
             );
@@ -41,8 +42,11 @@ impl Stepper {
             SimTime::from_secs(st.config.util_sample_secs),
             Event::UtilSample,
         );
+        // Fault events route to the faulting device's home shard; the
+        // seeding order (and with it the global tie-break sequence)
+        // matches the single-queue engine exactly.
         for (i, ev) in st.fault_schedule.events().iter().enumerate() {
-            st.events.schedule_at(ev.at, Event::Fault(i));
+            st.events.schedule_at_on(ev.device, ev.at, Event::Fault(i));
         }
     }
 
@@ -53,28 +57,53 @@ impl Stepper {
     pub fn run(&self, st: &mut SimState, wall_start: Instant) -> ExperimentResult {
         let debug = simcore::env::is_set("MUDI_DEBUG_EVENTS");
         let mut last_finish = SimTime::ZERO;
-        while let Some((now, event)) = st.events.pop() {
-            if debug && st.events.fired().is_multiple_of(200_000) {
-                eprintln!(
-                    "[engine] events={} t={:.3}s pending={} done={}/{} ev={:?}",
-                    st.events.fired(),
-                    now.as_secs(),
-                    st.events.len(),
-                    st.jobs
-                        .iter()
-                        .filter(|j| j.state == JobState::Completed)
-                        .count(),
-                    st.jobs.len(),
-                    event
-                );
+        // Sharded stepping engages only with multiple shards *and*
+        // multiple workers: each epoch window speculatively warms the
+        // shards' pure memos in parallel, then commits the window's
+        // events serially in canonical global order. With one shard or
+        // one worker this collapses to the plain pop loop (and keeps
+        // its zero-allocation steady state).
+        let workers = st.events.workers();
+        'outer: loop {
+            let window_end = if workers > 1 {
+                let Some(next) = st.events.peek_time() else {
+                    break;
+                };
+                let end = st.events.epoch_end_after(next);
+                super::shard::speculate_epoch(st, workers);
+                Some(end)
+            } else {
+                None
+            };
+            while let Some((now, event)) = match window_end {
+                Some(end) => st.events.pop_until(end),
+                None => st.events.pop(),
+            } {
+                if debug && st.events.fired().is_multiple_of(200_000) {
+                    eprintln!(
+                        "[engine] events={} t={:.3}s pending={} done={}/{} ev={:?}",
+                        st.events.fired(),
+                        now.as_secs(),
+                        st.events.len(),
+                        st.jobs
+                            .iter()
+                            .filter(|j| j.state == JobState::Completed)
+                            .count(),
+                        st.jobs.len(),
+                        event
+                    );
+                }
+                if now.as_secs() > st.config.max_sim_secs {
+                    break 'outer;
+                }
+                if self.dispatch(st, now, event) {
+                    last_finish = now;
+                }
+                if st.all_done() {
+                    break 'outer;
+                }
             }
-            if now.as_secs() > st.config.max_sim_secs {
-                break;
-            }
-            if self.dispatch(st, now, event) {
-                last_finish = now;
-            }
-            if st.all_done() {
+            if window_end.is_none() || st.events.is_empty() {
                 break;
             }
         }

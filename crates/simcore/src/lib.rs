@@ -20,6 +20,7 @@ pub mod event;
 pub mod metrics;
 pub mod pool;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -27,8 +28,9 @@ pub mod trace;
 pub use dist::{normal_cdf, normal_quantile, Exponential, LogNormal, Normal, Poisson};
 pub use event::{EventQueue, ScheduledEvent};
 pub use metrics::{Cdf, Histogram, StreamingStats, TimeSeries, UtilizationIntegrator};
-pub use pool::{max_workers, scoped_map, scoped_map_workers};
+pub use pool::{max_workers, scoped_for_each_mut, scoped_map, scoped_map_workers};
 pub use rng::SimRng;
+pub use shard::ShardMap;
 pub use time::{SimDuration, SimTime};
 pub use topology::{DeviceAddress, Topology, TopologyShape};
 pub use trace::{

@@ -121,6 +121,82 @@ where
         .collect()
 }
 
+/// Fork-join barrier over mutable per-shard work: runs
+/// `f(i, &mut work[i])` for every item on up to `workers` threads and
+/// returns only when **all** items have completed — the epoch-barrier
+/// primitive of the sharded engine.
+///
+/// * **Disjoint by construction:** each `&mut work[i]` is handed to
+///   exactly one worker, so shard states (which may hold `!Sync`
+///   interior-mutability memos) are never shared across threads.
+/// * **Serial fast path:** `workers <= 1` or a single item runs in the
+///   calling thread with no thread machinery and no allocation — the
+///   1-shard engine keeps its zero-allocation steady state.
+/// * **Panic-propagating:** a panicking shard joins all workers and
+///   re-panics in the caller labelled with the shard index.
+///
+/// The multi-worker path allocates O(items) claim slots and spawns
+/// `workers` threads **per call**; callers amortize this by choosing
+/// epoch windows long enough to batch meaningful work per barrier.
+pub fn scoped_for_each_mut<W, F>(work: &mut [W], workers: usize, f: F)
+where
+    W: Send,
+    F: Fn(usize, &mut W) + Sync,
+{
+    let n = work.len();
+    if n == 0 {
+        return;
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        for (i, w) in work.iter_mut().enumerate() {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i, w))) {
+                panic!(
+                    "scoped_for_each_mut: shard {i} panicked: {}",
+                    panic_message(payload.as_ref())
+                );
+            }
+        }
+        return;
+    }
+
+    // Same claim discipline as `scoped_map_workers`: an atomic cursor
+    // hands each index to exactly one worker, and the per-slot mutex
+    // transfers the `&mut` borrow without contention.
+    let slots: Vec<Mutex<Option<&mut W>>> = work.iter_mut().map(|w| Mutex::new(Some(w))).collect();
+    let cursor = AtomicUsize::new(0);
+    let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let w = slots[i]
+                    .lock()
+                    .expect("work slot lock")
+                    .take()
+                    .expect("each shard is claimed exactly once");
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i, w))) {
+                    let msg = panic_message(payload.as_ref());
+                    let mut slot = failure.lock().expect("failure slot lock");
+                    if slot.as_ref().is_none_or(|&(j, _)| i < j) {
+                        *slot = Some((i, msg));
+                    }
+                    cursor.store(n, Ordering::Relaxed);
+                    break;
+                }
+            });
+        }
+    });
+
+    if let Some((i, msg)) = failure.into_inner().expect("failure slot") {
+        panic!("scoped_for_each_mut: shard {i} panicked: {msg}");
+    }
+}
+
 /// Runs one item serially, relabelling a panic with the item index to
 /// match the threaded path's contract.
 fn run_labelled<I, O, F>(f: &F, i: usize, item: I) -> O
@@ -192,5 +268,51 @@ mod tests {
     #[test]
     fn max_workers_is_at_least_one() {
         assert!(max_workers() >= 1);
+    }
+
+    #[test]
+    fn for_each_mut_applies_every_shard_at_every_worker_count() {
+        for workers in [1, 2, 3, 8] {
+            let mut work: Vec<u64> = (0..7).collect();
+            scoped_for_each_mut(&mut work, workers, |i, w| {
+                *w = w.wrapping_mul(3) + i as u64;
+            });
+            let expect: Vec<u64> = (0..7u64).map(|i| i.wrapping_mul(3) + i).collect();
+            assert_eq!(work, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_is_a_barrier() {
+        // Every shard's effect is visible when the call returns.
+        let mut work = vec![0u64; 32];
+        scoped_for_each_mut(&mut work, 8, |i, w| *w = i as u64 + 1);
+        assert!(work.iter().enumerate().all(|(i, &w)| w == i as u64 + 1));
+    }
+
+    #[test]
+    fn for_each_mut_labels_the_panicking_shard() {
+        for workers in [1, 4] {
+            let err = std::panic::catch_unwind(|| {
+                let mut work = vec![0u32; 6];
+                scoped_for_each_mut(&mut work, workers, |i, _| {
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                });
+            })
+            .unwrap_err();
+            let msg = panic_message(err.as_ref());
+            assert!(
+                msg.contains("shard 3") && msg.contains("boom"),
+                "workers={workers}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_mut_empty_work_is_a_no_op() {
+        let mut work: Vec<u32> = Vec::new();
+        scoped_for_each_mut(&mut work, 4, |_, _| unreachable!());
     }
 }

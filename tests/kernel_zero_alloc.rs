@@ -167,6 +167,67 @@ fn steady_state_stepping_allocates_nothing() {
     }
 }
 
+/// Sharded stepping's allocation contract.
+///
+/// With a single worker the rack-sharded engine collapses to the plain
+/// merge-pop loop — no speculation phase, no barriers — and must stay
+/// exactly as allocation-free as the unsharded shapes above. With
+/// multiple workers (CI re-runs this file under `MUDI_THREADS=2`) each
+/// epoch window's speculation barrier performs a bounded, documented
+/// amount of setup: one shard-work vector cut along the shard map plus
+/// the scoped pool's claim slots and worker-thread spawns. That makes
+/// steady-state allocations **O(epoch windows), never O(events)** —
+/// this test pins the per-epoch budget so a per-event allocation
+/// sneaking into the sharded path trips immediately (thousands of
+/// events fire per 60-second epoch in these shapes).
+#[test]
+fn sharded_stepping_allocation_contract() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    TRACE_ON.store(
+        std::env::var_os("MUDI_ALLOC_TRACE").is_some_and(|v| v == "1"),
+        Ordering::SeqCst,
+    );
+
+    let mut config = ClusterConfig::tiny(SystemKind::Mudi, 7);
+    config.shards = 2;
+    let (warm, horizon, step) = (2.0 * DAY, 5.0 * DAY, 3.0 * DAY);
+    let mut session = ClusterSession::new_scaled(config, 0.01);
+    let warm_events = step_to(&mut session, 0.0, warm, step);
+
+    ARMED.store(true, Ordering::SeqCst);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let events = step_to(&mut session, warm, horizon, step);
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert!(
+        events > 0,
+        "sharded window fired no events (warm-up fired {warm_events})"
+    );
+    if simcore::max_workers() <= 1 {
+        assert_eq!(
+            delta, 0,
+            "serial sharded stepping allocated {delta} times over {events} \
+             events (set MUDI_ALLOC_TRACE=1 for backtraces)"
+        );
+    } else {
+        // 60-second epochs tile the measured window; step_until calls
+        // can each open one extra partial window.
+        let epochs = ((horizon - warm) / 60.0).ceil() as usize + 8;
+        // Documented per-epoch barrier budget: the shard-work vector,
+        // the pool's claim-slot vector, and a few allocations per
+        // spawned worker thread.
+        const PER_EPOCH_ALLOC_BUDGET: usize = 64;
+        let bound = epochs * PER_EPOCH_ALLOC_BUDGET;
+        assert!(
+            delta <= bound,
+            "sharded stepping allocated {delta} times over {events} events \
+             ({epochs} epochs x budget {PER_EPOCH_ALLOC_BUDGET} = {bound}); \
+             allocations must scale with epochs, not events"
+        );
+    }
+}
+
 /// Dense-id regression guard: the kernel's dense service table must
 /// round-trip to exactly the key set the old `HashMap`-keyed report
 /// carried — a contiguous `0..k` block of service ids, one entry per

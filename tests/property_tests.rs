@@ -627,4 +627,44 @@ proptest! {
         prop_assert_eq!(format!("{fa:?}"), format!("{fb:?}"));
         prop_assert_eq!(sa.finish().canonical_text(), sb.finish().canonical_text());
     }
+
+    /// Shard-count invariance: the same random live-session command
+    /// sequence replayed against a 1-shard and a 4-shard session lands
+    /// on bit-identical reports and a bit-identical final result. The
+    /// sharded engine partitions the event population by rack but
+    /// commits in canonical `(time, seq)` order, so the shard count
+    /// must be unobservable in every output. (Under `MUDI_SHARDS` both
+    /// sides resolve to the same override and the test still holds.)
+    #[test]
+    fn session_sequences_are_shard_count_invariant(
+        seed in 0u64..1_000_000,
+        opseed in any::<u64>(),
+        len in 1usize..12,
+    ) {
+        let ops: Vec<SessionOp> = {
+            let mut rng = SimRng::seed(opseed);
+            (0..len).map(|_| random_session_op(&mut rng)).collect()
+        };
+        let build = |shards: usize| {
+            let mut cfg = ClusterConfig::tiny(SystemKind::Mudi, seed);
+            cfg.devices = 4;
+            cfg.jobs = 8;
+            cfg.shards = shards;
+            // Short epochs so even brief sequences cross several
+            // speculation barriers.
+            cfg.shard_epoch_secs = 30.0;
+            ClusterSession::new_scaled(cfg, 0.002)
+        };
+        let (mut sa, mut sb) = (build(1), build(4));
+        let (mut ta, mut tb) = (0.0, 0.0);
+        for op in &ops {
+            apply_session_op(&mut sa, &mut ta, op);
+            apply_session_op(&mut sb, &mut tb, op);
+        }
+        prop_assert_eq!(sa.events_fired(), sb.events_fired());
+        prop_assert_eq!(sa.service_report(), sb.service_report());
+        let (fa, fb) = (sa.fault_metrics(), sb.fault_metrics());
+        prop_assert_eq!(format!("{fa:?}"), format!("{fb:?}"));
+        prop_assert_eq!(sa.finish().canonical_text(), sb.finish().canonical_text());
+    }
 }
