@@ -1,9 +1,10 @@
 //! Kernel performance ledger: steps/sec and simulated-seconds per
 //! wall-second on fixed cluster shapes.
 //!
-//! Drives the staged kernel through [`ClusterSession`] on three pinned
-//! shapes — tiny and physical clusters swept in one shot, plus the
-//! serving access pattern (five-minute increments) — and writes the
+//! Drives the staged kernel through [`ClusterSession`] on pinned
+//! shapes — tiny and physical clusters swept in one shot, the
+//! serving access pattern (five-minute increments), the rack-sharded
+//! engine, and the LLM-mix regime — and writes the
 //! measurements to `BENCH_perf_kernel.json` at the repo root. The
 //! committed copy is the reference ledger: rerun after kernel changes
 //! and diff the throughput fields to catch regressions that the
@@ -76,6 +77,20 @@ fn shapes() -> Vec<(&'static str, ClusterConfig, f64, f64)> {
             {
                 let mut c = ClusterConfig::physical(SystemKind::Mudi, 7);
                 c.shards = 4;
+                c
+            },
+            5.0 * DAY,
+            5.0 * DAY,
+        ),
+        // The physical cluster with the generative services enabled:
+        // steady-state decode accrual and the token-SLO controllers
+        // are on the measured path, and the fingerprint pins the
+        // LLM-mix simulated outcome.
+        (
+            "llm-mix-physical-mudi-5day",
+            {
+                let mut c = ClusterConfig::physical(SystemKind::Mudi, 7);
+                c.llm_services = true;
                 c
             },
             5.0 * DAY,

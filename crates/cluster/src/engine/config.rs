@@ -84,6 +84,13 @@ pub struct ClusterConfig {
     /// more than one shard is active; shorter epochs bound speculation
     /// staleness, longer epochs amortize the per-epoch barrier cost.
     pub shard_epoch_secs: f64,
+    /// Serve from the LLM-extended catalogue ([`workloads::Zoo::with_llms`]):
+    /// the six classifier services plus generative LLM entries with
+    /// per-token SLOs, continuous batching, and KV-cache pressure.
+    /// Defaults to `false` — classifier-only configs never construct a
+    /// generative service, never enter the decode accrual path, and
+    /// stay byte-identical to the pre-LLM engine.
+    pub llm_services: bool,
 }
 
 /// Builds a [`ClusterConfig`] from a scale preset plus overrides.
@@ -121,6 +128,7 @@ impl ClusterConfigBuilder {
                 topology: TopologyShape::from_env(),
                 shards: 0,
                 shard_epoch_secs: 60.0,
+                llm_services: false,
             },
         }
     }
@@ -195,6 +203,13 @@ impl ClusterConfigBuilder {
     /// Overrides the sharded stepping epoch length (simulated seconds).
     pub fn shard_epoch_secs(mut self, secs: f64) -> Self {
         self.config.shard_epoch_secs = secs.max(1.0);
+        self
+    }
+
+    /// Serves from the LLM-extended catalogue (classifier + generative
+    /// mixed fleet).
+    pub fn llm_services(mut self, on: bool) -> Self {
+        self.config.llm_services = on;
         self
     }
 

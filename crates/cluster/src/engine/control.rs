@@ -49,9 +49,19 @@ impl Control {
             };
             let q = base + ds.extra_qps;
             if q > 0.0 {
+                let generative = st.shared.gt.zoo().service(ds.service).generative;
                 let m = st.services.entry(ds.service);
                 m.requests += q * dt;
                 m.violations += q * dt;
+                if let Some(gp) = generative {
+                    // Every token the dropped requests would have
+                    // generated is booked as a violated token — dropped
+                    // decode work is never silently lost.
+                    let tokens = q * dt * gp.decode_tokens_mean;
+                    m.tokens += tokens;
+                    m.itl_violations += tokens;
+                    m.ttft_violations += q * dt;
+                }
                 st.fmetrics.dropped_requests += q * dt;
             }
             let gt = &st.shared.gt;
@@ -72,23 +82,67 @@ impl Control {
         let frac = (frac * pf).max(0.01);
 
         // --- SLO violations. ---
-        let (mean, sigma, p99) = dev.latency_profile(&st.shared.gt, service, batch, frac, colo);
-        st.dstate[d].last_p99 = Some(p99);
-        st.dstate[d].last_util = if qps > 0.0 {
-            mean / (batch as f64 / qps)
+        let generative = st.shared.gt.zoo().service(service).generative;
+        if let Some(gp) = generative {
+            // Generative decode accrual. The running continuous batch is
+            // the steady-state fixed point of arrivals against the
+            // batch-dependent iteration latency; the tuned batch acts as
+            // the admission cap. Per-token (ITL) and TTFT targets then
+            // accrue in closed form exactly like classifier SLOs: for a
+            // generative spec `slo` *is* the p99 inter-token target.
+            let bsz = st
+                .shared
+                .gt
+                .steady_decode_batch(service, batch, frac, qps, colo);
+            let (mean, sigma, p99) = dev.latency_profile(&st.shared.gt, service, bsz, frac, colo);
+            st.dstate[d].last_p99 = Some(p99);
+            // One iteration emits one token per resident sequence, so
+            // the loop's token service rate is `bsz / mean`.
+            let tok_rate = qps * gp.decode_tokens_mean;
+            let util = if tok_rate > 0.0 {
+                mean * tok_rate / bsz as f64
+            } else {
+                0.0
+            };
+            st.dstate[d].last_util = util;
+            let p_itl = itl_violation_probability(slo, mean, sigma, util);
+            // TTFT: chunked prefill of the mean prompt at the running
+            // batch's iteration latency, under the same saturation ramp
+            // (a saturated decode loop starves admission just as hard).
+            let ttft_mean = gp.prefill_iterations() * mean;
+            let p_ttft = itl_violation_probability(gp.ttft_slo_secs(), ttft_mean, sigma, util);
+            st.dstate[d].last_pviol = p_itl.max(p_ttft);
+            let requests = qps * dt;
+            let tokens = tok_rate * dt;
+            let m = st.services.entry(service);
+            m.requests += requests;
+            // The request-level violation of a generative service is the
+            // TTFT miss, so request-weighted aggregates stay comparable
+            // across mixed classifier + LLM fleets.
+            m.violations += requests * p_ttft;
+            m.ttft_violations += requests * p_ttft;
+            m.tokens += tokens;
+            m.itl_violations += tokens * p_itl;
+            m.p99_stats.record(p99);
         } else {
-            0.0
-        };
-        // Through the per-device memo: bit-identical to the direct
-        // call, and a hit when the sharded stepper's speculation phase
-        // (or the previous span) already computed this configuration.
-        let p_violation = st.dstate[d].vp_cache.get(qps, batch, slo, mean, sigma);
-        st.dstate[d].last_pviol = p_violation;
-        let requests = qps * dt;
-        let m = st.services.entry(service);
-        m.requests += requests;
-        m.violations += requests * p_violation;
-        m.p99_stats.record(p99);
+            let (mean, sigma, p99) = dev.latency_profile(&st.shared.gt, service, batch, frac, colo);
+            st.dstate[d].last_p99 = Some(p99);
+            st.dstate[d].last_util = if qps > 0.0 {
+                mean / (batch as f64 / qps)
+            } else {
+                0.0
+            };
+            // Through the per-device memo: bit-identical to the direct
+            // call, and a hit when the sharded stepper's speculation phase
+            // (or the previous span) already computed this configuration.
+            let p_violation = st.dstate[d].vp_cache.get(qps, batch, slo, mean, sigma);
+            st.dstate[d].last_pviol = p_violation;
+            let requests = qps * dt;
+            let m = st.services.entry(service);
+            m.requests += requests;
+            m.violations += requests * p_violation;
+            m.p99_stats.record(p99);
+        }
         // Failover traffic served here counts toward the reroute ledger.
         let extra = st.dstate[d].extra_qps.min(qps);
         if extra > 0.0 {
@@ -210,7 +264,13 @@ impl Control {
         self.accrue(st, now, d);
         let (dwell, raw_qps) = st.dstate[d].qps_gen.next_segment();
         let burst = st.burst_multiplier(now);
-        let qps = raw_qps * st.config.load_multiplier * burst;
+        let rate_scale = st
+            .shared
+            .gt
+            .zoo()
+            .service(st.dstate[d].service)
+            .request_rate_scale();
+        let qps = raw_qps * st.config.load_multiplier * burst * rate_scale;
         if !st.devices[d].is_up() {
             // The replica is down but demand keeps fluctuating. If the
             // traffic was not failed over, the drop rate follows demand;
@@ -545,6 +605,27 @@ impl Control {
 /// probability is averaged over three batch positions; an unstable
 /// service (`L ≥ b/W`, batches finishing slower than they form) is
 /// driven toward certain violation.
+/// Per-token SLO-violation probability for a continuous-batching
+/// decode loop: the log-normal iteration latency against the target,
+/// under the same >95 % utilization instability ramp as
+/// [`violation_probability`] (a saturated loop backs tokens up and
+/// eventually violates every one). There is no batch-fill wait term —
+/// in continuous batching the next token follows the previous
+/// iteration directly. Also prices TTFT misses, with `mean` the
+/// chunked-prefill latency and `slo` the TTFT target.
+pub fn itl_violation_probability(slo: f64, mean: f64, sigma: f64, util: f64) -> f64 {
+    let mut p = if slo <= 0.0 || mean <= 0.0 {
+        1.0
+    } else {
+        let z = (slo / mean).ln() / sigma.max(1e-6);
+        1.0 - normal_cdf(z)
+    };
+    if util > 0.95 {
+        p = p.max(((util - 0.95) * 2.5).min(1.0));
+    }
+    p.clamp(0.0, 1.0)
+}
+
 pub fn violation_probability(qps: f64, batch: u32, slo: f64, mean: f64, sigma: f64) -> f64 {
     if qps <= 0.0 {
         return 0.0;

@@ -362,8 +362,14 @@ impl Faults {
             .stashed_inference
             .take()
             .expect("replica stashed at failure");
-        let base =
-            st.dstate[d].qps_gen.current() * st.config.load_multiplier * st.burst_multiplier(now);
+        let base = st.dstate[d].qps_gen.current()
+            * st.config.load_multiplier
+            * st.burst_multiplier(now)
+            * st.shared
+                .gt
+                .zoo()
+                .service(st.dstate[d].service)
+                .request_rate_scale();
         inst.qps = base + st.dstate[d].extra_qps;
         st.devices[d].deploy_inference(&st.shared.gt, now, inst);
 

@@ -54,9 +54,10 @@ use state::SimState;
 use stepper::Stepper;
 
 pub use config::{ClusterConfig, ClusterConfigBuilder, ClusterScale, ScalePreset};
-pub use control::violation_probability;
+pub use control::{itl_violation_probability, violation_probability};
 pub use session::{
-    ClusterSession, InferOutcome, LiveFault, ScaleOutcome, ServiceSlo, SessionError,
+    ClusterSession, GenInferOutcome, InferOutcome, LiveFault, ScaleOutcome, ServiceSlo,
+    SessionError, TokenVerdict,
 };
 pub use state::{striped_service_assignment, PlacementLog};
 

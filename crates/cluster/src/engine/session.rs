@@ -32,7 +32,7 @@ use crate::metrics::{ExperimentResult, FaultMetrics};
 
 use super::admission::Admission;
 use super::config::ClusterConfig;
-use super::control::{violation_probability, Control};
+use super::control::{itl_violation_probability, violation_probability, Control};
 use super::faults::Faults;
 use super::state::SimState;
 use super::stepper::Stepper;
@@ -52,6 +52,9 @@ pub enum SessionError {
     /// The device is mid-failover (carrying rerouted traffic, covering
     /// as a standby, or promoting) and cannot be repurposed.
     DeviceBusy(usize),
+    /// A token-mode request (`infer_tokens`) addressed a classifier
+    /// service — only generative services decode autoregressively.
+    NotGenerative(ServiceId),
 }
 
 impl std::fmt::Display for SessionError {
@@ -62,6 +65,7 @@ impl std::fmt::Display for SessionError {
             SessionError::NoReplica(s) => write!(f, "no live replica for service {}", s.0),
             SessionError::DeviceDown(d) => write!(f, "device {d} is down"),
             SessionError::DeviceBusy(d) => write!(f, "device {d} is mid-failover"),
+            SessionError::NotGenerative(s) => write!(f, "service {} is not generative", s.0),
         }
     }
 }
@@ -129,6 +133,48 @@ pub struct InferOutcome {
     pub violation: bool,
     /// Simulated time the request was served at.
     pub at: SimTime,
+}
+
+/// One decoded token's sampled verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TokenVerdict {
+    /// Sampled inter-token latency, seconds (log-normal draw at the
+    /// replica's steady decode cadence).
+    pub latency_secs: f64,
+    /// Whether the draw violated the per-token ITL target.
+    pub violation: bool,
+}
+
+/// The outcome of one routed generative request: a time-to-first-token
+/// verdict plus one verdict per decoded token.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenInferOutcome {
+    /// The service the request addressed.
+    pub service: ServiceId,
+    /// The replica (device index) that served it.
+    pub device: usize,
+    /// Whether a promoted warm standby served the request.
+    pub via_standby: bool,
+    /// Sampled time to first token, seconds (all prefill chunks at the
+    /// replica's iteration cadence).
+    pub ttft_secs: f64,
+    /// The service's TTFT SLO, seconds.
+    pub ttft_slo_secs: f64,
+    /// Whether the TTFT sample violated its SLO.
+    pub ttft_violation: bool,
+    /// The per-token ITL target, seconds.
+    pub itl_slo_secs: f64,
+    /// One verdict per decoded token, in emission order.
+    pub tokens: Vec<TokenVerdict>,
+    /// Simulated time the request was served at.
+    pub at: SimTime,
+}
+
+impl GenInferOutcome {
+    /// How many of the decoded tokens violated the ITL target.
+    pub fn itl_violations(&self) -> usize {
+        self.tokens.iter().filter(|t| t.violation).count()
+    }
 }
 
 /// One row of the per-service SLO report.
@@ -394,6 +440,157 @@ impl ClusterSession {
         })
     }
 
+    /// Routes one generative request and samples a per-token outcome:
+    /// time to first token (all prefill chunks at the replica's
+    /// iteration cadence) plus `max_tokens` decode iterations, each
+    /// with its own log-normal inter-token latency draw judged against
+    /// the service's ITL target.
+    ///
+    /// Candidates are scored like [`ClusterSession::infer`], except the
+    /// violation probability is the ITL tail at the replica's *steady
+    /// running batch* (continuous batching has no batch-fill wait).
+    /// Addressing a classifier service is a structured error — the
+    /// HTTP layer maps [`SessionError::NotGenerative`] to `400`.
+    pub fn infer_tokens(
+        &mut self,
+        service: ServiceId,
+        max_tokens: u32,
+    ) -> Result<GenInferOutcome, SessionError> {
+        self.check_service(service)?;
+        let spec = self.st.shared.gt.zoo().service(service);
+        let Some(gp) = spec.generative else {
+            return Err(SessionError::NotGenerative(service));
+        };
+        let itl_slo = spec.slo_secs();
+        let now = self.now;
+        // Candidate scoring: (p_itl, mean, device, sigma, standby?).
+        let mut best: Option<(f64, f64, usize, f64, bool)> = None;
+        for d in 0..self.st.devices.len() {
+            let dev = &self.st.devices[d];
+            if !dev.is_up() {
+                continue;
+            }
+            let pf = dev.perf_factor();
+            let candidate = if let Some(inf) = dev.inference().filter(|i| i.service == service) {
+                let frac = (inf.gpu_fraction * pf).max(0.01);
+                let (colo_buf, colo_n) = dev.colo_for_inference_buf();
+                let colo = &colo_buf[..colo_n];
+                let bsz = self
+                    .st
+                    .shared
+                    .gt
+                    .steady_decode_batch(service, inf.batch, frac, inf.qps, colo);
+                let mean = self
+                    .st
+                    .shared
+                    .gt
+                    .inference_latency(service, bsz, frac, colo);
+                let sigma = self.st.shared.gt.effective_sigma(service, bsz, frac, colo);
+                let tok_rate = inf.qps * gp.decode_tokens_mean;
+                let util = if tok_rate > 0.0 {
+                    mean * tok_rate / bsz as f64
+                } else {
+                    0.0
+                };
+                Some((
+                    itl_violation_probability(itl_slo, mean, sigma, util),
+                    mean,
+                    sigma,
+                    false,
+                ))
+            } else if let Some(s) = dev
+                .standby()
+                .filter(|s| s.service == service && s.is_active())
+            {
+                let frac = (s.reserve_fraction * pf).max(0.01);
+                let (colo_buf, colo_n) = dev.colo_for_standby_buf();
+                let colo = &colo_buf[..colo_n];
+                let bsz = self
+                    .st
+                    .shared
+                    .gt
+                    .steady_decode_batch(service, s.batch, frac, s.qps, colo);
+                let mean = self
+                    .st
+                    .shared
+                    .gt
+                    .inference_latency(service, bsz, frac, colo);
+                let sigma = self.st.shared.gt.effective_sigma(service, bsz, frac, colo);
+                let tok_rate = s.qps * gp.decode_tokens_mean;
+                let util = if tok_rate > 0.0 {
+                    mean * tok_rate / bsz as f64
+                } else {
+                    0.0
+                };
+                Some((
+                    itl_violation_probability(itl_slo, mean, sigma, util),
+                    mean,
+                    sigma,
+                    true,
+                ))
+            } else {
+                None
+            };
+            if let Some((p, mean, sigma, standby)) = candidate {
+                let better = match &best {
+                    None => true,
+                    Some((bp, bmean, ..)) => (p, mean) < (*bp, *bmean),
+                };
+                if better {
+                    best = Some((p, mean, d, sigma, standby));
+                }
+            }
+        }
+        let Some((_, mean, device, sigma, via_standby)) = best else {
+            return Err(SessionError::NoReplica(service));
+        };
+
+        // Sample the request: one draw for the prefill phase (all
+        // chunks share the GPU state that produced the draw), then an
+        // independent draw per decode iteration.
+        let mut draw = |scale: f64| -> f64 {
+            let z = simcore::normal_quantile(self.infer_rng.f64().clamp(1e-12, 1.0 - 1e-12));
+            scale * (sigma * z).exp()
+        };
+        let ttft_secs = draw(gp.prefill_iterations() * mean);
+        let ttft_slo_secs = gp.ttft_slo_secs();
+        let ttft_violation = ttft_secs > ttft_slo_secs;
+        let n = max_tokens.clamp(1, 4096) as usize;
+        let mut tokens = Vec::with_capacity(n);
+        for _ in 0..n {
+            let latency_secs = draw(mean);
+            tokens.push(TokenVerdict {
+                latency_secs,
+                violation: latency_secs > itl_slo,
+            });
+        }
+
+        // Request-level tally mirrors the engine's accounting: the
+        // request-weighted violation for a generative service is the
+        // TTFT miss.
+        let idx = self.service_index(service);
+        self.api[idx].0 += 1;
+        if ttft_violation {
+            self.api[idx].1 += 1;
+        }
+        self.st.trace.emit_with(now, || SimEvent::InferenceRouted {
+            service: service.0,
+            device,
+            violation: ttft_violation,
+        });
+        Ok(GenInferOutcome {
+            service,
+            device,
+            via_standby,
+            ttft_secs,
+            ttft_slo_secs,
+            ttft_violation,
+            itl_slo_secs: itl_slo,
+            tokens,
+            at: now,
+        })
+    }
+
     // ------------------------------------------------------------------
     // Admin operations.
     // ------------------------------------------------------------------
@@ -431,7 +628,14 @@ impl ClusterSession {
         Control.accrue(&mut self.st, now, device);
         let qps = self.st.dstate[device].qps_gen.current()
             * self.st.config.load_multiplier
-            * self.st.burst_multiplier(now);
+            * self.st.burst_multiplier(now)
+            * self
+                .st
+                .shared
+                .gt
+                .zoo()
+                .service(service)
+                .request_rate_scale();
         self.st.devices[device].deploy_inference(
             &self.st.shared.gt,
             now,

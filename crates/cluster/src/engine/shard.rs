@@ -388,9 +388,19 @@ pub(super) fn speculate_epoch(st: &mut SimState, workers: usize) {
             let frac = (inf.gpu_fraction * pf).max(0.01);
             let (colo_buf, colo_n) = dev.colo_for_inference_buf();
             let colo = &colo_buf[..colo_n];
-            let slo = gt.zoo().service(inf.service).slo_secs();
-            let (mean, sigma, _p99) = dev.latency_profile(gt, inf.service, inf.batch, frac, colo);
-            let _ = ds.vp_cache.get(inf.qps, inf.batch, slo, mean, sigma);
+            let spec = gt.zoo().service(inf.service);
+            if spec.is_generative() {
+                // Warm the latency memo at the steady running batch —
+                // the key the decode accrual path will consult. The
+                // vp_cache is not used on that path.
+                let bsz = gt.steady_decode_batch(inf.service, inf.batch, frac, inf.qps, colo);
+                let _ = dev.latency_profile(gt, inf.service, bsz, frac, colo);
+            } else {
+                let slo = spec.slo_secs();
+                let (mean, sigma, _p99) =
+                    dev.latency_profile(gt, inf.service, inf.batch, frac, colo);
+                let _ = ds.vp_cache.get(inf.qps, inf.batch, slo, mean, sigma);
+            }
         }
     });
 }

@@ -215,7 +215,12 @@ impl SimState {
     /// Builds the cluster state with the ground truth seeded from the
     /// config and the system's offline profiling already performed.
     pub fn new(config: ClusterConfig) -> Self {
-        let gt = GroundTruth::new(Zoo::standard(), config.seed ^ 0xA100);
+        let zoo = if config.llm_services {
+            Zoo::with_llms()
+        } else {
+            Zoo::standard()
+        };
+        let gt = GroundTruth::new(zoo, config.seed ^ 0xA100);
         let rng = SimRng::seed(config.seed);
         let system = build_system(config.system, &gt, &mut rng.fork("system"));
         let n_services = gt.zoo().services().len();
@@ -254,7 +259,12 @@ impl SimState {
             let slo = gt.zoo().service(service).slo;
             let mut dev = GpuDevice::new(DeviceId(d), DEVICE_MEMORY_GB);
             let mut qps_gen = FluctuatingQps::per_replica(rng.fork_indexed("qps", d));
-            let qps = qps_gen.current() * config.load_multiplier;
+            // Generative replicas sustain a few requests per second, not
+            // hundreds: the shared generator's rate is scaled by the
+            // service's calibration (`1.0` exactly for classifiers).
+            let qps = qps_gen.current()
+                * config.load_multiplier
+                * gt.zoo().service(service).request_rate_scale();
             dev.deploy_inference(
                 &gt,
                 SimTime::ZERO,
@@ -383,7 +393,11 @@ impl SimState {
             events,
             services: ServiceTable::new(n_services),
             util_series,
-            bo_iterations: Vec::with_capacity(4096),
+            // Sized past the retune count of every committed
+            // `perf_kernel` shape (the LLM mix retunes the most, ~16k
+            // over 5 days) so the history never regrows inside a warm
+            // zero-alloc window.
+            bo_iterations: Vec::with_capacity(32 * 1024),
             placement_secs: Vec::with_capacity(1024),
             iter_scale: 1.0,
             fault_schedule,

@@ -10,10 +10,22 @@ use workloads::ServiceId;
 pub struct ServiceMetrics {
     /// Requests served (analytic accrual).
     pub requests: f64,
-    /// Requests whose end-to-end latency exceeded the SLO.
+    /// Requests whose end-to-end latency exceeded the SLO. For
+    /// generative services this is the request-level (TTFT) count, so
+    /// the request-weighted aggregates stay comparable across fleets.
     pub violations: f64,
-    /// Time-weighted mean of the P99 batch latency, seconds.
+    /// Time-weighted mean of the P99 batch latency, seconds. For
+    /// generative services the recorded latency is the p99 inter-token
+    /// latency of the running decode batch.
     pub p99_stats: StreamingStats,
+    /// Tokens generated (decode steps, analytic accrual). Identically
+    /// zero for classifier services, which keeps their canonical text
+    /// byte-identical to the pre-LLM renderer.
+    pub tokens: f64,
+    /// Tokens whose inter-token latency exceeded the per-token SLO.
+    pub itl_violations: f64,
+    /// Requests whose time-to-first-token exceeded the TTFT SLO.
+    pub ttft_violations: f64,
 }
 
 impl ServiceMetrics {
@@ -23,6 +35,26 @@ impl ServiceMetrics {
             0.0
         } else {
             (self.violations / self.requests).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Per-token (inter-token latency) SLO violation rate in `[0, 1]`.
+    /// Zero for classifier services, which never accrue tokens.
+    pub fn itl_violation_rate(&self) -> f64 {
+        if self.tokens <= 0.0 {
+            0.0
+        } else {
+            (self.itl_violations / self.tokens).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Time-to-first-token SLO violation rate in `[0, 1]` (per
+    /// request). Zero for classifier services.
+    pub fn ttft_violation_rate(&self) -> f64 {
+        if self.requests <= 0.0 {
+            0.0
+        } else {
+            (self.ttft_violations / self.requests).clamp(0.0, 1.0)
         }
     }
 }
@@ -284,6 +316,41 @@ impl ExperimentResult {
         }
     }
 
+    /// Overall per-token (inter-token latency) SLO violation rate
+    /// across services, token-weighted. Summed in service-id order for
+    /// the same bit-replay reason as [`Self::overall_violation_rate`].
+    /// Zero when no service accrued tokens (classifier-only runs).
+    pub fn overall_token_violation_rate(&self) -> f64 {
+        let mut per: Vec<(&ServiceId, &ServiceMetrics)> = self.services.iter().collect();
+        per.sort_by_key(|&(s, _)| s);
+        let (v, t) = per.iter().fold((0.0, 0.0), |(v, t), (_, m)| {
+            (v + m.itl_violations, t + m.tokens)
+        });
+        if t <= 0.0 {
+            0.0
+        } else {
+            v / t
+        }
+    }
+
+    /// Overall time-to-first-token SLO violation rate across generative
+    /// services (request-weighted over services that accrued tokens).
+    pub fn overall_ttft_violation_rate(&self) -> f64 {
+        let mut per: Vec<(&ServiceId, &ServiceMetrics)> = self.services.iter().collect();
+        per.sort_by_key(|&(s, _)| s);
+        let (v, r) = per
+            .iter()
+            .filter(|(_, m)| m.tokens > 0.0)
+            .fold((0.0, 0.0), |(v, r), (_, m)| {
+                (v + m.ttft_violations, r + m.requests)
+            });
+        if r <= 0.0 {
+            0.0
+        } else {
+            v / r
+        }
+    }
+
     /// Violation rate for one service.
     pub fn violation_rate(&self, service: ServiceId) -> f64 {
         self.services
@@ -330,6 +397,16 @@ impl ExperimentResult {
                 m.violations,
                 stats_repr(&m.p99_stats)
             );
+            // Token accounting appears only when decode traffic accrued:
+            // a classifier-only run stays byte-identical to the pre-LLM
+            // renderer (same gating idea as the standby block below).
+            if m.tokens > 0.0 {
+                let _ = writeln!(
+                    s,
+                    "service[{}].tokens: tokens={:?} itl_violations={:?} ttft_violations={:?}",
+                    id.0, m.tokens, m.itl_violations, m.ttft_violations
+                );
+            }
         }
         let _ = writeln!(s, "ct: {}", stats_repr(&self.ct));
         let _ = writeln!(s, "waiting: {}", stats_repr(&self.waiting));
@@ -457,7 +534,7 @@ mod tests {
             ServiceMetrics {
                 requests: 1000.0,
                 violations: 10.0,
-                p99_stats: StreamingStats::new(),
+                ..Default::default()
             },
         );
         r.services.insert(
@@ -465,7 +542,7 @@ mod tests {
             ServiceMetrics {
                 requests: 3000.0,
                 violations: 0.0,
-                p99_stats: StreamingStats::new(),
+                ..Default::default()
             },
         );
         assert!((r.violation_rate(ServiceId(0)) - 0.01).abs() < 1e-12);
@@ -509,7 +586,7 @@ mod tests {
             ServiceMetrics {
                 requests: 10.0,
                 violations: 1.0,
-                p99_stats: StreamingStats::new(),
+                ..Default::default()
             },
         );
         let mut b = a.clone();
@@ -565,7 +642,7 @@ mod tests {
                     ServiceMetrics {
                         requests: req,
                         violations: viol,
-                        p99_stats: StreamingStats::new(),
+                        ..Default::default()
                     },
                 );
                 r.swap_time_fraction.insert(ServiceId(id), swap);

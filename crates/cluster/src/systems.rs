@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 
-use modeling::solver::min_gpu_fraction;
+use modeling::solver::{min_gpu_fraction, min_gpu_fraction_decode};
 use mudi::{
     DeviceCandidate, DeviceSelector, InterferencePredictor, LatencyProfiler, MudiConfig, Tuner,
 };
@@ -286,6 +286,7 @@ impl Multiplexer for MudiSystem {
                 view.service,
                 view.slo_secs,
                 view.qps,
+                tokens_per_request(gt, view.service),
                 &arch,
             );
             return ConfigDecision {
@@ -326,6 +327,7 @@ impl Multiplexer for MudiSystem {
             service,
             view.slo_secs,
             view.qps,
+            tokens_per_request(gt, service),
             &arch,
             |batch, frac| {
                 if tasks.is_empty() {
@@ -372,6 +374,17 @@ impl Multiplexer for MudiSystem {
     }
 }
 
+/// Mean decode tokens per request for a generative service, 0.0 for a
+/// classifier. The discriminant every sizing path branches on: a
+/// positive value switches the solver to the decode-loop budget where
+/// `batch` means running-batch concurrency and `slo` the ITL target.
+fn tokens_per_request(gt: &GroundTruth, service: ServiceId) -> f64 {
+    gt.zoo()
+        .service(service)
+        .generative
+        .map_or(0.0, |g| g.decode_tokens_mean)
+}
+
 /// Static batch choice used when the Tuner is ablated: the candidate
 /// with the smallest predicted required fraction (feasible ones first).
 fn best_static_batch(
@@ -380,6 +393,7 @@ fn best_static_batch(
     service: ServiceId,
     slo_secs: f64,
     qps: f64,
+    tokens_per_request: f64,
     arch: &workloads::NetworkArchitecture,
 ) -> u32 {
     let mut best: Option<(u32, f64)> = None;
@@ -387,14 +401,26 @@ fn best_static_batch(
         let Some(curve) = predictor.curve_for_arch(service, arch, b) else {
             continue;
         };
-        if let Some(frac) = min_gpu_fraction(
-            &curve,
-            qps,
-            b as f64,
-            slo_secs,
-            config.min_inference_fraction,
-            config.max_inference_fraction,
-        ) {
+        let frac = if tokens_per_request > 0.0 {
+            min_gpu_fraction_decode(
+                &curve,
+                qps * tokens_per_request,
+                b as f64,
+                slo_secs,
+                config.min_inference_fraction,
+                config.max_inference_fraction,
+            )
+        } else {
+            min_gpu_fraction(
+                &curve,
+                qps,
+                b as f64,
+                slo_secs,
+                config.min_inference_fraction,
+                config.max_inference_fraction,
+            )
+        };
+        if let Some(frac) = frac {
             if best.is_none_or(|(_, bf)| frac < bf) {
                 best = Some((b, frac));
             }
@@ -445,16 +471,30 @@ impl Multiplexer for Gslice {
 
     fn configure(
         &mut self,
-        _gt: &GroundTruth,
+        gt: &GroundTruth,
         view: &DeviceView,
         _rng: &mut SimRng,
     ) -> ConfigDecision {
         // Batch: largest candidate whose fill wait stays under half the
         // SLO (a throughput-oriented heuristic without a latency model).
-        let batch = [512u32, 256, 128, 64, 32, 16, 8, 4, 2]
-            .into_iter()
-            .find(|&b| view.qps > 0.0 && (b as f64 / view.qps) <= view.slo_secs * 0.5)
-            .unwrap_or(2);
+        // For a generative service the fill-wait notion is meaningless
+        // (continuous batching has no batch-fill barrier), so GSLICE
+        // sizes the running-batch cap to cover twice the tokens that
+        // arrive per ITL period — throughput headroom, still blind to
+        // the iteration-latency cost of concurrency.
+        let toks = tokens_per_request(gt, view.service);
+        let batch = if toks > 0.0 {
+            let tok_rate = view.qps * toks;
+            [2u32, 4, 8, 16, 32, 64, 128, 256, 512]
+                .into_iter()
+                .find(|&b| b as f64 >= tok_rate * view.slo_secs * 2.0)
+                .unwrap_or(512)
+        } else {
+            [512u32, 256, 128, 64, 32, 16, 8, 4, 2]
+                .into_iter()
+                .find(|&b| view.qps > 0.0 && (b as f64 / view.qps) <= view.slo_secs * 0.5)
+                .unwrap_or(2)
+        };
         // Fraction: feedback steps on the measured P99.
         let f = self.fractions.entry(view.device).or_insert(0.60);
         if let Some(p99) = view.measured_p99 {
@@ -538,25 +578,37 @@ impl Multiplexer for Gpulets {
         // over-provisions the inference gpulet.
         let solo_arch = workloads::NetworkArchitecture::empty();
         let sizing_qps = view.qps * 1.5;
+        let toks = tokens_per_request(gt, view.service);
         let mut best: Option<(u32, f64)> = None;
         for &b in &self.config.batch_candidates {
             let Some(curve) = self.predictor.curve_for_arch(view.service, &solo_arch, b) else {
                 continue;
             };
-            if let Some(frac) = min_gpu_fraction(
-                &curve,
-                sizing_qps,
-                b as f64,
-                view.slo_secs,
-                self.config.min_inference_fraction,
-                0.90,
-            ) {
+            let frac = if toks > 0.0 {
+                min_gpu_fraction_decode(
+                    &curve,
+                    sizing_qps * toks,
+                    b as f64,
+                    view.slo_secs,
+                    self.config.min_inference_fraction,
+                    0.90,
+                )
+            } else {
+                min_gpu_fraction(
+                    &curve,
+                    sizing_qps,
+                    b as f64,
+                    view.slo_secs,
+                    self.config.min_inference_fraction,
+                    0.90,
+                )
+            };
+            if let Some(frac) = frac {
                 if best.is_none_or(|(_, bf)| frac < bf) {
                     best = Some((b, frac));
                 }
             }
         }
-        let _ = gt;
         let (batch, frac) = best.unwrap_or((16, 0.90));
         ConfigDecision {
             batch,
@@ -685,19 +737,32 @@ impl Multiplexer for MuxFlow {
             gt.zoo().task(mid).arch
         };
         let mut best: Option<(u32, f64)> = None;
+        let toks = tokens_per_request(gt, view.service);
         for &b in &self.config.batch_candidates {
             let Some(curve) = self.predictor.curve_for_arch(view.service, &arch, b) else {
                 continue;
             };
             // No margin: divide out the solver's built-in 10 % pad.
-            if let Some(frac) = min_gpu_fraction(
-                &curve,
-                view.qps,
-                b as f64,
-                view.slo_secs,
-                self.config.min_inference_fraction,
-                0.90,
-            ) {
+            let frac = if toks > 0.0 {
+                min_gpu_fraction_decode(
+                    &curve,
+                    view.qps * toks,
+                    b as f64,
+                    view.slo_secs,
+                    self.config.min_inference_fraction,
+                    0.90,
+                )
+            } else {
+                min_gpu_fraction(
+                    &curve,
+                    view.qps,
+                    b as f64,
+                    view.slo_secs,
+                    self.config.min_inference_fraction,
+                    0.90,
+                )
+            };
+            if let Some(frac) = frac {
                 let unpadded = (frac / (1.0 + modeling::solver::SAFETY_MARGIN)).max(0.05);
                 if best.is_none_or(|(_, bf)| unpadded < bf) {
                     best = Some((b, unpadded));
@@ -807,6 +872,7 @@ impl Optimal {
         if let Some(hit) = self.cache.get(&key) {
             return *hit;
         }
+        let toks = tokens_per_request(gt, service);
         let mut best: Option<(u32, f64, f64)> = None;
         for &batch in &[2u32, 4, 8, 16, 32, 64, 128, 256, 512] {
             for step in 1..=18 {
@@ -821,9 +887,21 @@ impl Optimal {
                     .map(|&t| ColoWorkload::training(t, colo_share))
                     .collect();
                 // True SLO check: fill wait + true P99 within SLO, and
-                // stable service.
+                // stable service. For a generative service the batch is
+                // the running-batch cap: the true iteration tail must
+                // meet the ITL target and the decode loop must retire
+                // tokens faster than they arrive (with drift headroom).
                 let p99 = gt.p99_inference_latency(service, batch, frac, &colo);
-                if qps > 0.0 {
+                if toks > 0.0 {
+                    if p99 > slo_secs {
+                        continue;
+                    }
+                    let tok_rate = qps * toks;
+                    let mean = gt.inference_latency(service, batch, frac, &colo);
+                    if tok_rate > 0.0 && tok_rate * mean / batch as f64 > 0.85 {
+                        continue;
+                    }
+                } else if qps > 0.0 {
                     let fill = batch as f64 / qps;
                     // Same drift headroom the engine's monitor assumes.
                     if fill + p99 > slo_secs || p99 > 0.7 * fill {
@@ -871,10 +949,12 @@ impl Multiplexer for Optimal {
             if !c.existing_tasks.is_empty() {
                 continue;
             }
-            // Representative load for the oracle's comparison.
+            // Representative load for the oracle's comparison, scaled
+            // to the service class's sustainable request rate.
             let spec = gt.zoo().service(c.service);
+            let rep_qps = 200.0 * spec.request_rate_scale();
             if let Some((_, _, iter)) =
-                self.best_config(gt, c.service, spec.slo_secs(), 200.0, &[incoming])
+                self.best_config(gt, c.service, spec.slo_secs(), rep_qps, &[incoming])
             {
                 if best.is_none_or(|(_, bi)| iter < bi) {
                     best = Some((c.device, iter));

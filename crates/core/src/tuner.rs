@@ -19,7 +19,10 @@
 use std::cell::RefCell;
 
 use modeling::bo::{BoWorkspace, GpLcbTuner};
-use modeling::solver::{latency_budget, latency_budget_relaxed, min_gpu_fraction};
+use modeling::solver::{
+    decode_latency_budget, decode_latency_budget_relaxed, latency_budget, latency_budget_relaxed,
+    min_gpu_fraction, min_gpu_fraction_decode,
+};
 use simcore::SimRng;
 use workloads::NetworkArchitecture;
 use workloads::ServiceId;
@@ -96,6 +99,14 @@ impl Tuner {
     ///   seeded by the predictor but *verified and corrected* against
     ///   live measurements, which keeps prediction error from either
     ///   pausing viable co-locations or admitting violating ones.
+    /// * `tokens_per_request` — `0.0` for request-batched (classifier)
+    ///   services. Positive for generative services decoding under
+    ///   continuous batching: the batch candidate is then the
+    ///   running-batch *concurrency cap*, `slo_secs` is the p99
+    ///   inter-token-latency target, `observe_p99` reports the decode
+    ///   *iteration* tail latency, and feasibility uses the decode
+    ///   budgets (no batch-fill wait, token-throughput stability at
+    ///   `qps × tokens_per_request` tokens/second).
     #[allow(clippy::too_many_arguments)] // mirrors the paper's tuning inputs (§5.3.1)
     pub fn tune(
         &self,
@@ -103,6 +114,7 @@ impl Tuner {
         service: ServiceId,
         slo_secs: f64,
         qps: f64,
+        tokens_per_request: f64,
         arch: &NetworkArchitecture,
         mut observe_iteration: impl FnMut(u32, f64) -> f64,
         mut observe_p99: impl FnMut(u32, f64) -> f64,
@@ -110,21 +122,38 @@ impl Tuner {
     ) -> TuningOutcome {
         let lo = self.config.min_inference_fraction;
         let hi = self.config.max_inference_fraction;
+        let tok_rate = qps * tokens_per_request;
 
         // Required GPU fraction per candidate batch (None = infeasible).
         // Seeded from the predicted curve under the drift-headroom
         // budget, then verified online; a corrective escalation handles
         // under-prediction and a probe step reclaims over-provisioning.
         let required = |batch: u32, observe_p99: &mut dyn FnMut(u32, f64) -> f64| -> Option<f64> {
-            let strict = latency_budget(qps, batch as f64, slo_secs);
-            let relaxed = latency_budget_relaxed(qps, batch as f64, slo_secs);
+            let b = batch as f64;
+            let (strict, relaxed) = if tokens_per_request > 0.0 {
+                (
+                    decode_latency_budget(tok_rate, b, slo_secs),
+                    decode_latency_budget_relaxed(tok_rate, b, slo_secs),
+                )
+            } else {
+                (
+                    latency_budget(qps, b, slo_secs),
+                    latency_budget_relaxed(qps, b, slo_secs),
+                )
+            };
             if relaxed <= 0.0 {
                 return None;
             }
             let target = if strict > 0.0 { strict } else { relaxed };
             let mut frac = predictor
                 .curve_for_arch(service, arch, batch)
-                .and_then(|c| min_gpu_fraction(&c, qps, batch as f64, slo_secs, lo, hi))
+                .and_then(|c| {
+                    if tokens_per_request > 0.0 {
+                        min_gpu_fraction_decode(&c, tok_rate, b, slo_secs, lo, hi)
+                    } else {
+                        min_gpu_fraction(&c, qps, b, slo_secs, lo, hi)
+                    }
+                })
                 .unwrap_or(hi);
             let measured = observe_p99(batch, frac);
             if measured > target {
@@ -178,7 +207,14 @@ impl Tuner {
                 // No batch meets the SLO at this QPS even with the
                 // maximum allowed fraction: disable multiplexing and
                 // serve with the least-bad configuration.
-                let batch = self.least_bad_batch(predictor, service, slo_secs, qps, arch);
+                let batch = self.least_bad_batch(
+                    predictor,
+                    service,
+                    slo_secs,
+                    qps,
+                    tokens_per_request,
+                    arch,
+                );
                 TuningOutcome {
                     batch,
                     gpu_fraction: hi,
@@ -208,13 +244,15 @@ impl Tuner {
 
     /// When nothing is feasible, pick the batch minimizing predicted
     /// end-to-end request latency (fill wait + predicted P99) at the
-    /// maximum fraction.
+    /// maximum fraction — or, for a generative service, the batch
+    /// minimizing token overload plus normalized inter-token latency.
     fn least_bad_batch(
         &self,
         predictor: &InterferencePredictor,
         service: ServiceId,
-        _slo_secs: f64,
+        slo_secs: f64,
         qps: f64,
+        tokens_per_request: f64,
         arch: &NetworkArchitecture,
     ) -> u32 {
         let hi = self.config.max_inference_fraction;
@@ -224,10 +262,23 @@ impl Tuner {
             .copied()
             .min_by(|&a, &b| {
                 let cost = |batch: u32| -> f64 {
-                    let wait = if qps > 0.0 { batch as f64 / qps } else { 0.0 };
                     let lat = predictor
                         .latency(service, arch, batch, hi)
                         .unwrap_or(f64::INFINITY);
+                    if tokens_per_request > 0.0 {
+                        // Token-capacity overload dominates: an
+                        // undersized running batch drops the loop's
+                        // service rate below arrivals no matter how fast
+                        // one iteration is.
+                        let tok_rate = qps * tokens_per_request;
+                        let overload = if tok_rate > 0.0 {
+                            tok_rate * lat / batch as f64
+                        } else {
+                            0.0
+                        };
+                        return overload * 10.0 + lat / slo_secs.max(1e-9);
+                    }
+                    let wait = if qps > 0.0 { batch as f64 / qps } else { 0.0 };
                     // Penalize unstable choices: a batch served slower
                     // than it arrives drags the queue regardless of its
                     // nominal latency.
@@ -281,6 +332,7 @@ mod tests {
             svc.id,
             svc.slo_secs(),
             200.0,
+            0.0,
             &task.arch,
             |batch, frac| {
                 let colo = [ColoWorkload::inference(svc.id, batch, frac)];
@@ -325,6 +377,7 @@ mod tests {
             svc.id,
             svc.slo_secs(),
             150.0,
+            0.0,
             &task.arch,
             |_, frac| 1.0 / (1.0 - frac).max(0.05),
             {
@@ -354,6 +407,7 @@ mod tests {
             svc.id,
             svc.slo_secs(),
             2_000_000.0,
+            0.0,
             &task.arch,
             |_, _| 1.0,
             {

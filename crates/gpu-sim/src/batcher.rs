@@ -1,0 +1,463 @@
+//! Iteration-level continuous batching for generative services.
+//!
+//! The cluster engine accounts generative traffic *analytically*
+//! (steady-state running batch via Little's law, closed-form token
+//! accrual per span) so that stepping stays allocation-free. This
+//! module is the **discrete ground truth** for that regime: a
+//! [`ContinuousBatcher`] walks one decode iteration at a time —
+//! requests join the running batch as slots free up, prefill in chunks,
+//! decode token by token, and leave on completion — with the
+//! per-iteration latency read off the same piece-wise GPU%-latency
+//! interference curves a classifier batch follows, and the live KV
+//! cache charged against the device's unified memory pool so long
+//! contexts push co-resident training to the host.
+//!
+//! Property tests pin two invariants against this model:
+//! * **token conservation** — every admitted request's decode tokens
+//!   are completed, requeued on fault, or booked as dropped; none are
+//!   lost ([`ContinuousBatcher::check_conservation`]);
+//! * **KV accounting** — the bytes charged to the pool equal the sum
+//!   over in-flight requests of live context × per-token bytes at every
+//!   step, and swap-out fires only above the pool's high-watermark.
+
+use std::collections::VecDeque;
+
+use simcore::SimTime;
+use workloads::{GroundTruth, ServiceId};
+
+use crate::memory::MemoryManager;
+
+/// One generative request: a prompt to prefill and a decode budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenRequest {
+    /// Caller-chosen id, echoed in completion reports.
+    pub id: u64,
+    /// Prompt length, tokens.
+    pub prompt_tokens: u32,
+    /// Tokens to generate.
+    pub decode_tokens: u32,
+}
+
+/// A request resident in the running batch.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    req: GenRequest,
+    /// Prompt tokens already prefetched into the KV cache.
+    prefilled: u32,
+    /// Tokens generated so far.
+    decoded: u32,
+    submitted_at: SimTime,
+    first_token_at: Option<SimTime>,
+}
+
+impl InFlight {
+    /// Live context length: prefilled prompt plus generated tokens.
+    fn context_tokens(&self) -> u64 {
+        self.prefilled as u64 + self.decoded as u64
+    }
+}
+
+/// A finished request, reported by [`ContinuousBatcher::step`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompletedGen {
+    /// The request id given at submission.
+    pub id: u64,
+    /// Time to first token: submission until the first decode step.
+    pub ttft_secs: f64,
+    /// Tokens generated.
+    pub tokens: u32,
+    /// Mean inter-token latency over the request's decode.
+    pub mean_itl_secs: f64,
+}
+
+/// What one decode iteration did.
+#[derive(Clone, Debug, Default)]
+pub struct StepReport {
+    /// Wall time of the iteration (the inter-token latency every
+    /// decoding request observed).
+    pub itl_secs: f64,
+    /// Requests admitted into the running batch this iteration.
+    pub joined: usize,
+    /// Running-batch size during the iteration.
+    pub running: usize,
+    /// Tokens decoded this iteration.
+    pub decoded_tokens: u64,
+    /// KV-cache GB charged to the unified pool after the iteration.
+    pub kv_gb: f64,
+    /// Requests that finished this iteration.
+    pub completed: Vec<CompletedGen>,
+}
+
+/// Cumulative token ledger (decode tokens only; prompts are context,
+/// not output).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TokenLedger {
+    /// Decode tokens of every request ever admitted.
+    pub admitted: u64,
+    /// Tokens generated and delivered.
+    pub completed: u64,
+    /// Tokens of requests dropped (booked as violations by the caller).
+    pub dropped: u64,
+    /// Decode progress discarded by faults; the tokens re-enter the
+    /// pending pool because the request is requeued from scratch.
+    pub refaulted: u64,
+}
+
+/// Iteration-level continuous batcher for one generative replica.
+#[derive(Clone, Debug)]
+pub struct ContinuousBatcher {
+    service: ServiceId,
+    /// Admission cap on the running batch (concurrent sequences).
+    cap: u32,
+    gpu_fraction: f64,
+    weights_gb: f64,
+    kv_mb_per_token: f64,
+    prefill_chunk: u32,
+    queue: VecDeque<GenRequest>,
+    running: Vec<InFlight>,
+    now: SimTime,
+    ledger: TokenLedger,
+}
+
+impl ContinuousBatcher {
+    /// Creates a batcher for a generative service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service is not generative or the cap is zero.
+    pub fn new(gt: &GroundTruth, service: ServiceId, cap: u32, gpu_fraction: f64) -> Self {
+        assert!(cap > 0, "running-batch cap must be positive");
+        assert!(
+            gpu_fraction > 0.0 && gpu_fraction <= 1.0,
+            "invalid GPU fraction {gpu_fraction}"
+        );
+        let spec = gt.zoo().service(service);
+        let gen = spec
+            .generative
+            .as_ref()
+            .expect("ContinuousBatcher requires a generative service");
+        ContinuousBatcher {
+            service,
+            cap,
+            gpu_fraction,
+            weights_gb: spec.weights_gb,
+            kv_mb_per_token: gen.kv_mb_per_token,
+            prefill_chunk: gen.prefill_chunk_tokens.max(1.0) as u32,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            now: SimTime::ZERO,
+            ledger: TokenLedger::default(),
+        }
+    }
+
+    /// Simulated time consumed by decode iterations so far.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The token ledger.
+    pub fn ledger(&self) -> TokenLedger {
+        self.ledger
+    }
+
+    /// Requests waiting for a batch slot.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests currently in the running batch.
+    pub fn running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Decode tokens still owed: queued requests in full plus the
+    /// remaining budget of every in-flight request.
+    pub fn pending_tokens(&self) -> u64 {
+        let queued: u64 = self.queue.iter().map(|r| r.decode_tokens as u64).sum();
+        let in_flight: u64 = self
+            .running
+            .iter()
+            .map(|f| (f.req.decode_tokens - f.decoded) as u64)
+            .sum();
+        queued + in_flight
+    }
+
+    /// Live KV-cache demand of the running batch, GB.
+    pub fn kv_demand_gb(&self) -> f64 {
+        let ctx: u64 = self.running.iter().map(|f| f.context_tokens()).sum();
+        ctx as f64 * self.kv_mb_per_token / 1024.0
+    }
+
+    /// Admits a request into the arrival queue.
+    pub fn submit(&mut self, req: GenRequest) {
+        self.ledger.admitted += req.decode_tokens as u64;
+        self.queue.push_back(req);
+    }
+
+    /// Drops every queued request (admission shedding during overload
+    /// or an outage); their tokens are booked as dropped so the caller
+    /// can account them as violations. Returns the tokens dropped.
+    pub fn shed_queue(&mut self) -> u64 {
+        let mut dropped = 0u64;
+        for r in self.queue.drain(..) {
+            dropped += r.decode_tokens as u64;
+        }
+        self.ledger.dropped += dropped;
+        dropped
+    }
+
+    /// Device fault: the running batch's KV caches are lost. Every
+    /// in-flight request is requeued from scratch (its generated
+    /// tokens are discarded and owed again), and the pool charge is
+    /// released. Returns the number of requeued requests.
+    pub fn fault(&mut self, mem: &mut MemoryManager, now: SimTime) -> usize {
+        let n = self.running.len();
+        for f in self.running.drain(..).rev() {
+            // Re-admit at the queue front, oldest first after the rev.
+            self.ledger.refaulted += f.decoded as u64;
+            self.queue.push_front(f.req);
+        }
+        mem.set_inference_demand(now, self.weights_gb);
+        n
+    }
+
+    /// One decode iteration: admit while slots are free, prefill or
+    /// decode every resident, retire finished requests, charge the live
+    /// KV cache to the unified pool.
+    pub fn step(&mut self, gt: &GroundTruth, mem: &mut MemoryManager) -> StepReport {
+        let mut report = StepReport::default();
+
+        // Join: requests enter the running batch as slots free up.
+        while self.running.len() < self.cap as usize {
+            let Some(req) = self.queue.pop_front() else {
+                break;
+            };
+            self.running.push(InFlight {
+                req,
+                prefilled: 0,
+                decoded: 0,
+                submitted_at: self.now,
+                first_token_at: None,
+            });
+            report.joined += 1;
+        }
+        report.running = self.running.len();
+        if self.running.is_empty() {
+            report.kv_gb = 0.0;
+            mem.set_inference_demand(self.now, self.weights_gb);
+            return report;
+        }
+
+        // The iteration cost is the classifier-batch latency at the
+        // running-batch size: the piece-wise interference model applied
+        // per decode step.
+        let itl = gt.decode_iteration_latency(
+            self.service,
+            self.running.len() as u32,
+            self.gpu_fraction,
+            &[],
+        );
+        report.itl_secs = itl;
+        self.now += simcore::SimDuration::from_secs(itl);
+
+        // Advance every resident one iteration.
+        let mut i = 0;
+        while i < self.running.len() {
+            let f = &mut self.running[i];
+            if f.prefilled < f.req.prompt_tokens {
+                f.prefilled = (f.prefilled + self.prefill_chunk).min(f.req.prompt_tokens);
+                i += 1;
+                continue;
+            }
+            if f.first_token_at.is_none() {
+                f.first_token_at = Some(self.now);
+            }
+            f.decoded += 1;
+            report.decoded_tokens += 1;
+            self.ledger.completed += 1;
+            if f.decoded >= f.req.decode_tokens {
+                let f = self.running.swap_remove(i);
+                let first = f.first_token_at.unwrap_or(self.now);
+                let decode_span = (self.now - first).as_secs();
+                report.completed.push(CompletedGen {
+                    id: f.req.id,
+                    ttft_secs: (first - f.submitted_at).as_secs(),
+                    tokens: f.decoded,
+                    mean_itl_secs: if f.decoded > 1 {
+                        decode_span / (f.decoded - 1) as f64
+                    } else {
+                        itl
+                    },
+                });
+                continue; // swap_remove: re-examine index i.
+            }
+            i += 1;
+        }
+
+        // Charge the live KV cache against the unified pool — this is
+        // what lets long contexts spill co-resident training memory.
+        report.kv_gb = self.kv_demand_gb();
+        mem.set_inference_demand(self.now, self.weights_gb + report.kv_gb);
+        report
+    }
+
+    /// The conservation invariant: every admitted decode token is
+    /// completed, still pending (queued, in flight, or re-owed after a
+    /// fault), or booked as dropped. Returns an error message naming
+    /// the leak if the ledger does not balance.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let l = self.ledger;
+        // Completed counts every generated token, including progress
+        // later discarded by a fault; delivered output excludes it.
+        let delivered = l.completed - l.refaulted;
+        let accounted = delivered + l.dropped + self.pending_tokens();
+        if accounted == l.admitted {
+            Ok(())
+        } else {
+            Err(format!(
+                "token leak: admitted {} != delivered {} + dropped {} + pending {} \
+                 (refaulted {})",
+                l.admitted,
+                delivered,
+                l.dropped,
+                self.pending_tokens(),
+                l.refaulted,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Zoo;
+
+    fn setup() -> (GroundTruth, ContinuousBatcher, MemoryManager) {
+        let gt = GroundTruth::new(Zoo::with_llms(), 7);
+        let svc = gt.zoo().require_service("Llama-7B").unwrap().id;
+        let b = ContinuousBatcher::new(&gt, svc, 8, 0.6);
+        (gt, b, MemoryManager::new(40.0))
+    }
+
+    #[test]
+    fn requests_join_decode_and_leave() {
+        let (gt, mut b, mut mem) = setup();
+        for id in 0..4 {
+            b.submit(GenRequest {
+                id,
+                prompt_tokens: 128,
+                decode_tokens: 4,
+            });
+        }
+        let r = b.step(&gt, &mut mem);
+        assert_eq!(r.joined, 4);
+        assert_eq!(r.running, 4);
+        // First iteration prefills (single 128-token chunk) — no decode.
+        assert_eq!(r.decoded_tokens, 0);
+        let mut done = Vec::new();
+        for _ in 0..10 {
+            done.extend(b.step(&gt, &mut mem).completed);
+        }
+        assert_eq!(done.len(), 4);
+        assert!(done.iter().all(|c| c.tokens == 4 && c.ttft_secs > 0.0));
+        assert_eq!(b.running(), 0);
+        assert!(b.check_conservation().is_ok());
+        assert_eq!(b.ledger().completed, 16);
+    }
+
+    #[test]
+    fn batch_size_modulates_iteration_latency() {
+        let (gt, mut b, mut mem) = setup();
+        b.submit(GenRequest {
+            id: 0,
+            prompt_tokens: 1,
+            decode_tokens: 32,
+        });
+        let solo = b.step(&gt, &mut mem).itl_secs;
+        for id in 1..8 {
+            b.submit(GenRequest {
+                id,
+                prompt_tokens: 1,
+                decode_tokens: 32,
+            });
+        }
+        let full = b.step(&gt, &mut mem).itl_secs;
+        assert!(full > solo, "8-way batch {full} vs solo {solo}");
+    }
+
+    #[test]
+    fn kv_charge_matches_live_context_every_step() {
+        let (gt, mut b, mut mem) = setup();
+        for id in 0..6 {
+            b.submit(GenRequest {
+                id,
+                prompt_tokens: 512,
+                decode_tokens: 16,
+            });
+        }
+        for _ in 0..40 {
+            let r = b.step(&gt, &mut mem);
+            assert!((r.kv_gb - b.kv_demand_gb()).abs() < 1e-12);
+            if b.running() > 0 {
+                let charged = 13.5 + r.kv_gb;
+                assert!(
+                    (mem.total_demand_gb() - charged).abs() < 1e-9,
+                    "pool charge {} vs weights+kv {charged}",
+                    mem.total_demand_gb()
+                );
+            }
+        }
+        assert!(b.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn fault_requeues_in_flight_and_releases_kv() {
+        let (gt, mut b, mut mem) = setup();
+        for id in 0..5 {
+            b.submit(GenRequest {
+                id,
+                prompt_tokens: 128,
+                decode_tokens: 8,
+            });
+        }
+        for _ in 0..3 {
+            b.step(&gt, &mut mem);
+        }
+        assert!(b.kv_demand_gb() > 0.0);
+        let requeued = b.fault(&mut mem, b.now());
+        assert_eq!(requeued, 5);
+        assert_eq!(b.running(), 0);
+        assert_eq!(b.queued(), 5);
+        assert_eq!(b.kv_demand_gb(), 0.0);
+        assert!((mem.total_demand_gb() - 13.5).abs() < 1e-9);
+        assert!(
+            b.check_conservation().is_ok(),
+            "{:?}",
+            b.check_conservation()
+        );
+        // The requeued work still completes.
+        let mut done = 0;
+        for _ in 0..80 {
+            done += b.step(&gt, &mut mem).completed.len();
+        }
+        assert_eq!(done, 5);
+        assert!(b.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn shed_books_dropped_tokens() {
+        let (gt, mut b, mut mem) = setup();
+        for id in 0..12 {
+            b.submit(GenRequest {
+                id,
+                prompt_tokens: 64,
+                decode_tokens: 10,
+            });
+        }
+        b.step(&gt, &mut mem); // 8 join (cap), 4 remain queued.
+        let dropped = b.shed_queue();
+        assert_eq!(dropped, 40);
+        assert_eq!(b.ledger().dropped, 40);
+        assert!(b.check_conservation().is_ok());
+    }
+}

@@ -16,12 +16,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batcher;
 pub mod device;
 pub mod memory;
 pub mod mig;
 pub mod process;
 pub mod restart;
 
+pub use batcher::{CompletedGen, ContinuousBatcher, GenRequest, StepReport, TokenLedger};
 pub use device::{DeviceHealth, DeviceId, GpuDevice};
 pub use memory::{MemoryManager, SwapStats, PCIE_GBPS};
 pub use mig::{MigInstance, MigProfile};

@@ -144,6 +144,73 @@ pub fn min_gpu_fraction_relaxed(
     Some(stepped.clamp(lo, hi))
 }
 
+/// The iteration-latency budget of a continuous-batching decode loop
+/// serving `tok_rate` tokens/second at running-batch concurrency
+/// `batch` under a p99 inter-token-latency SLO: `min(SLO, 0.8 · b/λ)`.
+///
+/// Two constraints fold into one budget, mirroring
+/// [`latency_budget`]'s classifier pair:
+///
+/// 1. *Inter-token latency*: every resident sequence receives one token
+///    per iteration, so the iteration latency **is** the ITL —
+///    `P(b, Δ) ≤ SLO`.
+/// 2. *Token-throughput stability*: an iteration emits `b` tokens in
+///    `P(b, Δ)` seconds, so the loop keeps up with arrivals only while
+///    `P(b, Δ) ≤ b/λ`, with the same [`STABILITY_HEADROOM`] against
+///    upward QPS drift.
+///
+/// There is no batch-fill wait term: under continuous batching the next
+/// token follows the previous iteration directly.
+pub fn decode_latency_budget(tok_rate: f64, batch: f64, slo: f64) -> f64 {
+    assert!(
+        tok_rate >= 0.0 && batch > 0.0 && slo > 0.0,
+        "invalid inputs"
+    );
+    if tok_rate <= f64::EPSILON {
+        return slo;
+    }
+    slo.min(STABILITY_HEADROOM * batch / tok_rate)
+}
+
+/// [`decode_latency_budget`] without the drift headroom: `min(SLO,
+/// b/λ)`. The decode analogue of [`latency_budget_relaxed`].
+pub fn decode_latency_budget_relaxed(tok_rate: f64, batch: f64, slo: f64) -> f64 {
+    assert!(
+        tok_rate >= 0.0 && batch > 0.0 && slo > 0.0,
+        "invalid inputs"
+    );
+    if tok_rate <= f64::EPSILON {
+        return slo;
+    }
+    slo.min(batch / tok_rate)
+}
+
+/// Solves Eq. (4) for a continuous-batching decode loop: the minimum
+/// GPU fraction whose predicted *iteration* latency at concurrency
+/// `batch` meets [`decode_latency_budget`], with the same 10 % safety
+/// margin and MPS-step rounding as [`min_gpu_fraction`].
+pub fn min_gpu_fraction_decode(
+    curve: &PiecewiseLinear,
+    tok_rate: f64,
+    batch: f64,
+    slo: f64,
+    lo: f64,
+    hi: f64,
+) -> Option<f64> {
+    assert!(
+        (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0,
+        "bad range"
+    );
+    let target = decode_latency_budget(tok_rate, batch, slo);
+    if target <= 0.0 {
+        return None;
+    }
+    let raw = curve.min_x_meeting(target, lo, hi)?;
+    let inflated = (raw * (1.0 + SAFETY_MARGIN)).min(hi);
+    let stepped = (inflated / GPU_FRACTION_STEP).ceil() * GPU_FRACTION_STEP;
+    Some(stepped.clamp(lo, hi))
+}
+
 /// Convenience wrapper evaluating feasibility only: does any Δ within
 /// `[lo, hi]` satisfy the Eq. (4) constraint?
 pub fn is_feasible(

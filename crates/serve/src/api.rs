@@ -117,6 +117,46 @@ impl App {
             Ok(id) => id,
             Err(resp) => return resp,
         };
+        // A "tokens" field switches to the generative path: the request
+        // decodes that many tokens and the response carries a verdict
+        // per token (TTFT plus per-token ITL), not one end-to-end
+        // latency.
+        if let Some(tokens) = body.get("tokens") {
+            let Some(n) = tokens.as_u64().filter(|&n| n > 0) else {
+                return Response::error(400, "\"tokens\" must be a positive integer");
+            };
+            return match s.infer_tokens(service, n.min(u64::from(u32::MAX)) as u32) {
+                Ok(out) => {
+                    let verdicts = out
+                        .tokens
+                        .iter()
+                        .map(|t| {
+                            obj(vec![
+                                ("latency_ms", Json::Num(t.latency_secs * 1e3)),
+                                ("violation", Json::Bool(t.violation)),
+                            ])
+                        })
+                        .collect();
+                    Response::json(
+                        200,
+                        obj(vec![
+                            ("service", Json::Num(out.service.0 as f64)),
+                            ("device", Json::Num(out.device as f64)),
+                            ("via_standby", Json::Bool(out.via_standby)),
+                            ("ttft_ms", Json::Num(out.ttft_secs * 1e3)),
+                            ("ttft_slo_ms", Json::Num(out.ttft_slo_secs * 1e3)),
+                            ("ttft_violation", Json::Bool(out.ttft_violation)),
+                            ("itl_slo_ms", Json::Num(out.itl_slo_secs * 1e3)),
+                            ("itl_violations", Json::Num(out.itl_violations() as f64)),
+                            ("tokens", Json::Arr(verdicts)),
+                            ("sim_time_s", Json::Num(out.at.as_secs())),
+                        ])
+                        .render(),
+                    )
+                }
+                Err(e) => session_error(&e),
+            };
+        }
         match s.infer(service) {
             Ok(out) => Response::json(
                 200,
@@ -348,7 +388,10 @@ fn parse_body(req: &Request) -> Result<Json, Response> {
     }
 }
 
-/// Resolves `"service"` from a body: numeric id or model name.
+/// Resolves `"service"` from a body: numeric id or model name. Unknown
+/// models map to a structured `unknown_model` 404 (never a panic on a
+/// missing zoo entry), listing the catalogue so a typo'd LLM name is
+/// diagnosable from the wire.
 fn resolve_service(s: &ClusterSession, field: Option<&Json>) -> Result<ServiceId, Response> {
     match field {
         Some(Json::Num(_)) => {
@@ -359,7 +402,7 @@ fn resolve_service(s: &ClusterSession, field: Option<&Json>) -> Result<ServiceId
             if s.zoo().services().iter().any(|spec| spec.id == id) {
                 Ok(id)
             } else {
-                Err(Response::error(404, "unknown service id"))
+                Err(unknown_model(s, &id.0.to_string()))
             }
         }
         Some(Json::Str(name)) => s
@@ -368,9 +411,29 @@ fn resolve_service(s: &ClusterSession, field: Option<&Json>) -> Result<ServiceId
             .iter()
             .find(|spec| spec.name.eq_ignore_ascii_case(name))
             .map(|spec| spec.id)
-            .ok_or_else(|| Response::error(404, "unknown service name")),
+            .ok_or_else(|| unknown_model(s, name)),
         _ => Err(Response::error(400, "missing \"service\" (id or name)")),
     }
+}
+
+/// The structured 404 body for a model the zoo does not contain:
+/// `{"error": "unknown_model", "model": ..., "available": [...]}`.
+fn unknown_model(s: &ClusterSession, model: &str) -> Response {
+    let available = s
+        .zoo()
+        .services()
+        .iter()
+        .map(|spec| Json::Str(spec.name.to_string()))
+        .collect();
+    Response::json(
+        404,
+        obj(vec![
+            ("error", Json::Str("unknown_model".to_string())),
+            ("model", Json::Str(model.to_string())),
+            ("available", Json::Arr(available)),
+        ])
+        .render(),
+    )
 }
 
 /// Maps a session rejection to an HTTP response.
@@ -379,6 +442,7 @@ fn session_error(e: &SessionError) -> Response {
         SessionError::UnknownService(_) | SessionError::UnknownDevice(_) => 404,
         SessionError::NoReplica(_) => 503,
         SessionError::DeviceDown(_) | SessionError::DeviceBusy(_) => 409,
+        SessionError::NotGenerative(_) => 400,
     };
     Response::error(status, &e.to_string())
 }

@@ -10,6 +10,7 @@
 //! | `MUDI_SERVE_PACE`  | `60`             | simulated secs per wall sec; `0` = virtual clock (advance via `POST /admin/clock`) |
 //! | `MUDI_SERVE_PRESET`| `tiny`           | cluster preset: `tiny` or `physical` |
 //! | `MUDI_SERVE_SEED`  | `7`              | simulation seed                    |
+//! | `MUDI_SERVE_LLM`   | `0`              | `1` = extend the zoo with the generative services (Llama-7B, OPT-13B); `POST /v1/infer` with a `"tokens"` field returns per-token verdicts |
 //!
 //! Quickstart (see README.md for curl walkthroughs):
 //!
@@ -33,7 +34,9 @@ fn main() {
     let seed = simcore::env::parse_or::<u64>("MUDI_SERVE_SEED", 7);
     let preset = simcore::env::string_or("MUDI_SERVE_PRESET", "tiny");
 
-    let config = match preset.as_str() {
+    let llm = simcore::env::parse_or::<u8>("MUDI_SERVE_LLM", 0) != 0;
+
+    let mut config = match preset.as_str() {
         "physical" => ClusterConfig::physical(SystemKind::Mudi, seed),
         "tiny" => ClusterConfig::tiny(SystemKind::Mudi, seed),
         other => {
@@ -41,6 +44,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    config.llm_services = llm;
     let devices = config.devices;
     let clock = if pace > 0.0 {
         ServeClock::wall(pace)

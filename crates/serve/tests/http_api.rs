@@ -202,6 +202,105 @@ fn error_paths_return_clean_statuses() {
     server.stop();
 }
 
+/// Boots a server over an LLM-mix cluster (physical preset so the
+/// striped layout actually deploys the generative services).
+fn boot_llm(seed: u64) -> (Server, SocketAddr, Arc<App>) {
+    let config = cluster::engine::ClusterConfig::builder(
+        cluster::engine::ScalePreset::Physical,
+        SystemKind::Mudi,
+        seed,
+    )
+    .jobs(12)
+    .llm_services(true)
+    .build();
+    let session = ClusterSession::new_scaled(config, 0.002);
+    let app = App::new(session, ServeClock::frozen());
+    let server = Server::start(Arc::clone(&app), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    (server, addr, app)
+}
+
+#[test]
+fn generative_infer_returns_per_token_verdicts() {
+    let (server, addr, _app) = boot_llm(23);
+    request(addr, "POST", "/admin/clock", Some(r#"{"advance_s":900}"#)).unwrap();
+    let reply = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        Some(r#"{"service":"Llama-7B","tokens":16}"#),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body_str());
+    let doc = Json::parse(&reply.body_str()).unwrap();
+    assert!(doc.get("ttft_ms").unwrap().as_f64().unwrap() > 0.0);
+    assert!(doc.get("ttft_slo_ms").unwrap().as_f64().unwrap() > 0.0);
+    let Some(Json::Arr(tokens)) = doc.get("tokens") else {
+        panic!("no token verdicts: {}", reply.body_str());
+    };
+    assert_eq!(tokens.len(), 16, "one verdict per requested token");
+    let booked = doc.get("itl_violations").unwrap().as_u64().unwrap();
+    let counted = tokens
+        .iter()
+        .filter(|t| t.get("violation").unwrap() == &Json::Bool(true))
+        .count() as u64;
+    assert_eq!(booked, counted, "violation count matches the verdicts");
+    for t in tokens {
+        assert!(t.get("latency_ms").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    // Token mode on a classifier is a structured 400, and a
+    // non-positive count is rejected before routing.
+    let reply = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        Some(r#"{"service":"ResNet50","tokens":4}"#),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body_str());
+    let reply = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        Some(r#"{"service":"Llama-7B","tokens":0}"#),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body_str());
+    server.stop();
+}
+
+#[test]
+fn unknown_llm_returns_structured_404() {
+    let (server, addr, _app) = boot_llm(29);
+    let reply = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        Some(r#"{"service":"Llama-70B","tokens":8}"#),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 404, "{}", reply.body_str());
+    let doc = Json::parse(&reply.body_str()).expect("JSON error body");
+    assert_eq!(
+        doc.get("error").unwrap(),
+        &Json::Str("unknown_model".to_string())
+    );
+    assert_eq!(
+        doc.get("model").unwrap(),
+        &Json::Str("Llama-70B".to_string())
+    );
+    let Some(Json::Arr(available)) = doc.get("available") else {
+        panic!("no catalogue listing: {}", reply.body_str());
+    };
+    assert!(
+        available.contains(&Json::Str("Llama-7B".to_string())),
+        "catalogue lists the generative services: {}",
+        reply.body_str()
+    );
+    server.stop();
+}
+
 #[test]
 fn wall_clock_rejects_explicit_advance_with_409() {
     let session = ClusterSession::new_scaled(ClusterConfig::tiny(SystemKind::Mudi, 19), 0.002);

@@ -31,6 +31,6 @@ pub use arch::{LayerKind, NetworkArchitecture};
 pub use arrivals::{BurstSchedule, FluctuatingQps, PhillyArrivals, PoissonProcess};
 pub use perf::{ColoKind, ColoWorkload, GroundTruth, InferencePhases};
 pub use zoo::{
-    Domain, InferenceServiceSpec, Optimizer, ServiceId, SizeClass, TaskId, TrainingTaskSpec,
-    UnknownModel, Zoo,
+    Domain, GenerativeProfile, InferenceServiceSpec, Optimizer, ServiceId, SizeClass, TaskId,
+    TrainingTaskSpec, UnknownModel, Zoo,
 };

@@ -87,6 +87,59 @@ impl SizeClass {
     }
 }
 
+/// Generative (autoregressive) serving profile for an LLM entry.
+///
+/// A generative service decodes token-by-token under continuous
+/// batching: requests join and leave the running batch every decode
+/// iteration, and the per-iteration latency follows the same piece-wise
+/// GPU%-latency curves as a classifier batch of the same size. For such
+/// services the spec's `slo` field holds the **p99 inter-token latency
+/// (ITL) target** — the per-token SLO every existing SLO consumer
+/// (monitor triggers, GP-LCB tuner, §5.2 selector) then operates on —
+/// while the time-to-first-token target lives here.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GenerativeProfile {
+    /// Mean prompt (prefill) length in tokens.
+    pub prompt_tokens_mean: f64,
+    /// Mean generated (decode) length in tokens.
+    pub decode_tokens_mean: f64,
+    /// KV-cache bytes per token of live context, MB (2 bytes × K and V
+    /// × layers × hidden dim at fp16).
+    pub kv_mb_per_token: f64,
+    /// Tokens a prefill iteration processes in parallel; prefill takes
+    /// `ceil(prompt / chunk)` iterations at the decode-iteration cost.
+    pub prefill_chunk_tokens: f64,
+    /// Time-to-first-token SLO (queueing + prefill).
+    pub ttft_slo: SimDuration,
+    /// Scale applied to the shared per-replica request-rate generator.
+    /// Classifier replicas absorb hundreds of requests per second; a
+    /// generative replica decoding ~10² tokens per request sustains a
+    /// few, so its demand stream is the same fluctuating shape at a
+    /// service-calibrated fraction of the rate.
+    pub request_rate_scale: f64,
+}
+
+impl GenerativeProfile {
+    /// TTFT SLO in seconds (convenience).
+    pub fn ttft_slo_secs(&self) -> f64 {
+        self.ttft_slo.as_secs()
+    }
+
+    /// Mean live context length of an in-flight request: the full
+    /// prompt plus half the decode output (a request observed at a
+    /// uniformly random point of its decode).
+    pub fn mean_context_tokens(&self) -> f64 {
+        self.prompt_tokens_mean + 0.5 * self.decode_tokens_mean
+    }
+
+    /// Prefill iterations implied by the mean prompt length.
+    pub fn prefill_iterations(&self) -> f64 {
+        (self.prompt_tokens_mean / self.prefill_chunk_tokens)
+            .ceil()
+            .max(1.0)
+    }
+}
+
 /// One inference service (a row of Tab. 1), plus the calibration
 /// parameters the ground-truth model needs.
 #[derive(Clone, Debug)]
@@ -133,12 +186,28 @@ pub struct InferenceServiceSpec {
     pub weights_gb: f64,
     /// Activation/KV memory per batched item, MB.
     pub act_mb_per_item: f64,
+    /// Autoregressive serving profile; `None` for single-shot
+    /// classifier services (every entry of the standard catalogue).
+    pub generative: Option<GenerativeProfile>,
 }
 
 impl InferenceServiceSpec {
-    /// SLO in seconds (convenience).
+    /// SLO in seconds (convenience). For generative services this is
+    /// the p99 inter-token latency target (see [`GenerativeProfile`]).
     pub fn slo_secs(&self) -> f64 {
         self.slo.as_secs()
+    }
+
+    /// Whether this service decodes autoregressively under continuous
+    /// batching.
+    pub fn is_generative(&self) -> bool {
+        self.generative.is_some()
+    }
+
+    /// Scale applied to the shared per-replica request-rate generator:
+    /// the generative profile's calibration, `1.0` for classifiers.
+    pub fn request_rate_scale(&self) -> f64 {
+        self.generative.map_or(1.0, |g| g.request_rate_scale)
     }
 }
 
@@ -241,6 +310,23 @@ impl Zoo {
     pub fn standard() -> Self {
         Zoo {
             services: standard_services(),
+            tasks: standard_tasks(),
+        }
+    }
+
+    /// The standard catalogue extended with generative LLM services
+    /// (autoregressive decode under continuous batching, per-token
+    /// SLOs, KV-cache pressure). The LLM entries are **appended** after
+    /// the six classifier rows so every standard id keeps its meaning;
+    /// classifier-only configs must keep using [`Zoo::standard`] — the
+    /// service count feeds device assignment and the ground-truth
+    /// idiosyncrasy hash, so the two catalogues are distinct regimes.
+    pub fn with_llms() -> Self {
+        let mut services = standard_services();
+        let base = services.len();
+        services.extend(llm_services(base));
+        Zoo {
+            services,
             tasks: standard_tasks(),
         }
     }
@@ -349,6 +435,7 @@ fn standard_services() -> Vec<InferenceServiceSpec> {
             transfer_intensity: 0.95,
             weights_gb: 1.10,
             act_mb_per_item: 90.0,
+            generative: None,
         },
         InferenceServiceSpec {
             id: ServiceId(1),
@@ -378,6 +465,7 @@ fn standard_services() -> Vec<InferenceServiceSpec> {
             transfer_intensity: 0.90,
             weights_gb: 1.09,
             act_mb_per_item: 85.0,
+            generative: None,
         },
         InferenceServiceSpec {
             id: ServiceId(2),
@@ -406,6 +494,7 @@ fn standard_services() -> Vec<InferenceServiceSpec> {
             transfer_intensity: 0.45,
             weights_gb: 2.31,
             act_mb_per_item: 80.0,
+            generative: None,
         },
         InferenceServiceSpec {
             id: ServiceId(3),
@@ -434,6 +523,7 @@ fn standard_services() -> Vec<InferenceServiceSpec> {
             transfer_intensity: 0.50,
             weights_gb: 1.43,
             act_mb_per_item: 60.0,
+            generative: None,
         },
         InferenceServiceSpec {
             id: ServiceId(4),
@@ -462,6 +552,7 @@ fn standard_services() -> Vec<InferenceServiceSpec> {
             transfer_intensity: 0.50,
             weights_gb: 1.49,
             act_mb_per_item: 62.0,
+            generative: None,
         },
         InferenceServiceSpec {
             id: ServiceId(5),
@@ -491,6 +582,99 @@ fn standard_services() -> Vec<InferenceServiceSpec> {
             transfer_intensity: 0.85,
             weights_gb: 1.12,
             act_mb_per_item: 120.0,
+            generative: None,
+        },
+    ]
+}
+
+/// The generative LLM rows of the extended catalogue, appended after
+/// the `base` classifier services. `compute_ms_base`/`_per_item` are
+/// calibrated as **decode-iteration** costs: one token for every
+/// sequence of the running batch (batch = concurrent sequences, item =
+/// one sequence's token step). The `slo` field is the p99 inter-token
+/// latency target; TTFT targets live in the [`GenerativeProfile`].
+fn llm_services(base: usize) -> Vec<InferenceServiceSpec> {
+    use LayerKind::*;
+    vec![
+        InferenceServiceSpec {
+            id: ServiceId(base),
+            name: "Llama-7B",
+            domain: Domain::TextGeneration,
+            dataset: "ShareGPT",
+            params_m: 6_700.0,
+            // p99 inter-token latency target.
+            slo: SimDuration::from_millis(80.0),
+            arch: NetworkArchitecture::from_layers(&[
+                (Embedding, 1),
+                (Decoder, 32),
+                (Linear, 1),
+                (Activation, 32),
+                (BatchNorm, 65), // RMSNorms fold into the norm bucket.
+                (Other, 32),
+            ]),
+            compute_ms_base: 18.0,
+            compute_ms_per_item: 0.9,
+            preprocess_frac: 0.03,
+            transfer_frac: 0.05,
+            knee_base: 0.42,
+            knee_per_doubling: 0.07,
+            cpu_sensitivity: 1.30,
+            control_flow_frac: 0.80,
+            cpu_intensity: 1.35,
+            transfer_intensity: 0.40,
+            weights_gb: 13.5,
+            act_mb_per_item: 40.0,
+            generative: Some(GenerativeProfile {
+                prompt_tokens_mean: 512.0,
+                decode_tokens_mean: 128.0,
+                // 2 B × (K+V) × 32 layers × 4096 dim ≈ 0.5 MB/token.
+                kv_mb_per_token: 0.5,
+                prefill_chunk_tokens: 128.0,
+                ttft_slo: SimDuration::from_millis(1_500.0),
+                // ~1–3 req/s per replica: ≈60 % token-capacity
+                // utilization at the deploy-time batch cap under 1×
+                // load, saturating near 2× so the load sweep bites.
+                request_rate_scale: 0.010,
+            }),
+        },
+        InferenceServiceSpec {
+            id: ServiceId(base + 1),
+            name: "OPT-13B",
+            domain: Domain::TextGeneration,
+            dataset: "ShareGPT",
+            params_m: 13_000.0,
+            slo: SimDuration::from_millis(120.0),
+            arch: NetworkArchitecture::from_layers(&[
+                (Embedding, 2),
+                (Decoder, 40),
+                (Linear, 1),
+                (Activation, 40),
+                (BatchNorm, 81),
+                (Other, 40),
+            ]),
+            compute_ms_base: 30.0,
+            compute_ms_per_item: 1.6,
+            preprocess_frac: 0.03,
+            transfer_frac: 0.05,
+            knee_base: 0.44,
+            knee_per_doubling: 0.07,
+            cpu_sensitivity: 1.30,
+            control_flow_frac: 0.82,
+            cpu_intensity: 1.40,
+            transfer_intensity: 0.42,
+            weights_gb: 26.0,
+            act_mb_per_item: 55.0,
+            generative: Some(GenerativeProfile {
+                prompt_tokens_mean: 768.0,
+                decode_tokens_mean: 192.0,
+                // 2 B × (K+V) × 40 layers × 5120 dim ≈ 0.8 MB/token.
+                kv_mb_per_token: 0.8,
+                prefill_chunk_tokens: 128.0,
+                ttft_slo: SimDuration::from_millis(2_500.0),
+                // Heavier decode (192 tokens) on a slower model: rate
+                // calibrated to the same ≈60–70 % utilization band.
+                request_rate_scale: 0.005,
+            }),
         },
     ]
 }
@@ -717,6 +901,39 @@ mod tests {
         let zoo = Zoo::standard();
         assert_eq!(zoo.services().len(), 6);
         assert_eq!(zoo.tasks().len(), 9);
+    }
+
+    #[test]
+    fn llm_catalogue_extends_without_renumbering() {
+        let std = Zoo::standard();
+        let llm = Zoo::with_llms();
+        assert_eq!(llm.services().len(), 8);
+        assert_eq!(llm.tasks().len(), 9);
+        // The classifier prefix is identical row for row.
+        for (a, b) in std.services().iter().zip(llm.services()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.name, b.name);
+            assert!(b.generative.is_none());
+        }
+        // The appended rows are generative with per-token SLOs.
+        for s in &llm.services()[6..] {
+            let g = s.generative.as_ref().expect("LLM row must be generative");
+            assert!(s.is_generative());
+            assert!(s.slo_secs() < 0.2, "{}: ITL target in seconds", s.name);
+            assert!(g.ttft_slo_secs() > s.slo_secs());
+            assert!(g.kv_mb_per_token > 0.0 && g.prefill_chunk_tokens > 0.0);
+            assert!(g.mean_context_tokens() > g.prompt_tokens_mean);
+            assert!(g.prefill_iterations() >= 1.0);
+        }
+        let llama = llm.require_service("Llama-7B").unwrap();
+        assert_eq!(llama.id, ServiceId(6));
+        // Weights alone must fit the 40 GB device; KV pressure is what
+        // pushes it over.
+        for s in &llm.services()[6..] {
+            assert!(s.weights_gb < 40.0, "{}", s.name);
+        }
+        // The standard catalogue has no generative rows at all.
+        assert!(std.services().iter().all(|s| !s.is_generative()));
     }
 
     #[test]

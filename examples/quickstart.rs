@@ -42,6 +42,7 @@ fn main() -> Result<(), UnknownModel> {
         svc.id,
         svc.slo_secs(),
         qps,
+        0.0,
         &task.arch,
         // The Training Agent's feedback: observed mini-batch times.
         {

@@ -192,6 +192,73 @@ fn session_script_matches_golden() {
     check_golden("session_script.txt", &out);
 }
 
+/// The LLM-mix shape: the physical cluster with the generative
+/// services enabled, driven through a scripted token-inference session
+/// — per-token verdict draws, a device failure on an LLM host, token
+/// traffic across the repair — down to the canonical result text
+/// (which carries the `service[i].tokens:` accrual lines). Pins the
+/// continuous-batching analytic accrual, the token-SLO tuner path, and
+/// the per-token verdict sampler. This golden is new with the
+/// generative regime; every pre-existing golden is untouched by it
+/// (classifier-only configs never construct generative services).
+#[test]
+fn llm_mix_session_matches_golden() {
+    let mut cfg = ClusterConfig::physical(SystemKind::Mudi, 7);
+    cfg.jobs = 12;
+    cfg.llm_services = true;
+    let mut s = ClusterSession::new_scaled(cfg, 0.01);
+    let mut out = String::new();
+
+    s.step_until(SimTime::from_secs(900.0));
+    let gen: Vec<_> = s
+        .zoo()
+        .services()
+        .iter()
+        .filter(|sp| sp.is_generative())
+        .map(|sp| sp.id)
+        .collect();
+    assert!(!gen.is_empty(), "LLM mix must expose generative services");
+    let script = |s: &mut ClusterSession, out: &mut String, tokens: u32| {
+        for &svc in &gen {
+            match s.infer_tokens(svc, tokens) {
+                Ok(o) => {
+                    let _ = writeln!(
+                        out,
+                        "gen {} tokens={tokens} -> dev{} standby={} ttft={:?} \
+                         ttft_viol={} itl_viol={}/{}",
+                        svc.0,
+                        o.device,
+                        o.via_standby,
+                        o.ttft_secs,
+                        o.ttft_violation,
+                        o.itl_violations(),
+                        o.tokens.len()
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "gen {} tokens={tokens} -> err {e}", svc.0);
+                }
+            }
+        }
+    };
+    for tokens in [1u32, 8, 32] {
+        script(&mut s, &mut out, tokens);
+    }
+
+    // Fail an LLM host and keep token traffic flowing across the
+    // repair window.
+    s.inject_fault(6, LiveFault::DeviceFailure { repair_secs: 600.0 })
+        .expect("fault");
+    s.step_until(SimTime::from_secs(1200.0));
+    script(&mut s, &mut out, 16);
+    s.step_until(SimTime::from_secs(2400.0));
+    script(&mut s, &mut out, 16);
+
+    let _ = writeln!(out, "fired={}", s.events_fired());
+    out.push_str(&s.finish().canonical_text());
+    check_golden("llm_mix_session.txt", &out);
+}
+
 #[test]
 fn load_sensitivity_matches_golden() {
     let (base, scale) = snapshot_config(SystemKind::Gslice, 7);

@@ -6,7 +6,10 @@
 //! inside the engine state. The payoff this file proves: once a
 //! session is *warm*, stepping it — QPS segment changes, accruals,
 //! tuner reconfigurations, training completions — performs **zero**
-//! heap allocations, across all three committed `perf_kernel` shapes.
+//! heap allocations, across the committed `perf_kernel` shapes. That
+//! includes the LLM-mix shape: generative decode accrual is analytic
+//! (steady-state running batch, closed-form ITL tail), so the
+//! token-SLO path adds no per-event allocations either.
 //!
 //! **Warm-up prefix.** A documented, bounded prefix of each run is
 //! excluded from the assertion window. Warm-up covers one-time,
@@ -89,7 +92,7 @@ static LOCK: Mutex<()> = Mutex::new(());
 
 const DAY: f64 = 24.0 * 3600.0;
 
-/// The same three shapes `perf_kernel` pins, restated here because the
+/// The same shapes `perf_kernel` pins, restated here because the
 /// bench binary is not a library: (name, config, warm-up horizon,
 /// measure horizon, step increment).
 fn shapes() -> Vec<(&'static str, ClusterConfig, f64, f64, f64)> {
@@ -114,6 +117,17 @@ fn shapes() -> Vec<(&'static str, ClusterConfig, f64, f64, f64)> {
             0.25 * DAY,
             DAY,
             300.0,
+        ),
+        (
+            "llm-mix-physical-mudi-5day",
+            {
+                let mut c = ClusterConfig::physical(SystemKind::Mudi, 7);
+                c.llm_services = true;
+                c
+            },
+            2.0 * DAY,
+            5.0 * DAY,
+            3.0 * DAY,
         ),
     ]
 }

@@ -56,6 +56,7 @@ fn profile_predict_place_tune_holds_slo_for_unobserved_tasks() {
             svc.id,
             svc.slo_secs(),
             qps,
+            0.0,
             &arch,
             {
                 let gt = &gt;

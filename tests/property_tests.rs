@@ -668,3 +668,248 @@ proptest! {
         prop_assert_eq!(sa.finish().canonical_text(), sb.finish().canonical_text());
     }
 }
+
+// ---------------------------------------------------------------------
+// Generative regime: continuous batching, KV accounting, LLM replay.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Token conservation: under any seeded arrival/length sequence
+    /// with interleaved device faults and queue sheds, every admitted
+    /// decode token is delivered, still pending (queued, in flight, or
+    /// re-owed after a fault), or booked as dropped — never lost. After
+    /// draining, the ledger closes exactly.
+    #[test]
+    fn continuous_batching_conserves_tokens(
+        opseed in any::<u64>(),
+        n_reqs in 1usize..40,
+        cap in 1u32..16,
+        llm in 0usize..2,
+    ) {
+        use gpu_sim::{ContinuousBatcher, GenRequest, MemoryManager};
+        let g = GroundTruth::new(Zoo::with_llms(), 7);
+        let svc = g
+            .zoo()
+            .require_service(["Llama-7B", "OPT-13B"][llm])
+            .unwrap()
+            .id;
+        let mut b = ContinuousBatcher::new(&g, svc, cap, 0.6);
+        // Roomy pool: memory pressure is the next test's subject.
+        let mut mem = MemoryManager::new(100.0);
+        let mut rng = SimRng::seed(opseed);
+        let mut submitted = 0usize;
+        for _ in 0..160 {
+            while submitted < n_reqs && rng.chance(0.4) {
+                b.submit(GenRequest {
+                    id: submitted as u64,
+                    prompt_tokens: rng.uniform_usize(1, 512) as u32,
+                    decode_tokens: rng.uniform_usize(1, 96) as u32,
+                });
+                submitted += 1;
+            }
+            match rng.uniform_usize(0, 12) {
+                0 => {
+                    b.fault(&mut mem, b.now());
+                }
+                1 => {
+                    b.shed_queue();
+                }
+                _ => {
+                    b.step(&g, &mut mem);
+                }
+            }
+            prop_assert!(b.check_conservation().is_ok(), "{:?}", b.check_conservation());
+        }
+        // Late arrivals the op loop never got to, then drain to empty:
+        // nothing left pending, and admitted splits exactly into
+        // delivered + dropped.
+        while submitted < n_reqs {
+            b.submit(GenRequest {
+                id: submitted as u64,
+                prompt_tokens: rng.uniform_usize(1, 512) as u32,
+                decode_tokens: rng.uniform_usize(1, 96) as u32,
+            });
+            submitted += 1;
+        }
+        let mut guard = 0u32;
+        while b.pending_tokens() > 0 {
+            b.step(&g, &mut mem);
+            guard += 1;
+            prop_assert!(guard < 50_000, "batcher failed to drain");
+        }
+        prop_assert!(b.check_conservation().is_ok(), "{:?}", b.check_conservation());
+        prop_assert_eq!(b.queued(), 0);
+        prop_assert_eq!(b.running(), 0);
+        let l = b.ledger();
+        prop_assert_eq!(l.admitted, (l.completed - l.refaulted) + l.dropped);
+    }
+
+    /// KV-cache accounting: the KV GB the batcher charges to the
+    /// unified pool equal the live context (prefilled prompt plus
+    /// generated tokens) of every in-flight request times the
+    /// per-token cache size — recomputed here by an independent shadow
+    /// of the join/prefill/decode schedule. Training pages swap out
+    /// only above the pool high-watermark, and exactly the overflow.
+    #[test]
+    fn kv_charge_matches_live_context(
+        opseed in any::<u64>(),
+        cap in 1u32..16,
+        train_gb in 0.0f64..32.0,
+    ) {
+        use gpu_sim::{ContinuousBatcher, GenRequest, MemoryManager, ResidentId};
+        use std::collections::VecDeque;
+        let g = GroundTruth::new(Zoo::with_llms(), 7);
+        let spec = g.zoo().require_service("Llama-7B").unwrap();
+        let genp = spec.generative.as_ref().unwrap();
+        let (kv_mb, chunk) = (genp.kv_mb_per_token, genp.prefill_chunk_tokens.max(1.0) as u32);
+        let pool_gb = 40.0;
+        let mut mem = MemoryManager::new(pool_gb);
+        mem.add_training(SimTime::from_secs(0.0), ResidentId(1), train_gb);
+        let mut b = ContinuousBatcher::new(&g, spec.id, cap, 0.6);
+        let mut rng = SimRng::seed(opseed);
+
+        // Shadow of the batcher's schedule: FIFO joins, chunked
+        // prefill, one decode per iteration, swap-remove retirement
+        // (order matters — it fixes the requeue order on fault).
+        #[derive(Clone, Copy)]
+        struct Shadow {
+            prompt: u32,
+            decode: u32,
+            prefilled: u32,
+            decoded: u32,
+        }
+        let mut squeue: VecDeque<(u32, u32)> = VecDeque::new();
+        let mut srun: Vec<Shadow> = Vec::new();
+
+        let mut next_id = 0u64;
+        for _ in 0..120 {
+            if rng.chance(0.5) {
+                // Long prompts so the KV cache actually pressures the
+                // 40 GB pool at the larger caps.
+                let (p, d) = (rng.uniform_usize(16, 2048) as u32, rng.uniform_usize(1, 64) as u32);
+                b.submit(GenRequest { id: next_id, prompt_tokens: p, decode_tokens: d });
+                squeue.push_back((p, d));
+                next_id += 1;
+            }
+            if rng.chance(0.05) {
+                b.fault(&mut mem, b.now());
+                for f in srun.drain(..).rev() {
+                    squeue.push_front((f.prompt, f.decode));
+                }
+                continue;
+            }
+            let r = b.step(&g, &mut mem);
+
+            // Replay the same iteration on the shadow.
+            while srun.len() < cap as usize {
+                let Some((p, d)) = squeue.pop_front() else { break };
+                srun.push(Shadow { prompt: p, decode: d, prefilled: 0, decoded: 0 });
+            }
+            if !srun.is_empty() {
+                let mut i = 0;
+                while i < srun.len() {
+                    let f = &mut srun[i];
+                    if f.prefilled < f.prompt {
+                        f.prefilled = (f.prefilled + chunk).min(f.prompt);
+                        i += 1;
+                        continue;
+                    }
+                    f.decoded += 1;
+                    if f.decoded >= f.decode {
+                        srun.swap_remove(i);
+                        continue;
+                    }
+                    i += 1;
+                }
+            }
+            let ctx: u64 = srun.iter().map(|f| (f.prefilled + f.decoded) as u64).sum();
+            let expected_kv = ctx as f64 * kv_mb / 1024.0;
+            prop_assert!(
+                (r.kv_gb - expected_kv).abs() < 1e-9,
+                "KV charge {} != shadow context charge {}",
+                r.kv_gb,
+                expected_kv
+            );
+            prop_assert!((b.kv_demand_gb() - expected_kv).abs() < 1e-9);
+
+            // Pool identities: total demand is weights + live KV +
+            // training; swap activates only above the high-watermark
+            // and moves exactly the overflow (inference never swaps).
+            let demand = mem.total_demand_gb();
+            let expected_demand = spec.weights_gb + expected_kv + train_gb;
+            prop_assert!((demand - expected_demand).abs() < 1e-9);
+            let swapped = mem.total_swapped_gb();
+            if demand <= pool_gb + 1e-9 {
+                prop_assert!(swapped < 1e-9, "swap below the watermark: {swapped}");
+            } else {
+                let overflow = (demand - pool_gb).min(train_gb);
+                prop_assert!(
+                    (swapped - overflow).abs() < 1e-9,
+                    "swapped {swapped} != overflow {overflow}"
+                );
+            }
+            prop_assert!((mem.device_resident_gb() + swapped - demand).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    // Each case boots four physical-preset sessions; a few random
+    // sequences suffice — the goal is bit-equality, not coverage.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// LLM-mix determinism replay: a random token-inference / step /
+    /// fault sequence against a mixed classifier+generative cluster
+    /// produces bit-identical per-token verdicts and a bit-identical
+    /// final fingerprint when replayed — and the shard count (1 vs 4)
+    /// is unobservable in both. (Under `MUDI_SHARDS` both sides
+    /// resolve to the same override and the test still holds.)
+    #[test]
+    fn llm_mix_sessions_replay_shard_invariant(
+        seed in 0u64..1_000_000,
+        opseed in any::<u64>(),
+    ) {
+        let build = |shards: usize| {
+            let mut cfg = ClusterConfig::physical(SystemKind::Mudi, seed);
+            cfg.llm_services = true;
+            cfg.jobs = 8;
+            cfg.shards = shards;
+            cfg.shard_epoch_secs = 30.0;
+            ClusterSession::new_scaled(cfg, 0.002)
+        };
+        let run = |mut s: ClusterSession| -> (String, String) {
+            let gen: Vec<ServiceId> = s
+                .zoo()
+                .services()
+                .iter()
+                .filter(|sp| sp.is_generative())
+                .map(|sp| sp.id)
+                .collect();
+            assert!(!gen.is_empty(), "LLM mix must deploy generative services");
+            let mut rng = SimRng::seed(opseed);
+            let mut clock = 0.0;
+            let mut transcript = String::new();
+            for i in 0..10 {
+                clock += rng.uniform(60.0, 900.0);
+                s.step_until(SimTime::from_secs(clock));
+                let svc = *rng.pick(&gen);
+                let tokens = rng.uniform_usize(1, 32) as u32;
+                let outcome = s.infer_tokens(svc, tokens);
+                transcript.push_str(&format!("{i}: {outcome:?}\n"));
+                if rng.chance(0.25) {
+                    let device = rng.uniform_usize(0, s.device_count());
+                    let _ = s.inject_fault(device, LiveFault::MpsRestart);
+                }
+            }
+            (transcript, s.finish().canonical_text())
+        };
+        let (ta, fa) = run(build(1));
+        let (tb, fb) = run(build(4));
+        prop_assert_eq!(&ta, &tb, "per-token transcripts diverged across shard counts");
+        prop_assert_eq!(&fa, &fb, "fingerprints diverged across shard counts");
+        // The generative services actually accrued token-level mass.
+        prop_assert!(fa.contains(".tokens:"), "no token accrual in fingerprint:\n{fa}");
+        // And the transcript carries real verdicts, not errors.
+        prop_assert!(ta.contains("ttft_secs"), "no successful token inference:\n{ta}");
+    }
+}
