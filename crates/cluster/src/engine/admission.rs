@@ -9,8 +9,9 @@
 
 use std::time::Instant;
 
+use gpu_sim::GpuDevice;
 use mudi::{DeviceCandidate, ReliabilityPrior};
-use simcore::{SimDuration, SimEvent, SimTime};
+use simcore::{SimDuration, SimEvent, SimTime, Topology};
 use workloads::PhillyArrivals;
 
 use crate::job::{JobId, TrainingJob};
@@ -20,6 +21,54 @@ use super::state::{Event, SimState};
 
 /// The admission stage. Stateless: everything lives in [`SimState`].
 pub(super) struct Admission;
+
+/// The shared, read-only inputs of one candidate-scan, bundled so the
+/// chunked fan-out can hand every worker the same view.
+struct CandidateView<'a> {
+    dstate: &'a [super::state::DeviceState],
+    topo: &'a Topology,
+    rack_load: &'a [f64],
+    max_t: usize,
+    reliability_on: bool,
+    elapsed_days: f64,
+}
+
+/// Builds the candidate entries for one contiguous device range
+/// (`base..base + devices.len()`), in device-ascending order. Shared
+/// verbatim by the serial scan and every parallel chunk.
+fn build_candidates(
+    view: &CandidateView<'_>,
+    base: usize,
+    devices: &[GpuDevice],
+) -> Vec<DeviceCandidate> {
+    devices
+        .iter()
+        .enumerate()
+        .filter(|(_, dev)| dev.is_up() && dev.trainings().len() < view.max_t)
+        .map(|(li, dev)| {
+            let i = base + li;
+            let service = dev.inference().expect("replica deployed").service;
+            let (reliability, domain_training_load) = if view.reliability_on {
+                let prior = ReliabilityPrior {
+                    faults_per_day: view.dstate[i].faults_seen as f64 / view.elapsed_days,
+                    degraded: dev.perf_factor() < 1.0,
+                };
+                (prior, view.rack_load[view.topo.rack_of(i)])
+            } else {
+                (ReliabilityPrior::default(), 0.0)
+            };
+            DeviceCandidate {
+                device: i,
+                service,
+                existing_tasks: dev.trainings().iter().map(|t| t.task).collect(),
+                mem_headroom_gb: (dev.memory().capacity_gb() - dev.memory().total_demand_gb())
+                    .max(-20.0),
+                reliability,
+                domain_training_load,
+            }
+        })
+        .collect()
+}
 
 impl Admission {
     /// Draws the run's arrival process and schedules every job's
@@ -90,7 +139,17 @@ impl Admission {
     /// The candidate view the §5.2 selector scores: every up device
     /// with a free training slot, with reliability terms only under
     /// fault injection.
-    pub fn candidates(&self, st: &SimState, now: SimTime) -> Vec<DeviceCandidate> {
+    ///
+    /// The device scan is a pure read in device-ascending order, so it
+    /// fans out over fixed-size chunks when workers are available: each
+    /// chunk builds its own slice of the candidate list and the slices
+    /// concatenate in chunk order — byte-identical to the serial scan
+    /// for every `(shards, workers)` grid point. Its wall time accrues
+    /// to [`SimState::phase_place_secs`] (parallelizable serial-phase
+    /// work, like the utilization sample's fan-out).
+    pub fn candidates(&self, st: &mut SimState, now: SimTime) -> Vec<DeviceCandidate> {
+        const CHUNK: usize = 4096;
+        let t0 = Instant::now();
         let max_t = st.config.system.max_trainings();
         // Reliability terms only engage under fault injection so the
         // fault-free paper-reproduction runs see exactly the flat-pool
@@ -113,32 +172,49 @@ impl Admission {
             })
             .collect();
         let elapsed_days = (now.as_secs() / 86_400.0).max(0.25);
-        st.devices
-            .iter()
-            .enumerate()
-            .filter(|(_, dev)| dev.is_up() && dev.trainings().len() < max_t)
-            .map(|(i, dev)| {
-                let service = dev.inference().expect("replica deployed").service;
-                let (reliability, domain_training_load) = if reliability_on {
-                    let prior = ReliabilityPrior {
-                        faults_per_day: st.dstate[i].faults_seen as f64 / elapsed_days,
-                        degraded: dev.perf_factor() < 1.0,
-                    };
-                    (prior, rack_load[st.topo.rack_of(i)])
-                } else {
-                    (ReliabilityPrior::default(), 0.0)
-                };
-                DeviceCandidate {
-                    device: i,
-                    service,
-                    existing_tasks: dev.trainings().iter().map(|t| t.task).collect(),
-                    mem_headroom_gb: (dev.memory().capacity_gb() - dev.memory().total_demand_gb())
-                        .max(-20.0),
-                    reliability,
-                    domain_training_load,
-                }
-            })
-            .collect()
+        let view = CandidateView {
+            dstate: &st.dstate,
+            topo: &st.topo,
+            rack_load: &rack_load,
+            max_t,
+            reliability_on,
+            elapsed_days,
+        };
+        let workers = st.workers;
+        let out = if workers > 1 && st.devices.len() > CHUNK {
+            struct BuildChunk<'a> {
+                base: usize,
+                devices: &'a mut [GpuDevice],
+                out: Vec<DeviceCandidate>,
+            }
+            let mut work: Vec<BuildChunk> = Vec::with_capacity(st.devices.len() / CHUNK + 1);
+            let mut rest = &mut st.devices[..];
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = rest.len().min(CHUNK);
+                let (chunk, tail) = rest.split_at_mut(take);
+                work.push(BuildChunk {
+                    base,
+                    devices: chunk,
+                    out: Vec::new(),
+                });
+                base += take;
+                rest = tail;
+            }
+            let view = &view;
+            simcore::scoped_for_each_mut(&mut work, workers, |_, w| {
+                w.out = build_candidates(view, w.base, w.devices);
+            });
+            let mut all = Vec::with_capacity(work.iter().map(|w| w.out.len()).sum());
+            for w in &mut work {
+                all.append(&mut w.out);
+            }
+            all
+        } else {
+            build_candidates(&view, 0, &st.devices)
+        };
+        st.phase_place_secs += t0.elapsed().as_secs_f64();
+        out
     }
 
     /// Drains the pending queue head-first while the system keeps
@@ -158,11 +234,17 @@ impl Admission {
             let job_id = st.queue[idx].payload;
             let task = st.jobs[job_id.0 as usize].task;
 
+            // Placement is serial-phase work on one canonical replica
+            // (lane 0) and draws from the dedicated `place` substream:
+            // the draw sequence depends only on the global dispatch
+            // order, which is itself partition-invariant.
             let t0 = Instant::now();
-            let placed =
-                st.shared
-                    .system
-                    .place(&st.shared.gt, task, &candidates, &mut st.shared.rng);
+            let placed = st.lanes[0].system.place(
+                &st.shared.gt,
+                task,
+                &candidates,
+                &mut st.shared.place_rng,
+            );
             st.placement_secs.push(t0.elapsed().as_secs_f64());
 
             let Some(device) = placed else {
@@ -180,17 +262,20 @@ impl Admission {
                 candidates: candidates.iter().map(|c| (c.device, c.service.0)).collect(),
             });
 
-            Control.accrue(st, now, device);
+            // The chosen device's lane may have stepped past `now`
+            // this window: clamp to its watermark.
+            let td = st.dev_time(device, now);
+            Control.accrue(st, td, device);
             // Requeued jobs resume from their checkpointed progress.
             let proc = st.restored_process(job_id);
             st.devices[device]
-                .add_training(&st.shared.gt, now, proc)
+                .add_training(&st.shared.gt, td, proc)
                 .expect("candidate had a free slot");
-            st.jobs[job_id.0 as usize].start(now, device);
-            let cap = st.applied_share_cap(now, device);
+            st.jobs[job_id.0 as usize].start(td, device);
+            let cap = st.applied_share_cap(td, device);
             st.devices[device].rebalance_training_fractions(cap);
-            Control.refresh_memory_pause(st, now, device);
-            Control.reconfigure(st, now, device);
+            Control.refresh_memory_pause(st, td, device);
+            Control.reconfigure(st, td, device);
         }
     }
 }

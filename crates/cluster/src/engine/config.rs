@@ -84,6 +84,13 @@ pub struct ClusterConfig {
     /// more than one shard is active; shorter epochs bound speculation
     /// staleness, longer epochs amortize the per-epoch barrier cost.
     pub shard_epoch_secs: f64,
+    /// Parallel lane workers for the sharded stepping kernel. `0`
+    /// means auto: resolve from the environment (`MUDI_THREADS`, else
+    /// the core count) at engine construction. The worker count never
+    /// affects simulated numbers — lanes commit through a
+    /// merge-key-sorted barrier — only wall-clock time, so tests can
+    /// pin it per-config without touching process-global state.
+    pub workers: usize,
     /// Serve from the LLM-extended catalogue ([`workloads::Zoo::with_llms`]):
     /// the six classifier services plus generative LLM entries with
     /// per-token SLOs, continuous batching, and KV-cache pressure.
@@ -128,6 +135,7 @@ impl ClusterConfigBuilder {
                 topology: TopologyShape::from_env(),
                 shards: 0,
                 shard_epoch_secs: 60.0,
+                workers: 0,
                 llm_services: false,
             },
         }
@@ -203,6 +211,14 @@ impl ClusterConfigBuilder {
     /// Overrides the sharded stepping epoch length (simulated seconds).
     pub fn shard_epoch_secs(mut self, secs: f64) -> Self {
         self.config.shard_epoch_secs = secs.max(1.0);
+        self
+    }
+
+    /// Requests an explicit lane worker count (`0` = auto from
+    /// `MUDI_THREADS` / core count). Affects wall-clock only; simulated
+    /// numbers are worker-count-invariant.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
         self
     }
 

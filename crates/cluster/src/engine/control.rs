@@ -7,6 +7,16 @@
 //! pause bookkeeping, stuck-device eviction, and the periodic
 //! cluster-utilization sample. Retune accept/reject decisions and
 //! training evictions are published on the trace bus.
+//!
+//! The per-device handlers are free functions over [`LaneCtx`] so the
+//! parallel lane phase and the serial phase execute the *same code*:
+//! a lane handler only touches its own devices, draws from per-device
+//! substreams ([`super::state::DeviceState::retune_rng`]), books floats
+//! into per-device accumulators ([`super::state::DevAccum`]), and
+//! defers every shared-state effect as an [`OutMsg`] envelope. The
+//! [`Control`] methods are the serial-phase entry points: thin
+//! wrappers that build the lane view for the target device and drain
+//! its outbox immediately.
 
 use gpu_sim::{ReconfigPolicy, ResidentId};
 use simcore::{normal_cdf, SimDuration, SimEvent, SimTime};
@@ -15,330 +25,703 @@ use crate::job::{JobId, JobState};
 use crate::systems::{ConfigDecision, DeviceView, SystemKind};
 
 use super::admission::Admission;
-use super::state::{Event, SimState};
+use super::shard::OutMsg;
+use super::state::{Event, LaneCtx, SimState};
 
 /// The control stage. Stateless: everything lives in [`SimState`].
 pub(super) struct Control;
 
-impl Control {
-    // ------------------------------------------------------------------
-    // Analytic accrual.
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Lane handlers: the single implementation of per-device control,
+// executed by the parallel lane phase and (through the `Control`
+// wrappers) by the serial phase.
+// ----------------------------------------------------------------------
 
-    /// Integrates SLO violations and training progress for device `d`
-    /// over `[last_accrue, now]` under the current configuration.
-    pub fn accrue(&self, st: &mut SimState, now: SimTime, d: usize) {
-        let span_start = st.dstate[d].last_accrue;
-        let dt = now.since(span_start).as_secs();
-        st.dstate[d].last_accrue = now;
-        if dt <= 0.0 {
-            return;
-        }
-        if !st.devices[d].is_up() {
-            // Down device: traffic addressed to its replica is dropped
-            // — and every dropped request is an SLO violation — unless
-            // failover moved the base demand to survivors or a promoted
-            // standby is serving it (the host books that traffic).
-            // Carried failover traffic (`extra_qps`) is always dropped
-            // here.
-            let ds = &st.dstate[d];
-            let base = if ds.rerouted.is_empty() && ds.standby_host.is_none() {
-                ds.stashed_inference.as_ref().map_or(0.0, |i| i.qps)
-            } else {
-                0.0
-            };
-            let q = base + ds.extra_qps;
-            if q > 0.0 {
-                let generative = st.shared.gt.zoo().service(ds.service).generative;
-                let m = st.services.entry(ds.service);
-                m.requests += q * dt;
-                m.violations += q * dt;
-                if let Some(gp) = generative {
-                    // Every token the dropped requests would have
-                    // generated is booked as a violated token — dropped
-                    // decode work is never silently lost.
-                    let tokens = q * dt * gp.decode_tokens_mean;
-                    m.tokens += tokens;
-                    m.itl_violations += tokens;
-                    m.ttft_violations += q * dt;
-                }
-                st.fmetrics.dropped_requests += q * dt;
-            }
-            let gt = &st.shared.gt;
-            st.devices[d].record_utilization(gt, now);
-            return;
-        }
-        let dev = &st.devices[d];
-        let Some(inf) = dev.inference() else {
-            return;
-        };
-        let (service, batch, frac, qps) = (inf.service, inf.batch, inf.gpu_fraction, inf.qps);
-        let (colo_buf, colo_n) = dev.colo_for_inference_buf();
-        let colo = &colo_buf[..colo_n];
-        let slo = st.shared.gt.zoo().service(service).slo_secs();
-        // Degraded devices deliver only `pf` of their effective compute:
-        // the same model query at a proportionally smaller GPU share.
-        let pf = dev.perf_factor();
-        let frac = (frac * pf).max(0.01);
-
-        // --- SLO violations. ---
-        let generative = st.shared.gt.zoo().service(service).generative;
-        if let Some(gp) = generative {
-            // Generative decode accrual. The running continuous batch is
-            // the steady-state fixed point of arrivals against the
-            // batch-dependent iteration latency; the tuned batch acts as
-            // the admission cap. Per-token (ITL) and TTFT targets then
-            // accrue in closed form exactly like classifier SLOs: for a
-            // generative spec `slo` *is* the p99 inter-token target.
-            let bsz = st
-                .shared
-                .gt
-                .steady_decode_batch(service, batch, frac, qps, colo);
-            let (mean, sigma, p99) = dev.latency_profile(&st.shared.gt, service, bsz, frac, colo);
-            st.dstate[d].last_p99 = Some(p99);
-            // One iteration emits one token per resident sequence, so
-            // the loop's token service rate is `bsz / mean`.
-            let tok_rate = qps * gp.decode_tokens_mean;
-            let util = if tok_rate > 0.0 {
-                mean * tok_rate / bsz as f64
-            } else {
-                0.0
-            };
-            st.dstate[d].last_util = util;
-            let p_itl = itl_violation_probability(slo, mean, sigma, util);
-            // TTFT: chunked prefill of the mean prompt at the running
-            // batch's iteration latency, under the same saturation ramp
-            // (a saturated decode loop starves admission just as hard).
-            let ttft_mean = gp.prefill_iterations() * mean;
-            let p_ttft = itl_violation_probability(gp.ttft_slo_secs(), ttft_mean, sigma, util);
-            st.dstate[d].last_pviol = p_itl.max(p_ttft);
-            let requests = qps * dt;
-            let tokens = tok_rate * dt;
-            let m = st.services.entry(service);
-            m.requests += requests;
-            // The request-level violation of a generative service is the
-            // TTFT miss, so request-weighted aggregates stay comparable
-            // across mixed classifier + LLM fleets.
-            m.violations += requests * p_ttft;
-            m.ttft_violations += requests * p_ttft;
-            m.tokens += tokens;
-            m.itl_violations += tokens * p_itl;
-            m.p99_stats.record(p99);
+/// Integrates SLO violations and training progress for device `d`
+/// over `[last_accrue, now]` under the current configuration.
+///
+/// Training progress lands as a deferred [`OutMsg::Progress`] envelope
+/// (the job/checkpoint tables are shared state); the resident's own
+/// iteration counter advances in-lane so colocation views stay fresh.
+pub(super) fn accrue(ctx: &mut LaneCtx, now: SimTime, d: usize) {
+    let li = d - ctx.base;
+    let span_start = ctx.dstate[li].last_accrue;
+    let dt = now.since(span_start).as_secs();
+    if dt <= 0.0 {
+        // Nothing to integrate. Checked *before* the watermark update:
+        // a serial-phase caller clamps to the watermark, so `now` can
+        // tie it but must never regress it.
+        return;
+    }
+    ctx.dstate[li].last_accrue = now;
+    if !ctx.devices[li].is_up() {
+        // Down device: traffic addressed to its replica is dropped
+        // — and every dropped request is an SLO violation — unless
+        // failover moved the base demand to survivors or a promoted
+        // standby is serving it. Standby-served demand is booked
+        // *here*, on the covered device's own lane: this lane tracks
+        // the stash QPS trajectory exactly (the host's mirror lags by
+        // up to an epoch window), so dropped + served mass conserves
+        // bit-exactly under any partition. Carried failover traffic
+        // (`extra_qps`) is always dropped here.
+        let ds = &ctx.dstate[li];
+        let covered = ds.standby_host.is_some();
+        let base = if ds.rerouted.is_empty() {
+            ds.stashed_inference.as_ref().map_or(0.0, |i| i.qps)
         } else {
-            let (mean, sigma, p99) = dev.latency_profile(&st.shared.gt, service, batch, frac, colo);
-            st.dstate[d].last_p99 = Some(p99);
-            st.dstate[d].last_util = if qps > 0.0 {
-                mean / (batch as f64 / qps)
-            } else {
-                0.0
-            };
-            // Through the per-device memo: bit-identical to the direct
-            // call, and a hit when the sharded stepper's speculation phase
-            // (or the previous span) already computed this configuration.
-            let p_violation = st.dstate[d].vp_cache.get(qps, batch, slo, mean, sigma);
-            st.dstate[d].last_pviol = p_violation;
-            let requests = qps * dt;
-            let m = st.services.entry(service);
-            m.requests += requests;
-            m.violations += requests * p_violation;
-            m.p99_stats.record(p99);
-        }
-        // Failover traffic served here counts toward the reroute ledger.
-        let extra = st.dstate[d].extra_qps.min(qps);
-        if extra > 0.0 {
-            st.fmetrics.rerouted_requests += extra * dt;
-        }
-
-        // --- Warm-standby accounting. ---
-        if let Some(s) = dev.standby() {
-            // The reserved slice is charged for the whole span, active
-            // or idle: the pool's standing GPU% cost.
-            st.fmetrics.standby_reserved_gpu_secs += s.reserve_fraction * dt;
-            if s.is_active() {
-                let (s_service, s_batch, s_qps) = (s.service, s.batch, s.qps);
-                let s_frac = (s.reserve_fraction * pf).max(0.01);
-                let (s_colo_buf, s_colo_n) = dev.colo_for_standby_buf();
-                let s_colo = &s_colo_buf[..s_colo_n];
-                let s_slo = st.shared.gt.zoo().service(s_service).slo_secs();
-                let (s_mean, s_sigma, s_p99) =
-                    dev.standby_latency_profile(&st.shared.gt, s_service, s_batch, s_frac, s_colo);
-                let p_viol = violation_probability(s_qps, s_batch, s_slo, s_mean, s_sigma);
-                let m = st.services.entry(s_service);
-                m.requests += s_qps * dt;
-                m.violations += s_qps * dt * p_viol;
-                m.p99_stats.record(s_p99);
-                st.fmetrics.standby_served_requests += s_qps * dt;
-            }
-        }
-
-        // --- Training progress. ---
-        if !st.dstate[d].training_paused {
-            // Pooled scratch: empty between events, capacity retained.
-            let mut advanced = std::mem::take(&mut st.scratch_advance);
-            for proc in dev.trainings() {
-                // A restarting process makes no progress until its
-                // restart completes; clip the span accordingly.
-                let run_dt = match st.dstate[d]
-                    .restarting
-                    .iter()
-                    .find(|(id, _)| *id == proc.id)
-                {
-                    Some(&(_, until)) => now.since(until.max(span_start)).as_secs().max(0.0),
-                    None => dt,
-                };
-                if run_dt <= 0.0 {
-                    continue;
-                }
-                let (view, vn) = dev.colo_for_training_buf(proc.id);
-                let eff = (proc.gpu_fraction * pf).max(1e-3);
-                let iter = st.shared.gt.training_iteration(proc.task, eff, &view[..vn]);
-                let slow = dev.memory().training_slowdown(proc.id);
-                // Checkpoint writes steal a fixed fraction of the run
-                // time (1.0 when writes are free).
-                let ck_eff = st
-                    .ckpt
-                    .get(proc.id.0 as usize)
-                    .map_or(1.0, |c| c.efficiency());
-                advanced.push((proc.id, run_dt * ck_eff / (iter * slow), run_dt));
-            }
-            for &(rid, iters, run_dt) in &advanced {
-                if let Some(job) = st.jobs.get_mut(rid.0 as usize) {
-                    let before = job.completed_iterations;
-                    job.completed_iterations += iters;
-                    let after = job.completed_iterations;
-                    if let Some(ck) = st.ckpt.get_mut(rid.0 as usize) {
-                        ck.on_progress(run_dt, before, after);
-                    }
-                }
-                if let Some(proc) = st.devices[d].training_mut(rid) {
-                    proc.advance(iters as u64);
-                }
-            }
-            advanced.clear();
-            st.scratch_advance = advanced;
-        }
-
-        // Utilization integrators see the (constant) current state.
-        let gt = &st.shared.gt;
-        st.devices[d].record_utilization(gt, now);
-    }
-
-    // ------------------------------------------------------------------
-    // Event handlers.
-    // ------------------------------------------------------------------
-
-    /// A training job's completion event fires. Returns `true` when the
-    /// job actually finished (the stepper tracks the last finish time).
-    pub fn on_completion(&self, st: &mut SimState, now: SimTime, job: JobId, epoch: u64) -> bool {
-        let device = match st.jobs[job.0 as usize].device {
-            Some(d) => d,
-            None => return false,
+            0.0
         };
-        if st.dstate[device].epoch != epoch {
-            return false; // Stale event; a reconfiguration rescheduled it.
+        let dropped = if covered { 0.0 } else { base } + ds.extra_qps;
+        let served = if covered { base } else { 0.0 };
+        let service = ds.service;
+        let pviol = ds.standby_pviol;
+        if dropped > 0.0 {
+            let generative = ctx.gt.zoo().service(service).generative;
+            let acc = &mut ctx.dstate[li].acc;
+            let m = acc.svc_entry(service);
+            m.requests += dropped * dt;
+            m.violations += dropped * dt;
+            if let Some(gp) = generative {
+                // Every token the dropped requests would have
+                // generated is booked as a violated token — dropped
+                // decode work is never silently lost.
+                let tokens = dropped * dt * gp.decode_tokens_mean;
+                m.tokens += tokens;
+                m.itl_violations += tokens;
+                m.ttft_violations += dropped * dt;
+            }
+            acc.dropped_requests += dropped * dt;
         }
-        self.accrue(st, now, device);
-        let j = &st.jobs[job.0 as usize];
-        if j.remaining_iterations() > 1.0 {
-            // Progress drifted from the estimate (noise, pauses):
-            // reschedule from the true remaining work.
-            self.reschedule_completions(st, now, device);
-            return false;
+        if served > 0.0 {
+            // Quality (violation probability) is frozen from the
+            // host's profile at the last serial-phase refresh; the
+            // request mass itself is exact.
+            let acc = &mut ctx.dstate[li].acc;
+            let m = acc.svc_entry(service);
+            m.requests += served * dt;
+            m.violations += served * dt * pviol;
+            acc.standby_served_requests += served * dt;
         }
-        let rid = ResidentId(job.0);
-        st.devices[device].remove_training(now, rid);
-        st.jobs[job.0 as usize].finish(now);
-        let est = now - st.jobs[job.0 as usize].submitted;
-        st.fair.record(st.jobs[job.0 as usize].class, est.as_secs());
-        let cap = st.applied_share_cap(now, device);
-        st.devices[device].rebalance_training_fractions(cap);
-        self.refresh_memory_pause(st, now, device);
-        self.reconfigure(st, now, device);
-        Admission.try_dispatch(st, now);
-        true
+        ctx.devices[li].record_utilization(ctx.gt, now);
+        return;
+    }
+    let dev = &ctx.devices[li];
+    let Some(inf) = dev.inference() else {
+        return;
+    };
+    let (service, batch, frac, qps) = (inf.service, inf.batch, inf.gpu_fraction, inf.qps);
+    let (colo_buf, colo_n) = dev.colo_for_inference_buf();
+    let colo = &colo_buf[..colo_n];
+    let slo = ctx.gt.zoo().service(service).slo_secs();
+    // Degraded devices deliver only `pf` of their effective compute:
+    // the same model query at a proportionally smaller GPU share.
+    let pf = dev.perf_factor();
+    let frac = (frac * pf).max(0.01);
+
+    // --- SLO violations. ---
+    let generative = ctx.gt.zoo().service(service).generative;
+    if let Some(gp) = generative {
+        // Generative decode accrual. The running continuous batch is
+        // the steady-state fixed point of arrivals against the
+        // batch-dependent iteration latency; the tuned batch acts as
+        // the admission cap. Per-token (ITL) and TTFT targets then
+        // accrue in closed form exactly like classifier SLOs: for a
+        // generative spec `slo` *is* the p99 inter-token target.
+        let bsz = ctx.gt.steady_decode_batch(service, batch, frac, qps, colo);
+        let (mean, sigma, p99) = dev.latency_profile(ctx.gt, service, bsz, frac, colo);
+        ctx.dstate[li].last_p99 = Some(p99);
+        // One iteration emits one token per resident sequence, so
+        // the loop's token service rate is `bsz / mean`.
+        let tok_rate = qps * gp.decode_tokens_mean;
+        let util = if tok_rate > 0.0 {
+            mean * tok_rate / bsz as f64
+        } else {
+            0.0
+        };
+        ctx.dstate[li].last_util = util;
+        let p_itl = itl_violation_probability(slo, mean, sigma, util);
+        // TTFT: chunked prefill of the mean prompt at the running
+        // batch's iteration latency, under the same saturation ramp
+        // (a saturated decode loop starves admission just as hard).
+        let ttft_mean = gp.prefill_iterations() * mean;
+        let p_ttft = itl_violation_probability(gp.ttft_slo_secs(), ttft_mean, sigma, util);
+        ctx.dstate[li].last_pviol = p_itl.max(p_ttft);
+        let requests = qps * dt;
+        let tokens = tok_rate * dt;
+        let m = ctx.dstate[li].acc.svc_entry(service);
+        m.requests += requests;
+        // The request-level violation of a generative service is the
+        // TTFT miss, so request-weighted aggregates stay comparable
+        // across mixed classifier + LLM fleets.
+        m.violations += requests * p_ttft;
+        m.ttft_violations += requests * p_ttft;
+        m.tokens += tokens;
+        m.itl_violations += tokens * p_itl;
+        m.p99_stats.record(p99);
+    } else {
+        let (mean, sigma, p99) = dev.latency_profile(ctx.gt, service, batch, frac, colo);
+        ctx.dstate[li].last_p99 = Some(p99);
+        ctx.dstate[li].last_util = if qps > 0.0 {
+            mean / (batch as f64 / qps)
+        } else {
+            0.0
+        };
+        // Through the per-device memo: bit-identical to the direct
+        // call, and a hit whenever the previous span already computed
+        // this configuration.
+        let p_violation = ctx.dstate[li].vp_cache.get(qps, batch, slo, mean, sigma);
+        ctx.dstate[li].last_pviol = p_violation;
+        let requests = qps * dt;
+        let m = ctx.dstate[li].acc.svc_entry(service);
+        m.requests += requests;
+        m.violations += requests * p_violation;
+        m.p99_stats.record(p99);
+    }
+    // Failover traffic served here counts toward the reroute ledger.
+    let extra = ctx.dstate[li].extra_qps.min(qps);
+    if extra > 0.0 {
+        ctx.dstate[li].acc.rerouted_requests += extra * dt;
     }
 
-    /// A replica's QPS segment rolls over; doubles as the Monitor check
-    /// (§5.3.2) and the SLO-risk retune trigger.
-    pub fn on_qps_change(&self, st: &mut SimState, now: SimTime, d: usize) {
-        self.accrue(st, now, d);
-        let (dwell, raw_qps) = st.dstate[d].qps_gen.next_segment();
-        let burst = st.burst_multiplier(now);
-        let rate_scale = st
-            .shared
-            .gt
-            .zoo()
-            .service(st.dstate[d].service)
-            .request_rate_scale();
-        let qps = raw_qps * st.config.load_multiplier * burst * rate_scale;
-        if !st.devices[d].is_up() {
-            // The replica is down but demand keeps fluctuating. If the
-            // traffic was not failed over, the drop rate follows demand;
-            // if it was, survivors keep serving the frozen failover
-            // share and the new demand level applies at repair.
-            if st.dstate[d].rerouted.is_empty() {
-                if let Some(stash) = st.dstate[d].stashed_inference.as_mut() {
-                    stash.qps = qps;
-                }
-                // An active standby keeps tracking the demand it covers.
-                if let Some(h) = st.dstate[d].standby_host {
-                    if st.devices[h].is_up() {
-                        self.accrue(st, now, h);
-                        st.devices[h].set_standby_qps(&st.shared.gt, now, qps);
-                    }
-                }
+    // --- Warm-standby accounting. ---
+    // The served *demand mass* is booked on the covered device's lane
+    // (the only lane that tracks the stash QPS exactly); the host
+    // charges the standing reserve and records latency quality.
+    let dev = &ctx.devices[li];
+    if let Some(s) = dev.standby() {
+        // The reserved slice is charged for the whole span, active
+        // or idle: the pool's standing GPU% cost.
+        let reserved = s.reserve_fraction * dt;
+        if s.is_active() {
+            let (s_service, s_batch) = (s.service, s.batch);
+            let s_frac = (s.reserve_fraction * pf).max(0.01);
+            let (s_colo_buf, s_colo_n) = dev.colo_for_standby_buf();
+            let s_colo = &s_colo_buf[..s_colo_n];
+            let (_s_mean, _s_sigma, s_p99) =
+                dev.standby_latency_profile(ctx.gt, s_service, s_batch, s_frac, s_colo);
+            let acc = &mut ctx.dstate[li].acc;
+            acc.svc_entry(s_service).p99_stats.record(s_p99);
+        }
+        ctx.dstate[li].acc.standby_reserved_gpu_secs += reserved;
+    }
+
+    // --- Training progress. ---
+    if !ctx.dstate[li].training_paused {
+        // Pooled scratch: empty between events, capacity retained.
+        let mut advanced = std::mem::take(&mut ctx.lane.scratch_advance);
+        let dev = &ctx.devices[li];
+        for proc in dev.trainings() {
+            // A restarting process makes no progress until its
+            // restart completes; clip the span accordingly.
+            let run_dt = match ctx.dstate[li]
+                .restarting
+                .iter()
+                .find(|(id, _)| *id == proc.id)
+            {
+                Some(&(_, until)) => now.since(until.max(span_start)).as_secs().max(0.0),
+                None => dt,
+            };
+            if run_dt <= 0.0 {
+                continue;
             }
-            st.events.schedule_at(
-                now + dwell.max(SimDuration::from_secs(0.5)),
-                Event::QpsChange(d),
+            let (view, vn) = dev.colo_for_training_buf(proc.id);
+            let eff = (proc.gpu_fraction * pf).max(1e-3);
+            let iter = ctx.gt.training_iteration(proc.task, eff, &view[..vn]);
+            let slow = dev.memory().training_slowdown(proc.id);
+            // Checkpoint writes steal a fixed fraction of the run
+            // time (1.0 when writes are free).
+            let ck_eff = ctx
+                .ckpt
+                .get(proc.id.0 as usize)
+                .map_or(1.0, |c| c.efficiency());
+            advanced.push((proc.id, run_dt * ck_eff / (iter * slow), run_dt));
+        }
+        for &(rid, iters, run_dt) in &advanced {
+            // The job/checkpoint tables are shared: defer. The
+            // resident's own counter advances in-lane so this lane's
+            // subsequent spans see fresh colocation state.
+            ctx.push_msg(
+                now,
+                d,
+                OutMsg::Progress {
+                    job: JobId(rid.0),
+                    iters,
+                    run_dt,
+                },
             );
-            return;
-        }
-        st.devices[d].set_inference_qps(&st.shared.gt, now, qps + st.dstate[d].extra_qps);
-
-        // Monitor check (§5.3.2): retune when drift exceeds 50 %.
-        let triggered = st.dstate[d].monitor.observe_qps(qps).is_some();
-        // SLO-risk triggers (§5.3.2): tail latency near the SLO, or the
-        // replica's service rate close to the arrival rate (queueing
-        // pressure a real monitor would see as rising latency).
-        let throttled = now.since(st.dstate[d].last_risk_tune).as_secs() <= 30.0;
-        let risk = !throttled
-            && (st.dstate[d]
-                .last_p99
-                .map(|p| p > 0.95 * st.device_slo(d))
-                .unwrap_or(false)
-                || st.dstate[d].last_util > 0.85
-                || st.dstate[d].last_pviol > 0.02);
-        if triggered || risk {
-            if risk {
-                st.dstate[d].last_risk_tune = now;
-            }
-            self.reconfigure(st, now, d);
-        }
-
-        // Cap the next dwell so bursts (Fig. 16) are noticed promptly.
-        let mut next = dwell;
-        if let Some(b) = &st.config.burst {
-            if let Some(t) = b.next_change_after(now) {
-                next = next.min(t - now + SimDuration::from_secs(0.1));
+            if let Some(proc) = ctx.devices[li].training_mut(rid) {
+                proc.advance(iters as u64);
             }
         }
-        st.events.schedule_at(
-            now + next.max(SimDuration::from_secs(0.5)),
+        advanced.clear();
+        ctx.lane.scratch_advance = advanced;
+    }
+
+    // Utilization integrators see the (constant) current state.
+    ctx.devices[li].record_utilization(ctx.gt, now);
+}
+
+/// A replica's QPS segment rolls over; doubles as the Monitor check
+/// (§5.3.2) and the SLO-risk retune trigger.
+pub(super) fn on_qps_change(ctx: &mut LaneCtx, now: SimTime, d: usize) {
+    accrue(ctx, now, d);
+    let li = d - ctx.base;
+    let (dwell, raw_qps) = ctx.dstate[li].qps_gen.next_segment();
+    let burst = ctx.burst_multiplier(now);
+    let rate_scale = ctx
+        .gt
+        .zoo()
+        .service(ctx.dstate[li].service)
+        .request_rate_scale();
+    let qps = raw_qps * ctx.config.load_multiplier * burst * rate_scale;
+    if !ctx.devices[li].is_up() {
+        // The replica is down but demand keeps fluctuating. If the
+        // traffic was not failed over, the drop rate follows demand;
+        // if it was, survivors keep serving the frozen failover
+        // share and the new demand level applies at repair.
+        if ctx.dstate[li].rerouted.is_empty() {
+            if let Some(stash) = ctx.dstate[li].stashed_inference.as_mut() {
+                stash.qps = qps;
+            }
+            // An active standby keeps tracking the demand it covers.
+            // The host may live on another lane: deferred, with the
+            // host's liveness re-checked at the barrier.
+            if let Some(h) = ctx.dstate[li].standby_host {
+                ctx.push_msg(now, d, OutMsg::StandbyQps { host: h, qps });
+            }
+        }
+        ctx.schedule(
+            d,
+            now + dwell.max(SimDuration::from_secs(0.5)),
             Event::QpsChange(d),
         );
+        return;
+    }
+    let extra = ctx.dstate[li].extra_qps;
+    ctx.devices[li].set_inference_qps(ctx.gt, now, qps + extra);
+
+    // Monitor check (§5.3.2): retune when drift exceeds 50 %.
+    let triggered = ctx.dstate[li].monitor.observe_qps(qps).is_some();
+    // SLO-risk triggers (§5.3.2): tail latency near the SLO, or the
+    // replica's service rate close to the arrival rate (queueing
+    // pressure a real monitor would see as rising latency).
+    let throttled = now.since(ctx.dstate[li].last_risk_tune).as_secs() <= 30.0;
+    let risk = !throttled
+        && (ctx.dstate[li]
+            .last_p99
+            .map(|p| p > 0.95 * ctx.device_slo(d))
+            .unwrap_or(false)
+            || ctx.dstate[li].last_util > 0.85
+            || ctx.dstate[li].last_pviol > 0.02);
+    if triggered || risk {
+        if risk {
+            ctx.dstate[li].last_risk_tune = now;
+        }
+        reconfigure(ctx, now, d);
     }
 
-    /// Periodic cluster-utilization sample.
+    // Cap the next dwell so bursts (Fig. 16) are noticed promptly.
+    let mut next = dwell;
+    if let Some(b) = &ctx.config.burst {
+        if let Some(t) = b.next_change_after(now) {
+            next = next.min(t - now + SimDuration::from_secs(0.1));
+        }
+    }
+    ctx.schedule(
+        d,
+        now + next.max(SimDuration::from_secs(0.5)),
+        Event::QpsChange(d),
+    );
+}
+
+/// The Retune heartbeat fires for a paused device: re-evaluate, and
+/// after 30 stuck minutes evict (systems without unified memory).
+pub(super) fn on_retune(ctx: &mut LaneCtx, now: SimTime, d: usize) {
+    let li = d - ctx.base;
+    ctx.dstate[li].retune_pending = false;
+    if ctx.dstate[li].training_paused {
+        reconfigure(ctx, now, d);
+        // Systems without unified-memory swapping can stay
+        // overcommitted indefinitely (e.g. a static split that never
+        // shrinks); after 30 simulated minutes the operator evicts
+        // the training task back to the queue, as a real cluster
+        // would. Eviction requeues into shared state: deferred, with
+        // the stuck condition re-validated at the barrier.
+        let stuck = ctx.dstate[li]
+            .paused_since
+            .map(|t0| now.since(t0).as_secs() > 1800.0)
+            .unwrap_or(false);
+        if ctx.dstate[li].training_paused && stuck && !ctx.config.system.manages_memory() {
+            ctx.push_msg(now, d, OutMsg::EvictStuck { device: d });
+        }
+    }
+}
+
+/// The end-to-end P99 a latency monitor would measure on device
+/// `d`: batch P99 plus tail fill wait, inflated by queueing once
+/// utilization approaches 1 (feedback systems like GSLICE consume
+/// this signal).
+pub(super) fn observed_p99(ctx: &LaneCtx, d: usize) -> Option<f64> {
+    let li = d - ctx.base;
+    let p99 = ctx.dstate[li].last_p99?;
+    let inf = ctx.devices[li].inference()?;
+    let fill = if inf.qps > 0.0 {
+        inf.batch as f64 / inf.qps
+    } else {
+        0.0
+    };
+    let queue_factor = 1.0 + 10.0 * (ctx.dstate[li].last_util - 0.85).max(0.0);
+    Some((p99 + fill * 5.0 / 6.0) * queue_factor)
+}
+
+/// Runs the system's configure step for device `d` and applies the
+/// decision: batch (free), fraction (visible downtime accounted as
+/// violated requests), training pause state, and memory effects.
+///
+/// The tuner runs on the lane's own system replica and draws from the
+/// device's `retune_rng` substream — the draws depend only on
+/// `(seed, device, draw index)`, never on cross-device ordering.
+pub(super) fn reconfigure(ctx: &mut LaneCtx, now: SimTime, d: usize) {
+    let li = d - ctx.base;
+    if !ctx.devices[li].is_up() {
+        return; // Nothing to tune on a down device.
+    }
+    accrue(ctx, now, d);
+    // The task list rides in a pooled vector (taken here, returned
+    // after configure) so a steady-state retune never allocates.
+    let mut tasks = std::mem::take(&mut ctx.lane.scratch_tasks);
+    let measured_p99 = observed_p99(ctx, d);
+    let dev = &ctx.devices[li];
+    let inf = dev.inference().expect("replica deployed");
+    tasks.extend(dev.trainings().iter().map(|t| t.task));
+    let view = DeviceView {
+        device: d,
+        service: inf.service,
+        qps: inf.qps,
+        slo_secs: ctx.gt.zoo().service(inf.service).slo_secs(),
+        tasks,
+        batch: inf.batch,
+        fraction: inf.gpu_fraction,
+        measured_p99,
+        mem_headroom_gb: dev.memory().capacity_gb() - dev.memory().total_demand_gb(),
+    };
+    let qps = inf.qps;
+    let old_fraction = inf.gpu_fraction;
+    let mut decision: ConfigDecision =
+        ctx.lane
+            .system
+            .configure(ctx.gt, &view, &mut ctx.dstate[li].retune_rng);
+    let mut tasks = view.tasks;
+    tasks.clear();
+    ctx.lane.scratch_tasks = tasks;
+    if decision.bo_iterations > 0 {
+        // The BO history is a shared run-level ledger: defer, so it
+        // lands in (time, device, seq) order at the barrier.
+        ctx.push_msg(
+            now,
+            d,
+            OutMsg::Bo {
+                iters: decision.bo_iterations,
+            },
+        );
+    }
+    // A standby's reserved slice is invisible to the tuner; clamp so
+    // the primary plus the reserve never overcommits the device.
+    decision.clamp_for_reserve(ctx.devices[li].standby_reserve());
+
+    // Apply the batch (free) and memory demand.
+    ctx.devices[li].set_inference_batch(ctx.gt, now, decision.batch);
+
+    // Apply the fraction; a change costs visible downtime, accrued
+    // as violated requests at the current QPS. Hysteresis: tiny
+    // adjustments are not worth an instance hand-off — keep the old
+    // partition unless the move exceeds 5 GPU-percentage points or
+    // shrinks below a requirement increase.
+    if (decision.fraction - old_fraction).abs() > 0.05
+        || (decision.fraction > old_fraction && decision.pause_training)
+    {
+        ctx.devices[li].set_inference_fraction(decision.fraction);
+        let downtime = match ctx.config.system {
+            SystemKind::Gslice | SystemKind::Gpulets | SystemKind::MuxFlow => {
+                SimDuration::from_secs(1.0)
+            }
+            _ => ReconfigPolicy::ShadowInstance.visible_downtime(),
+        };
+        let svc = ctx.devices[li].inference().expect("replica").service;
+        let lost = qps * downtime.as_secs();
+        let m = ctx.dstate[li].acc.svc_entry(svc);
+        m.requests += lost;
+        m.violations += lost;
+        ctx.emit(now, || SimEvent::RetuneApplied {
+            device: d,
+            batch: decision.batch,
+            old_fraction,
+            new_fraction: decision.fraction,
+            pause_training: decision.pause_training,
+        });
+    } else {
+        ctx.emit(now, || SimEvent::RetuneRejected {
+            device: d,
+            fraction_delta: decision.fraction - old_fraction,
+        });
+    }
+    ctx.dstate[li].training_share_cap = decision.training_share_cap;
+    // The SLO circuit-breaker sheds best-effort training share while
+    // the device is post-failure degraded.
+    let cap = ctx.applied_share_cap(now, d);
+    ctx.devices[li].rebalance_training_fractions(cap);
+
+    // Pause bookkeeping: SLO infeasibility (any system) or memory
+    // overflow (systems without Mudi's Memory Manager). A paused
+    // device re-evaluates soon — pausing is meant to be transient
+    // ("until suitable resources become available", §5.3.2).
+    ctx.dstate[li].training_paused = decision.pause_training;
+    refresh_memory_pause(ctx, now, d);
+    if ctx.dstate[li].training_paused {
+        if ctx.dstate[li].paused_since.is_none() {
+            ctx.dstate[li].paused_since = Some(now);
+        }
+        schedule_retune(ctx, now, d);
+    } else {
+        ctx.dstate[li].paused_since = None;
+    }
+    ctx.dstate[li].monitor.mark_tuned(qps);
+    reschedule_completions(ctx, now, d);
+}
+
+/// For systems without unified-memory swapping, training cannot run
+/// while the device is overcommitted.
+pub(super) fn refresh_memory_pause(ctx: &mut LaneCtx, now: SimTime, d: usize) {
+    let li = d - ctx.base;
+    if !ctx.config.system.manages_memory() && ctx.devices[li].memory().is_overflowed() {
+        if !ctx.dstate[li].training_paused {
+            ctx.dstate[li].training_paused = true;
+            // Keep the original pause start across reconfigure's
+            // transient unpause/repause so eviction can trigger.
+            if ctx.dstate[li].paused_since.is_none() {
+                ctx.dstate[li].paused_since = Some(now);
+            }
+            // Memory pauses need their own re-evaluation heartbeat:
+            // nothing else may touch this device for a long time.
+            schedule_retune(ctx, now, d);
+        }
+    } else if !ctx.config.system.manages_memory() {
+        // Overflow cleared: resume unless paused for SLO reasons —
+        // heuristic systems only pause for memory.
+        ctx.dstate[li].training_paused = false;
+        ctx.dstate[li].paused_since = None;
+    }
+}
+
+/// Schedules a single pending Retune heartbeat for `d` (lane-local).
+pub(super) fn schedule_retune(ctx: &mut LaneCtx, now: SimTime, d: usize) {
+    let li = d - ctx.base;
+    if !ctx.dstate[li].retune_pending {
+        ctx.dstate[li].retune_pending = true;
+        ctx.schedule(d, now + SimDuration::from_secs(60.0), Event::Retune(d));
+    }
+}
+
+/// Re-derives completion events for every training resident on `d`
+/// from its current progress and rate; bumps the epoch so stale
+/// events are ignored. Completions are global events (they touch the
+/// job table and the admission queue), so they travel as deferred
+/// [`OutMsg::Completion`] envelopes and land on the global queue at
+/// the barrier.
+pub(super) fn reschedule_completions(ctx: &mut LaneCtx, now: SimTime, d: usize) {
+    let li = d - ctx.base;
+    ctx.dstate[li].epoch += 1;
+    let epoch = ctx.dstate[li].epoch;
+    if ctx.dstate[li].training_paused {
+        return; // No completion while paused; resume reschedules.
+    }
+    let pf = ctx.devices[li].perf_factor();
+    if pf <= 0.0 {
+        return; // Down: completions resume at repair.
+    }
+    // Pooled scratch: empty between events, capacity retained.
+    let mut to_schedule = std::mem::take(&mut ctx.lane.scratch_schedule);
+    {
+        let dev = &ctx.devices[li];
+        for proc in dev.trainings() {
+            let job = &ctx.jobs[proc.id.0 as usize];
+            let (view, vn) = dev.colo_for_training_buf(proc.id);
+            let eff = (proc.gpu_fraction * pf).max(1e-3);
+            let iter = ctx.gt.training_iteration(proc.task, eff, &view[..vn]);
+            let slow = dev.memory().training_slowdown(proc.id);
+            let ck_eff = ctx
+                .ckpt
+                .get(proc.id.0 as usize)
+                .map_or(1.0, |c| c.efficiency());
+            let mut remaining = job.remaining_iterations() * iter * slow / ck_eff;
+            // A restarting process only resumes once its restart ends.
+            if let Some(&(_, until)) = ctx.dstate[li]
+                .restarting
+                .iter()
+                .find(|(id, _)| *id == proc.id)
+            {
+                remaining += until.since(now).as_secs().max(0.0);
+            }
+            to_schedule.push((proc.id, remaining.max(1e-3)));
+        }
+    }
+    for &(rid, secs) in &to_schedule {
+        ctx.push_msg(
+            now,
+            d,
+            OutMsg::Completion {
+                job: JobId(rid.0),
+                epoch,
+                at: now + SimDuration::from_secs(secs),
+            },
+        );
+    }
+    to_schedule.clear();
+    ctx.lane.scratch_schedule = to_schedule;
+}
+
+// ----------------------------------------------------------------------
+// Serial-phase entry points.
+// ----------------------------------------------------------------------
+
+impl Control {
+    /// Serial-phase accrual for device `d` (lane view + instant drain).
+    pub fn accrue(&self, st: &mut SimState, now: SimTime, d: usize) {
+        st.with_lane_of(d, |ctx| accrue(ctx, now, d));
+    }
+
+    /// Serial-phase reconfigure for device `d`.
+    pub fn reconfigure(&self, st: &mut SimState, now: SimTime, d: usize) {
+        st.with_lane_of(d, |ctx| reconfigure(ctx, now, d));
+    }
+
+    /// Violation probability of `host`'s active standby at its current
+    /// mirrored QPS and colocation — the quality figure frozen into the
+    /// covered device's [`DeviceState::standby_pviol`] at promote time
+    /// and at each serial-phase mirror refresh. Returns `0.0` when the
+    /// host has no active standby.
+    pub fn standby_pviol(st: &SimState, host: usize) -> f64 {
+        let dev = &st.devices[host];
+        let Some(s) = dev.standby().filter(|s| s.is_active()) else {
+            return 0.0;
+        };
+        let pf = dev.perf_factor();
+        let frac = (s.reserve_fraction * pf).max(0.01);
+        let (colo_buf, colo_n) = dev.colo_for_standby_buf();
+        let colo = &colo_buf[..colo_n];
+        let slo = st.shared.gt.zoo().service(s.service).slo_secs();
+        let (mean, sigma, _p99) =
+            dev.standby_latency_profile(&st.shared.gt, s.service, s.batch, frac, colo);
+        violation_probability(s.qps, s.batch, slo, mean, sigma)
+    }
+
+    /// Serial-phase memory-pause refresh for device `d`.
+    pub fn refresh_memory_pause(&self, st: &mut SimState, now: SimTime, d: usize) {
+        st.with_lane_of(d, |ctx| refresh_memory_pause(ctx, now, d));
+    }
+
+    /// Serial-phase completion rescheduling for device `d`.
+    pub fn reschedule_completions(&self, st: &mut SimState, now: SimTime, d: usize) {
+        st.with_lane_of(d, |ctx| reschedule_completions(ctx, now, d));
+    }
+
+    /// A training job's completion event fires. Returns the finish
+    /// time when the job actually finished (the stepper tracks the
+    /// last finish for the makespan).
+    pub fn on_completion(
+        &self,
+        st: &mut SimState,
+        now: SimTime,
+        job: JobId,
+        epoch: u64,
+    ) -> Option<SimTime> {
+        let device = st.jobs[job.0 as usize].device?;
+        if st.dstate[device].epoch != epoch {
+            return None; // Stale event; a reconfiguration rescheduled it.
+        }
+        // The owning lane may have stepped past `now` this window.
+        let t = st.dev_time(device, now);
+        self.accrue(st, t, device);
+        let j = &st.jobs[job.0 as usize];
+        if j.remaining_iterations() > 1.0 {
+            // Progress drifted from the estimate (noise, pauses,
+            // barrier quantization): reschedule from the true
+            // remaining work.
+            self.reschedule_completions(st, t, device);
+            return None;
+        }
+        let rid = ResidentId(job.0);
+        st.devices[device].remove_training(t, rid);
+        st.jobs[job.0 as usize].finish(t);
+        let est = t - st.jobs[job.0 as usize].submitted;
+        st.fair.record(st.jobs[job.0 as usize].class, est.as_secs());
+        let cap = st.applied_share_cap(t, device);
+        st.devices[device].rebalance_training_fractions(cap);
+        self.refresh_memory_pause(st, t, device);
+        self.reconfigure(st, t, device);
+        Admission.try_dispatch(st, now);
+        Some(t)
+    }
+
+    /// Periodic cluster-utilization sample (global: reads every
+    /// device's integrators).
+    ///
+    /// The walk over every device is a pure read and dominates the
+    /// serial phase at 100k devices, so it fans out over the worker
+    /// pool. The chunking is a fixed 4096-device grid — independent of
+    /// the shard partition — and the reduction adds chunk partials in
+    /// index order, so the sampled means are bit-identical across
+    /// every `(shards, workers)` grid point. The single-worker path
+    /// walks the same chunk grid without allocating (the kernel's
+    /// zero-allocation steady state covers this event).
     pub fn on_util_sample(&self, st: &mut SimState, now: SimTime) {
-        let mut sm = 0.0;
-        let mut mem = 0.0;
-        for dev in &st.devices {
-            sm += dev.sm_utilization(&st.shared.gt);
-            mem += dev.memory().utilization();
+        const CHUNK: usize = 4096;
+        let t0 = std::time::Instant::now();
+        let workers = st.workers;
+        let gt = &st.shared.gt;
+        let (mut sm, mut mem) = (0.0, 0.0);
+        if workers > 1 && st.devices.len() > CHUNK {
+            struct SampleChunk<'a> {
+                devices: &'a mut [gpu_sim::GpuDevice],
+                sums: (f64, f64),
+            }
+            let mut work: Vec<SampleChunk> = Vec::with_capacity(st.devices.len() / CHUNK + 1);
+            let mut rest = &mut st.devices[..];
+            while !rest.is_empty() {
+                let take = rest.len().min(CHUNK);
+                let (chunk, tail) = rest.split_at_mut(take);
+                work.push(SampleChunk {
+                    devices: chunk,
+                    sums: (0.0, 0.0),
+                });
+                rest = tail;
+            }
+            simcore::scoped_for_each_mut(&mut work, workers, |_, w| {
+                let (mut cs, mut cm) = (0.0, 0.0);
+                for dev in w.devices.iter() {
+                    cs += dev.sm_utilization(gt);
+                    cm += dev.memory().utilization();
+                }
+                w.sums = (cs, cm);
+            });
+            for w in &work {
+                sm += w.sums.0;
+                mem += w.sums.1;
+            }
+        } else {
+            for chunk in st.devices.chunks(CHUNK) {
+                let (mut cs, mut cm) = (0.0, 0.0);
+                for dev in chunk {
+                    cs += dev.sm_utilization(gt);
+                    cm += dev.memory().utilization();
+                }
+                sm += cs;
+                mem += cm;
+            }
         }
         let n = st.devices.len() as f64;
         st.util_series.push((now.as_secs(), sm / n, mem / n));
+        st.phase_sample_secs += t0.elapsed().as_secs_f64();
         if !st.all_done() {
             st.events.schedule_in(
                 SimDuration::from_secs(st.config.util_sample_secs),
@@ -347,183 +730,9 @@ impl Control {
         }
     }
 
-    /// The Retune heartbeat fires for a paused device: re-evaluate, and
-    /// after 30 stuck minutes evict (systems without unified memory).
-    pub fn on_retune(&self, st: &mut SimState, now: SimTime, d: usize) {
-        st.dstate[d].retune_pending = false;
-        if st.dstate[d].training_paused {
-            self.reconfigure(st, now, d);
-            // Systems without unified-memory swapping can
-            // stay overcommitted indefinitely (e.g. a
-            // static split that never shrinks); after 30
-            // simulated minutes the operator evicts the
-            // training task back to the queue, as a real
-            // cluster would.
-            let stuck = st.dstate[d]
-                .paused_since
-                .map(|t0| now.since(t0).as_secs() > 1800.0)
-                .unwrap_or(false);
-            if st.dstate[d].training_paused && stuck && !st.config.system.manages_memory() {
-                self.evict_trainings(st, now, d);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Configuration.
-    // ------------------------------------------------------------------
-
-    /// The end-to-end P99 a latency monitor would measure on device
-    /// `d`: batch P99 plus tail fill wait, inflated by queueing once
-    /// utilization approaches 1 (feedback systems like GSLICE consume
-    /// this signal).
-    pub fn observed_p99(&self, st: &SimState, d: usize) -> Option<f64> {
-        let p99 = st.dstate[d].last_p99?;
-        let inf = st.devices[d].inference()?;
-        let fill = if inf.qps > 0.0 {
-            inf.batch as f64 / inf.qps
-        } else {
-            0.0
-        };
-        let queue_factor = 1.0 + 10.0 * (st.dstate[d].last_util - 0.85).max(0.0);
-        Some((p99 + fill * 5.0 / 6.0) * queue_factor)
-    }
-
-    /// Runs the system's configure step for device `d` and applies the
-    /// decision: batch (free), fraction (visible downtime accounted as
-    /// violated requests), training pause state, and memory effects.
-    pub fn reconfigure(&self, st: &mut SimState, now: SimTime, d: usize) {
-        if !st.devices[d].is_up() {
-            return; // Nothing to tune on a down device.
-        }
-        self.accrue(st, now, d);
-        // The task list rides in a pooled vector (taken here, returned
-        // after configure) so a steady-state retune never allocates.
-        let mut tasks = std::mem::take(&mut st.scratch_tasks);
-        let dev = &st.devices[d];
-        let inf = dev.inference().expect("replica deployed");
-        tasks.extend(dev.trainings().iter().map(|t| t.task));
-        let view = DeviceView {
-            device: d,
-            service: inf.service,
-            qps: inf.qps,
-            slo_secs: st.shared.gt.zoo().service(inf.service).slo_secs(),
-            tasks,
-            batch: inf.batch,
-            fraction: inf.gpu_fraction,
-            measured_p99: self.observed_p99(st, d),
-            mem_headroom_gb: dev.memory().capacity_gb() - dev.memory().total_demand_gb(),
-        };
-        let qps = inf.qps;
-        let old_fraction = inf.gpu_fraction;
-        let mut decision: ConfigDecision =
-            st.shared
-                .system
-                .configure(&st.shared.gt, &view, &mut st.shared.rng);
-        let mut tasks = view.tasks;
-        tasks.clear();
-        st.scratch_tasks = tasks;
-        if decision.bo_iterations > 0 {
-            st.bo_iterations.push(decision.bo_iterations);
-        }
-        // A standby's reserved slice is invisible to the tuner; clamp so
-        // the primary plus the reserve never overcommits the device.
-        decision.clamp_for_reserve(st.devices[d].standby_reserve());
-
-        // Apply the batch (free) and memory demand.
-        st.devices[d].set_inference_batch(&st.shared.gt, now, decision.batch);
-
-        // Apply the fraction; a change costs visible downtime, accrued
-        // as violated requests at the current QPS. Hysteresis: tiny
-        // adjustments are not worth an instance hand-off — keep the old
-        // partition unless the move exceeds 5 GPU-percentage points or
-        // shrinks below a requirement increase.
-        if (decision.fraction - old_fraction).abs() > 0.05
-            || (decision.fraction > old_fraction && decision.pause_training)
-        {
-            st.devices[d].set_inference_fraction(decision.fraction);
-            let downtime = match st.config.system {
-                SystemKind::Gslice | SystemKind::Gpulets | SystemKind::MuxFlow => {
-                    SimDuration::from_secs(1.0)
-                }
-                _ => ReconfigPolicy::ShadowInstance.visible_downtime(),
-            };
-            let svc = st.devices[d].inference().expect("replica").service;
-            let m = st.services.entry(svc);
-            let lost = qps * downtime.as_secs();
-            m.requests += lost;
-            m.violations += lost;
-            st.trace.emit_with(now, || SimEvent::RetuneApplied {
-                device: d,
-                batch: decision.batch,
-                old_fraction,
-                new_fraction: decision.fraction,
-                pause_training: decision.pause_training,
-            });
-        } else {
-            st.trace.emit_with(now, || SimEvent::RetuneRejected {
-                device: d,
-                fraction_delta: decision.fraction - old_fraction,
-            });
-        }
-        st.dstate[d].training_share_cap = decision.training_share_cap;
-        // The SLO circuit-breaker sheds best-effort training share while
-        // the device is post-failure degraded.
-        let cap = st.applied_share_cap(now, d);
-        st.devices[d].rebalance_training_fractions(cap);
-
-        // Pause bookkeeping: SLO infeasibility (any system) or memory
-        // overflow (systems without Mudi's Memory Manager). A paused
-        // device re-evaluates soon — pausing is meant to be transient
-        // ("until suitable resources become available", §5.3.2).
-        st.dstate[d].training_paused = decision.pause_training;
-        self.refresh_memory_pause(st, now, d);
-        if st.dstate[d].training_paused {
-            if st.dstate[d].paused_since.is_none() {
-                st.dstate[d].paused_since = Some(now);
-            }
-            self.schedule_retune(st, d);
-        } else {
-            st.dstate[d].paused_since = None;
-        }
-        st.dstate[d].monitor.mark_tuned(qps);
-        self.reschedule_completions(st, now, d);
-    }
-
-    /// For systems without unified-memory swapping, training cannot run
-    /// while the device is overcommitted.
-    pub fn refresh_memory_pause(&self, st: &mut SimState, now: SimTime, d: usize) {
-        if !st.config.system.manages_memory() && st.devices[d].memory().is_overflowed() {
-            if !st.dstate[d].training_paused {
-                st.dstate[d].training_paused = true;
-                // Keep the original pause start across reconfigure's
-                // transient unpause/repause so eviction can trigger.
-                if st.dstate[d].paused_since.is_none() {
-                    st.dstate[d].paused_since = Some(now);
-                }
-                // Memory pauses need their own re-evaluation heartbeat:
-                // nothing else may touch this device for a long time.
-                self.schedule_retune(st, d);
-            }
-        } else if !st.config.system.manages_memory() {
-            // Overflow cleared: resume unless paused for SLO reasons —
-            // heuristic systems only pause for memory.
-            st.dstate[d].training_paused = false;
-            st.dstate[d].paused_since = None;
-        }
-    }
-
-    /// Schedules a single pending Retune heartbeat for `d`.
-    pub fn schedule_retune(&self, st: &mut SimState, d: usize) {
-        if !st.dstate[d].retune_pending {
-            st.dstate[d].retune_pending = true;
-            st.events
-                .schedule_in(SimDuration::from_secs(60.0), Event::Retune(d));
-        }
-    }
-
     /// Evicts every training resident of `d` back to the pending queue
-    /// (keeping their progress), then redistributes them.
+    /// (keeping their progress), then redistributes them. Serial-only:
+    /// touches the job table, the queue, and admission.
     pub fn evict_trainings(&self, st: &mut SimState, now: SimTime, d: usize) {
         self.accrue(st, now, d);
         let ids: Vec<ResidentId> = st.devices[d].trainings().iter().map(|t| t.id).collect();
@@ -542,58 +751,6 @@ impl Control {
         st.dstate[d].paused_since = None;
         st.dstate[d].epoch += 1; // Invalidate stale completions.
         Admission.try_dispatch(st, now);
-    }
-
-    /// Re-derives completion events for every training resident on `d`
-    /// from its current progress and rate; bumps the epoch so stale
-    /// events are ignored.
-    pub fn reschedule_completions(&self, st: &mut SimState, now: SimTime, d: usize) {
-        st.dstate[d].epoch += 1;
-        let epoch = st.dstate[d].epoch;
-        if st.dstate[d].training_paused {
-            return; // No completion while paused; resume reschedules.
-        }
-        let dev = &st.devices[d];
-        let pf = dev.perf_factor();
-        if pf <= 0.0 {
-            return; // Down: completions resume at repair.
-        }
-        // Pooled scratch: empty between events, capacity retained.
-        let mut to_schedule = std::mem::take(&mut st.scratch_schedule);
-        for proc in dev.trainings() {
-            let job = &st.jobs[proc.id.0 as usize];
-            let (view, vn) = dev.colo_for_training_buf(proc.id);
-            let eff = (proc.gpu_fraction * pf).max(1e-3);
-            let iter = st.shared.gt.training_iteration(proc.task, eff, &view[..vn]);
-            let slow = dev.memory().training_slowdown(proc.id);
-            let ck_eff = st
-                .ckpt
-                .get(proc.id.0 as usize)
-                .map_or(1.0, |c| c.efficiency());
-            let mut remaining = job.remaining_iterations() * iter * slow / ck_eff;
-            // A restarting process only resumes once its restart ends.
-            if let Some(&(_, until)) = st.dstate[d]
-                .restarting
-                .iter()
-                .find(|(id, _)| *id == proc.id)
-            {
-                remaining += until.since(now).as_secs().max(0.0);
-            }
-            to_schedule.push((proc.id, remaining.max(1e-3)));
-        }
-        for &(rid, secs) in &to_schedule {
-            // Completions live on the running device's home shard.
-            st.events.schedule_at_on(
-                d,
-                now + SimDuration::from_secs(secs),
-                Event::JobCompletion {
-                    job: JobId(rid.0),
-                    epoch,
-                },
-            );
-        }
-        to_schedule.clear();
-        st.scratch_schedule = to_schedule;
     }
 }
 

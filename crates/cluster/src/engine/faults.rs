@@ -7,6 +7,14 @@
 //! burn-in. Each fault application and standby hand-off is published on
 //! the trace bus (faults via [`resilience::FaultEvent::trace_event`],
 //! device-level transitions via the gpu-sim traced hooks).
+//!
+//! Fault *injection* and recovery are serial-phase work — a failure
+//! touches survivors across the whole cluster, the job table, and the
+//! admission queue. Only the two device-local follow-up events
+//! (`SlowdownEnd`, `ProcessRestart`) are lane events, with lane
+//! handlers here. Serial handlers clamp every per-device operation to
+//! that device's accrual watermark ([`SimState::dev_time`]) so device
+//! timelines stay monotone inside a stepping window.
 
 use gpu_sim::{ResidentId, StandbyInstance, TrainingProcess, MPS_RESTART_SECS, SHADOW_SWITCH_SECS};
 use mudi::policy::QueueItem;
@@ -16,9 +24,8 @@ use simcore::{SimDuration, SimEvent, SimTime};
 use crate::job::{JobId, JobState};
 
 use super::admission::Admission;
-use super::control::Control;
-use super::shard::ShardMsg;
-use super::state::{Event, SimState};
+use super::control::{self, Control};
+use super::state::{Event, LaneCtx, SimState};
 
 /// Effective-compute factor of a freshly repaired device during its
 /// burn-in window (reduced clocks while the driver re-validates
@@ -28,69 +35,61 @@ pub(super) const POST_REPAIR_FACTOR: f64 = 0.85;
 /// The faults stage. Stateless: everything lives in [`SimState`].
 pub(super) struct Faults;
 
-impl Faults {
-    /// A fault-triggered retune, gated by the anti-thrashing guard: a
-    /// burst of faults on one device retunes at most once per dwell,
-    /// and not at all during an explicit cooldown. Load-driven retunes
-    /// (Monitor drift, SLO risk) are not gated — only fault reactions.
-    pub fn reconfigure_guarded(&self, st: &mut SimState, now: SimTime, d: usize) {
-        if !st.devices[d].is_up() {
-            return;
-        }
-        if st.dstate[d].guard.allows(now) {
-            st.dstate[d].guard.record(now);
-            Control.reconfigure(st, now, d);
-        }
-    }
+// ----------------------------------------------------------------------
+// Lane handlers.
+// ----------------------------------------------------------------------
 
-    /// Drains every shard inbox at the current instant, applying
-    /// cross-shard reroute traffic in canonical shard-ascending FIFO
-    /// order. Shards own contiguous ascending device ranges and each
-    /// emission site pushes its messages in ascending-survivor order,
-    /// so this drain order equals ascending-device order — exactly the
-    /// order the unsharded engine applied the same operations in.
-    /// Messages are applied *immediately* at the emitting event's
-    /// instant (never deferred to the epoch barrier): deferring would
-    /// let a survivor accrue a span at its pre-reroute QPS and change
-    /// the results.
-    fn drain_msgs(&self, st: &mut SimState, now: SimTime) {
-        let mut buf = std::mem::take(&mut st.scratch_msgs);
-        for s in 0..st.events.shard_count() {
-            debug_assert!(buf.is_empty());
-            st.events.take_inbox(s, &mut buf);
-            for &msg in &buf {
-                match msg {
-                    ShardMsg::Reroute {
-                        origin,
-                        survivor,
-                        share,
-                    } => {
-                        Control.accrue(st, now, survivor);
-                        st.dstate[survivor].extra_qps += share;
-                        let cur = st.devices[survivor].inference().expect("up replica").qps;
-                        st.devices[survivor].set_inference_qps(&st.shared.gt, now, cur + share);
-                        st.dstate[origin].rerouted.push((survivor, share));
-                        self.reconfigure_guarded(st, now, survivor);
-                    }
-                    ShardMsg::RerouteUndo { survivor, share } => {
-                        st.dstate[survivor].extra_qps =
-                            (st.dstate[survivor].extra_qps - share).max(0.0);
-                        if st.devices[survivor].is_up() {
-                            Control.accrue(st, now, survivor);
-                            let cur = st.devices[survivor].inference().expect("up replica").qps;
-                            st.devices[survivor].set_inference_qps(
-                                &st.shared.gt,
-                                now,
-                                (cur - share).max(0.0),
-                            );
-                            self.reconfigure_guarded(st, now, survivor);
-                        }
-                    }
-                }
-            }
-            buf.clear();
-        }
-        st.scratch_msgs = buf;
+/// A fault-triggered retune, gated by the anti-thrashing guard: a
+/// burst of faults on one device retunes at most once per dwell,
+/// and not at all during an explicit cooldown. Load-driven retunes
+/// (Monitor drift, SLO risk) are not gated — only fault reactions.
+pub(super) fn reconfigure_guarded(ctx: &mut LaneCtx, now: SimTime, d: usize) {
+    let li = d - ctx.base;
+    if !ctx.devices[li].is_up() {
+        return;
+    }
+    if ctx.dstate[li].guard.allows(now) {
+        ctx.dstate[li].guard.record(now);
+        control::reconfigure(ctx, now, d);
+    }
+}
+
+/// A slowdown or burn-in window closes (token-guarded).
+pub(super) fn on_slowdown_end(ctx: &mut LaneCtx, now: SimTime, d: usize, token: u64) {
+    let li = d - ctx.base;
+    if ctx.dstate[li].degrade_token != token || !ctx.devices[li].is_up() {
+        return; // Superseded by a newer window or a failure.
+    }
+    control::accrue(ctx, now, d);
+    ctx.devices[li].clear_degraded();
+    reconfigure_guarded(ctx, now, d);
+    control::reschedule_completions(ctx, now, d);
+}
+
+/// A process restart completes (superseded entries are no-ops).
+pub(super) fn on_process_restart(ctx: &mut LaneCtx, now: SimTime, d: usize, job: JobId) {
+    let li = d - ctx.base;
+    let before = ctx.dstate[li].restarting.len();
+    ctx.dstate[li]
+        .restarting
+        .retain(|&(id, until)| id.0 != job.0 || until > now);
+    if before == ctx.dstate[li].restarting.len() {
+        return; // Entry superseded (e.g. the device failed meanwhile).
+    }
+    if ctx.devices[li].is_up() {
+        control::accrue(ctx, now, d);
+        control::reschedule_completions(ctx, now, d);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Serial-phase handlers.
+// ----------------------------------------------------------------------
+
+impl Faults {
+    /// Serial-phase guarded retune for device `d`.
+    pub fn reconfigure_guarded(&self, st: &mut SimState, now: SimTime, d: usize) {
+        st.with_lane_of(d, |ctx| reconfigure_guarded(ctx, now, d));
     }
 
     /// Dispatches schedule entry `idx` to its class handler.
@@ -129,11 +128,12 @@ impl Faults {
         if !st.devices[d].is_up() {
             return; // Already down (schedules never overlap, but be safe).
         }
-        Control.accrue(st, now, d);
+        let td = st.dev_time(d, now);
+        Control.accrue(st, td, d);
         st.fmetrics.device_failures += 1;
         st.fmetrics.device_down_secs += repair.as_secs();
 
-        let (inf, procs) = st.devices[d].fail(now);
+        let (inf, procs) = st.devices[d].fail(td);
         let inf = inf.expect("replica deployed");
         // Split the replica's demand into its own (`base`) and carried
         // failover traffic; only the base fails over onward — carried
@@ -149,7 +149,13 @@ impl Faults {
             // and the service may now be in total outage).
             for f in 0..st.dstate.len() {
                 if st.dstate[f].standby_host == Some(d) {
+                    // Book the covered span as served before the
+                    // coverage flag flips (the span up to this instant
+                    // was genuinely standby-served).
+                    let tf = st.dev_time(f, now);
+                    Control.accrue(st, tf, f);
                     st.dstate[f].standby_host = None;
+                    st.dstate[f].standby_pviol = 0.0;
                     let fsvc = st.dstate[f].service;
                     let up = (0..st.devices.len())
                         .filter(|&s| st.devices[s].is_up() && st.dstate[s].service == fsvc)
@@ -182,24 +188,20 @@ impl Faults {
                     from: d,
                     survivors: survivors.len(),
                 });
+                // Survivors absorb the load within the same instant,
+                // in ascending-device order (each clamped to its own
+                // watermark — a survivor's lane may have stepped past
+                // `now` this window).
                 let share = base / survivors.len() as f64;
-                // Each survivor's share travels as a typed cross-shard
-                // message to its home shard's inbox; the immediate
-                // drain applies them in ascending-survivor order, as
-                // the inline loop did.
                 for &s in &survivors {
-                    st.events.push_msg_for(
-                        s,
-                        ShardMsg::Reroute {
-                            origin: d,
-                            survivor: s,
-                            share,
-                        },
-                    );
+                    let ts = st.dev_time(s, now);
+                    Control.accrue(st, ts, s);
+                    st.dstate[s].extra_qps += share;
+                    let cur = st.devices[s].inference().expect("up replica").qps;
+                    st.devices[s].set_inference_qps(&st.shared.gt, ts, cur + share);
+                    st.dstate[d].rerouted.push((s, share));
+                    self.reconfigure_guarded(st, ts, s);
                 }
-                self.drain_msgs(st, now);
-                // Rerouting is immediate in the model: survivors absorb
-                // the load within the same instant.
                 st.fmetrics.failover_latency_secs.push(0.0);
             } else {
                 // No survivor left — the blast swallowed every replica.
@@ -305,7 +307,7 @@ impl Faults {
         st.dstate[d].training_paused = false;
         st.dstate[d].paused_since = None;
         st.dstate[d].epoch += 1; // Invalidate in-flight completions.
-        st.dstate[d].guard.cooldown(now, repair);
+        st.dstate[d].guard.cooldown(td, repair);
         st.events.schedule_at(now + repair, Event::DeviceRepair(d));
         if st.recovery.requeue_training {
             Admission.try_dispatch(st, now);
@@ -317,9 +319,10 @@ impl Faults {
     /// their checkpoints, and enter a degraded burn-in window with the
     /// circuit-breaker shedding training share.
     pub fn on_device_repair(&self, st: &mut SimState, now: SimTime, d: usize) {
-        Control.accrue(st, now, d); // Final span of the outage (drop accounting).
+        let td = st.dev_time(d, now);
+        Control.accrue(st, td, d); // Final span of the outage (drop accounting).
         let (devices, trace) = (&mut st.devices, &mut st.trace);
-        devices[d].repair_traced(now, trace);
+        devices[d].repair_traced(td, trace);
 
         // This repair brings the service's replica count back above
         // zero; close any open total-outage window.
@@ -330,12 +333,14 @@ impl Faults {
         // Release warm-standby coverage: the covering standby drains
         // back to idle and waits for the next failure.
         if let Some(h) = st.dstate[d].standby_host.take() {
+            st.dstate[d].standby_pviol = 0.0;
             if st.devices[h].is_up() {
-                Control.accrue(st, now, h);
+                let th = st.dev_time(h, now);
+                Control.accrue(st, th, h);
                 let (devices, trace) = (&mut st.devices, &mut st.trace);
-                devices[h].demote_standby_traced(&st.shared.gt, now, d, trace);
+                devices[h].demote_standby_traced(&st.shared.gt, th, d, trace);
                 st.fmetrics.standby_reseeds += 1;
-                self.reconfigure_guarded(st, now, h);
+                self.reconfigure_guarded(st, th, h);
             }
         }
         // Cancel any promotion still pending on this device's behalf.
@@ -347,15 +352,19 @@ impl Faults {
         }
 
         // Undo the failover: survivors stop serving this replica's
-        // share. The ledger was built in ascending-survivor order, so
-        // the message drain replays the undos in the same order the
-        // inline loop used.
+        // share, in the ascending-survivor order the ledger was built
+        // in (each clamped to its own watermark).
         let rerouted = std::mem::take(&mut st.dstate[d].rerouted);
         for &(s, share) in &rerouted {
-            st.events
-                .push_msg_for(s, ShardMsg::RerouteUndo { survivor: s, share });
+            st.dstate[s].extra_qps = (st.dstate[s].extra_qps - share).max(0.0);
+            if st.devices[s].is_up() {
+                let ts = st.dev_time(s, now);
+                Control.accrue(st, ts, s);
+                let cur = st.devices[s].inference().expect("up replica").qps;
+                st.devices[s].set_inference_qps(&st.shared.gt, ts, (cur - share).max(0.0));
+                self.reconfigure_guarded(st, ts, s);
+            }
         }
-        self.drain_msgs(st, now);
 
         // Redeploy at the demand the generator currently calls for.
         let mut inst = st.dstate[d]
@@ -371,7 +380,7 @@ impl Faults {
                 .service(st.dstate[d].service)
                 .request_rate_scale();
         inst.qps = base + st.dstate[d].extra_qps;
-        st.devices[d].deploy_inference(&st.shared.gt, now, inst);
+        st.devices[d].deploy_inference(&st.shared.gt, td, inst);
 
         // Re-seed the pool: a repaired device that held a standby slot
         // rejoins with a fresh idle standby.
@@ -382,7 +391,7 @@ impl Faults {
                 if st.devices[d].standby().is_none() {
                     st.devices[d].seed_standby(
                         &st.shared.gt,
-                        now,
+                        td,
                         StandbyInstance::new(svc, 16, sb.reserve_fraction, sb.preloaded_weights),
                     );
                     st.fmetrics.standby_reseeds += 1;
@@ -405,11 +414,11 @@ impl Faults {
                 job.total_iterations,
             );
             st.devices[d]
-                .add_training(&st.shared.gt, now, proc)
+                .add_training(&st.shared.gt, td, proc)
                 .expect("repaired device has free slots");
         }
         if !st.devices[d].trainings().is_empty() {
-            let cap = st.applied_share_cap(now, d);
+            let cap = st.applied_share_cap(td, d);
             st.devices[d].rebalance_training_fractions(cap);
         }
 
@@ -417,14 +426,15 @@ impl Faults {
         st.devices[d].set_degraded(POST_REPAIR_FACTOR);
         st.dstate[d].degrade_token += 1;
         let token = st.dstate[d].degrade_token;
-        st.events.schedule_at(
+        st.schedule_lane(
+            d,
             now + st.recovery.degraded_hold,
             Event::SlowdownEnd { device: d, token },
         );
-        st.dstate[d].breaker.trip(now, st.recovery.degraded_hold);
+        st.dstate[d].breaker.trip(td, st.recovery.degraded_hold);
 
-        Control.refresh_memory_pause(st, now, d);
-        Control.reconfigure(st, now, d);
+        Control.refresh_memory_pause(st, td, d);
+        Control.reconfigure(st, td, d);
         Admission.try_dispatch(st, now);
     }
 
@@ -452,13 +462,16 @@ impl Faults {
         }
         // Book the drop span on the target up to the promote instant,
         // then hand its traffic to the standby.
-        Control.accrue(st, now, target);
-        Control.accrue(st, now, host);
+        let tt = st.dev_time(target, now);
+        Control.accrue(st, tt, target);
+        let th = st.dev_time(host, now);
+        Control.accrue(st, th, host);
         let (devices, trace) = (&mut st.devices, &mut st.trace);
-        devices[host].promote_standby_traced(&st.shared.gt, now, qps, target, trace);
+        devices[host].promote_standby_traced(&st.shared.gt, th, qps, target, trace);
         st.dstate[target].standby_host = Some(host);
+        st.dstate[target].standby_pviol = Control::standby_pviol(st, host);
         st.fmetrics.standby_promotions += 1;
-        self.reconfigure_guarded(st, now, host);
+        self.reconfigure_guarded(st, th, host);
     }
 
     /// Transient slowdown: the device keeps running at `factor` of its
@@ -475,27 +488,16 @@ impl Faults {
         if !st.devices[d].is_up() {
             return;
         }
-        Control.accrue(st, now, d);
+        let td = st.dev_time(d, now);
+        Control.accrue(st, td, d);
         st.fmetrics.slowdowns += 1;
         st.devices[d].set_degraded(factor.clamp(0.05, 1.0));
         st.dstate[d].degrade_token += 1;
         let token = st.dstate[d].degrade_token;
-        st.events
-            .schedule_at(now + duration, Event::SlowdownEnd { device: d, token });
-        st.dstate[d].breaker.trip(now, duration);
-        self.reconfigure_guarded(st, now, d);
-        Control.reschedule_completions(st, now, d);
-    }
-
-    /// A slowdown or burn-in window closes (token-guarded).
-    pub fn on_slowdown_end(&self, st: &mut SimState, now: SimTime, d: usize, token: u64) {
-        if st.dstate[d].degrade_token != token || !st.devices[d].is_up() {
-            return; // Superseded by a newer window or a failure.
-        }
-        Control.accrue(st, now, d);
-        st.devices[d].clear_degraded();
-        self.reconfigure_guarded(st, now, d);
-        Control.reschedule_completions(st, now, d);
+        st.schedule_lane(d, now + duration, Event::SlowdownEnd { device: d, token });
+        st.dstate[d].breaker.trip(td, duration);
+        self.reconfigure_guarded(st, td, d);
+        Control.reschedule_completions(st, td, d);
     }
 
     /// One training process dies and restarts from its checkpoint:
@@ -504,7 +506,8 @@ impl Faults {
         if !st.devices[d].is_up() || st.devices[d].trainings().is_empty() {
             return;
         }
-        Control.accrue(st, now, d);
+        let td = st.dev_time(d, now);
+        Control.accrue(st, td, d);
         st.fmetrics.process_crashes += 1;
         let n = st.devices[d].trainings().len();
         let victim = st.devices[d].trainings()[salt as usize % n].id;
@@ -518,32 +521,18 @@ impl Faults {
         }
         let restart = st.recovery.process_restart;
         st.fmetrics.restart_downtime_secs += restart.as_secs();
-        let until = now + restart;
+        let until = td + restart;
         st.dstate[d].restarting.retain(|&(id, _)| id != victim);
         st.dstate[d].restarting.push((victim, until));
-        st.events.schedule_at(
+        st.schedule_lane(
+            d,
             until,
             Event::ProcessRestart {
                 device: d,
                 job: JobId(victim.0),
             },
         );
-        Control.reschedule_completions(st, now, d);
-    }
-
-    /// A process restart completes (superseded entries are no-ops).
-    pub fn on_process_restart(&self, st: &mut SimState, now: SimTime, d: usize, job: JobId) {
-        let before = st.dstate[d].restarting.len();
-        st.dstate[d]
-            .restarting
-            .retain(|&(id, until)| id.0 != job.0 || until > now);
-        if before == st.dstate[d].restarting.len() {
-            return; // Entry superseded (e.g. the device failed meanwhile).
-        }
-        if st.devices[d].is_up() {
-            Control.accrue(st, now, d);
-            Control.reschedule_completions(st, now, d);
-        }
+        Control.reschedule_completions(st, td, d);
     }
 
     /// MPS daemon failure: every process on the device takes a cold
@@ -554,23 +543,30 @@ impl Faults {
         if !st.devices[d].is_up() {
             return;
         }
-        Control.accrue(st, now, d);
+        let td = st.dev_time(d, now);
+        Control.accrue(st, td, d);
         st.fmetrics.mps_failures += 1;
         let q = st.devices[d].inference().expect("up replica").qps;
         let lost = q * MPS_RESTART_SECS;
-        let m = st.services.entry(st.dstate[d].service);
+        // Lane-accrued floats always go through the per-device
+        // partials, even from serial handlers, so the folded totals
+        // have one consistent reduction path.
+        let svc = st.dstate[d].service;
+        let acc = &mut st.dstate[d].acc;
+        let m = acc.svc_entry(svc);
         m.requests += lost;
         m.violations += lost;
-        st.fmetrics.dropped_requests += lost;
+        acc.dropped_requests += lost;
 
         let restart = SimDuration::from_secs(MPS_RESTART_SECS);
-        let until = now + restart;
+        let until = td + restart;
         let ids: Vec<ResidentId> = st.devices[d].trainings().iter().map(|t| t.id).collect();
         for id in ids {
             st.fmetrics.restart_downtime_secs += MPS_RESTART_SECS;
             st.dstate[d].restarting.retain(|&(i, _)| i != id);
             st.dstate[d].restarting.push((id, until));
-            st.events.schedule_at(
+            st.schedule_lane(
+                d,
                 until,
                 Event::ProcessRestart {
                     device: d,
@@ -578,7 +574,7 @@ impl Faults {
                 },
             );
         }
-        st.dstate[d].guard.cooldown(now, restart);
-        Control.reschedule_completions(st, now, d);
+        st.dstate[d].guard.cooldown(td, restart);
+        Control.reschedule_completions(st, td, d);
     }
 }

@@ -1,0 +1,343 @@
+//! The session request path: interference-aware replica scoring and
+//! per-request latency sampling for classifier and generative
+//! services. Draws come from the session's dedicated `serve-infer`
+//! stream, so individually routed requests never perturb the kernel's
+//! own substreams.
+
+use simcore::{SimEvent, SimTime};
+use workloads::ServiceId;
+
+use super::super::control::{itl_violation_probability, violation_probability};
+use super::{ClusterSession, SessionError};
+
+/// The outcome of one routed inference request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InferOutcome {
+    /// The service the request addressed.
+    pub service: ServiceId,
+    /// The replica (device index) that served it.
+    pub device: usize,
+    /// Whether a promoted warm standby (rather than a primary replica)
+    /// served the request.
+    pub via_standby: bool,
+    /// Sampled end-to-end latency, seconds (batch-fill wait plus the
+    /// log-normal batch latency draw).
+    pub latency_secs: f64,
+    /// The service's SLO, seconds.
+    pub slo_secs: f64,
+    /// Whether the sampled latency violated the SLO.
+    pub violation: bool,
+    /// Simulated time the request was served at.
+    pub at: SimTime,
+}
+
+/// One decoded token's sampled verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TokenVerdict {
+    /// Sampled inter-token latency, seconds (log-normal draw at the
+    /// replica's steady decode cadence).
+    pub latency_secs: f64,
+    /// Whether the draw violated the per-token ITL target.
+    pub violation: bool,
+}
+
+/// The outcome of one routed generative request: a time-to-first-token
+/// verdict plus one verdict per decoded token.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenInferOutcome {
+    /// The service the request addressed.
+    pub service: ServiceId,
+    /// The replica (device index) that served it.
+    pub device: usize,
+    /// Whether a promoted warm standby served the request.
+    pub via_standby: bool,
+    /// Sampled time to first token, seconds (all prefill chunks at the
+    /// replica's iteration cadence).
+    pub ttft_secs: f64,
+    /// The service's TTFT SLO, seconds.
+    pub ttft_slo_secs: f64,
+    /// Whether the TTFT sample violated its SLO.
+    pub ttft_violation: bool,
+    /// The per-token ITL target, seconds.
+    pub itl_slo_secs: f64,
+    /// One verdict per decoded token, in emission order.
+    pub tokens: Vec<TokenVerdict>,
+    /// Simulated time the request was served at.
+    pub at: SimTime,
+}
+
+impl GenInferOutcome {
+    /// How many of the decoded tokens violated the ITL target.
+    pub fn itl_violations(&self) -> usize {
+        self.tokens.iter().filter(|t| t.violation).count()
+    }
+}
+
+impl ClusterSession {
+    /// Routes one inference request through the replica selector and
+    /// samples its end-to-end latency.
+    ///
+    /// Candidates are every live replica of the service (plus promoted
+    /// standbys covering it); the request goes to the replica with the
+    /// lowest predicted violation probability — the same
+    /// interference-aware latency model the §5.2 selector scores
+    /// placements with — breaking ties by predicted mean latency, then
+    /// device index. The sampled latency is the batch-fill wait plus a
+    /// log-normal batch-latency draw from the ground-truth model at the
+    /// replica's current configuration.
+    pub fn infer(&mut self, service: ServiceId) -> Result<InferOutcome, SessionError> {
+        self.check_service(service)?;
+        let now = self.now;
+        // Candidate scoring: (p_violation, mean, fill, sigma, standby?).
+        let mut best: Option<(f64, f64, usize, f64, f64, bool)> = None;
+        for d in 0..self.st.devices.len() {
+            let dev = &self.st.devices[d];
+            if !dev.is_up() {
+                continue;
+            }
+            let pf = dev.perf_factor();
+            let slo = self.st.shared.gt.zoo().service(service).slo_secs();
+            let candidate = if let Some(inf) = dev.inference().filter(|i| i.service == service) {
+                let frac = (inf.gpu_fraction * pf).max(0.01);
+                let (colo_buf, colo_n) = dev.colo_for_inference_buf();
+                let colo = &colo_buf[..colo_n];
+                let mean = self
+                    .st
+                    .shared
+                    .gt
+                    .inference_latency(service, inf.batch, frac, colo);
+                let sigma = self
+                    .st
+                    .shared
+                    .gt
+                    .effective_sigma(service, inf.batch, frac, colo);
+                let p = violation_probability(inf.qps, inf.batch, slo, mean, sigma);
+                let fill = if inf.qps > 0.0 {
+                    inf.batch as f64 / inf.qps
+                } else {
+                    0.0
+                };
+                Some((p, mean, fill, sigma, false))
+            } else if let Some(s) = dev
+                .standby()
+                .filter(|s| s.service == service && s.is_active())
+            {
+                let frac = (s.reserve_fraction * pf).max(0.01);
+                let (colo_buf, colo_n) = dev.colo_for_standby_buf();
+                let colo = &colo_buf[..colo_n];
+                let mean = self
+                    .st
+                    .shared
+                    .gt
+                    .inference_latency(service, s.batch, frac, colo);
+                let sigma = self
+                    .st
+                    .shared
+                    .gt
+                    .effective_sigma(service, s.batch, frac, colo);
+                let p = violation_probability(s.qps, s.batch, slo, mean, sigma);
+                let fill = if s.qps > 0.0 {
+                    s.batch as f64 / s.qps
+                } else {
+                    0.0
+                };
+                Some((p, mean, fill, sigma, true))
+            } else {
+                None
+            };
+            if let Some((p, mean, fill, sigma, standby)) = candidate {
+                let better = match &best {
+                    None => true,
+                    Some((bp, bmean, ..)) => {
+                        (p, mean) < (*bp, *bmean) // device index breaks exact ties
+                    }
+                };
+                if better {
+                    best = Some((p, mean, d, fill, sigma, standby));
+                }
+            }
+        }
+        let Some((_, mean, device, fill, sigma, via_standby)) = best else {
+            return Err(SessionError::NoReplica(service));
+        };
+
+        // Sample the request: position in the forming batch, then the
+        // log-normal batch-latency tail.
+        let wait = self.infer_rng.f64() * fill;
+        let z = simcore::normal_quantile(self.infer_rng.f64().clamp(1e-12, 1.0 - 1e-12));
+        let latency_secs = wait + mean * (sigma * z).exp();
+        let slo_secs = self.st.shared.gt.zoo().service(service).slo_secs();
+        let violation = latency_secs > slo_secs;
+
+        let idx = self.service_index(service);
+        self.api[idx].0 += 1;
+        if violation {
+            self.api[idx].1 += 1;
+        }
+        self.st.trace.emit_with(now, || SimEvent::InferenceRouted {
+            service: service.0,
+            device,
+            violation,
+        });
+        Ok(InferOutcome {
+            service,
+            device,
+            via_standby,
+            latency_secs,
+            slo_secs,
+            violation,
+            at: now,
+        })
+    }
+
+    /// Routes one generative request and samples a per-token outcome:
+    /// time to first token (all prefill chunks at the replica's
+    /// iteration cadence) plus `max_tokens` decode iterations, each
+    /// with its own log-normal inter-token latency draw judged against
+    /// the service's ITL target.
+    ///
+    /// Candidates are scored like [`ClusterSession::infer`], except the
+    /// violation probability is the ITL tail at the replica's *steady
+    /// running batch* (continuous batching has no batch-fill wait).
+    /// Addressing a classifier service is a structured error — the
+    /// HTTP layer maps [`SessionError::NotGenerative`] to `400`.
+    pub fn infer_tokens(
+        &mut self,
+        service: ServiceId,
+        max_tokens: u32,
+    ) -> Result<GenInferOutcome, SessionError> {
+        self.check_service(service)?;
+        let spec = self.st.shared.gt.zoo().service(service);
+        let Some(gp) = spec.generative else {
+            return Err(SessionError::NotGenerative(service));
+        };
+        let itl_slo = spec.slo_secs();
+        let now = self.now;
+        // Candidate scoring: (p_itl, mean, device, sigma, standby?).
+        let mut best: Option<(f64, f64, usize, f64, bool)> = None;
+        for d in 0..self.st.devices.len() {
+            let dev = &self.st.devices[d];
+            if !dev.is_up() {
+                continue;
+            }
+            let pf = dev.perf_factor();
+            let candidate = if let Some(inf) = dev.inference().filter(|i| i.service == service) {
+                let frac = (inf.gpu_fraction * pf).max(0.01);
+                let (colo_buf, colo_n) = dev.colo_for_inference_buf();
+                let colo = &colo_buf[..colo_n];
+                let bsz = self
+                    .st
+                    .shared
+                    .gt
+                    .steady_decode_batch(service, inf.batch, frac, inf.qps, colo);
+                let mean = self
+                    .st
+                    .shared
+                    .gt
+                    .inference_latency(service, bsz, frac, colo);
+                let sigma = self.st.shared.gt.effective_sigma(service, bsz, frac, colo);
+                let tok_rate = inf.qps * gp.decode_tokens_mean;
+                let util = if tok_rate > 0.0 {
+                    mean * tok_rate / bsz as f64
+                } else {
+                    0.0
+                };
+                Some((
+                    itl_violation_probability(itl_slo, mean, sigma, util),
+                    mean,
+                    sigma,
+                    false,
+                ))
+            } else if let Some(s) = dev
+                .standby()
+                .filter(|s| s.service == service && s.is_active())
+            {
+                let frac = (s.reserve_fraction * pf).max(0.01);
+                let (colo_buf, colo_n) = dev.colo_for_standby_buf();
+                let colo = &colo_buf[..colo_n];
+                let bsz = self
+                    .st
+                    .shared
+                    .gt
+                    .steady_decode_batch(service, s.batch, frac, s.qps, colo);
+                let mean = self
+                    .st
+                    .shared
+                    .gt
+                    .inference_latency(service, bsz, frac, colo);
+                let sigma = self.st.shared.gt.effective_sigma(service, bsz, frac, colo);
+                let tok_rate = s.qps * gp.decode_tokens_mean;
+                let util = if tok_rate > 0.0 {
+                    mean * tok_rate / bsz as f64
+                } else {
+                    0.0
+                };
+                Some((
+                    itl_violation_probability(itl_slo, mean, sigma, util),
+                    mean,
+                    sigma,
+                    true,
+                ))
+            } else {
+                None
+            };
+            if let Some((p, mean, sigma, standby)) = candidate {
+                let better = match &best {
+                    None => true,
+                    Some((bp, bmean, ..)) => (p, mean) < (*bp, *bmean),
+                };
+                if better {
+                    best = Some((p, mean, d, sigma, standby));
+                }
+            }
+        }
+        let Some((_, mean, device, sigma, via_standby)) = best else {
+            return Err(SessionError::NoReplica(service));
+        };
+
+        // Sample the request: one draw for the prefill phase (all
+        // chunks share the GPU state that produced the draw), then an
+        // independent draw per decode iteration.
+        let mut draw = |scale: f64| -> f64 {
+            let z = simcore::normal_quantile(self.infer_rng.f64().clamp(1e-12, 1.0 - 1e-12));
+            scale * (sigma * z).exp()
+        };
+        let ttft_secs = draw(gp.prefill_iterations() * mean);
+        let ttft_slo_secs = gp.ttft_slo_secs();
+        let ttft_violation = ttft_secs > ttft_slo_secs;
+        let n = max_tokens.clamp(1, 4096) as usize;
+        let mut tokens = Vec::with_capacity(n);
+        for _ in 0..n {
+            let latency_secs = draw(mean);
+            tokens.push(TokenVerdict {
+                latency_secs,
+                violation: latency_secs > itl_slo,
+            });
+        }
+
+        // Request-level tally mirrors the engine's accounting: the
+        // request-weighted violation for a generative service is the
+        // TTFT miss.
+        let idx = self.service_index(service);
+        self.api[idx].0 += 1;
+        if ttft_violation {
+            self.api[idx].1 += 1;
+        }
+        self.st.trace.emit_with(now, || SimEvent::InferenceRouted {
+            service: service.0,
+            device,
+            violation: ttft_violation,
+        });
+        Ok(GenInferOutcome {
+            service,
+            device,
+            via_standby,
+            ttft_secs,
+            ttft_slo_secs,
+            ttft_violation,
+            itl_slo_secs: itl_slo,
+            tokens,
+            at: now,
+        })
+    }
+}

@@ -1,273 +1,286 @@
-//! Rack-sharded event scheduling and the epoch-barrier stepping plan.
+//! Lane-local event scheduling and the parallel-commit envelope types.
 //!
-//! The staged kernel partitions its event population over rack-aligned
-//! shards ([`simcore::ShardMap`]): every engine event has a *home
-//! shard* — the shard owning the device it concerns — and lives in that
-//! shard's own [`EventQueue`]. One **global** `(clock, sequence)` pair
-//! spans all queues, so popping the `(time, seq)`-minimum across the
-//! per-shard queues reproduces a single queue's pop order *exactly*:
-//! time order first, then global schedule order at equal times. That
-//! invariant is what makes every run bit-identical at 1, 2, 4, or 8
-//! shards — the sharding changes where events wait, never when or in
-//! what order they fire.
+//! The parallel kernel partitions devices over rack-aligned shards
+//! ([`simcore::ShardMap`]); each shard is an execution **lane** that
+//! steps its own devices through an epoch window concurrently with the
+//! other lanes. Everything a lane does is either
 //!
-//! # The epoch-barrier contract
+//! * **device-local** — it touches only the lane's own `GpuDevice` /
+//!   `DeviceState` slice and draws only from per-device named
+//!   substreams (`substream("retune", d)`, `fork_indexed("qps", d)`),
+//!   or
+//! * **deferred** — it emits a typed [`OutMsg`] envelope stamped with a
+//!   [`MergeKey`] `(time, device, seq)` into the lane's outbox.
 //!
-//! Sharded stepping alternates two phases per epoch window (a fixed
-//! stretch of simulated time, `shard_epoch_secs`, fast-forwarded past
-//! idle gaps):
+//! At the epoch barrier every outbox is concatenated, sorted by merge
+//! key, and applied serially. The key is partition-invariant (it names
+//! the *device* that produced the effect, never the shard), so the
+//! commit order — and every downstream accumulation and draw — is
+//! bit-identical across every `MUDI_SHARDS × MUDI_THREADS` point. The
+//! worker count changes wall-clock time only.
 //!
-//! 1. **Speculation** (parallel): each shard's worker walks its own
-//!    contiguous device slice and warms *pure, per-device* memos — the
-//!    [`GpuDevice`] latency-profile cell and the [`VpCache`]
-//!    violation-probability slot — from the devices' current
-//!    configurations. Both memos are keyed on the exact bit patterns
-//!    of their inputs, so a stale entry can never be *wrongly* reused:
-//!    the commit phase re-checks the key and recomputes on any
-//!    mismatch. Speculation therefore cannot perturb results, only
-//!    move work off the serial critical path.
-//! 2. **Commit** (serial): events inside the window are popped in the
-//!    canonical global order and dispatched exactly as the
-//!    single-queue engine would. Order-sensitive state — the shared
-//!    tuner and placement RNG stream, global float accumulators —
-//!    is only ever touched here.
+//! # Event routing
 //!
-//! Cross-shard traffic (failover reroutes and their undo at repair)
-//! travels as typed [`ShardMsg`] values through per-shard inboxes,
-//! drained *immediately at the emitting event's instant* in canonical
-//! shard-ascending order. Because shards own contiguous ascending
-//! device ranges, shard-ascending FIFO drain order equals ascending
-//! survivor-device order — the exact order the unsharded engine
-//! applied reroutes in, which is why the goldens stay byte-identical.
-//! Standby promotions and correlated blast expansions already travel
-//! through the event queues themselves, routed to the affected
-//! device's home shard.
+//! Events split into two populations:
 //!
-//! # Per-shard randomness
+//! * **Lane-local** (`QpsChange`, `Retune`, `SlowdownEnd`,
+//!   `ProcessRestart`): concern exactly one device and touch only
+//!   lane-local state. They live in the owning lane's [`EventLane`]
+//!   queue and fire during the parallel phase, ordered by
+//!   `(time, device, per-device seq)` within the lane.
+//! * **Global** (`JobArrival`, `JobCompletion`, `UtilSample`, `Fault`,
+//!   `DeviceRepair`, `StandbyPromote`): touch shared state (the job
+//!   table, the queue, cross-device reroutes). They live in the single
+//!   global [`ShardedEvents`] queue and fire in the serial phase after
+//!   the barrier.
 //!
-//! Every order-insensitive stream the kernel draws is forked per
-//! *device* from the run seed (`fork_indexed("qps", d)`,
-//! `fork_indexed("dwell0", d)`), and devices never migrate between
-//! shards — so each shard already owns an independent, run-seed-derived
-//! family of RNG streams, identical at every shard count. The only
-//! draws on the shared global stream (GP-LCB retunes, placement) are
-//! order-sensitive by nature and run in the serial commit phase.
+//! Within one window a lane may advance a device past the firing time
+//! of a later global event; the serial phase clamps per-device
+//! timestamps to the device's accrual watermark (`SimState::dev_time`),
+//! which keeps every device's timeline monotone. The window structure
+//! itself is a pure function of the config (absolute multiples of
+//! `shard_epoch_secs`), so this quantization is identical at every grid
+//! point.
 
-use gpu_sim::GpuDevice;
-use simcore::{scoped_for_each_mut, EventQueue, ShardMap, SimDuration, SimTime, Topology};
+use simcore::{EventQueue, MergeKey, SimDuration, SimTime};
 
 use super::control::violation_probability;
-use super::state::{DeviceState, Event, SimState};
+use super::state::Event;
 
-/// Auto-sharding floor: below this device count a single shard wins
-/// (the merge scan and epoch machinery cost more than they save).
+/// Auto-sharding floor: below this device count a single lane wins
+/// (the barrier machinery costs more than it saves).
 pub(super) const AUTO_SHARD_MIN_DEVICES: usize = 4096;
 
-/// A typed cross-shard message, applied at the instant it is emitted.
+/// A deferred cross-device or global effect, produced inside a lane
+/// and applied serially at the epoch barrier in [`MergeKey`] order.
 #[derive(Clone, Copy, Debug)]
-pub(super) enum ShardMsg {
-    /// A failed replica's base traffic lands on a surviving
-    /// same-service replica (possibly on another shard).
-    Reroute {
-        /// The failed device whose traffic is moving.
-        origin: usize,
-        /// The surviving device absorbing `share` extra QPS.
-        survivor: usize,
-        /// QPS share this survivor absorbs.
-        share: f64,
+pub(super) struct Envelope {
+    /// `(time, emitting device, per-device seq)` — the commit order.
+    pub key: MergeKey,
+    /// The effect itself.
+    pub msg: OutMsg,
+}
+
+/// The deferred effects a lane may emit. Each variant is applied by
+/// `SimState::apply_envelope`; the apply is serial, so it may touch
+/// any shared state.
+#[derive(Clone, Copy, Debug)]
+pub(super) enum OutMsg {
+    /// Training progress accrued on a device: credit the job table and
+    /// the checkpoint tracker. (The device-resident process counter
+    /// was already advanced in-lane.)
+    Progress {
+        /// The job advancing.
+        job: crate::job::JobId,
+        /// Iterations completed over the accrual span.
+        iters: f64,
+        /// Running (unpaused, non-restart) seconds of the span.
+        run_dt: f64,
     },
-    /// A repair returns a previously rerouted share to its origin.
-    RerouteUndo {
-        /// The surviving device releasing `share` extra QPS.
-        survivor: usize,
-        /// QPS share released.
-        share: f64,
+    /// A device re-estimated a training completion: (re)schedule the
+    /// global `JobCompletion` event.
+    Completion {
+        /// The completing job.
+        job: crate::job::JobId,
+        /// The scheduling epoch stamped into the event (stale-epoch
+        /// completions are ignored at fire time).
+        epoch: u64,
+        /// Estimated completion time.
+        at: SimTime,
+    },
+    /// A replica's QPS segment changed while a warm standby mirrors
+    /// it: propagate the new rate to the standby host.
+    StandbyQps {
+        /// The standby host mirroring the service.
+        host: usize,
+        /// The new base QPS to mirror.
+        qps: f64,
+    },
+    /// A retune found training stuck (paused > 30 min with no memory
+    /// manager): evict the device's trainings. Re-validated at apply
+    /// time — the serial phase may have unstuck the device meanwhile.
+    EvictStuck {
+        /// The stuck device.
+        device: usize,
+    },
+    /// A GP-LCB retune ran `iters` acquisition iterations (overhead
+    /// ledger bookkeeping).
+    Bo {
+        /// Acquisition iterations of this retune.
+        iters: usize,
     },
 }
 
-/// One shard's event lane: its own queue plus the inbox cross-shard
-/// messages land in until the canonical drain applies them.
-struct ShardLane {
+/// One lane's event queue: a plain [`EventQueue`] whose tie-break
+/// sequence packs `(local device index, per-device counter)`, so pops
+/// at equal times come back in ascending-device order and, per device,
+/// in schedule order — a partition-invariant order (the global
+/// interleaving of *lane* events at equal times across lanes is
+/// irrelevant: their effects are device-local by construction).
+pub(super) struct EventLane {
     queue: EventQueue<Event>,
-    inbox: Vec<ShardMsg>,
+    /// First device index this lane owns (ranges are contiguous).
+    base: usize,
+    /// Per-device schedule counters (event tie-break).
+    seqs: Vec<u64>,
+    /// Per-device envelope emission counters ([`MergeKey::seq`]).
+    msg_seqs: Vec<u64>,
+    /// Per-device clocks: the firing time of the device's last popped
+    /// event. Past-time schedules clamp to the *device* clock — never
+    /// the lane clock, which depends on how many devices share the
+    /// lane and would make the clamp partition-sensitive.
+    clocks: Vec<SimTime>,
 }
 
-/// The sharded event scheduler: per-shard queues under one global
-/// clock and sequence counter. Drop-in replacement for the single
-/// [`EventQueue`] the kernel used to own — same `schedule_at` /
-/// `schedule_in` / `pop` / `pop_until` / `now` / `fired` surface, same
-/// observable behavior at every shard count.
-pub(super) struct ShardedEvents {
-    topo: Topology,
-    map: ShardMap,
-    lanes: Vec<ShardLane>,
-    /// Global simulated clock: the firing time of the last popped
-    /// event, regardless of which lane it came from.
-    clock: SimTime,
-    /// Global tie-break sequence spanning every lane.
-    next_seq: u64,
-    /// Global pop count.
-    fired: u64,
-    /// Epoch window length, simulated seconds.
-    epoch_secs: f64,
-    /// Worker count for the speculation phase, resolved once at
-    /// construction (`max_workers()` reads the environment and
-    /// allocates — the hot stepping paths must not call it per step).
-    workers: usize,
+/// The device a lane-local event belongs to. Lane queues only ever
+/// hold the four device-local variants; anything else is a routing
+/// bug caught by the stepper's dispatch assertions.
+fn lane_event_device(ev: &Event) -> Option<usize> {
+    match *ev {
+        Event::QpsChange(d) | Event::Retune(d) => Some(d),
+        Event::SlowdownEnd { device, .. } | Event::ProcessRestart { device, .. } => Some(device),
+        _ => None,
+    }
 }
 
-impl ShardedEvents {
-    /// Builds the lanes for `requested` shards (clamped to the rack
-    /// count by [`ShardMap`]) and pre-sizes each lane's heap for its
-    /// own device range plus `extra` shared events, so bounded
-    /// steady-state populations never reallocate.
-    pub fn new(topo: &Topology, requested: usize, epoch_secs: f64, extra: usize) -> Self {
-        let map = ShardMap::new(topo, requested.max(1));
-        let lanes = (0..map.shards())
-            .map(|s| {
-                let mut queue = EventQueue::new();
-                queue.reserve(2 * map.device_range(s).len() + extra);
-                ShardLane {
-                    queue,
-                    inbox: Vec::new(),
-                }
-            })
-            .collect();
-        let workers = simcore::max_workers().min(map.shards());
-        ShardedEvents {
-            topo: topo.clone(),
-            map,
-            lanes,
-            clock: SimTime::ZERO,
-            next_seq: 0,
-            fired: 0,
-            epoch_secs: epoch_secs.max(1.0),
-            workers,
+impl EventLane {
+    /// A lane owning the contiguous device range `[base, base+len)`,
+    /// with its heap pre-sized for the bounded steady-state event
+    /// population (QPS segment + retune + slowdown/restart tails per
+    /// device) plus `extra` headroom.
+    pub fn new(base: usize, len: usize, extra: usize) -> Self {
+        let mut queue = EventQueue::new();
+        queue.reserve(4 * len + extra);
+        EventLane {
+            queue,
+            base,
+            seqs: vec![0; len],
+            msg_seqs: vec![0; len],
+            clocks: vec![SimTime::ZERO; len],
         }
     }
 
-    /// Resolved shard count.
-    pub fn shard_count(&self) -> usize {
-        self.lanes.len()
+    /// Schedules a lane-local event for device `d`. Past times clamp
+    /// to the *device* clock: each device's stream stays monotone, and
+    /// the clamp is identical no matter how devices are partitioned
+    /// into lanes (a lane-clock clamp would fire events later on
+    /// coarser partitions whenever another device's stream had already
+    /// advanced the lane).
+    pub fn schedule(&mut self, d: usize, at: SimTime, event: Event) {
+        let li = d - self.base;
+        let at = at.max(self.clocks[li]);
+        debug_assert!(self.seqs[li] < 1 << 40, "per-device event seq overflow");
+        let seq = ((li as u64) << 40) | self.seqs[li];
+        self.seqs[li] += 1;
+        self.queue.schedule_raw(at, seq, event);
     }
 
-    /// Speculation workers (`min(max_workers(), shards)`, resolved at
-    /// construction).
-    pub fn workers(&self) -> usize {
-        self.workers
+    /// The next envelope merge key for an effect device `d` emits at
+    /// `at`. Per-device counters make keys unique and emission-ordered.
+    pub fn next_msg_key(&mut self, at: SimTime, d: usize) -> MergeKey {
+        let li = d - self.base;
+        let key = MergeKey::new(at, d as u64, self.msg_seqs[li]);
+        self.msg_seqs[li] += 1;
+        key
     }
 
-    /// The rack→shard partition behind the lanes.
-    pub fn map(&self) -> &ShardMap {
-        &self.map
-    }
-
-    /// Global simulated time (firing time of the last popped event).
-    pub fn now(&self) -> SimTime {
-        self.clock
-    }
-
-    /// Total events fired across every lane.
-    pub fn fired(&self) -> u64 {
-        self.fired
-    }
-
-    /// Total pending events across every lane.
-    pub fn len(&self) -> usize {
-        self.lanes.iter().map(|l| l.queue.len()).sum()
-    }
-
-    /// Whether every lane is drained.
-    pub fn is_empty(&self) -> bool {
-        self.lanes.iter().all(|l| l.queue.is_empty())
-    }
-
-    /// The home shard of a self-describing event. Events that do not
-    /// name a device (arrivals, the utilization sample) live on shard
-    /// 0; events whose device is known only to the caller
-    /// (completions, schedule faults) go through
-    /// [`ShardedEvents::schedule_at_on`].
-    fn home_shard(&self, ev: &Event) -> usize {
-        match *ev {
-            Event::QpsChange(d) | Event::Retune(d) | Event::DeviceRepair(d) => self.shard_of(d),
-            Event::SlowdownEnd { device, .. } | Event::ProcessRestart { device, .. } => {
-                self.shard_of(device)
-            }
-            Event::StandbyPromote { host, .. } => self.shard_of(host),
-            Event::JobArrival(_)
-            | Event::UtilSample
-            | Event::JobCompletion { .. }
-            | Event::Fault(_) => 0,
+    /// Pops the lane's next event if it fires at or before `horizon`,
+    /// advancing the owning device's clock. The pop is relaxed: the
+    /// heap interleaves independent per-device streams, so queue-wide
+    /// time can step backwards across devices (each device's own
+    /// stream stays monotone under the schedule clamp).
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, Event)> {
+        let (at, event) = self.queue.pop_until_relaxed(horizon)?;
+        if let Some(d) = lane_event_device(&event) {
+            let li = d - self.base;
+            self.clocks[li] = self.clocks[li].max(at);
         }
-    }
-
-    /// The shard owning device `d`.
-    pub fn shard_of(&self, d: usize) -> usize {
-        self.map.shard_of_device(&self.topo, d)
-    }
-
-    /// Schedules `event` at absolute time `at` on its home shard.
-    /// Scheduling in the past is clamped to the global clock, exactly
-    /// like the single queue clamped to its own.
-    pub fn schedule_at(&mut self, at: SimTime, event: Event) {
-        let lane = self.home_shard(&event);
-        self.schedule_on_lane(lane, at, event);
-    }
-
-    /// Schedules `event` on the shard owning `device` — the routing
-    /// for events whose home device is not in their payload
-    /// (completions and schedule-fault dispatches).
-    pub fn schedule_at_on(&mut self, device: usize, at: SimTime, event: Event) {
-        let lane = self.shard_of(device);
-        self.schedule_on_lane(lane, at, event);
-    }
-
-    /// Schedules `event` to fire `delay` after the global clock.
-    pub fn schedule_in(&mut self, delay: SimDuration, event: Event) {
-        self.schedule_at(self.clock + delay, event);
-    }
-
-    fn schedule_on_lane(&mut self, lane: usize, at: SimTime, event: Event) {
-        let at = at.max(self.clock);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.lanes[lane].queue.schedule_raw(at, seq, event);
-    }
-
-    /// The `(time, seq)` key and lane of the globally next event.
-    fn peek_best(&self) -> Option<((SimTime, u64), usize)> {
-        let mut best: Option<((SimTime, u64), usize)> = None;
-        for (s, lane) in self.lanes.iter().enumerate() {
-            if let Some(k) = lane.queue.peek_key() {
-                if best.is_none_or(|(bk, _)| k < bk) {
-                    best = Some((k, s));
-                }
-            }
-        }
-        best
-    }
-
-    /// Firing time of the globally next event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.peek_best().map(|((t, _), _)| t)
-    }
-
-    /// Pops the globally next event, advancing the global clock.
-    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        let (_, s) = self.peek_best()?;
-        let (at, event) = self.lanes[s].queue.pop().expect("peeked lane is non-empty");
-        self.clock = at;
-        self.fired += 1;
         Some((at, event))
     }
 
-    /// Pops the globally next event only if it fires at or before
-    /// `horizon`.
-    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, Event)> {
-        match self.peek_time() {
-            Some(t) if t <= horizon => self.pop(),
-            _ => None,
+    /// Firing time of the lane's next event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// The lane clock (firing time of the last popped lane event).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Events fired on this lane.
+    pub fn fired(&self) -> u64 {
+        self.queue.fired()
+    }
+
+    /// Pending events on this lane.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// The global event queue: shared-state events only (arrivals,
+/// completions, faults, repairs, promotions, the utilization sample).
+/// A thin wrapper over one [`EventQueue`] that also owns the epoch
+/// window geometry.
+pub(super) struct ShardedEvents {
+    queue: EventQueue<Event>,
+    /// Epoch window length, simulated seconds.
+    epoch_secs: f64,
+}
+
+impl ShardedEvents {
+    /// A global queue pre-sized for `reserve` pending events.
+    pub fn new(epoch_secs: f64, reserve: usize) -> Self {
+        let mut queue = EventQueue::new();
+        queue.reserve(reserve);
+        ShardedEvents {
+            queue,
+            epoch_secs: epoch_secs.max(1.0),
         }
+    }
+
+    /// Global simulated time (firing time of the last popped global
+    /// event).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Global events fired.
+    pub fn fired(&self) -> u64 {
+        self.queue.fired()
+    }
+
+    /// Pending global events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the global queue is drained.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules a global event at absolute time `at` (past times
+    /// clamp to the global clock).
+    pub fn schedule_at(&mut self, at: SimTime, event: Event) {
+        self.queue.schedule_at(at, event);
+    }
+
+    /// Schedules a global event `delay` after the global clock.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: Event) {
+        self.queue.schedule_in(delay, event);
+    }
+
+    /// Firing time of the next global event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next global event if it fires at or before `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, Event)> {
+        self.queue.pop_until(horizon)
     }
 
     /// The first epoch boundary strictly after `t` — the commit
@@ -287,25 +300,13 @@ impl ShardedEvents {
             t + SimDuration::from_secs(e)
         }
     }
-
-    /// Drops `msg` into the inbox of the shard owning `device`.
-    pub fn push_msg_for(&mut self, device: usize, msg: ShardMsg) {
-        let s = self.shard_of(device);
-        self.lanes[s].inbox.push(msg);
-    }
-
-    /// Moves shard `s`'s pending messages into `buf` (in FIFO order),
-    /// leaving the inbox empty with its capacity retained.
-    pub fn take_inbox(&mut self, s: usize, buf: &mut Vec<ShardMsg>) {
-        buf.append(&mut self.lanes[s].inbox);
-    }
 }
 
 /// Single-slot memo for [`violation_probability`], keyed on the exact
 /// bit patterns of all five arguments. The function is pure, so a key
-/// hit is always safe to reuse — speculatively warmed entries included
-/// — and a miss just recomputes. One slot per device covers the common
-/// case (repeated accruals under an unchanged configuration).
+/// hit is always safe to reuse and a miss just recomputes. One slot
+/// per device covers the common case (repeated accruals under an
+/// unchanged configuration).
 #[derive(Clone, Copy, Debug, Default)]
 pub(super) struct VpCache {
     key: Option<(u64, u32, u64, u64, u64)>,
@@ -338,126 +339,100 @@ impl VpCache {
     }
 }
 
-/// The parallel speculation phase: each shard's worker warms its own
-/// devices' pure memos (latency-profile cells and [`VpCache`] slots)
-/// from their current configurations, so the serial commit phase's
-/// first accrual per device is a cache hit. Runs on
-/// [`scoped_for_each_mut`] with disjoint `&mut` slices cut along the
-/// shard map's contiguous device ranges — no locks, no sharing of the
-/// `!Sync` device memos across threads.
-///
-/// The multi-worker barrier allocates O(shards) claim slots and spawns
-/// worker threads per call; callers amortize that by invoking it once
-/// per epoch window, never per event.
-pub(super) fn speculate_epoch(st: &mut SimState, workers: usize) {
-    let shards = st.events.shard_count();
-    if shards <= 1 || workers <= 1 {
-        return;
-    }
-
-    struct ShardWork<'a> {
-        devices: &'a mut [GpuDevice],
-        dstate: &'a mut [DeviceState],
-    }
-
-    let mut work: Vec<ShardWork> = Vec::with_capacity(shards);
-    let mut dev_rest: &mut [GpuDevice] = &mut st.devices;
-    let mut ds_rest: &mut [DeviceState] = &mut st.dstate;
-    let mut cut = 0usize;
-    for s in 0..shards {
-        let range = st.events.map().device_range(s);
-        debug_assert_eq!(range.start, cut, "shard device ranges are contiguous");
-        let len = range.end - cut;
-        cut = range.end;
-        let (devices, rest_d) = dev_rest.split_at_mut(len);
-        let (dstate, rest_s) = ds_rest.split_at_mut(len);
-        dev_rest = rest_d;
-        ds_rest = rest_s;
-        work.push(ShardWork { devices, dstate });
-    }
-
-    let gt = &st.shared.gt;
-    scoped_for_each_mut(&mut work, workers, |_, w| {
-        for (dev, ds) in w.devices.iter_mut().zip(w.dstate.iter_mut()) {
-            let dev = &*dev;
-            if !dev.is_up() {
-                continue;
-            }
-            let Some(inf) = dev.inference() else { continue };
-            let pf = dev.perf_factor();
-            let frac = (inf.gpu_fraction * pf).max(0.01);
-            let (colo_buf, colo_n) = dev.colo_for_inference_buf();
-            let colo = &colo_buf[..colo_n];
-            let spec = gt.zoo().service(inf.service);
-            if spec.is_generative() {
-                // Warm the latency memo at the steady running batch —
-                // the key the decode accrual path will consult. The
-                // vp_cache is not used on that path.
-                let bsz = gt.steady_decode_batch(inf.service, inf.batch, frac, inf.qps, colo);
-                let _ = dev.latency_profile(gt, inf.service, bsz, frac, colo);
-            } else {
-                let slo = spec.slo_secs();
-                let (mean, sigma, _p99) =
-                    dev.latency_profile(gt, inf.service, inf.batch, frac, colo);
-                let _ = ds.vp_cache.get(inf.qps, inf.batch, slo, mean, sigma);
-            }
-        }
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simcore::TopologyShape;
-
-    fn sharded(racks: usize, npr: usize, devices: usize, shards: usize) -> ShardedEvents {
-        let topo = Topology::new(TopologyShape::new(racks, npr), devices);
-        ShardedEvents::new(&topo, shards, 60.0, 16)
-    }
+    use crate::job::JobId;
 
     #[test]
-    fn merged_pop_order_matches_a_single_queue() {
-        // Mixed routing across 4 shards: pops come back in global
-        // (time, seq) order no matter which lane each event sits in.
-        let mut q = sharded(4, 2, 16, 4);
-        q.schedule_at(SimTime::from_secs(5.0), Event::QpsChange(15)); // shard 3
-        q.schedule_at(SimTime::from_secs(1.0), Event::QpsChange(0)); // shard 0
-        q.schedule_at(SimTime::from_secs(1.0), Event::QpsChange(12)); // shard 3, same t
-        q.schedule_in(SimDuration::from_secs(2.0), Event::UtilSample); // shard 0
-        q.schedule_at_on(5, SimTime::from_secs(1.0), Event::Fault(0)); // shard 1, same t
+    fn lane_pops_order_by_time_then_device_then_schedule_order() {
+        // A lane owning devices 8..12: equal-time events come back in
+        // ascending-device order, and per device in schedule order.
+        let mut lane = EventLane::new(8, 4, 16);
+        lane.schedule(11, SimTime::from_secs(5.0), Event::QpsChange(11));
+        lane.schedule(10, SimTime::from_secs(1.0), Event::QpsChange(10));
+        lane.schedule(8, SimTime::from_secs(1.0), Event::QpsChange(8));
+        lane.schedule(8, SimTime::from_secs(1.0), Event::Retune(8));
         let mut order = Vec::new();
-        while let Some((t, ev)) = q.pop() {
+        while let Some((t, ev)) = lane.pop_until(SimTime::from_secs(1e9)) {
             order.push((t.as_secs(), format!("{ev:?}")));
         }
         assert_eq!(
             order,
             vec![
-                (1.0, "QpsChange(0)".to_string()),
-                (1.0, "QpsChange(12)".to_string()),
-                (1.0, "Fault(0)".to_string()),
-                (2.0, "UtilSample".to_string()),
-                (5.0, "QpsChange(15)".to_string()),
+                (1.0, "QpsChange(8)".to_string()),
+                (1.0, "Retune(8)".to_string()),
+                (1.0, "QpsChange(10)".to_string()),
+                (5.0, "QpsChange(11)".to_string()),
             ]
         );
-        assert_eq!(q.fired(), 5);
-        assert_eq!(q.now(), SimTime::from_secs(5.0));
+        assert_eq!(lane.fired(), 4);
+        assert_eq!(lane.now(), SimTime::from_secs(5.0));
     }
 
     #[test]
-    fn past_scheduling_clamps_to_the_global_clock() {
-        // An event popped on shard 0 advances the *global* clock; a
-        // later schedule in the past on another shard clamps to it.
-        let mut q = sharded(4, 2, 16, 4);
-        q.schedule_at(SimTime::from_secs(10.0), Event::QpsChange(0));
-        q.pop();
-        q.schedule_at(SimTime::from_secs(1.0), Event::QpsChange(15));
-        let (t, _) = q.pop().unwrap();
+    fn lane_past_scheduling_clamps_per_device_not_per_lane() {
+        let mut lane = EventLane::new(0, 2, 16);
+        lane.schedule(0, SimTime::from_secs(10.0), Event::QpsChange(0));
+        lane.pop_until(SimTime::from_secs(1e9));
+        // Device 1's stream is untouched: a past time for it must NOT
+        // be dragged forward by device 0 having advanced the lane —
+        // that clamp would depend on which devices share the lane.
+        lane.schedule(1, SimTime::from_secs(1.0), Event::QpsChange(1));
+        let (t, _) = lane.pop_until(SimTime::from_secs(1e9)).unwrap();
+        assert_eq!(t, SimTime::from_secs(1.0));
+        // Device 0's own stream *is* monotone: a past time for device
+        // 0 clamps to its last fired event.
+        lane.schedule(0, SimTime::from_secs(2.0), Event::QpsChange(0));
+        let (t, _) = lane.pop_until(SimTime::from_secs(1e9)).unwrap();
         assert_eq!(t, SimTime::from_secs(10.0));
     }
 
     #[test]
+    fn envelope_sort_is_time_then_device_then_emission_order() {
+        // Two lanes emit at interleaved times; the barrier sort must
+        // order by (time, device, seq) regardless of which outbox an
+        // envelope came from.
+        let mut a = EventLane::new(0, 2, 4);
+        let mut b = EventLane::new(2, 2, 4);
+        let mk = |lane: &mut EventLane, t: f64, d: usize| Envelope {
+            key: lane.next_msg_key(SimTime::from_secs(t), d),
+            msg: OutMsg::Bo { iters: d },
+        };
+        let mut all = [
+            mk(&mut b, 2.0, 3),
+            mk(&mut a, 2.0, 1),
+            mk(&mut a, 1.0, 1),
+            mk(&mut a, 1.0, 1), // same (time, device): emission order
+            mk(&mut b, 1.0, 2),
+        ];
+        all.sort_unstable_by_key(|e| e.key);
+        let keys: Vec<(f64, u64, u64)> = all
+            .iter()
+            .map(|e| (e.key.time.as_secs(), e.key.actor, e.key.seq))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                (1.0, 1, 1),
+                (1.0, 1, 2),
+                (1.0, 2, 0),
+                (2.0, 1, 0),
+                (2.0, 3, 0),
+            ]
+        );
+        // Suppress unused-variant noise: Progress/Completion carry data.
+        let _ = OutMsg::Progress {
+            job: JobId(0),
+            iters: 0.0,
+            run_dt: 0.0,
+        };
+    }
+
+    #[test]
     fn epoch_windows_fast_forward_past_idle_gaps() {
-        let q = sharded(4, 2, 16, 4);
+        let q = ShardedEvents::new(60.0, 16);
+        assert!(q.is_empty());
         // Inside an epoch: boundary is the next multiple of 60.
         assert_eq!(
             q.epoch_end_after(SimTime::from_secs(10.0)),
@@ -474,33 +449,6 @@ mod tests {
             q.epoch_end_after(SimTime::from_secs(86_401.0)),
             SimTime::from_secs(86_460.0)
         );
-    }
-
-    #[test]
-    fn inboxes_drain_in_shard_ascending_fifo_order() {
-        let mut q = sharded(4, 2, 16, 4);
-        // Push out of device order; shard-ascending FIFO drain must
-        // return them in ascending-device order (contiguous ranges).
-        for d in [14usize, 2, 9, 5] {
-            q.push_msg_for(
-                d,
-                ShardMsg::RerouteUndo {
-                    survivor: d,
-                    share: 1.0,
-                },
-            );
-        }
-        let mut seen = Vec::new();
-        let mut buf = Vec::new();
-        for s in 0..q.shard_count() {
-            q.take_inbox(s, &mut buf);
-            for m in buf.drain(..) {
-                if let ShardMsg::RerouteUndo { survivor, .. } = m {
-                    seen.push(survivor);
-                }
-            }
-        }
-        assert_eq!(seen, vec![2, 5, 9, 14]);
     }
 
     #[test]

@@ -1,10 +1,21 @@
-//! Shared simulation state and the engine-internal event alphabet.
+//! Shared simulation state, per-lane state, and the engine-internal
+//! event alphabet.
 //!
 //! [`SimState`] is the single mutable contract every stage operates
 //! on: the stage structs ([`Admission`], [`Control`], [`Faults`],
 //! [`Stepper`]) hold no state of their own and receive `&mut SimState`
 //! explicitly, so the data flow between stages is visible at every
 //! call site instead of hidden in captured locals.
+//!
+//! The parallel-commit split lives here too: [`LaneBox`] owns
+//! everything one execution lane mutates during the parallel phase (a
+//! contiguous device range's event queue, a tuner replica, the
+//! envelope outbox and pooled scratch), and [`LaneCtx`] is the view a
+//! lane handler receives — its own device slices plus read-only shared
+//! state. The serial phase reconstructs the same view through
+//! [`SimState::with_lane_of`], so lane handlers are the *only*
+//! implementation of per-device control logic, which is what makes the
+//! serial and parallel paths bit-identical by construction.
 //!
 //! [`Admission`]: super::admission::Admission
 //! [`Control`]: super::control::Control
@@ -17,18 +28,25 @@ use gpu_sim::{
 use mudi::policy::{FairState, QueueItem};
 use mudi::{CircuitBreaker, Monitor, RetuneGuard};
 use resilience::{CheckpointTracker, FaultSchedule, RecoveryPolicy};
-use simcore::{SimRng, SimTime, Topology, TraceBus, TraceConfig};
+use simcore::{ShardMap, SimEvent, SimRng, SimTime, Topology, TraceBus, TraceConfig};
 use workloads::perf::DEVICE_MEMORY_GB;
 use workloads::{FluctuatingQps, GroundTruth, ServiceId, Zoo};
 
 use crate::job::{JobId, TrainingJob};
-use crate::metrics::{FaultMetrics, ServiceTable};
+use crate::metrics::{FaultMetrics, ServiceMetrics, ServiceTable};
 use crate::systems::{build_system, Multiplexer};
 
 use super::config::ClusterConfig;
-use super::shard::{ShardMsg, ShardedEvents, VpCache, AUTO_SHARD_MIN_DEVICES};
+use super::control::Control;
+use super::shard::{Envelope, EventLane, OutMsg, ShardedEvents, VpCache, AUTO_SHARD_MIN_DEVICES};
 
 /// Engine-internal events, sequenced by the stepper.
+///
+/// Events split into two populations (see the routing table in
+/// [`super::shard`]): lane-local events (`QpsChange`, `Retune`,
+/// `SlowdownEnd`, `ProcessRestart`) live on the owning lane's queue
+/// and fire in the parallel phase; everything else is global and fires
+/// in the serial phase.
 #[derive(Clone, Debug)]
 pub(super) enum Event {
     JobArrival(JobId),
@@ -71,11 +89,63 @@ pub(super) enum Event {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(super) struct StandbySlot(pub usize);
 
+/// Per-device mergeable accumulator partials.
+///
+/// Every float a lane accrues concurrently lands here instead of in a
+/// global table, keyed by the device that produced it. The partials
+/// are reduced by a fixed device-ascending tree fold
+/// ([`SimState::fold_services`] / [`SimState::folded_fmetrics`]) whose
+/// shape depends only on the replica count — never on the shard or
+/// worker partition — so the folded sums are bit-identical across the
+/// whole `MUDI_SHARDS × MUDI_THREADS` grid.
+pub(super) struct DevAccum {
+    /// Per-service metric partials this device accrued. A device
+    /// touches at most a few services (its primary, a hosted standby,
+    /// a session redeploy), so a tiny linear-scan vec beats a map.
+    pub svc: Vec<(ServiceId, ServiceMetrics)>,
+    /// Partial of [`FaultMetrics::dropped_requests`].
+    pub dropped_requests: f64,
+    /// Partial of [`FaultMetrics::rerouted_requests`].
+    pub rerouted_requests: f64,
+    /// Partial of [`FaultMetrics::standby_reserved_gpu_secs`].
+    pub standby_reserved_gpu_secs: f64,
+    /// Partial of [`FaultMetrics::standby_served_requests`].
+    pub standby_served_requests: f64,
+}
+
+impl DevAccum {
+    fn new() -> Self {
+        DevAccum {
+            // Pre-sized so the steady state never allocates: primary +
+            // standby + two session redeploys before the first growth.
+            svc: Vec::with_capacity(4),
+            dropped_requests: 0.0,
+            rerouted_requests: 0.0,
+            standby_reserved_gpu_secs: 0.0,
+            standby_served_requests: 0.0,
+        }
+    }
+
+    /// The metric partial for `id` on this device (created on first
+    /// touch).
+    pub fn svc_entry(&mut self, id: ServiceId) -> &mut ServiceMetrics {
+        if let Some(i) = self.svc.iter().position(|(s, _)| *s == id) {
+            return &mut self.svc[i].1;
+        }
+        self.svc.push((id, ServiceMetrics::default()));
+        &mut self.svc.last_mut().expect("just pushed").1
+    }
+}
+
 /// Per-device engine-side state beyond the `GpuDevice` itself.
 pub(super) struct DeviceState {
     pub qps_gen: FluctuatingQps,
     pub monitor: Monitor,
-    /// Last time this device's metrics were accrued.
+    /// Last time this device's metrics were accrued. Doubles as the
+    /// device's *time watermark*: the serial phase clamps its
+    /// per-device timestamps to this (`SimState::dev_time`) so a
+    /// device's timeline stays monotone even when a global event fires
+    /// at a time the lane already stepped past.
     pub last_accrue: SimTime,
     /// Last accrued P99 batch latency (feedback for GSLICE).
     pub last_p99: Option<f64>,
@@ -126,6 +196,14 @@ pub(super) struct DeviceState {
     /// While this (failed) device's traffic is served by a promoted
     /// standby: the host device carrying it.
     pub standby_host: Option<usize>,
+    /// Frozen violation probability for standby-served traffic,
+    /// computed from the host's live profile at promote time and
+    /// refreshed at every serial-phase [`OutMsg::StandbyQps`] apply.
+    /// The *demand mass* a standby serves is booked on this (down)
+    /// device's own lane — which tracks the stash QPS exactly — so
+    /// blast-traffic conservation stays exact under any partition;
+    /// only the violation quality is quantized to serial refreshes.
+    pub standby_pviol: f64,
     /// The persistent standby-pool slot seeded on this device (the
     /// covered service lives in [`SimState::standby_registry`]);
     /// survives the host's own failure so the pool re-seeds at repair.
@@ -136,41 +214,144 @@ pub(super) struct DeviceState {
     /// activate a superseded hand-off.
     pub promote_token: u64,
     /// Single-slot memo for this device's last violation-probability
-    /// computation; warmed speculatively by the sharded stepper and
-    /// consulted (bit-identically) by `Control::accrue`.
+    /// computation.
     pub vp_cache: VpCache,
+    /// This device's GP-LCB retune substream, derived purely from
+    /// `(seed, "retune", device)` — the hot-path replacement for the
+    /// old order-sensitive global stream. Two devices retuning in any
+    /// interleaving draw the same values, so retune decisions are
+    /// partition-invariant.
+    pub retune_rng: SimRng,
+    /// Mergeable accumulator partials (see [`DevAccum`]).
+    pub acc: DevAccum,
 }
 
-/// The truly global slice of the run state: what every shard reads and
-/// what only the serial commit phase may mutate. Kept deliberately
-/// small — the ground truth (immutable after construction, `Sync`), the
-/// system under test (its tuner history is order-sensitive), and the
-/// global RNG stream (every draw is order-sensitive by definition).
-/// Everything per-device lives in the flat `devices`/`dstate` arrays,
-/// sliced per shard along the [`ShardMap`](simcore::ShardMap)'s
-/// contiguous device ranges.
+/// The truly global, *read-only during the parallel phase* slice of
+/// the run state: the ground truth (immutable after construction,
+/// `Sync`), the base RNG the named substreams fork from, and the
+/// placement stream (placement runs in the serial phase only; its
+/// draws are keyed by the global dispatch order, which is itself
+/// partition-invariant).
 pub(super) struct SharedState {
     pub gt: GroundTruth,
-    pub system: Box<dyn Multiplexer>,
     pub rng: SimRng,
+    /// The §5.2 placement stream (`fork("place")`), consumed only by
+    /// the serial admission path.
+    pub place_rng: SimRng,
+}
+
+/// Everything one execution lane owns and mutates during the parallel
+/// phase. Lanes are built once at construction along the
+/// [`ShardMap`]'s contiguous device ranges.
+pub(super) struct LaneBox {
+    /// This lane's replica of the system under test. Every replica is
+    /// built from the same `fork("system")` seed, so offline profiling
+    /// and tuner priors are identical across lanes; each replica's
+    /// tuner history then only ever sees its own devices' retunes,
+    /// which keeps the histories partition-invariant (retune draws come
+    /// from per-device substreams anyway).
+    pub system: Box<dyn Multiplexer>,
+    /// The lane's event queue (lane-local events only).
+    pub events: EventLane,
+    /// Deferred effects, drained and merge-sorted at the barrier.
+    pub outbox: Vec<Envelope>,
+    /// The contiguous device range this lane owns.
+    pub range: std::ops::Range<usize>,
+    /// Pooled scratch for the lane accrual's training-progress pass.
+    pub scratch_advance: Vec<(ResidentId, f64, f64)>,
+    /// Pooled scratch for completion rescheduling.
+    pub scratch_schedule: Vec<(ResidentId, f64)>,
+    /// Pooled backing storage for the [`crate::systems::DeviceView`]
+    /// task list built on every reconfigure.
+    pub scratch_tasks: Vec<workloads::TaskId>,
+}
+
+/// The view a lane handler receives: the lane's own device slices
+/// (indexed by `d - base`), its [`LaneBox`], and read-only shared
+/// state. Built by [`SimState::lane_ctx`] (serial, trace attached) or
+/// from split slices in the parallel phase (trace detached — the
+/// parallel path only runs with tracing disabled).
+pub(super) struct LaneCtx<'a> {
+    pub base: usize,
+    pub devices: &'a mut [GpuDevice],
+    pub dstate: &'a mut [DeviceState],
+    pub lane: &'a mut LaneBox,
+    pub gt: &'a GroundTruth,
+    pub config: &'a ClusterConfig,
+    pub jobs: &'a [TrainingJob],
+    pub ckpt: &'a [CheckpointTracker],
+    pub trace: Option<&'a mut TraceBus>,
+}
+
+impl LaneCtx<'_> {
+    /// Emits a trace event when a bus is attached (serial phase).
+    pub fn emit(&mut self, now: SimTime, f: impl FnOnce() -> SimEvent) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.emit_with(now, f);
+        }
+    }
+
+    /// Defers an effect into the lane outbox, stamped with the next
+    /// `(time, device, seq)` merge key.
+    pub fn push_msg(&mut self, at: SimTime, d: usize, msg: OutMsg) {
+        let key = self.lane.events.next_msg_key(at, d);
+        self.lane.outbox.push(Envelope { key, msg });
+    }
+
+    /// Schedules a lane-local event for device `d`.
+    pub fn schedule(&mut self, d: usize, at: SimTime, ev: Event) {
+        self.lane.events.schedule(d, at, ev);
+    }
+
+    /// The multiplier the burst schedule applies right now.
+    pub fn burst_multiplier(&self, now: SimTime) -> f64 {
+        self.config
+            .burst
+            .as_ref()
+            .map_or(1.0, |b| b.multiplier_at(now))
+    }
+
+    /// The training share cap actually applied: the system's decision,
+    /// shed by the circuit-breaker while the device is degraded.
+    pub fn applied_share_cap(&self, now: SimTime, d: usize) -> f64 {
+        let ds = &self.dstate[d - self.base];
+        (ds.training_share_cap * ds.breaker.share_multiplier(now)).clamp(0.01, 1.0)
+    }
+
+    /// The SLO (seconds) of the service pinned to device `d`.
+    pub fn device_slo(&self, d: usize) -> f64 {
+        let svc = self.devices[d - self.base]
+            .inference()
+            .expect("replica deployed")
+            .service;
+        self.gt.zoo().service(svc).slo_secs()
+    }
 }
 
 /// Everything a run mutates, shared by every stage through an explicit
 /// `&mut SimState` parameter.
 pub(super) struct SimState {
     pub config: ClusterConfig,
-    /// Global state every shard reads; mutated only in the serial
-    /// commit phase (see [`SharedState`]).
+    /// Global state every lane reads (see [`SharedState`]).
     pub shared: SharedState,
     pub devices: Vec<GpuDevice>,
     pub dstate: Vec<DeviceState>,
     pub jobs: Vec<TrainingJob>,
     pub queue: Vec<QueueItem<JobId>>,
     pub fair: FairState,
-    /// The rack-sharded event scheduler: per-shard queues under one
-    /// global clock, bit-identical to a single queue at every count.
+    /// The global event queue (shared-state events only).
     pub events: ShardedEvents,
-    pub services: ServiceTable,
+    /// The execution lanes, along contiguous ascending device ranges.
+    pub lanes: Vec<LaneBox>,
+    /// Device → lane index.
+    pub lane_idx: Vec<u32>,
+    /// Parallel lane workers, resolved once at construction
+    /// (`config.workers`, `0` = `MUDI_THREADS` / core count).
+    pub workers: usize,
+    /// Pooled envelope buffers for the (possibly nested) barrier
+    /// drains; the last entry is the big barrier buffer, the leading
+    /// entries serve nested drains inside envelope application.
+    pub msg_pool: Vec<Vec<Envelope>>,
     pub util_series: Vec<(f64, f64, f64)>,
     pub bo_iterations: Vec<usize>,
     pub placement_secs: Vec<f64>,
@@ -179,7 +360,9 @@ pub(super) struct SimState {
     pub fault_schedule: FaultSchedule,
     /// Recovery strategy applied to every injected fault.
     pub recovery: RecoveryPolicy,
-    /// Fault/recovery accounting, surfaced in the result.
+    /// Fault/recovery accounting, surfaced in the result. The four
+    /// lane-accrued float fields additionally carry per-device partials
+    /// in [`DevAccum`], folded in by [`SimState::folded_fmetrics`].
     pub fmetrics: FaultMetrics,
     /// Per-job checkpoint trackers, indexed like `jobs`.
     pub ckpt: Vec<CheckpointTracker>,
@@ -192,23 +375,34 @@ pub(super) struct SimState {
     /// The covered service per seeded warm-standby slot, indexed by
     /// [`StandbySlot`]; fixed after construction.
     pub standby_registry: Vec<ServiceId>,
-    /// Pooled scratch for `Control::accrue`'s training-progress pass
-    /// (left empty between events; capacity survives).
-    pub scratch_advance: Vec<(ResidentId, f64, f64)>,
-    /// Pooled scratch for `Control::reschedule_completions`.
-    pub scratch_schedule: Vec<(ResidentId, f64)>,
-    /// Pooled backing storage for the [`crate::systems::DeviceView`]
-    /// task list built on every `Control::reconfigure`.
-    pub scratch_tasks: Vec<workloads::TaskId>,
-    /// Pooled drain buffer for cross-shard [`ShardMsg`] inboxes (left
-    /// empty between drains; capacity survives).
-    pub scratch_msgs: Vec<ShardMsg>,
     /// Cached length of the leading run of completed jobs in `jobs`;
     /// see [`SimState::all_done`].
     pub done_prefix: usize,
     /// The structured event-trace bus (disabled unless `MUDI_TRACE=1`
-    /// or a caller opted in; zero-cost when disabled).
+    /// or a caller opted in; zero-cost when disabled). Tracing forces
+    /// the serial lane path.
     pub trace: TraceBus,
+    /// Wall-clock seconds spent in the (parallelizable) lane phase.
+    pub phase_lane_secs: f64,
+    /// Wall-clock seconds spent in the serial phase (barrier drain +
+    /// global dispatch).
+    pub phase_serial_secs: f64,
+    /// Wall-clock seconds of the serial phase spent inside the
+    /// utilization sample's parallel read fan-out — a subset of
+    /// [`SimState::phase_serial_secs`] that the phase profile reports
+    /// as parallelizable.
+    pub phase_sample_secs: f64,
+    /// Wall-clock seconds of the serial phase spent draining and
+    /// applying epoch-barrier envelopes — a subset of
+    /// [`SimState::phase_serial_secs`], split out for the scaling
+    /// ledger's diagnostics.
+    pub phase_barrier_secs: f64,
+    /// Wall-clock seconds of the serial phase spent building placement
+    /// candidate views — a subset of [`SimState::phase_serial_secs`]
+    /// that runs as an order-preserving chunked fan-out over the device
+    /// table and is therefore reported as parallelizable by the phase
+    /// profile.
+    pub phase_place_secs: f64,
 }
 
 impl SimState {
@@ -222,7 +416,6 @@ impl SimState {
         };
         let gt = GroundTruth::new(zoo, config.seed ^ 0xA100);
         let rng = SimRng::seed(config.seed);
-        let system = build_system(config.system, &gt, &mut rng.fork("system"));
         let n_services = gt.zoo().services().len();
         let recovery = config
             .faults
@@ -296,10 +489,13 @@ impl SimState {
                 degrade_token: 0,
                 faults_seen: 0,
                 standby_host: None,
+                standby_pviol: 0.0,
                 standby_slot: None,
                 pending_promote: None,
                 promote_token: 0,
                 vp_cache: VpCache::default(),
+                retune_rng: rng.substream("retune", d),
+                acc: DevAccum::new(),
             });
         }
 
@@ -355,8 +551,8 @@ impl SimState {
         }
 
         // Resolve the shard count: explicit request (env override
-        // first, then config) or auto — one shard until the cluster is
-        // large enough that sharding pays, then up to one shard per
+        // first, then config) or auto — one lane until the cluster is
+        // large enough that the barrier pays, then up to one lane per
         // worker, rack-clamped by the map itself.
         let requested = simcore::env::parse::<usize>("MUDI_SHARDS").unwrap_or(config.shards);
         let shards = if requested == 0 {
@@ -369,29 +565,73 @@ impl SimState {
             requested
         };
 
-        // Steady-state stepping must not allocate (the zero-alloc
-        // harness pins this): pre-size the per-shard event heaps and
-        // the append-only series for their expected population so the
-        // warm kernel never grows them mid-run.
+        // Build the lanes along the map's contiguous device ranges.
+        // Every lane's system replica is built from the same
+        // `fork("system")` seed (fork is pure), so replicas are
+        // identical at construction including offline profiling.
+        let map = ShardMap::new(&topo, shards.max(1));
+        let lane_idx: Vec<u32> = (0..config.devices)
+            .map(|d| map.shard_of_device(&topo, d) as u32)
+            .collect();
+        let mut lanes = Vec::with_capacity(map.shards());
+        for s in 0..map.shards() {
+            let range = map.device_range(s);
+            lanes.push(LaneBox {
+                system: build_system(config.system, &gt, &mut rng.fork("system")),
+                events: EventLane::new(range.start, range.len(), 64),
+                // Steady-state stepping must not allocate: size the
+                // outbox for a full window of per-device progress and
+                // completion envelopes.
+                outbox: Vec::with_capacity(8 * range.len() + 64),
+                range,
+                scratch_advance: Vec::new(),
+                scratch_schedule: Vec::new(),
+                scratch_tasks: Vec::new(),
+            });
+        }
+        let req_workers = if config.workers == 0 {
+            simcore::max_workers()
+        } else {
+            config.workers
+        };
+        let workers = req_workers.min(lanes.len()).max(1);
+
+        // Global queue population: all arrivals are scheduled up front,
+        // completions are bounded by the training slots, plus the fault
+        // schedule and the repair/promote tails.
         let events = ShardedEvents::new(
-            &topo,
-            shards,
             config.shard_epoch_secs,
-            fault_schedule.events().len() + 64,
+            config.jobs + 3 * config.devices + fault_schedule.events().len() + 64,
         );
+        // The barrier buffer must hold every lane's worst-case window
+        // of envelopes; the three small leading buffers serve nested
+        // drains during envelope application.
+        let msg_pool = vec![
+            Vec::with_capacity(256),
+            Vec::with_capacity(256),
+            Vec::with_capacity(256),
+            Vec::with_capacity(8 * config.devices + 64),
+        ];
         let util_samples = (config.max_sim_secs / config.util_sample_secs.max(1.0)) as usize;
         let util_series = Vec::with_capacity(util_samples.saturating_add(2).min(1 << 18));
 
         SimState {
+            shared: SharedState {
+                gt,
+                place_rng: rng.fork("place"),
+                rng,
+            },
             config,
-            shared: SharedState { gt, system, rng },
             devices,
             dstate,
             jobs: Vec::new(),
             queue: Vec::new(),
             fair: FairState::new(),
             events,
-            services: ServiceTable::new(n_services),
+            lanes,
+            lane_idx,
+            workers,
+            msg_pool,
             util_series,
             // Sized past the retune count of every committed
             // `perf_kernel` shape (the LLM mix retunes the most, ~16k
@@ -407,14 +647,276 @@ impl SimState {
             topo,
             outage_start: vec![None; n_services],
             standby_registry,
-            scratch_advance: Vec::new(),
-            scratch_schedule: Vec::new(),
-            scratch_tasks: Vec::new(),
-            scratch_msgs: Vec::new(),
             done_prefix: 0,
             trace: TraceBus::new(TraceConfig::from_env()),
+            phase_lane_secs: 0.0,
+            phase_serial_secs: 0.0,
+            phase_sample_secs: 0.0,
+            phase_barrier_secs: 0.0,
+            phase_place_secs: 0.0,
         }
     }
+
+    // ------------------------------------------------------------------
+    // Lane plumbing.
+    // ------------------------------------------------------------------
+
+    /// The lane owning device `d`.
+    pub fn lane_of(&self, d: usize) -> usize {
+        self.lane_idx[d] as usize
+    }
+
+    /// Schedules a lane-local event on the owning lane's queue.
+    pub fn schedule_lane(&mut self, d: usize, at: SimTime, ev: Event) {
+        let s = self.lane_of(d);
+        self.lanes[s].events.schedule(d, at, ev);
+    }
+
+    /// Device `d`'s monotone timestamp for a serial-phase operation
+    /// nominally at `now`: clamped to the device's accrual watermark,
+    /// which a lane may have advanced past `now` within the current
+    /// window. The window structure is config-derived and the code
+    /// path uniform, so the clamp is identical at every grid point.
+    pub fn dev_time(&self, d: usize, now: SimTime) -> SimTime {
+        now.max(self.dstate[d].last_accrue)
+    }
+
+    /// Total events fired (global + every lane).
+    pub fn fired(&self) -> u64 {
+        self.events.fired() + self.lanes.iter().map(|l| l.events.fired()).sum::<u64>()
+    }
+
+    /// Total pending events (global + every lane).
+    pub fn pending_events(&self) -> usize {
+        self.events.len() + self.lanes.iter().map(|l| l.events.len()).sum::<usize>()
+    }
+
+    /// Firing time of the next event anywhere (global or lane).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut best = self.events.peek_time();
+        for l in &self.lanes {
+            if let Some(t) = l.events.peek_time() {
+                if best.is_none_or(|b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        best
+    }
+
+    /// The simulated end time: the latest clock across the global
+    /// queue and every lane.
+    pub fn sim_now(&self) -> SimTime {
+        let mut t = self.events.now();
+        for l in &self.lanes {
+            t = t.max(l.events.now());
+        }
+        t
+    }
+
+    /// Whether any lane still has events at or before `t1`.
+    pub fn lanes_pending(&self, t1: SimTime) -> bool {
+        self.lanes
+            .iter()
+            .any(|l| l.events.peek_time().is_some_and(|t| t <= t1))
+    }
+
+    /// The serial-phase lane view for lane `s`, trace attached.
+    pub fn lane_ctx(&mut self, s: usize) -> LaneCtx<'_> {
+        let lane = &mut self.lanes[s];
+        let range = lane.range.clone();
+        LaneCtx {
+            base: range.start,
+            devices: &mut self.devices[range.clone()],
+            dstate: &mut self.dstate[range],
+            lane,
+            gt: &self.shared.gt,
+            config: &self.config,
+            jobs: &self.jobs,
+            ckpt: &self.ckpt,
+            trace: Some(&mut self.trace),
+        }
+    }
+
+    /// Runs `f` against the lane view owning device `d`, then drains
+    /// the lane's outbox — the serial phase's way of calling a lane
+    /// handler so its deferred effects apply immediately (matching the
+    /// instant-apply semantics serial events always had).
+    pub fn with_lane_of(&mut self, d: usize, f: impl FnOnce(&mut LaneCtx)) {
+        let s = self.lane_of(d);
+        {
+            let mut ctx = self.lane_ctx(s);
+            f(&mut ctx);
+        }
+        self.drain_lane_outbox(s);
+    }
+
+    /// Drains one lane's outbox in merge-key order (used after a
+    /// serial-phase lane call; the keys are emission-unique, so the
+    /// sort is a total order).
+    pub fn drain_lane_outbox(&mut self, s: usize) {
+        if self.lanes[s].outbox.is_empty() {
+            return;
+        }
+        let mut buf = self.msg_pool.pop().unwrap_or_default();
+        debug_assert!(buf.is_empty());
+        buf.append(&mut self.lanes[s].outbox);
+        buf.sort_unstable_by_key(|e| e.key);
+        for e in buf.drain(..) {
+            self.apply_envelope(e);
+        }
+        self.msg_pool.push(buf);
+    }
+
+    /// The epoch barrier: concatenates every lane's outbox, sorts by
+    /// `(time, device, seq)` merge key, and applies serially. The
+    /// concatenation order is irrelevant — the sort key is
+    /// partition-invariant and unique per envelope.
+    pub fn drain_all_outboxes(&mut self) {
+        let t0 = std::time::Instant::now();
+        let mut buf = self.msg_pool.pop().unwrap_or_default();
+        debug_assert!(buf.is_empty());
+        for s in 0..self.lanes.len() {
+            buf.append(&mut self.lanes[s].outbox);
+        }
+        if !buf.is_empty() {
+            buf.sort_unstable_by_key(|e| e.key);
+            for e in buf.drain(..) {
+                self.apply_envelope(e);
+            }
+        }
+        self.msg_pool.push(buf);
+        self.phase_barrier_secs += t0.elapsed().as_secs_f64();
+    }
+
+    /// Applies one deferred effect. Serial: may touch any shared
+    /// state, and may recursively drain the outboxes its own lane
+    /// calls fill (the buffer pool is deep enough for the bounded
+    /// cascade: standby accrual → progress, evict → retune → bo).
+    fn apply_envelope(&mut self, env: Envelope) {
+        let at = env.key.time;
+        match env.msg {
+            OutMsg::Progress { job, iters, run_dt } => {
+                let ji = job.0 as usize;
+                if let Some(j) = self.jobs.get_mut(ji) {
+                    let before = j.completed_iterations;
+                    j.completed_iterations += iters;
+                    let after = j.completed_iterations;
+                    if let Some(ck) = self.ckpt.get_mut(ji) {
+                        ck.on_progress(run_dt, before, after);
+                    }
+                }
+            }
+            OutMsg::Completion {
+                job,
+                epoch,
+                at: due,
+            } => {
+                self.events
+                    .schedule_at(due, Event::JobCompletion { job, epoch });
+            }
+            OutMsg::StandbyQps { host, qps } => {
+                if self.devices[host].is_up() {
+                    let t = self.dev_time(host, at);
+                    Control.accrue(self, t, host);
+                    self.devices[host].set_standby_qps(&self.shared.gt, t, qps);
+                    // The emitter (key actor) is the covered device:
+                    // refresh its frozen served-traffic violation
+                    // probability from the host's live profile.
+                    let target = env.key.actor as usize;
+                    if self.dstate[target].standby_host == Some(host) {
+                        self.dstate[target].standby_pviol = Control::standby_pviol(self, host);
+                    }
+                }
+            }
+            OutMsg::EvictStuck { device } => {
+                // Re-validate: the serial phase (or an earlier
+                // envelope) may have unstuck the device meanwhile.
+                let t = self.dev_time(device, at);
+                let ds = &self.dstate[device];
+                let stuck = ds
+                    .paused_since
+                    .map(|t0| t.since(t0).as_secs() > 1800.0)
+                    .unwrap_or(false);
+                if ds.training_paused && stuck && !self.config.system.manages_memory() {
+                    Control.evict_trainings(self, t, device);
+                }
+            }
+            OutMsg::Bo { iters } => self.bo_iterations.push(iters),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Folded observability.
+    // ------------------------------------------------------------------
+
+    /// Reduces the per-device service partials into a [`ServiceTable`]
+    /// by a fixed fold: collect device-ascending, stable-sort by
+    /// service id, tree-fold each equal-id run. Both the collection
+    /// order and the fold shape are partition-invariant.
+    pub fn fold_services(&mut self) -> ServiceTable {
+        let n = self.shared.gt.zoo().services().len();
+        let mut pairs: Vec<(ServiceId, ServiceMetrics)> = Vec::new();
+        for ds in &self.dstate {
+            for (id, m) in &ds.acc.svc {
+                pairs.push((*id, m.clone()));
+            }
+        }
+        pairs.sort_by_key(|p| p.0 .0);
+        let mut table = ServiceTable::new(n);
+        let mut i = 0;
+        while i < pairs.len() {
+            let id = pairs[i].0;
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == id {
+                j += 1;
+            }
+            let group: Vec<ServiceMetrics> = pairs[i..j]
+                .iter_mut()
+                .map(|p| std::mem::take(&mut p.1))
+                .collect();
+            if let Some(merged) = simcore::tree_fold(group, |mut a, b| {
+                a.merge(&b);
+                a
+            }) {
+                *table.entry(id) = merged;
+            }
+            i = j;
+        }
+        table
+    }
+
+    /// The fault metrics with the per-device float partials folded in
+    /// (fixed device-ascending tree fold). Non-destructive: safe for
+    /// mid-run observability.
+    pub fn folded_fmetrics(&self) -> FaultMetrics {
+        let mut fm = self.fmetrics.clone();
+        let parts: Vec<[f64; 4]> = self
+            .dstate
+            .iter()
+            .map(|ds| {
+                [
+                    ds.acc.dropped_requests,
+                    ds.acc.rerouted_requests,
+                    ds.acc.standby_reserved_gpu_secs,
+                    ds.acc.standby_served_requests,
+                ]
+            })
+            .collect();
+        let sums = simcore::tree_fold(parts, |a, b| {
+            [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
+        })
+        .unwrap_or([0.0; 4]);
+        fm.dropped_requests += sums[0];
+        fm.rerouted_requests += sums[1];
+        fm.standby_reserved_gpu_secs += sums[2];
+        fm.standby_served_requests += sums[3];
+        fm
+    }
+
+    // ------------------------------------------------------------------
+    // Misc queries.
+    // ------------------------------------------------------------------
 
     /// The multiplier the burst schedule applies right now.
     pub fn burst_multiplier(&self, now: SimTime) -> f64 {
@@ -429,15 +931,6 @@ impl SimState {
     pub fn applied_share_cap(&self, now: SimTime, d: usize) -> f64 {
         let st = &self.dstate[d];
         (st.training_share_cap * st.breaker.share_multiplier(now)).clamp(0.01, 1.0)
-    }
-
-    /// The SLO (seconds) of the service pinned to device `d`.
-    pub fn device_slo(&self, d: usize) -> f64 {
-        let svc = self.devices[d]
-            .inference()
-            .expect("replica deployed")
-            .service;
-        self.shared.gt.zoo().service(svc).slo_secs()
     }
 
     /// Whether every submitted job has completed.

@@ -1,9 +1,26 @@
 //! Stepper stage: the simulation time loop.
 //!
-//! Owns event-loop sequencing — popping the queue, dispatching each
-//! event to its stage ([`Admission`], [`Control`], [`Faults`]) — plus
-//! initial event seeding, end-of-run finalization (final accrual spans,
-//! open-outage closure), and result assembly.
+//! Owns window sequencing for the parallel-commit kernel. Time
+//! advances in epoch windows (`(0, e], (e, 2e], …` per
+//! [`super::shard::ShardedEvents::epoch_end_after`]); each window runs
+//! rounds of
+//!
+//! 1. **lane phase** — every lane executes its own events up to the
+//!    window end, concurrently when `workers > 1` (serially, through
+//!    the identical handler code, otherwise);
+//! 2. **barrier** — all lane outboxes are merged in `(time, device,
+//!    seq)` key order and applied to shared state;
+//! 3. **global phase** — the global queue's events up to the window
+//!    end dispatch serially.
+//!
+//! until the window is quiet. Because the window structure is derived
+//! from the config alone and both phases run the same handler code at
+//! every grid point, results are bit-identical across every
+//! `shards × workers` combination; only wall-clock time changes.
+//!
+//! Also owns initial event seeding, end-of-run finalization (final
+//! accrual spans, open-outage closure, accumulator materialization),
+//! and result assembly.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -12,41 +29,65 @@ use gpu_sim::GpuDevice;
 use simcore::{SimDuration, SimTime};
 use workloads::ServiceId;
 
-use crate::job::JobState;
 use crate::metrics::ExperimentResult;
 
 use super::admission::Admission;
-use super::control::Control;
-use super::faults::Faults;
-use super::state::{Event, SimState};
+use super::control::{self, Control};
+use super::faults::{self, Faults};
+use super::state::{DeviceState, Event, LaneBox, LaneCtx, SimState};
 
 /// The stepper. Stateless: everything lives in [`SimState`].
 pub(super) struct Stepper;
+
+/// One lane's slice of the cluster, split out for the parallel phase.
+struct LaneWork<'a> {
+    base: usize,
+    devices: &'a mut [GpuDevice],
+    dstate: &'a mut [DeviceState],
+    lane: &'a mut LaneBox,
+}
+
+/// Executes every event of one lane up to (and including) `t1`. The
+/// single lane event loop, shared verbatim by the parallel and serial
+/// paths.
+fn drain_lane(ctx: &mut LaneCtx, t1: SimTime) {
+    while let Some((now, ev)) = ctx.lane.events.pop_until(t1) {
+        match ev {
+            Event::QpsChange(d) => control::on_qps_change(ctx, now, d),
+            Event::Retune(d) => control::on_retune(ctx, now, d),
+            Event::SlowdownEnd { device, token } => {
+                faults::on_slowdown_end(ctx, now, device, token)
+            }
+            Event::ProcessRestart { device, job } => {
+                faults::on_process_restart(ctx, now, device, job)
+            }
+            ref other => debug_assert!(false, "global event on a lane queue: {other:?}"),
+        }
+    }
+}
 
 impl Stepper {
     /// Seeds the initial event population: first QPS segment change per
     /// device, the first utilization sample, and the fault schedule.
     pub fn schedule_initial_events(&self, st: &mut SimState) {
         for d in 0..st.devices.len() {
-            // First QPS segment change per device.
+            // First QPS segment change per device (lane-local).
             let dwell = SimDuration::from_secs(
                 st.shared
                     .rng
                     .fork_indexed("dwell0", d)
                     .uniform(1.0, st.config.qps_dwell_secs),
             );
-            st.events
-                .schedule_at(SimTime::ZERO + dwell, Event::QpsChange(d));
+            st.schedule_lane(d, SimTime::ZERO + dwell, Event::QpsChange(d));
         }
         st.events.schedule_at(
             SimTime::from_secs(st.config.util_sample_secs),
             Event::UtilSample,
         );
-        // Fault events route to the faulting device's home shard; the
-        // seeding order (and with it the global tie-break sequence)
-        // matches the single-queue engine exactly.
+        // Fault injection is global: recovery touches survivors, the
+        // job table, and admission.
         for (i, ev) in st.fault_schedule.events().iter().enumerate() {
-            st.events.schedule_at_on(ev.device, ev.at, Event::Fault(i));
+            st.events.schedule_at(ev.at, Event::Fault(i));
         }
     }
 
@@ -56,99 +97,179 @@ impl Stepper {
     /// have happened.
     pub fn run(&self, st: &mut SimState, wall_start: Instant) -> ExperimentResult {
         let debug = simcore::env::is_set("MUDI_DEBUG_EVENTS");
+        let mut dbg_next = 200_000u64;
+        let cap = SimTime::from_secs(st.config.max_sim_secs);
         let mut last_finish = SimTime::ZERO;
-        // Sharded stepping engages only with multiple shards *and*
-        // multiple workers: each epoch window speculatively warms the
-        // shards' pure memos in parallel, then commits the window's
-        // events serially in canonical global order. With one shard or
-        // one worker this collapses to the plain pop loop (and keeps
-        // its zero-allocation steady state).
-        let workers = st.events.workers();
-        'outer: loop {
-            let window_end = if workers > 1 {
-                let Some(next) = st.events.peek_time() else {
-                    break;
-                };
-                let end = st.events.epoch_end_after(next);
-                super::shard::speculate_epoch(st, workers);
-                Some(end)
-            } else {
-                None
-            };
-            while let Some((now, event)) = match window_end {
-                Some(end) => st.events.pop_until(end),
-                None => st.events.pop(),
-            } {
-                if debug && st.events.fired().is_multiple_of(200_000) {
-                    eprintln!(
-                        "[engine] events={} t={:.3}s pending={} done={}/{} ev={:?}",
-                        st.events.fired(),
-                        now.as_secs(),
-                        st.events.len(),
-                        st.jobs
-                            .iter()
-                            .filter(|j| j.state == JobState::Completed)
-                            .count(),
-                        st.jobs.len(),
-                        event
-                    );
-                }
-                if now.as_secs() > st.config.max_sim_secs {
-                    break 'outer;
-                }
-                if self.dispatch(st, now, event) {
-                    last_finish = now;
-                }
-                if st.all_done() {
-                    break 'outer;
-                }
+        while let Some(next) = st.next_event_time() {
+            if next > cap {
+                break; // Past the sim-time cap: stop without firing.
             }
-            if window_end.is_none() || st.events.is_empty() {
-                break;
+            let t1 = st.events.epoch_end_after(next).min(cap);
+            if self.run_window(st, t1, &mut last_finish, true) {
+                break; // Every job completed.
+            }
+            if debug && st.fired() >= dbg_next {
+                dbg_next = st.fired() + 200_000;
+                eprintln!(
+                    "[engine] events={} t<={:.3}s pending={} done={}/{}",
+                    st.fired(),
+                    t1.as_secs(),
+                    st.pending_events(),
+                    st.jobs
+                        .iter()
+                        .filter(|j| j.state == crate::job::JobState::Completed)
+                        .count(),
+                    st.jobs.len(),
+                );
             }
         }
 
-        let end = st.events.now();
+        let end = st.sim_now();
         self.finalize(st, end);
         self.build_result(st, last_finish, wall_start.elapsed().as_secs_f64())
     }
 
-    /// Routes one popped event to its stage. Returns `true` when the
-    /// event completed a training job (callers track the last finish
-    /// time for the makespan). Shared by the batch run loop and the
-    /// incremental session API.
-    pub fn dispatch(&self, st: &mut SimState, now: SimTime, event: Event) -> bool {
+    /// Runs one stepping window: rounds of lane phase → barrier →
+    /// global phase until no event at or before `t1` remains anywhere.
+    /// Returns `true` when `check_done` is set and every job completed
+    /// mid-window. Shared by the batch run loop and the incremental
+    /// session API.
+    pub fn run_window(
+        &self,
+        st: &mut SimState,
+        t1: SimTime,
+        last_finish: &mut SimTime,
+        check_done: bool,
+    ) -> bool {
+        loop {
+            let lanes_pending = st.lanes_pending(t1);
+            let global_pending = st.events.peek_time().is_some_and(|t| t <= t1);
+            if !lanes_pending && !global_pending {
+                return false;
+            }
+            if lanes_pending {
+                self.lane_phase(st, t1);
+                let t0 = Instant::now();
+                st.drain_all_outboxes();
+                st.phase_serial_secs += t0.elapsed().as_secs_f64();
+            }
+            let t0 = Instant::now();
+            while let Some((now, event)) = st.events.pop_until(t1) {
+                if let Some(tf) = self.dispatch(st, now, event) {
+                    *last_finish = tf;
+                }
+                if check_done && st.all_done() {
+                    st.phase_serial_secs += t0.elapsed().as_secs_f64();
+                    return true;
+                }
+            }
+            st.phase_serial_secs += t0.elapsed().as_secs_f64();
+        }
+    }
+
+    /// The lane phase: every lane with pending events up to `t1` drains
+    /// them. Parallel over `simcore::pool` when more than one worker
+    /// and lane are available and tracing is off (the trace bus is a
+    /// single ordered stream); the serial path runs the identical
+    /// handlers lane-ascending.
+    fn lane_phase(&self, st: &mut SimState, t1: SimTime) {
+        let t0 = Instant::now();
+        let workers = st.workers;
+        if workers > 1 && st.lanes.len() > 1 && !st.trace.is_enabled() {
+            let mut work: Vec<LaneWork> = Vec::with_capacity(st.lanes.len());
+            let mut devices = &mut st.devices[..];
+            let mut dstate = &mut st.dstate[..];
+            let mut offset = 0usize;
+            for lane in st.lanes.iter_mut() {
+                let len = lane.range.len();
+                debug_assert_eq!(lane.range.start, offset);
+                let (dev_a, dev_rest) = devices.split_at_mut(len);
+                let (ds_a, ds_rest) = dstate.split_at_mut(len);
+                devices = dev_rest;
+                dstate = ds_rest;
+                work.push(LaneWork {
+                    base: offset,
+                    devices: dev_a,
+                    dstate: ds_a,
+                    lane,
+                });
+                offset += len;
+            }
+            let gt = &st.shared.gt;
+            let config = &st.config;
+            let jobs = &st.jobs[..];
+            let ckpt = &st.ckpt[..];
+            simcore::scoped_for_each_mut(&mut work, workers, |_, w| {
+                let mut ctx = LaneCtx {
+                    base: w.base,
+                    devices: &mut *w.devices,
+                    dstate: &mut *w.dstate,
+                    lane: &mut *w.lane,
+                    gt,
+                    config,
+                    jobs,
+                    ckpt,
+                    trace: None,
+                };
+                drain_lane(&mut ctx, t1);
+            });
+        } else {
+            for s in 0..st.lanes.len() {
+                if st.lanes[s].events.peek_time().is_some_and(|t| t <= t1) {
+                    let mut ctx = st.lane_ctx(s);
+                    drain_lane(&mut ctx, t1);
+                }
+            }
+        }
+        st.phase_lane_secs += t0.elapsed().as_secs_f64();
+    }
+
+    /// Routes one popped *global* event to its stage. Returns the
+    /// finish time when the event completed a training job (callers
+    /// track the last finish for the makespan).
+    pub fn dispatch(&self, st: &mut SimState, now: SimTime, event: Event) -> Option<SimTime> {
         match event {
             Event::JobArrival(job) => Admission.on_arrival(st, now, job),
             Event::JobCompletion { job, epoch } => {
                 return Control.on_completion(st, now, job, epoch);
             }
-            Event::QpsChange(d) => Control.on_qps_change(st, now, d),
             Event::UtilSample => Control.on_util_sample(st, now),
-            Event::Retune(d) => Control.on_retune(st, now, d),
             Event::Fault(idx) => Faults.on_fault(st, now, idx),
             Event::DeviceRepair(d) => Faults.on_device_repair(st, now, d),
-            Event::SlowdownEnd { device, token } => Faults.on_slowdown_end(st, now, device, token),
-            Event::ProcessRestart { device, job } => {
-                Faults.on_process_restart(st, now, device, job)
-            }
             Event::StandbyPromote { host, token } => {
                 Faults.on_standby_promote(st, now, host, token)
             }
+            Event::QpsChange(_)
+            | Event::Retune(_)
+            | Event::SlowdownEnd { .. }
+            | Event::ProcessRestart { .. } => {
+                debug_assert!(false, "lane event on the global queue: {event:?}");
+            }
         }
-        false
+        None
     }
 
     /// End-of-run finalization: accrues every device's final span to
-    /// `end`, closes utilization integrators, and closes still-open
-    /// total-outage windows. Must run exactly once, before
-    /// [`Stepper::build_result`].
+    /// `end`, closes utilization integrators, closes still-open
+    /// total-outage windows, and materializes the per-device float
+    /// partials into [`SimState::fmetrics`]. Must run exactly once,
+    /// before [`Stepper::build_result`].
     pub fn finalize(&self, st: &mut SimState, end: SimTime) {
         for d in 0..st.devices.len() {
             Control.accrue(st, end, d);
             st.devices[d].finish(end);
         }
         self.close_open_outages(st, end);
+        // Materialize the folded fault-metric partials exactly once,
+        // then zero them so a later observability read cannot
+        // double-count.
+        st.fmetrics = st.folded_fmetrics();
+        for ds in &mut st.dstate {
+            ds.acc.dropped_requests = 0.0;
+            ds.acc.rerouted_requests = 0.0;
+            ds.acc.standby_reserved_gpu_secs = 0.0;
+            ds.acc.standby_served_requests = 0.0;
+        }
     }
 
     /// Closes total-outage windows still open at end-of-run. The dense
@@ -171,7 +292,7 @@ impl Stepper {
     ) -> ExperimentResult {
         let mut result = ExperimentResult {
             system: st.config.system.name().to_string(),
-            services: st.services.take_map(),
+            services: st.fold_services().take_map(),
             ..Default::default()
         };
         let first_submit = st
@@ -247,3 +368,13 @@ impl Stepper {
         result
     }
 }
+
+// The parallel lane phase moves these across threads; fail at compile
+// time (not deep inside `scoped_for_each_mut`'s bounds) if a future
+// field change breaks that.
+const _: fn() = || {
+    fn assert_send<T: Send + ?Sized>() {}
+    assert_send::<[GpuDevice]>();
+    assert_send::<[DeviceState]>();
+    assert_send::<LaneBox>();
+};

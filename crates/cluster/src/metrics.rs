@@ -5,6 +5,19 @@ use std::collections::HashMap;
 use simcore::StreamingStats;
 use workloads::ServiceId;
 
+/// Pairwise sum combiner for `(numerator, denominator)` partials.
+fn sum2(a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+/// `num / den`, or zero when nothing accrued.
+fn ratio_or_zero(folded: Option<(f64, f64)>) -> f64 {
+    match folded {
+        Some((v, r)) if r > 0.0 => v / r,
+        _ => 0.0,
+    }
+}
+
 /// Per-service SLO accounting.
 #[derive(Clone, Debug, Default)]
 pub struct ServiceMetrics {
@@ -46,6 +59,20 @@ impl ServiceMetrics {
         } else {
             (self.itl_violations / self.tokens).clamp(0.0, 1.0)
         }
+    }
+
+    /// Folds another partial accumulator into this one: float fields
+    /// sum, the P99 stream merges via parallel Welford. The commit
+    /// barrier reduces per-device partials with this in device-ascending
+    /// order, so the merged value is independent of which worker
+    /// produced which partial.
+    pub fn merge(&mut self, other: &ServiceMetrics) {
+        self.requests += other.requests;
+        self.violations += other.violations;
+        self.p99_stats.merge(&other.p99_stats);
+        self.tokens += other.tokens;
+        self.itl_violations += other.itl_violations;
+        self.ttft_violations += other.ttft_violations;
     }
 
     /// Time-to-first-token SLO violation rate in `[0, 1]` (per
@@ -304,16 +331,12 @@ impl ExperimentResult {
     /// unspecified and float addition is order-sensitive, which would
     /// break bit-identical replay.
     pub fn overall_violation_rate(&self) -> f64 {
-        let mut per: Vec<(&ServiceId, &ServiceMetrics)> = self.services.iter().collect();
-        per.sort_by_key(|&(s, _)| s);
-        let (v, r) = per.iter().fold((0.0, 0.0), |(v, r), (_, m)| {
-            (v + m.violations, r + m.requests)
-        });
-        if r <= 0.0 {
-            0.0
-        } else {
-            v / r
-        }
+        let items: Vec<(ServiceId, (f64, f64))> = self
+            .services
+            .iter()
+            .map(|(&s, m)| (s, (m.violations, m.requests)))
+            .collect();
+        ratio_or_zero(simcore::fold_ordered(items, sum2))
     }
 
     /// Overall per-token (inter-token latency) SLO violation rate
@@ -321,34 +344,24 @@ impl ExperimentResult {
     /// the same bit-replay reason as [`Self::overall_violation_rate`].
     /// Zero when no service accrued tokens (classifier-only runs).
     pub fn overall_token_violation_rate(&self) -> f64 {
-        let mut per: Vec<(&ServiceId, &ServiceMetrics)> = self.services.iter().collect();
-        per.sort_by_key(|&(s, _)| s);
-        let (v, t) = per.iter().fold((0.0, 0.0), |(v, t), (_, m)| {
-            (v + m.itl_violations, t + m.tokens)
-        });
-        if t <= 0.0 {
-            0.0
-        } else {
-            v / t
-        }
+        let items: Vec<(ServiceId, (f64, f64))> = self
+            .services
+            .iter()
+            .map(|(&s, m)| (s, (m.itl_violations, m.tokens)))
+            .collect();
+        ratio_or_zero(simcore::fold_ordered(items, sum2))
     }
 
     /// Overall time-to-first-token SLO violation rate across generative
     /// services (request-weighted over services that accrued tokens).
     pub fn overall_ttft_violation_rate(&self) -> f64 {
-        let mut per: Vec<(&ServiceId, &ServiceMetrics)> = self.services.iter().collect();
-        per.sort_by_key(|&(s, _)| s);
-        let (v, r) = per
+        let items: Vec<(ServiceId, (f64, f64))> = self
+            .services
             .iter()
             .filter(|(_, m)| m.tokens > 0.0)
-            .fold((0.0, 0.0), |(v, r), (_, m)| {
-                (v + m.ttft_violations, r + m.requests)
-            });
-        if r <= 0.0 {
-            0.0
-        } else {
-            v / r
-        }
+            .map(|(&s, m)| (s, (m.ttft_violations, m.requests)))
+            .collect();
+        ratio_or_zero(simcore::fold_ordered(items, sum2))
     }
 
     /// Violation rate for one service.

@@ -18,6 +18,8 @@
 //! (`MudiConfig::flat`), which reproduces the paper's topology-blind
 //! behaviour exactly.
 
+use std::collections::HashMap;
+
 use simcore::SimRng;
 use workloads::{GroundTruth, ServiceId, TaskId};
 
@@ -93,6 +95,24 @@ impl DeviceSelector {
         DeviceSelector { config }
     }
 
+    /// The §5.2 base interference score of co-locating `incoming` next
+    /// to `existing` on a device serving `service`: the mean predicted
+    /// relative slope across the profiling batch set. Depends only on
+    /// the co-location *shape*, not on which device hosts it.
+    fn base_score(
+        &self,
+        gt: &GroundTruth,
+        predictor: &InterferencePredictor,
+        incoming: TaskId,
+        service: ServiceId,
+        existing: &[TaskId],
+    ) -> Option<f64> {
+        let mut tasks = existing.to_vec();
+        tasks.push(incoming);
+        let arch = LatencyProfiler::merged_arch(gt, &tasks);
+        predictor.mean_slope_score(service, &arch, &self.config.profile_batches)
+    }
+
     /// Scores one candidate for hosting `incoming`: the mean predicted
     /// relative slope across the profiling batch set (§5.2), with a
     /// penalty for co-locations that would immediately overflow device
@@ -107,11 +127,13 @@ impl DeviceSelector {
         if candidate.existing_tasks.len() >= self.config.max_trainings_per_gpu {
             return None;
         }
-        let mut tasks = candidate.existing_tasks.clone();
-        tasks.push(incoming);
-        let arch = LatencyProfiler::merged_arch(gt, &tasks);
-        let base =
-            predictor.mean_slope_score(candidate.service, &arch, &self.config.profile_batches)?;
+        let base = self.base_score(
+            gt,
+            predictor,
+            incoming,
+            candidate.service,
+            &candidate.existing_tasks,
+        )?;
         let incoming_mem = gt.training_memory_gb(incoming);
         let overflow = (incoming_mem - candidate.mem_headroom_gb).max(0.0);
         // Each GB of immediate overflow costs like ~4 % extra slope.
@@ -128,6 +150,13 @@ impl DeviceSelector {
     ///
     /// Returns `None` when no candidate has a free training slot or a
     /// usable prediction (the task then waits in the queue, §5.3.2).
+    ///
+    /// The base slope score depends only on `(service, existing task
+    /// set)` — a cluster-scale pool repeats a handful of such shapes
+    /// across its devices, so the scan memoizes the base per shape and
+    /// recomputes only the per-device multipliers. The memoized value
+    /// is the identical `f64`, so the decision (and its score) is
+    /// bit-for-bit the one the unmemoized scan produces.
     pub fn select(
         &self,
         gt: &GroundTruth,
@@ -137,10 +166,26 @@ impl DeviceSelector {
     ) -> Option<PlacementDecision> {
         let mut best: Option<(usize, f64)> = None;
         let mut evaluated = 0usize;
+        let mut base_memo: HashMap<(ServiceId, &[TaskId]), Option<f64>> = HashMap::new();
+        let incoming_mem = gt.training_memory_gb(incoming);
         for c in candidates {
-            let Some(score) = self.score(gt, predictor, incoming, c) else {
+            if c.existing_tasks.len() >= self.config.max_trainings_per_gpu {
+                continue;
+            }
+            let base = *base_memo
+                .entry((c.service, c.existing_tasks.as_slice()))
+                .or_insert_with(|| {
+                    self.base_score(gt, predictor, incoming, c.service, &c.existing_tasks)
+                });
+            let Some(base) = base else {
                 continue;
             };
+            let overflow = (incoming_mem - c.mem_headroom_gb).max(0.0);
+            let memory = 1.0 + 0.04 * overflow;
+            let reliability = c.reliability.penalty(self.config.reliability_weight);
+            let anti_affinity =
+                1.0 + self.config.anti_affinity_weight * c.domain_training_load.clamp(0.0, 1.0);
+            let score = base * memory * reliability * anti_affinity;
             evaluated += 1;
             // Ties (within epsilon) keep the earlier candidate for determinism.
             let better = match best {

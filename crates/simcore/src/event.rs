@@ -178,6 +178,25 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Like [`EventQueue::pop_until`] but without the queue-wide
+    /// monotonicity requirement: the clock only advances (to the
+    /// event's firing time when later than the clock), it never
+    /// asserts. For queues multiplexing several logically independent
+    /// streams (the sharded engine's device lanes), where each stream
+    /// is monotone under the *caller's* per-stream clamp but the
+    /// interleaving is not.
+    pub fn pop_until_relaxed(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => {
+                let ScheduledEvent { at, event, .. } = self.heap.pop()?;
+                self.now = self.now.max(at);
+                self.popped += 1;
+                Some((at, event))
+            }
+            _ => None,
+        }
+    }
+
     /// Drops all pending events, keeping the clock where it is.
     pub fn clear(&mut self) {
         self.heap.clear();

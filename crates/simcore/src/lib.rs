@@ -27,9 +27,11 @@ pub mod trace;
 
 pub use dist::{normal_cdf, normal_quantile, Exponential, LogNormal, Normal, Poisson};
 pub use event::{EventQueue, ScheduledEvent};
-pub use metrics::{Cdf, Histogram, StreamingStats, TimeSeries, UtilizationIntegrator};
+pub use metrics::{
+    fold_ordered, tree_fold, Cdf, Histogram, StreamingStats, TimeSeries, UtilizationIntegrator,
+};
 pub use pool::{max_workers, scoped_for_each_mut, scoped_map, scoped_map_workers};
-pub use rng::SimRng;
+pub use rng::{MergeKey, SimRng};
 pub use shard::ShardMap;
 pub use time::{SimDuration, SimTime};
 pub use topology::{DeviceAddress, Topology, TopologyShape};

@@ -603,3 +603,105 @@ mod tests {
         }
     }
 }
+
+/// Deterministic pairwise tree fold over an already-ordered list.
+///
+/// The reduction tree's shape depends only on `items.len()`: level by
+/// level, element `2i` merges with element `2i+1` (a trailing odd
+/// element is carried up unmerged). Because the shape is fixed, a
+/// non-associative combiner — IEEE-754 float addition, Welford
+/// [`StreamingStats::merge`] — produces bit-identical results wherever
+/// the same ordered inputs are presented, regardless of which threads
+/// or shards computed them. Returns `None` for an empty input.
+pub fn tree_fold<T>(items: Vec<T>, mut merge: impl FnMut(T, T) -> T) -> Option<T> {
+    let mut level = items;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge(a, b)),
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    level.pop()
+}
+
+/// Order-insensitive deterministic reduction: sorts `items` by key,
+/// then applies the fixed-shape [`tree_fold`].
+///
+/// This is the commit-barrier reducer of the parallel engine: per-actor
+/// float accumulators arrive in whatever order the worker pool finished
+/// them, are ranked by a partition-invariant key (service id, device
+/// index), and fold in a tree whose shape depends only on the item
+/// count — so the reduced value is bit-identical for every permutation
+/// of the input. Keys must be distinct for the result to be fully
+/// order-independent (equal keys fall back to the stable sort's
+/// input order).
+pub fn fold_ordered<K: Ord, T>(
+    mut items: Vec<(K, T)>,
+    mut merge: impl FnMut(T, T) -> T,
+) -> Option<T> {
+    items.sort_by(|a, b| a.0.cmp(&b.0));
+    tree_fold(items.into_iter().map(|(_, t)| t).collect(), &mut merge)
+}
+
+#[cfg(test)]
+mod fold_tests {
+    use super::*;
+
+    #[test]
+    fn tree_fold_shape_is_fixed() {
+        // A deliberately non-associative combiner exposes the shape:
+        // 5 items fold as ((0·1)·(2·3))·4 under pairwise levels.
+        let items: Vec<String> = (0..5).map(|i| i.to_string()).collect();
+        let folded = tree_fold(items, |a, b| format!("({a}{b})")).unwrap();
+        assert_eq!(folded, "(((01)(23))4)");
+        assert_eq!(tree_fold(Vec::<u32>::new(), |a, b| a + b), None);
+        assert_eq!(tree_fold(vec![7u32], |a, b| a + b), Some(7));
+    }
+
+    #[test]
+    fn fold_ordered_is_input_order_independent() {
+        // Float sums whose value depends on association order: any
+        // permutation of the same keyed items must land on the same
+        // bits because the sort + fixed tree normalizes both the order
+        // and the association.
+        let base: Vec<(u32, f64)> = (0..13)
+            .map(|i| (i, (i as f64 + 0.1).powi(3) * 1e10 + 1e-6 / (i + 1) as f64))
+            .collect();
+        let reference = fold_ordered(base.clone(), |a, b| a + b).unwrap();
+        let mut shuffled = base;
+        // Deterministic shuffle: rotate and interleave.
+        shuffled.rotate_left(5);
+        shuffled.swap(0, 9);
+        shuffled.swap(3, 12);
+        let got = fold_ordered(shuffled, |a, b| a + b).unwrap();
+        assert_eq!(reference.to_bits(), got.to_bits());
+    }
+
+    #[test]
+    fn fold_ordered_merges_streaming_stats_deterministically() {
+        let mk = |seed: u64| {
+            let mut s = StreamingStats::new();
+            for i in 0..seed {
+                s.record(i as f64 * 1.7 + seed as f64);
+            }
+            s
+        };
+        let items: Vec<(usize, StreamingStats)> = (1..8).map(|i| (i, mk(i as u64))).collect();
+        let merge = |mut a: StreamingStats, b: StreamingStats| {
+            a.merge(&b);
+            a
+        };
+        let fwd = fold_ordered(items.clone(), merge).unwrap();
+        let mut rev = items;
+        rev.reverse();
+        let bwd = fold_ordered(rev, merge).unwrap();
+        assert_eq!(fwd.mean().to_bits(), bwd.mean().to_bits());
+        assert_eq!(fwd.variance().to_bits(), bwd.variance().to_bits());
+        assert_eq!(fwd.count(), bwd.count());
+    }
+}

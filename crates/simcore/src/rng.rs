@@ -161,6 +161,47 @@ impl SimRng {
     pub fn seed_value(&self) -> u64 {
         self.seed
     }
+
+    /// Named per-actor substream: the parallel engine's RNG primitive.
+    ///
+    /// Identical to [`SimRng::fork_indexed`], under the name the
+    /// parallel-commit contract uses: every concurrently-executing
+    /// actor (a device, a shard lane) draws from its own named
+    /// substream, derived purely from `(seed, label, index)`. Because
+    /// derivation never observes how many values any other stream has
+    /// drawn, the draws an actor sees are independent of the
+    /// interleaving — and therefore of the shard and worker counts.
+    pub fn substream(&self, label: &str, index: usize) -> SimRng {
+        self.fork_indexed(label, index)
+    }
+}
+
+/// The cross-actor merge key of the parallel-commit discipline.
+///
+/// Effects produced concurrently by per-actor substreams are committed
+/// serially in the total order `(time, actor, seq)`: event time first,
+/// then the *logical* actor that produced the effect, then that actor's
+/// own emission counter. The actor id must be partition-invariant — the
+/// engine keys by **device**, the finest-grained logical shard, never
+/// by the (configuration-dependent) shard index — so the commit order,
+/// and hence every downstream draw and float accumulation, is identical
+/// at every `MUDI_SHARDS × MUDI_THREADS` point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MergeKey {
+    /// Emission time of the effect (nanosecond tick of
+    /// [`SimTime`](crate::time::SimTime)).
+    pub time: crate::time::SimTime,
+    /// The partition-invariant logical actor (device index).
+    pub actor: u64,
+    /// The actor's own monotonically increasing emission counter.
+    pub seq: u64,
+}
+
+impl MergeKey {
+    /// Builds a key; field order gives the lexicographic commit order.
+    pub fn new(time: crate::time::SimTime, actor: u64, seq: u64) -> Self {
+        MergeKey { time, actor, seq }
+    }
 }
 
 /// FNV-1a hash, used to derive fork seeds from labels.
@@ -282,5 +323,35 @@ mod tests {
         let mut r = SimRng::seed(2);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn substream_is_fork_indexed_and_interleaving_independent() {
+        let root = SimRng::seed(77);
+        assert_eq!(
+            root.substream("retune", 5).u64(),
+            root.fork_indexed("retune", 5).u64()
+        );
+        // Draining one substream must not shift a sibling.
+        let mut a = root.substream("retune", 0);
+        for _ in 0..100 {
+            let _ = a.u64();
+        }
+        assert_eq!(
+            root.substream("retune", 1).u64(),
+            SimRng::seed(77).substream("retune", 1).u64()
+        );
+    }
+
+    #[test]
+    fn merge_keys_order_by_time_then_actor_then_seq() {
+        use crate::time::SimTime;
+        let k = |t: f64, a: u64, s: u64| MergeKey::new(SimTime::from_secs(t), a, s);
+        let mut keys = vec![k(2.0, 0, 0), k(1.0, 9, 9), k(1.0, 2, 0), k(1.0, 2, 1)];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![k(1.0, 2, 0), k(1.0, 2, 1), k(1.0, 9, 9), k(2.0, 0, 0)]
+        );
     }
 }

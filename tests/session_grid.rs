@@ -1,0 +1,179 @@
+//! Scripted-session equivalence across the full shard × worker grid.
+//!
+//! The parallel-commit contract: `config.shards` (how the event
+//! population is partitioned into device lanes) and `config.workers`
+//! (how many threads execute lane phases concurrently) must both be
+//! unobservable in every simulated quantity. A seeded session driven
+//! through the live admin surface — deploys, scales, injected faults,
+//! routed requests — must replay bit-identically at every grid point,
+//! and must be insensitive to *where* the driver yields: stepping to
+//! one far horizon and stepping in small increments that land mid
+//! epoch-window must produce the same canonical rendering.
+//!
+//! Note: `MUDI_SHARDS` / `MUDI_THREADS` override `config.shards` /
+//! `config.workers`; under those overrides every cell resolves to the
+//! same point and the comparisons hold trivially. The unsuffixed CI
+//! test job runs without the overrides.
+
+use std::fmt::Write;
+
+use cluster::engine::{ClusterConfig, ClusterSession, LiveFault};
+use cluster::systems::SystemKind;
+use resilience::{CorrelatedFaultConfig, FaultProfile};
+use simcore::{SimTime, TopologyShape};
+
+/// An 8-rack faulted config so 8 shards are non-trivial and the
+/// cross-lane paths (reroute, standby mirror, repair undo) all fire.
+fn grid_config(shards: usize, workers: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::tiny(SystemKind::Mudi, 23).with_faults(
+        FaultProfile::scaled(150.0).with_correlated(CorrelatedFaultConfig::scaled(150.0)),
+    );
+    cfg.topology = TopologyShape::new(8, 2);
+    cfg.devices = 16;
+    cfg.jobs = 10;
+    cfg.shards = shards;
+    cfg.workers = workers;
+    // An epoch length dividing every scripted instant, so boundary
+    // yields tile the script exactly.
+    cfg.shard_epoch_secs = 100.0;
+    cfg
+}
+
+/// Drives one fixed admin script through a session, rendering every
+/// observable (admin outcomes, routed requests, reports, the final
+/// canonical result text) into one comparable string. `advance`
+/// abstracts *how* the clock reaches each scripted instant.
+fn run_script(cfg: ClusterConfig, advance: impl Fn(&mut ClusterSession, SimTime)) -> String {
+    let mut s = ClusterSession::new_scaled(cfg, 0.01);
+    let mut out = String::new();
+    let services: Vec<_> = s.zoo().services().iter().map(|sp| sp.id).collect();
+
+    advance(&mut s, SimTime::from_secs(500.0));
+    let _ = writeln!(
+        out,
+        "deploy3 {:?}",
+        s.deploy_replica(3, services[0]).map_err(|e| e.to_string())
+    );
+    for &svc in services.iter().take(2) {
+        match s.infer(svc) {
+            Ok(r) => {
+                let _ = writeln!(
+                    out,
+                    "infer {} dev{} {:?} standby={} viol={}",
+                    svc.0, r.device, r.latency_secs, r.via_standby, r.violation
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "infer {} err {e}", svc.0);
+            }
+        }
+    }
+
+    advance(&mut s, SimTime::from_secs(900.0));
+    let _ = writeln!(
+        out,
+        "fail2 {}",
+        s.inject_fault(2, LiveFault::DeviceFailure { repair_secs: 350.0 })
+            .is_ok()
+    );
+    let _ = writeln!(
+        out,
+        "slow9 {}",
+        s.inject_fault(
+            9,
+            LiveFault::Slowdown {
+                factor: 0.6,
+                duration_secs: 250.0,
+            }
+        )
+        .is_ok()
+    );
+
+    advance(&mut s, SimTime::from_secs(1500.0));
+    let _ = writeln!(
+        out,
+        "scale1 {:?}",
+        s.scale_service(services[1], 3)
+            .map(|o| (o.achieved, o.moves))
+            .map_err(|e| e.to_string())
+    );
+    let _ = writeln!(
+        out,
+        "crash5 {}",
+        s.inject_fault(5, LiveFault::ProcessCrash { salt: 1 })
+            .is_ok()
+    );
+
+    advance(&mut s, SimTime::from_secs(2500.0));
+    for r in s.service_report() {
+        let _ = writeln!(
+            out,
+            "svc {} up={}/{} req={:?} viol={:?} api={}/{} outage={}",
+            r.id.0,
+            r.replicas_up,
+            r.replicas_assigned,
+            r.requests,
+            r.violations,
+            r.api_violations,
+            r.api_requests,
+            r.in_outage
+        );
+    }
+    let fm = s.fault_metrics();
+    let _ = writeln!(
+        out,
+        "faults dev={} slow={} crash={} promo={} outage_secs={:?}",
+        fm.device_failures,
+        fm.slowdowns,
+        fm.process_crashes,
+        fm.standby_promotions,
+        fm.service_outage_secs
+    );
+    let _ = writeln!(out, "fired={}", s.events_fired());
+    out.push_str(&s.finish().canonical_text());
+    out
+}
+
+/// Steps straight to each scripted instant.
+fn direct(s: &mut ClusterSession, t: SimTime) {
+    s.step_until(t);
+}
+
+/// The full 4×4 grid replays the (1 shard, 1 worker) cell exactly.
+#[test]
+fn scripted_session_is_identical_across_shard_worker_grid() {
+    let baseline = run_script(grid_config(1, 1), direct);
+    for shards in [1usize, 2, 4, 8] {
+        for workers in [1usize, 2, 4, 8] {
+            if (shards, workers) == (1, 1) {
+                continue;
+            }
+            let cell = run_script(grid_config(shards, workers), direct);
+            assert_eq!(
+                baseline, cell,
+                "shards={shards} workers={workers} drifted from the 1x1 baseline"
+            );
+        }
+    }
+}
+
+/// Forced epoch-boundary yields: handing control back to the driver
+/// at every 100 s epoch boundary (a `step_until` per epoch) must be
+/// indistinguishable from stepping straight to each horizon. This is
+/// the commit contract's yield guarantee — barriers live on the epoch
+/// grid, so a yield *on* the grid adds no barrier. (A mid-epoch
+/// horizon inserts an extra barrier and deterministically re-quantizes
+/// cross-lane effects; such yields are outside the contract.)
+#[test]
+fn epoch_boundary_yields_match_direct_stepping() {
+    let per_epoch = |s: &mut ClusterSession, t: SimTime| {
+        let mut at = s.now();
+        while at < t {
+            at = (at + simcore::SimDuration::from_secs(100.0)).min(t);
+            s.step_until(at);
+        }
+    };
+    let one = run_script(grid_config(4, 2), direct);
+    let many = run_script(grid_config(4, 2), per_epoch);
+    assert_eq!(one, many, "epoch-boundary yields perturbed the replay");
+}
